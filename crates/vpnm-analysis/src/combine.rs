@@ -1,0 +1,75 @@
+//! Combining per-mechanism MTS values into a system MTS.
+//!
+//! Stall processes are (approximately) independent rare events, so their
+//! *rates* add: `1/MTS_total = 1/MTS_dsb + 1/MTS_baq (+ 1/MTS_wb)`. The
+//! paper neglects the write-buffer term ("does not dominate the overall
+//! stall"); we accept any number of components.
+
+use crate::MTS_CAP;
+
+/// Harmonic combination of independent stall mechanisms' MTS values.
+///
+/// Components at or above [`MTS_CAP`] are treated as "never stalls".
+/// Returns [`MTS_CAP`] when every component is capped, and 0.0 if any
+/// component is 0 (always stalling).
+///
+/// ```
+/// use vpnm_analysis::combined_mts;
+/// // One fast-stalling mechanism dominates.
+/// let total = combined_mts(&[1e3, 1e12]);
+/// assert!((total - 1e3).abs() / 1e3 < 0.01);
+/// // Two equal mechanisms halve the MTS.
+/// assert!((combined_mts(&[1e6, 1e6]) - 5e5).abs() < 1.0);
+/// ```
+pub fn combined_mts(components: &[f64]) -> f64 {
+    assert!(!components.is_empty(), "need at least one component");
+    let mut rate = 0.0;
+    for &mts in components {
+        assert!(mts >= 0.0, "MTS cannot be negative");
+        if mts == 0.0 {
+            return 0.0;
+        }
+        if mts < MTS_CAP {
+            rate += 1.0 / mts;
+        }
+    }
+    if rate == 0.0 {
+        MTS_CAP
+    } else {
+        (1.0 / rate).min(MTS_CAP)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_component_identity() {
+        assert!((combined_mts(&[123.0]) - 123.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capped_components_ignored() {
+        assert_eq!(combined_mts(&[MTS_CAP, MTS_CAP]), MTS_CAP);
+        assert_eq!(combined_mts(&[1e6, MTS_CAP]), 1e6);
+    }
+
+    #[test]
+    fn zero_means_always_stalling() {
+        assert_eq!(combined_mts(&[0.0, 1e9]), 0.0);
+    }
+
+    #[test]
+    fn total_below_minimum_component() {
+        let total = combined_mts(&[1e4, 2e4, 3e4]);
+        assert!(total < 1e4);
+        assert!(total > 1e3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_rejected() {
+        let _ = combined_mts(&[]);
+    }
+}

@@ -1,0 +1,162 @@
+//! Delay storage buffer stall analysis (paper Section 5.1).
+//!
+//! A storage row is held for `D` cycles per unique read, so the buffer
+//! overflows when one bank receives `K` or more requests within a window
+//! of `D` cycles. With the universal hash, bank assignments are a uniform
+//! random sequence; the probability that a given request is joined by at
+//! least `K−1` same-bank requests among the next `D−1` is bounded by
+//! `C(D−1, K−1)·(1/B)^(K−1)`, giving (at 50% stall probability):
+//!
+//! ```text
+//! MTS = log(1/2) / log(1 − C(D−1, K−1)·(1/B)^(K−1)) + D
+//! ```
+
+use crate::binomial::ln_choose;
+use crate::MTS_CAP;
+
+/// The normalized delay the **paper's analysis** uses: `D = Q·L` (Figure 1
+/// defines `Q = D/L`; Section 4.3 says `D` is "determined using the access
+/// latency (L) and the bank request queue size (Q)"). The executable
+/// controller in `vpnm-core` derives a slightly more conservative `D` that
+/// also accounts for bus-grant alignment; use this one when reproducing
+/// the paper's Figures 4, 6 and 7.
+pub fn paper_delay(q: u64, l: u64) -> u64 {
+    q * l
+}
+
+/// The normalized delay in **interface cycles** when the memory side runs
+/// `R`× faster: `D = ceil(Q·L/R)`. Queued bank work drains `R` times
+/// faster relative to the interface, so the storage-row hold time — and
+/// with it the delay-storage stall window — shrinks accordingly. The
+/// design-space evaluation (Figure 7 / Table 2) uses this form; it is
+/// what makes the published Table 2 MTS values differ between `R = 1.3`
+/// and `R = 1.4`.
+pub fn paper_delay_with_ratio(q: u64, l: u64, r: f64) -> u64 {
+    assert!(r.is_finite() && r >= 1.0, "ratio must be >= 1.0");
+    ((q * l) as f64 / r).ceil() as u64
+}
+
+/// Mean time to stall (in accesses ≈ interface cycles) of the delay
+/// storage buffer with `b` banks, `k` rows, and normalized delay `d`.
+///
+/// Values are capped at [`MTS_CAP`] (10^16), matching the paper's plots.
+/// Returns ~`d` when the per-window stall probability approaches 1.
+///
+/// ```
+/// use vpnm_analysis::dsb::dsb_mts;
+/// // More rows → exponentially better MTS (paper Figure 4).
+/// let d = 160;
+/// assert!(dsb_mts(32, 48, d) > 100.0 * dsb_mts(32, 32, d));
+/// ```
+pub fn dsb_mts(b: u32, k: u64, d: u64) -> f64 {
+    assert!(b >= 2, "need at least two banks");
+    assert!(k >= 1, "need at least one storage row");
+    assert!(d >= 1, "delay must be positive");
+    if k > d {
+        // The window cannot even contain K requests: no overflow possible.
+        return MTS_CAP;
+    }
+    let ln_p = ln_choose(d - 1, k - 1) - (k - 1) as f64 * f64::from(b).ln();
+    let mts = if ln_p >= 0.0 {
+        // p >= 1 after the union bound: stall immediately after one window.
+        d as f64
+    } else {
+        let p = ln_p.exp();
+        // MTS = ln(1/2)/ln(1-p) + D; for small p, ln(1-p) ≈ -p.
+        let denom = if p < 1e-9 { -p } else { (1.0 - p).ln() };
+        (0.5f64).ln() / denom + d as f64
+    };
+    mts.min(MTS_CAP)
+}
+
+/// The per-window stall probability `C(D−1, K−1)·(1/B)^(K−1)` itself
+/// (clamped to 1), exposed for validation against simulation.
+pub fn window_stall_probability(b: u32, k: u64, d: u64) -> f64 {
+    assert!(b >= 2 && k >= 1 && d >= 1);
+    if k > d {
+        return 0.0;
+    }
+    let ln_p = ln_choose(d - 1, k - 1) - (k - 1) as f64 * f64::from(b).ln();
+    ln_p.exp().min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_figure4_b32_k32_order_of_magnitude() {
+        // Paper: "for B = 32 … we can get a MTS of 10^12 for K = 32"
+        // (R = 1.3, Q matched to 8 for the B = 32 curve).
+        let d = paper_delay(8, 20);
+        let mts = dsb_mts(32, 32, d);
+        assert!(
+            (1e11..1e14).contains(&mts),
+            "MTS {mts:.3e} should be near the paper's 1e12"
+        );
+    }
+
+    #[test]
+    fn paper_figure4_b64_tracks_b32() {
+        // "The curve for B = 64 follows very closely to the curve for
+        // B = 32" — within a few orders of magnitude on the log plot, and
+        // uniformly better.
+        let d = paper_delay(8, 20);
+        for k in [24u64, 32, 48] {
+            let m32 = dsb_mts(32, k, d);
+            let m64 = dsb_mts(64, k, d);
+            assert!(m64 >= m32);
+        }
+    }
+
+    #[test]
+    fn small_bank_counts_need_much_larger_k() {
+        // "For lower number of banks (B < 32), we need much higher values
+        // of K to even reach a MTS value of 10^8."
+        let d = paper_delay(12, 20);
+        assert!(dsb_mts(4, 32, d) < 1e8);
+        assert!(dsb_mts(8, 32, d) < 1e8);
+        assert!(dsb_mts(16, 48, d) < dsb_mts(32, 48, d) / 1e3);
+    }
+
+    #[test]
+    fn monotone_in_k_and_b() {
+        let d = 200;
+        let mut prev = 0.0;
+        for k in (8..=64).step_by(8) {
+            let m = dsb_mts(32, k, d);
+            assert!(m >= prev, "MTS must grow with K");
+            prev = m;
+        }
+        for (small, large) in [(4u32, 8u32), (8, 16), (16, 32)] {
+            assert!(dsb_mts(small, 32, d) <= dsb_mts(large, 32, d));
+        }
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        // K > D: overflow impossible → capped MTS.
+        assert_eq!(dsb_mts(8, 100, 50), MTS_CAP);
+        // K = 1, D = 1: every window of one access overflows a 1-row
+        // buffer only when … C(0,0)·(1/B)^0 = 1 → MTS ≈ D.
+        assert!(dsb_mts(8, 1, 1) <= 2.0);
+        assert_eq!(window_stall_probability(8, 100, 50), 0.0);
+        assert_eq!(window_stall_probability(8, 1, 1), 1.0);
+    }
+
+    #[test]
+    fn cap_applies() {
+        let mts = dsb_mts(64, 128, 100);
+        assert!(mts <= MTS_CAP);
+    }
+
+    #[test]
+    fn probability_consistent_with_mts() {
+        let (b, k, d) = (16, 12, 100);
+        let p = window_stall_probability(b, k, d);
+        let mts = dsb_mts(b, k, d);
+        // MTS ≈ ln2/p for small p
+        let approx = (2f64).ln() / p + d as f64;
+        assert!((mts - approx).abs() / approx < 0.01);
+    }
+}

@@ -1,0 +1,499 @@
+//! Packet buffering on VPNM (paper Section 5.4.1).
+//!
+//! Routers buffer roughly `2·R·T` of traffic (line rate × round-trip
+//! time) — 4 GB at 160 Gbps — which only DRAM can hold. Prior schemes
+//! fight bank conflicts with per-queue SRAM cell caches and bank-aware
+//! scheduling; on VPNM the problem disappears: "Instead of keeping large
+//! head and tail SRAMs to store packets, we just need to store the head
+//! and tail pointers of each queue in SRAM." Every cell write goes to the
+//! queue's tail address, every read to its head address, and the
+//! controller's universal hash spreads those addresses over banks
+//! regardless of the queue access pattern.
+
+use std::collections::VecDeque;
+use std::fmt;
+use vpnm_core::{LineAddr, Request, StallKind, VpnmConfig, VpnmController};
+
+/// One interface event presented to a packet buffer per cell slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BufferEvent {
+    /// Append a cell to a queue.
+    Enqueue {
+        /// Queue (interface) index.
+        queue: u32,
+        /// Cell payload.
+        cell: Vec<u8>,
+    },
+    /// Remove the oldest cell of a queue (data arrives `D` cycles later).
+    Dequeue {
+        /// Queue (interface) index.
+        queue: u32,
+    },
+}
+
+/// A dequeued cell delivered at its deterministic deadline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DequeuedCell {
+    /// The queue it came from.
+    pub queue: u32,
+    /// The cell payload.
+    pub data: Vec<u8>,
+}
+
+/// Why a buffer event was rejected this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufferError {
+    /// The target queue has no room for another cell.
+    QueueFull,
+    /// The target queue has no cells to dequeue.
+    QueueEmpty,
+    /// The memory controller stalled (retry next cycle).
+    MemoryStall(StallKind),
+    /// The scheme's internal scheduling structures are saturated (reorder
+    /// window, pending pool, cell caches, or transfer channel) — used by
+    /// the baseline models; VPNM itself reports
+    /// [`BufferError::MemoryStall`] instead.
+    Backpressure,
+    /// The requested cell is still in DRAM and not yet staged for reading
+    /// (baseline models with SRAM cell caches); retry shortly.
+    NotReady,
+    /// Queue index out of range.
+    BadQueue,
+}
+
+impl fmt::Display for BufferError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BufferError::QueueFull => f.write_str("queue full"),
+            BufferError::QueueEmpty => f.write_str("queue empty"),
+            BufferError::MemoryStall(k) => write!(f, "memory stall: {k}"),
+            BufferError::Backpressure => f.write_str("scheduling backpressure"),
+            BufferError::NotReady => f.write_str("cell not staged yet"),
+            BufferError::BadQueue => f.write_str("queue index out of range"),
+        }
+    }
+}
+
+impl std::error::Error for BufferError {}
+
+/// Accounting for a packet buffer run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PacketBufferStats {
+    /// Cells enqueued.
+    pub enqueued: u64,
+    /// Dequeue operations accepted.
+    pub dequeued: u64,
+    /// Cells delivered.
+    pub delivered: u64,
+    /// Events rejected by a memory stall.
+    pub memory_stalls: u64,
+    /// Events rejected because a queue was full/empty.
+    pub queue_rejections: u64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct QueuePointers {
+    /// Monotone head counter (cells consumed).
+    head: u64,
+    /// Monotone tail counter (cells produced).
+    tail: u64,
+}
+
+/// A multi-queue packet buffer backed by a [`VpnmController`].
+///
+/// Queue `q` owns the address region `[q·C, (q+1)·C)` (C =
+/// `cells_per_queue`) used as a ring; only the two pointer counters per
+/// queue live "in SRAM".
+///
+/// ```
+/// use vpnm_apps::packet_buffer::{BufferEvent, VpnmPacketBuffer};
+/// use vpnm_core::VpnmConfig;
+///
+/// let mut buf = VpnmPacketBuffer::new(VpnmConfig::test_roomy(), 16, 64, 7).unwrap();
+/// buf.tick(Some(BufferEvent::Enqueue { queue: 3, cell: b"abc".to_vec() })).unwrap();
+/// buf.tick(Some(BufferEvent::Dequeue { queue: 3 })).unwrap();
+/// let mut out = None;
+/// for _ in 0..buf.delay() {
+///     out = out.or(buf.tick(None).unwrap());
+/// }
+/// assert_eq!(&out.unwrap().data[..3], b"abc");
+/// ```
+#[derive(Debug)]
+pub struct VpnmPacketBuffer {
+    mem: VpnmController,
+    queues: Vec<QueuePointers>,
+    cells_per_queue: u64,
+    /// Queue index for each in-flight dequeue, FIFO by response order
+    /// (responses arrive in issue order because latency is constant).
+    in_flight: VecDeque<u32>,
+    /// Cells whose response arrived on a cycle that could not return them
+    /// (a rejected event); handed out on the next successful tick.
+    pending: VecDeque<DequeuedCell>,
+    stats: PacketBufferStats,
+}
+
+impl VpnmPacketBuffer {
+    /// Creates a buffer with `num_queues` queues of `cells_per_queue`
+    /// cells each on a VPNM controller built from `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the config is invalid or the queue regions do
+    /// not fit the controller's address space.
+    pub fn new(
+        config: VpnmConfig,
+        num_queues: u32,
+        cells_per_queue: u64,
+        seed: u64,
+    ) -> Result<Self, String> {
+        if num_queues == 0 || cells_per_queue == 0 {
+            return Err("need at least one queue and one cell per queue".into());
+        }
+        let needed = u64::from(num_queues)
+            .checked_mul(cells_per_queue)
+            .ok_or("queue region overflow")?;
+        let space = 1u64 << config.addr_bits;
+        if needed > space {
+            return Err(format!(
+                "{num_queues} queues × {cells_per_queue} cells needs {needed} addresses, \
+                 but the controller has only {space}"
+            ));
+        }
+        let mem = VpnmController::new(config, seed)?;
+        Ok(VpnmPacketBuffer {
+            mem,
+            queues: vec![QueuePointers::default(); num_queues as usize],
+            cells_per_queue,
+            in_flight: VecDeque::new(),
+            pending: VecDeque::new(),
+            stats: PacketBufferStats::default(),
+        })
+    }
+
+    /// The deterministic dequeue latency `D` in cycles.
+    pub fn delay(&self) -> u64 {
+        self.mem.delay()
+    }
+
+    /// Number of queues.
+    pub fn num_queues(&self) -> u32 {
+        self.queues.len() as u32
+    }
+
+    /// Cells currently held by `queue`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue` is out of range.
+    pub fn occupancy(&self, queue: u32) -> u64 {
+        let q = &self.queues[queue as usize];
+        q.tail - q.head
+    }
+
+    /// Run statistics.
+    pub fn stats(&self) -> &PacketBufferStats {
+        &self.stats
+    }
+
+    /// The underlying memory controller (for stall/merge metrics).
+    pub fn memory(&self) -> &VpnmController {
+        &self.mem
+    }
+
+    /// Pointer SRAM requirement in bytes: two counters of
+    /// `ceil(log2 C)+1` bits per queue (one wrap bit), as in the paper's
+    /// "4096 \[queues\] with an SRAM size of 32 KB" sizing.
+    pub fn pointer_sram_bytes(&self) -> u64 {
+        let ptr_bits = u64::from(64 - (self.cells_per_queue.max(2) - 1).leading_zeros()) + 1;
+        (self.queues.len() as u64 * 2 * ptr_bits).div_ceil(8)
+    }
+
+    fn cell_addr(&self, queue: u32, counter: u64) -> LineAddr {
+        LineAddr(u64::from(queue) * self.cells_per_queue + counter % self.cells_per_queue)
+    }
+
+    /// Advances one cell slot: optionally applies an event and returns a
+    /// delivered cell if one is due.
+    ///
+    /// # Errors
+    ///
+    /// Rejection reasons leave all pointers unchanged; the caller may
+    /// retry the same event next cycle (the clock still advanced, and any
+    /// cell that came due during the rejected cycle is returned by the
+    /// next accepted tick).
+    pub fn tick(
+        &mut self,
+        event: Option<BufferEvent>,
+    ) -> Result<Option<DequeuedCell>, BufferError> {
+        let (request, action) = match event {
+            None => (None, Action::None),
+            Some(BufferEvent::Enqueue { queue, cell }) => {
+                let q = *self.queues.get(queue as usize).ok_or(BufferError::BadQueue)?;
+                if q.tail - q.head >= self.cells_per_queue {
+                    self.stats.queue_rejections += 1;
+                    // still burn the cycle so time advances uniformly
+                    self.pump(None);
+                    return Err(BufferError::QueueFull);
+                }
+                let addr = self.cell_addr(queue, q.tail);
+                (Some(Request::Write { addr, data: cell }), Action::Enqueue(queue))
+            }
+            Some(BufferEvent::Dequeue { queue }) => {
+                let q = *self.queues.get(queue as usize).ok_or(BufferError::BadQueue)?;
+                if q.tail == q.head {
+                    self.stats.queue_rejections += 1;
+                    self.pump(None);
+                    return Err(BufferError::QueueEmpty);
+                }
+                let addr = self.cell_addr(queue, q.head);
+                (Some(Request::Read { addr }), Action::Dequeue(queue))
+            }
+        };
+        match self.pump(request) {
+            Some(kind) => {
+                self.stats.memory_stalls += 1;
+                Err(BufferError::MemoryStall(kind))
+            }
+            None => {
+                match action {
+                    Action::Enqueue(queue) => {
+                        self.queues[queue as usize].tail += 1;
+                        self.stats.enqueued += 1;
+                    }
+                    Action::Dequeue(queue) => {
+                        self.queues[queue as usize].head += 1;
+                        self.in_flight.push_back(queue);
+                        self.stats.dequeued += 1;
+                    }
+                    Action::None => {}
+                }
+                Ok(self.pending.pop_front())
+            }
+        }
+    }
+
+    /// Runs one memory cycle, banking any due response into the pending
+    /// delivery queue; returns the stall, if the submission was rejected.
+    fn pump(&mut self, request: Option<Request>) -> Option<StallKind> {
+        let out = self.mem.tick(request);
+        if let Some(r) = out.response {
+            let queue = self
+                .in_flight
+                .pop_front()
+                .expect("a response implies an in-flight dequeue");
+            debug_assert_eq!(u64::from(queue), r.addr.0 / self.cells_per_queue);
+            self.stats.delivered += 1;
+            self.pending.push_back(DequeuedCell { queue, data: r.data });
+        }
+        out.stall
+    }
+
+    /// Ticks with no events until every in-flight dequeue has been
+    /// delivered.
+    pub fn drain(&mut self) -> Vec<DequeuedCell> {
+        let mut out = Vec::new();
+        let budget = (self.in_flight.len() as u64 + 2) * self.delay();
+        for _ in 0..budget {
+            if self.in_flight.is_empty() && self.pending.is_empty() {
+                break;
+            }
+            if let Ok(Some(cell)) = self.tick(None) {
+                out.push(cell);
+            }
+        }
+        out.extend(self.pending.drain(..));
+        out
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Action {
+    None,
+    Enqueue(u32),
+    Dequeue(u32),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpnm_workloads::packets::payload_bytes;
+
+    fn buffer() -> VpnmPacketBuffer {
+        VpnmPacketBuffer::new(VpnmConfig::test_roomy(), 8, 32, 5).unwrap()
+    }
+
+    #[test]
+    fn fifo_order_per_queue() {
+        let mut buf = buffer();
+        for seq in 0..10u64 {
+            buf.tick(Some(BufferEvent::Enqueue { queue: 2, cell: payload_bytes(2, seq, 8) }))
+                .unwrap();
+        }
+        assert_eq!(buf.occupancy(2), 10);
+        let mut got = Vec::new();
+        for _ in 0..10 {
+            got.extend(buf.tick(Some(BufferEvent::Dequeue { queue: 2 })).unwrap());
+        }
+        got.extend(buf.drain());
+        assert_eq!(got.len(), 10);
+        for (seq, cell) in got.iter().enumerate() {
+            assert_eq!(cell.queue, 2);
+            assert_eq!(cell.data, payload_bytes(2, seq as u64, 8));
+        }
+        assert_eq!(buf.occupancy(2), 0);
+    }
+
+    #[test]
+    fn queues_are_independent() {
+        let mut buf = buffer();
+        buf.tick(Some(BufferEvent::Enqueue { queue: 0, cell: vec![0xA] })).unwrap();
+        buf.tick(Some(BufferEvent::Enqueue { queue: 1, cell: vec![0xB] })).unwrap();
+        buf.tick(Some(BufferEvent::Dequeue { queue: 1 })).unwrap();
+        buf.tick(Some(BufferEvent::Dequeue { queue: 0 })).unwrap();
+        let cells = buf.drain();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].queue, 1);
+        assert_eq!(cells[0].data[0], 0xB);
+        assert_eq!(cells[1].queue, 0);
+        assert_eq!(cells[1].data[0], 0xA);
+    }
+
+    #[test]
+    fn empty_and_full_rejections() {
+        let mut buf = VpnmPacketBuffer::new(VpnmConfig::test_roomy(), 2, 2, 1).unwrap();
+        assert_eq!(
+            buf.tick(Some(BufferEvent::Dequeue { queue: 0 })).unwrap_err(),
+            BufferError::QueueEmpty
+        );
+        buf.tick(Some(BufferEvent::Enqueue { queue: 0, cell: vec![1] })).unwrap();
+        buf.tick(Some(BufferEvent::Enqueue { queue: 0, cell: vec![2] })).unwrap();
+        assert_eq!(
+            buf.tick(Some(BufferEvent::Enqueue { queue: 0, cell: vec![3] })).unwrap_err(),
+            BufferError::QueueFull
+        );
+        assert_eq!(buf.stats().queue_rejections, 2);
+    }
+
+    #[test]
+    fn bad_queue_rejected() {
+        let mut buf = buffer();
+        assert_eq!(
+            buf.tick(Some(BufferEvent::Dequeue { queue: 99 })).unwrap_err(),
+            BufferError::BadQueue
+        );
+    }
+
+    #[test]
+    fn ring_reuse_wraps_cleanly() {
+        let mut buf = VpnmPacketBuffer::new(VpnmConfig::test_roomy(), 1, 4, 2).unwrap();
+        // push/pop 20 cells through a 4-cell ring
+        let mut delivered = Vec::new();
+        for seq in 0..20u64 {
+            buf.tick(Some(BufferEvent::Enqueue { queue: 0, cell: payload_bytes(0, seq, 8) }))
+                .unwrap();
+            delivered.extend(buf.tick(Some(BufferEvent::Dequeue { queue: 0 })).unwrap());
+        }
+        delivered.extend(buf.drain());
+        assert_eq!(delivered.len(), 20);
+        for (seq, cell) in delivered.iter().enumerate() {
+            assert_eq!(cell.data, payload_bytes(0, seq as u64, 8), "cell {seq}");
+        }
+    }
+
+    #[test]
+    fn pointer_sram_matches_paper_sizing() {
+        // Paper: 4096 queues fit in ~32 KB of pointer SRAM.
+        let buf = VpnmPacketBuffer::new(
+            VpnmConfig { addr_bits: 32, ..VpnmConfig::paper_optimal() },
+            4096,
+            1 << 20,
+            0,
+        )
+        .unwrap();
+        let kb = buf.pointer_sram_bytes() as f64 / 1024.0;
+        assert!((16.0..=48.0).contains(&kb), "pointer SRAM {kb} KB should be ~32 KB");
+    }
+
+    #[test]
+    fn region_overflow_rejected() {
+        let err = VpnmPacketBuffer::new(VpnmConfig::test_roomy(), 1 << 16, 1 << 16, 0)
+            .unwrap_err();
+        assert!(err.contains("addresses"));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use vpnm_core::VpnmConfig;
+    use vpnm_workloads::packets::payload_bytes;
+
+    #[derive(Debug, Clone, Copy)]
+    enum Ev {
+        Enq(u8),
+        Deq(u8),
+        Idle,
+    }
+
+    fn ev() -> impl Strategy<Value = Ev> {
+        prop_oneof![
+            3 => (0u8..4).prop_map(Ev::Enq),
+            2 => (0u8..4).prop_map(Ev::Deq),
+            1 => Just(Ev::Idle),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// FIFO-per-queue holds for arbitrary event interleavings: every
+        /// delivered cell carries exactly the payload written at its
+        /// position, and cell counts conserve.
+        #[test]
+        fn fifo_conservation(events in proptest::collection::vec(ev(), 1..250)) {
+            let mut buf = VpnmPacketBuffer::new(VpnmConfig::test_roomy(), 4, 16, 9).unwrap();
+            let mut seqs = [0u64; 4];
+            let mut expect = [0u64; 4];
+            let mut accepted_deqs = 0u64;
+            let mut delivered = 0u64;
+            for e in &events {
+                let event = match e {
+                    Ev::Enq(q) => Some(BufferEvent::Enqueue {
+                        queue: u32::from(*q),
+                        cell: payload_bytes(u32::from(*q), seqs[*q as usize], 8),
+                    }),
+                    Ev::Deq(q) => Some(BufferEvent::Dequeue { queue: u32::from(*q) }),
+                    Ev::Idle => None,
+                };
+                match buf.tick(event) {
+                    Ok(cell) => {
+                        match e {
+                            Ev::Enq(q) => seqs[*q as usize] += 1,
+                            Ev::Deq(_) => accepted_deqs += 1,
+                            Ev::Idle => {}
+                        }
+                        if let Some(c) = cell {
+                            let q = c.queue as usize;
+                            prop_assert_eq!(&c.data, &payload_bytes(c.queue, expect[q], 8));
+                            expect[q] += 1;
+                            delivered += 1;
+                        }
+                    }
+                    Err(BufferError::QueueEmpty | BufferError::QueueFull) => {}
+                    Err(other) => prop_assert!(false, "unexpected rejection {other:?}"),
+                }
+            }
+            for c in buf.drain() {
+                let q = c.queue as usize;
+                prop_assert_eq!(&c.data, &payload_bytes(c.queue, expect[q], 8));
+                expect[q] += 1;
+                delivered += 1;
+            }
+            prop_assert_eq!(delivered, accepted_deqs);
+            for q in 0..4usize {
+                prop_assert_eq!(buf.occupancy(q as u32), seqs[q] - expect[q]);
+            }
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! The hole-buffer data structure of Dharmapurikar & Paxson.
+//!
+//! Tracks which byte ranges of a TCP stream have arrived. The contiguous
+//! prefix (`next_expected`) can be scanned and released; everything beyond
+//! it is a set of disjoint buffered intervals separated by *holes*.
+
+use std::collections::BTreeMap;
+
+/// Result of inserting one segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InsertOutcome {
+    /// Bytes by which the in-order prefix advanced (now safe to scan).
+    pub advanced: u64,
+    /// Bytes of the segment that were already present (retransmission /
+    /// overlap).
+    pub duplicate: u64,
+}
+
+/// Per-connection reassembly state.
+///
+/// ```
+/// use vpnm_apps::reassembly::HoleBuffer;
+/// let mut hb = HoleBuffer::new();
+/// // Segment [10, 20) arrives early: a hole [0, 10) forms.
+/// assert_eq!(hb.insert(10, 10).advanced, 0);
+/// assert_eq!(hb.holes(), vec![(0, 10)]);
+/// // The hole fills: the prefix jumps to 20.
+/// let out = hb.insert(0, 10);
+/// assert_eq!(out.advanced, 20);
+/// assert_eq!(hb.next_expected(), 20);
+/// assert!(hb.holes().is_empty());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HoleBuffer {
+    /// First byte not yet part of the contiguous prefix.
+    next_expected: u64,
+    /// Out-of-order intervals strictly beyond the prefix: start → end
+    /// (exclusive), disjoint and non-adjacent.
+    buffered: BTreeMap<u64, u64>,
+}
+
+impl HoleBuffer {
+    /// Empty state: nothing received.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// First byte offset not yet in the in-order prefix.
+    pub fn next_expected(&self) -> u64 {
+        self.next_expected
+    }
+
+    /// Number of tracked out-of-order intervals.
+    pub fn buffered_intervals(&self) -> usize {
+        self.buffered.len()
+    }
+
+    /// The current holes: gaps between the prefix and/or buffered
+    /// intervals, as `(start, end)` pairs (end exclusive).
+    pub fn holes(&self) -> Vec<(u64, u64)> {
+        let mut holes = Vec::new();
+        let mut cursor = self.next_expected;
+        for (&start, &end) in &self.buffered {
+            if start > cursor {
+                holes.push((cursor, start));
+            }
+            cursor = cursor.max(end);
+        }
+        holes
+    }
+
+    /// Inserts a segment `[offset, offset + len)`.
+    ///
+    /// Returns how far the in-order prefix advanced and how many bytes
+    /// were duplicates. Zero-length segments are no-ops.
+    pub fn insert(&mut self, offset: u64, len: u64) -> InsertOutcome {
+        if len == 0 {
+            return InsertOutcome::default();
+        }
+        let mut start = offset;
+        let end = offset + len;
+        let mut duplicate = 0;
+        if end <= self.next_expected {
+            return InsertOutcome { advanced: 0, duplicate: len };
+        }
+        if start < self.next_expected {
+            duplicate += self.next_expected - start;
+            start = self.next_expected;
+        }
+        // Merge [start, end) into the buffered set, counting overlap.
+        let mut merged_start = start;
+        let mut merged_end = end;
+        let overlapping: Vec<(u64, u64)> = self
+            .buffered
+            .range(..=end)
+            .filter(|(_, &e)| e >= start)
+            .map(|(&s, &e)| (s, e))
+            .collect();
+        for (s, e) in overlapping {
+            duplicate += overlap(start, end, s, e);
+            merged_start = merged_start.min(s);
+            merged_end = merged_end.max(e);
+            self.buffered.remove(&s);
+        }
+        self.buffered.insert(merged_start, merged_end);
+
+        // Advance the prefix through any now-contiguous intervals.
+        let before = self.next_expected;
+        while let Some((&s, &e)) = self.buffered.first_key_value() {
+            if s <= self.next_expected {
+                self.next_expected = self.next_expected.max(e);
+                self.buffered.remove(&s);
+            } else {
+                break;
+            }
+        }
+        InsertOutcome { advanced: self.next_expected - before, duplicate }
+    }
+}
+
+fn overlap(a1: u64, a2: u64, b1: u64, b2: u64) -> u64 {
+    a2.min(b2).saturating_sub(a1.max(b1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn in_order_stream_advances_directly() {
+        let mut hb = HoleBuffer::new();
+        assert_eq!(hb.insert(0, 100).advanced, 100);
+        assert_eq!(hb.insert(100, 50).advanced, 50);
+        assert_eq!(hb.next_expected(), 150);
+        assert_eq!(hb.buffered_intervals(), 0);
+    }
+
+    #[test]
+    fn out_of_order_creates_and_fills_holes() {
+        let mut hb = HoleBuffer::new();
+        hb.insert(100, 100); // [100,200)
+        hb.insert(300, 100); // [300,400)
+        assert_eq!(hb.holes(), vec![(0, 100), (200, 300)]);
+        hb.insert(0, 100);
+        assert_eq!(hb.next_expected(), 200);
+        assert_eq!(hb.holes(), vec![(200, 300)]);
+        let out = hb.insert(200, 100);
+        assert_eq!(out.advanced, 200); // jumps through [300,400)
+        assert!(hb.holes().is_empty());
+    }
+
+    #[test]
+    fn duplicates_counted() {
+        let mut hb = HoleBuffer::new();
+        hb.insert(0, 100);
+        let out = hb.insert(50, 100); // [50,150): 50 dup, 50 new
+        assert_eq!(out.duplicate, 50);
+        assert_eq!(out.advanced, 50);
+        let out = hb.insert(0, 150); // fully duplicate
+        assert_eq!(out.duplicate, 150);
+        assert_eq!(out.advanced, 0);
+    }
+
+    #[test]
+    fn overlapping_out_of_order_segments_merge() {
+        let mut hb = HoleBuffer::new();
+        hb.insert(100, 50); // [100,150)
+        hb.insert(140, 60); // [140,200): 10 dup
+        assert_eq!(hb.buffered_intervals(), 1);
+        assert_eq!(hb.holes(), vec![(0, 100)]);
+        hb.insert(0, 100);
+        assert_eq!(hb.next_expected(), 200);
+    }
+
+    #[test]
+    fn segment_bridging_multiple_intervals() {
+        let mut hb = HoleBuffer::new();
+        hb.insert(10, 10); // [10,20)
+        hb.insert(30, 10); // [30,40)
+        hb.insert(50, 10); // [50,60)
+        let out = hb.insert(15, 40); // [15,55): bridges all three
+        assert_eq!(hb.buffered_intervals(), 1);
+        assert_eq!(out.duplicate, 5 + 10 + 5);
+        assert_eq!(hb.holes(), vec![(0, 10)]);
+    }
+
+    #[test]
+    fn zero_length_noop() {
+        let mut hb = HoleBuffer::new();
+        assert_eq!(hb.insert(10, 0), InsertOutcome::default());
+        assert_eq!(hb.buffered_intervals(), 0);
+    }
+
+    proptest! {
+        /// Feeding the segments of [0, total) in any order always ends
+        /// with a complete prefix and no holes, and total advancement
+        /// equals the stream length.
+        #[test]
+        fn random_orderings_reassemble_completely(
+            order in proptest::sample::subsequence((0usize..20).collect::<Vec<_>>(), 20),
+            seg_len in 1u64..50,
+        ) {
+            // `order` is a permutation source; build one by rotating
+            let mut segs: Vec<u64> = (0..20).map(|i| i as u64 * seg_len).collect();
+            // deterministic shuffle from the sampled subsequence
+            for (i, &j) in order.iter().enumerate() {
+                segs.swap(i, j);
+            }
+            let mut hb = HoleBuffer::new();
+            let mut advanced = 0;
+            for &off in &segs {
+                advanced += hb.insert(off, seg_len).advanced;
+            }
+            prop_assert_eq!(advanced, 20 * seg_len);
+            prop_assert_eq!(hb.next_expected(), 20 * seg_len);
+            prop_assert!(hb.holes().is_empty());
+            prop_assert_eq!(hb.buffered_intervals(), 0);
+        }
+
+        /// Invariant: buffered intervals stay disjoint, sorted, and
+        /// strictly beyond the prefix.
+        #[test]
+        fn intervals_stay_canonical(ops in proptest::collection::vec((0u64..500, 1u64..60), 1..40)) {
+            let mut hb = HoleBuffer::new();
+            for (off, len) in ops {
+                hb.insert(off, len);
+                let mut prev_end = hb.next_expected();
+                for (s, e) in hb.holes() {
+                    prop_assert!(s >= prev_end);
+                    prop_assert!(e > s);
+                    prev_end = e;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Criterion bench: cost of the MTS analyses themselves — these run
+//! thousands of times inside the Figure 7 design-space sweep, so their
+//! performance matters for the harness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vpnm_analysis::dsb::{dsb_mts, paper_delay};
+use vpnm_analysis::markov::BankQueueModel;
+
+fn bench_dsb_formula(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis/dsb_mts");
+    group.bench_function("b32_k128_d1280", |b| {
+        b.iter(|| std::hint::black_box(dsb_mts(32, 128, paper_delay(64, 20))));
+    });
+    group.finish();
+}
+
+fn bench_markov_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis/markov_banded_solve");
+    for q in [16u64, 32, 64] {
+        group.bench_function(BenchmarkId::from_parameter(format!("b32_l20_q{q}")), |b| {
+            b.iter(|| std::hint::black_box(BankQueueModel::new(32, 20, q, 1.3).mts_cycles()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_absorption_evolution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis/absorption_probability");
+    group.bench_function("b8_l8_q4_t10000", |b| {
+        let model = BankQueueModel::new(8, 8, 4, 1.3);
+        b.iter(|| std::hint::black_box(model.absorption_probability(10_000)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dsb_formula, bench_markov_solve, bench_absorption_evolution);
+criterion_main!(benches);

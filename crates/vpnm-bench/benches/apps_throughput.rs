@@ -1,0 +1,77 @@
+//! Criterion bench: simulation throughput of the data-plane applications
+//! (cells or chunks processed per second of wall time).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vpnm_apps::packet_buffer::{BufferEvent, VpnmPacketBuffer};
+use vpnm_apps::reassembly::ReassemblyEngine;
+use vpnm_core::{VpnmConfig, VpnmController};
+use vpnm_workloads::packets::payload_bytes;
+
+fn bench_packet_buffer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apps/packet_buffer");
+    let slots = 4096u64;
+    group.throughput(Throughput::Elements(slots));
+    group.bench_function("paper_optimal_64q", |b| {
+        b.iter_batched(
+            || {
+                let buf = VpnmPacketBuffer::new(
+                    VpnmConfig { addr_bits: 24, ..VpnmConfig::paper_optimal() },
+                    64,
+                    1 << 12,
+                    1,
+                )
+                .expect("valid");
+                (buf, StdRng::seed_from_u64(2))
+            },
+            |(mut buf, mut rng)| {
+                let mut seqs = [0u64; 64];
+                for slot in 0..slots {
+                    let q = rng.gen_range(0..64u32);
+                    let ev = if slot % 2 == 0 {
+                        let s = seqs[q as usize];
+                        seqs[q as usize] += 1;
+                        Some(BufferEvent::Enqueue { queue: q, cell: payload_bytes(q, s, 64) })
+                    } else if buf.occupancy(q) > 0 {
+                        Some(BufferEvent::Dequeue { queue: q })
+                    } else {
+                        None
+                    };
+                    let _ = std::hint::black_box(buf.tick(ev));
+                }
+                buf
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_reassembly(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apps/reassembly");
+    let chunks = 512u64;
+    group.throughput(Throughput::Elements(chunks));
+    group.bench_function("paper_optimal_16flows", |b| {
+        b.iter_batched(
+            || {
+                let mem = VpnmController::new(VpnmConfig::paper_optimal(), 3).expect("valid");
+                ReassemblyEngine::new(mem, 16, 1 << 10, 64)
+            },
+            |mut engine| {
+                for i in 0..(chunks / 16) {
+                    for f in 0..16u32 {
+                        let data = payload_bytes(f, i, 64);
+                        engine.submit_segment(f, i * 64, &data);
+                    }
+                }
+                engine
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_packet_buffer, bench_reassembly);
+criterion_main!(benches);

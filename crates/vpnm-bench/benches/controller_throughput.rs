@@ -1,0 +1,93 @@
+//! Criterion bench: simulation throughput of the VPNM controller model
+//! (interface cycles simulated per second of wall time) across
+//! configurations and traffic shapes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vpnm_core::{LineAddr, Request, VpnmConfig, VpnmController};
+
+fn bench_uniform_reads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("controller/uniform_reads");
+    for (name, config) in [
+        ("small_test", VpnmConfig::small_test()),
+        ("test_roomy", VpnmConfig::test_roomy()),
+        ("paper_optimal", VpnmConfig::paper_optimal()),
+    ] {
+        let cycles = 10_000u64;
+        group.throughput(Throughput::Elements(cycles));
+        group.bench_function(BenchmarkId::from_parameter(name), |bench| {
+            bench.iter_batched(
+                || {
+                    let mem = VpnmController::new(config.clone(), 7).expect("valid");
+                    let rng = StdRng::seed_from_u64(3);
+                    (mem, rng)
+                },
+                |(mut mem, mut rng)| {
+                    let space = 1u64 << mem.config().addr_bits;
+                    for _ in 0..cycles {
+                        let out =
+                            mem.tick(Some(Request::Read { addr: LineAddr(rng.gen_range(0..space)) }));
+                        std::hint::black_box(&out);
+                    }
+                    mem
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_mixed_traffic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("controller/mixed_rw");
+    let cycles = 10_000u64;
+    group.throughput(Throughput::Elements(cycles));
+    group.bench_function("paper_optimal_70r30w", |bench| {
+        bench.iter_batched(
+            || {
+                (
+                    VpnmController::new(VpnmConfig::paper_optimal(), 7).expect("valid"),
+                    StdRng::seed_from_u64(5),
+                )
+            },
+            |(mut mem, mut rng)| {
+                for _ in 0..cycles {
+                    let addr = LineAddr(rng.gen_range(0..1u64 << 32));
+                    let req = if rng.gen_bool(0.7) {
+                        Request::Read { addr }
+                    } else {
+                        Request::Write { addr, data: vec![0u8; 64] }
+                    };
+                    std::hint::black_box(mem.tick(Some(req)));
+                }
+                mem
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_merged_stream(c: &mut Criterion) {
+    // The merging fast path: all reads hit one delay-storage row.
+    let mut group = c.benchmark_group("controller/redundant_stream");
+    let cycles = 10_000u64;
+    group.throughput(Throughput::Elements(cycles));
+    group.bench_function("paper_optimal_single_addr", |bench| {
+        bench.iter_batched(
+            || VpnmController::new(VpnmConfig::paper_optimal(), 7).expect("valid"),
+            |mut mem| {
+                for _ in 0..cycles {
+                    std::hint::black_box(mem.tick(Some(Request::Read { addr: LineAddr(42) })));
+                }
+                mem
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_uniform_reads, bench_mixed_traffic, bench_merged_stream);
+criterion_main!(benches);

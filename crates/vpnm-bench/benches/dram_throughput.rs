@@ -1,0 +1,51 @@
+//! Criterion bench: raw DRAM device simulation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use vpnm_dram::{DramConfig, DramDevice};
+use vpnm_sim::Cycle;
+
+fn bench_interleaved_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dram/interleaved");
+    let accesses = 8192u64;
+    group.throughput(Throughput::Elements(accesses));
+    group.bench_function("round_robin_32banks", |b| {
+        b.iter_batched(
+            || DramDevice::new(DramConfig::paper_rdram()),
+            |mut dram| {
+                let mut now = Cycle::ZERO;
+                for i in 0..accesses {
+                    let bank = (i % 32) as u32;
+                    let _ = std::hint::black_box(dram.issue_write(bank, i % 1024, vec![0u8; 8], now));
+                    now += 1;
+                }
+                dram
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_conflict_heavy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dram/conflict_heavy");
+    let accesses = 8192u64;
+    group.throughput(Throughput::Elements(accesses));
+    group.bench_function("single_bank_hammer", |b| {
+        b.iter_batched(
+            || DramDevice::new(DramConfig::paper_rdram()),
+            |mut dram| {
+                let mut now = Cycle::ZERO;
+                for i in 0..accesses {
+                    let _ = std::hint::black_box(dram.issue_read(0, i % 64, now));
+                    now += 1;
+                }
+                dram
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_interleaved_access, bench_conflict_heavy);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion bench: software throughput of the universal hash families.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vpnm_hash::{AffinePermutation, BankHasher, H3Hash, LowBitsHash, MultiplyShiftHash, TabulationHash};
+
+fn bench_families(c: &mut Criterion) {
+    let n = 4096u64;
+    let mut group = c.benchmark_group("hash/bank_of");
+    group.throughput(Throughput::Elements(n));
+
+    let h3 = H3Hash::from_seed(32, 5, 1);
+    let ms = MultiplyShiftHash::from_seed(5, 2);
+    let tab = TabulationHash::from_seed(5, 3);
+    let aff = AffinePermutation::from_seed(32, 5, 4);
+    let low = LowBitsHash::new(5);
+
+    fn run<H: BankHasher>(h: &H, n: u64) -> u64 {
+        let mut acc = 0u64;
+        for a in 0..n {
+            acc = acc.wrapping_add(u64::from(h.bank_of(a.wrapping_mul(0x9E37_79B9_7F4A_7C15))));
+        }
+        acc
+    }
+
+    group.bench_function(BenchmarkId::from_parameter("h3"), |b| {
+        b.iter(|| std::hint::black_box(run(&h3, n)));
+    });
+    group.bench_function(BenchmarkId::from_parameter("multiply_shift"), |b| {
+        b.iter(|| std::hint::black_box(run(&ms, n)));
+    });
+    group.bench_function(BenchmarkId::from_parameter("tabulation"), |b| {
+        b.iter(|| std::hint::black_box(run(&tab, n)));
+    });
+    group.bench_function(BenchmarkId::from_parameter("affine_permutation"), |b| {
+        b.iter(|| std::hint::black_box(run(&aff, n)));
+    });
+    group.bench_function(BenchmarkId::from_parameter("low_bits"), |b| {
+        b.iter(|| std::hint::black_box(run(&low, n)));
+    });
+    group.finish();
+}
+
+fn bench_keygen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash/keygen");
+    group.bench_function("h3_32x5", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            std::hint::black_box(H3Hash::from_seed(32, 5, seed))
+        });
+    });
+    group.bench_function("affine_invertible_32", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            std::hint::black_box(AffinePermutation::from_seed(32, 5, seed))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_families, bench_keygen);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! **Sections 3.2 / 4 / 5.2 claims** — "it is provably hard for even a
+//! perfect adversary to create stalls in our virtual pipeline with
+//! greater effectiveness than random chance."
+//!
+//! Measures stall fractions for a battery of attackers against both
+//! conventional low-bit banking and the VPNM universal-hash mapping, on
+//! a deliberately tightened configuration where differences are visible
+//! within a million requests.
+//!
+//! Run: `cargo run --release -p vpnm-bench --bin adversary_resistance`
+
+use vpnm_bench::Table;
+use vpnm_core::{HashKind, LineAddr, Request, VpnmConfig, VpnmController};
+use vpnm_hash::BankHasher;
+use vpnm_workloads::generators::{AddressGenerator, RedundantPattern};
+use vpnm_workloads::{OmniscientAdversary, ReplayAdversary, StrideAdversary, UniformAddresses};
+
+const REQUESTS: u64 = 200_000;
+const ADDR_SPACE: u64 = 1 << 24;
+
+fn controller(hash: HashKind, seed: u64) -> VpnmController {
+    let config = VpnmConfig {
+        banks: 16,
+        bank_latency: 10,
+        queue_entries: 8,
+        storage_rows: 16,
+        bus_ratio: 1.2,
+        addr_bits: 24,
+        ..VpnmConfig::paper_optimal()
+    }
+    .with_hash(hash);
+    VpnmController::new(config, seed).expect("valid config")
+}
+
+fn run(mut mem: VpnmController, gen: &mut dyn AddressGenerator) -> f64 {
+    let mut stalls = 0u64;
+    for _ in 0..REQUESTS {
+        if !mem.tick(Some(Request::Read { addr: LineAddr(gen.next_addr()) })).accepted() {
+            stalls += 1;
+        }
+    }
+    stalls as f64 / REQUESTS as f64
+}
+
+fn main() {
+    println!("Adversarial resistance: stall fraction over {REQUESTS} reads\n");
+    let mut t = Table::new(vec!["attack", "mapping", "stall fraction"]);
+
+    let mut add = |attack: &str, mapping: &str, rate: f64| {
+        t.row(vec![attack.into(), mapping.into(), format!("{rate:.6}")]);
+        rate
+    };
+
+    let baseline = add(
+        "uniform random (no attack)",
+        "H3",
+        run(controller(HashKind::H3, 1), &mut UniformAddresses::new(ADDR_SPACE, 10)),
+    );
+    let stride_low = add(
+        "stride by B",
+        "low bits",
+        run(controller(HashKind::LowBits, 2), &mut StrideAdversary::new(16, ADDR_SPACE)),
+    );
+    let stride_h3 = add(
+        "stride by B",
+        "H3",
+        run(controller(HashKind::H3, 3), &mut StrideAdversary::new(16, ADDR_SPACE)),
+    );
+    let replay = add(
+        "replay with mutations",
+        "H3",
+        run(controller(HashKind::H3, 4), &mut ReplayAdversary::new(1024, ADDR_SPACE, 16, 11)),
+    );
+    let redundant = add(
+        "redundant A,B,A,B flood",
+        "H3",
+        run(controller(HashKind::H3, 5), &mut RedundantPattern::new(vec![1, 2])),
+    );
+    let tab = add(
+        "stride by B",
+        "tabulation",
+        run(controller(HashKind::Tabulation, 6), &mut StrideAdversary::new(16, ADDR_SPACE)),
+    );
+    // Leaked key: the upper bound that motivates re-keying.
+    let mem = controller(HashKind::H3, 7);
+    let hash = mem.hash().clone();
+    let mut omni = OmniscientAdversary::new(ADDR_SPACE, 0, 4096, |a| hash.bank_of(a));
+    let leaked = add("omniscient (leaked key)", "H3", run(mem, &mut omni));
+    let rekeyed = add("omniscient after re-key", "H3 (new key)", run(controller(HashKind::H3, 1007), &mut omni));
+
+    t.print();
+
+    println!("\nchecks:");
+    println!("  conventional banking collapses under stride: {stride_low:.3} >> {baseline:.5}");
+    assert!(stride_low > 0.25);
+    println!("  no attack beats random chance against the keyed hash:");
+    for (name, rate) in
+        [("stride", stride_h3), ("replay", replay), ("tabulation-stride", tab)]
+    {
+        assert!(
+            rate <= baseline * 3.0 + 50.0 / REQUESTS as f64,
+            "{name} rate {rate} vs baseline {baseline}"
+        );
+        println!("    {name:<18} {rate:.6} <= ~baseline {baseline:.6}");
+    }
+    println!("  merging absorbs redundant floods completely: {redundant:.6}");
+    assert!(redundant <= baseline);
+    println!("  a leaked key is the only winning attack: {leaked:.3}");
+    assert!(leaked > 0.25);
+    println!("  …and re-keying neutralizes it: {rekeyed:.6}");
+    assert!(rekeyed <= baseline * 3.0 + 50.0 / REQUESTS as f64);
+    println!("\nall adversarial claims hold ✓");
+}

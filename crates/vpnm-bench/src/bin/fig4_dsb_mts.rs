@@ -1,0 +1,49 @@
+//! **Figure 4** — Mean Time to Stall vs. delay-storage-buffer entries `K`
+//! for `B ∈ {4, 8, 16, 32, 64}` at `R = 1.3` (paper Section 5.1).
+//!
+//! Uses the paper's closed form
+//! `MTS = log(1/2)/log(1 − C(D−1, K−1)·(1/B)^(K−1)) + D` with the same
+//! `(B, Q)` pairings as the figure's legend (`Q = 12` for `B ≤ 16`,
+//! `Q = 8` for `B ≥ 32`) and `D = Q·L`, `L = 20`.
+//!
+//! Run: `cargo run --release -p vpnm-bench --bin fig4_dsb_mts`
+
+use vpnm_analysis::dsb::{dsb_mts, paper_delay};
+use vpnm_bench::{fmt_mts, Table};
+
+const L: u64 = 20;
+
+fn main() {
+    // (B, Q) pairs from the figure's legend.
+    let curves: [(u32, u64); 5] = [(4, 12), (8, 12), (16, 12), (32, 8), (64, 8)];
+    let ks: Vec<u64> = (8..=128).step_by(8).collect();
+
+    let mut headers = vec!["K".to_string()];
+    headers.extend(curves.iter().map(|(b, q)| format!("B={b},Q={q}")));
+    let mut table = Table::new(headers.iter().map(String::as_str).collect());
+    for &k in &ks {
+        let mut row = vec![k.to_string()];
+        for &(b, q) in &curves {
+            row.push(fmt_mts(dsb_mts(b, k, paper_delay(q, L))));
+        }
+        table.row(row);
+    }
+
+    println!("Figure 4: MTS vs. delay storage buffer entries (R = 1.3, L = {L}, D = Q·L)\n");
+    table.print();
+
+    // The paper's stated landmarks.
+    let b32_k32 = dsb_mts(32, 32, paper_delay(8, L));
+    println!("\npaper landmarks vs. reproduction:");
+    println!("  'for B = 32 … MTS of 10^12 for K = 32'      -> {:.2e}", b32_k32);
+    let b64_close = (8..=128).step_by(8).all(|k| {
+        let m32 = dsb_mts(32, k, paper_delay(8, L));
+        let m64 = dsb_mts(64, k, paper_delay(8, L));
+        m64 >= m32
+    });
+    println!("  'curve for B = 64 follows closely B = 32'    -> B=64 ≥ B=32 at every K: {b64_close}");
+    let low_b_bad = dsb_mts(8, 32, paper_delay(12, L)) < 1e8 && dsb_mts(16, 32, paper_delay(12, L)) < 1e8;
+    println!("  'B < 32 needs much higher K to reach 10^8'   -> B∈{{8,16}}, K=32 below 1e8: {low_b_bad}");
+    assert!((1e11..1e14).contains(&b32_k32), "B=32/K=32 must land near 1e12");
+    assert!(b64_close && low_b_bad);
+}

@@ -1,0 +1,80 @@
+//! **Figure 6** — Mean Time to Stall vs. bank-access-queue entries `Q`
+//! for `B ∈ {4, 8, 16, 32, 64}` at `R = 1.3` (paper Section 5.2), from
+//! the Markov model of Figure 5.
+//!
+//! Pass `--show-model` to also print the Figure 5 transition matrix for
+//! the illustration parameters (`L = 3`, `Q = 2`).
+//!
+//! Run: `cargo run --release -p vpnm-bench --bin fig6_baq_mts [-- --show-model]`
+
+use vpnm_analysis::markov::BankQueueModel;
+use vpnm_bench::{fmt_mts, Table};
+
+const L: u64 = 20;
+const R: f64 = 1.3;
+
+fn main() {
+    if std::env::args().any(|a| a == "--show-model") {
+        show_figure5_model();
+    }
+
+    let banks = [4u32, 8, 16, 32, 64];
+    let qs: Vec<u64> = (8..=64).step_by(8).collect();
+
+    let mut headers = vec!["Q".to_string()];
+    headers.extend(banks.iter().map(|b| format!("B={b}")));
+    let mut table = Table::new(headers.iter().map(String::as_str).collect());
+    for &q in &qs {
+        let mut row = vec![q.to_string()];
+        for &b in &banks {
+            row.push(fmt_mts(BankQueueModel::new(b, L, q, R).mts_cycles()));
+        }
+        table.row(row);
+    }
+    println!("Figure 6: MTS vs. bank access queue entries (L = {L}, R = {R})\n");
+    table.print();
+
+    println!("\nutilization p·L per bank (must be < 1 for the queue to be stable):");
+    for &b in &banks {
+        let u = BankQueueModel::new(b, L, 8, R).utilization();
+        println!("  B={b:<3} -> {u:.3}{}", if u >= 1.0 { "  (overloaded)" } else { "" });
+    }
+
+    // Paper landmarks.
+    let big = BankQueueModel::new(32, L, 64, R).mts_cycles();
+    println!("\npaper landmarks vs. reproduction:");
+    println!("  'MTS of 10^14 for Q = 64 using 32 or 64 banks' -> B=32: {}", fmt_mts(big));
+    let small_capped = banks[..3]
+        .iter()
+        .all(|&b| BankQueueModel::new(b, L, 64, R).mts_cycles() < 1e5);
+    println!("  'lower number of banks … maximum MTS of 10^2'   -> B<32 stays tiny: {small_capped}");
+    assert!(big > 1e12);
+    assert!(small_capped);
+}
+
+fn show_figure5_model() {
+    let m = BankQueueModel::new(16, 3, 2, 1.0);
+    println!("Figure 5: Markov model, L = 3, Q = 2 (states = work remaining, last = stall)\n");
+    let matrix = m.transition_matrix();
+    print!("{:>6}", "");
+    for j in 0..matrix.len() {
+        if j + 1 == matrix.len() {
+            print!("{:>7}", "stall");
+        } else {
+            print!("{j:>7}");
+        }
+    }
+    println!();
+    for (i, row) in matrix.iter().enumerate() {
+        if i + 1 == matrix.len() {
+            print!("{:>6}", "stall");
+        } else {
+            print!("{i:>6}");
+        }
+        for v in row {
+            print!("{v:>7.3}");
+        }
+        println!();
+    }
+    println!();
+}

@@ -1,0 +1,68 @@
+//! **Figure 7** — Pareto-optimal Mean Time to Stall vs. total controller
+//! area, one curve per bus scaling ratio `R ∈ {1.0 … 1.5}` (paper
+//! Section 5.3.1).
+//!
+//! Sweeps the `(B, Q, K)` grid per `R`, evaluates MTS (combined
+//! delay-storage + bank-queue) and area (calibrated 0.13 µm model), and
+//! prints each ratio's Pareto frontier plus the extra memory-bus
+//! bandwidth it costs (the percentages annotated in the paper's figure).
+//!
+//! Run: `cargo run --release -p vpnm-bench --bin fig7_pareto`
+
+use vpnm_analysis::design_space::{pareto_frontier, sweep, SweepConfig};
+use vpnm_bench::{fmt_mts, Table};
+
+fn main() {
+    let ratios = [1.0f64, 1.1, 1.2, 1.3, 1.4, 1.5];
+    println!("Figure 7: Pareto-optimal MTS vs. area per bus scaling ratio (L = 20)\n");
+    let mut best_at_30mm: Vec<(f64, f64)> = Vec::new();
+    for &r in &ratios {
+        let config = SweepConfig {
+            banks: vec![16, 32, 64],
+            queue_entries: (8..=64).step_by(8).collect(),
+            storage_rows: (16..=128).step_by(16).collect(),
+            bus_ratios: vec![r],
+            bank_latency: 20,
+        };
+        let points = sweep(&config);
+        let frontier = pareto_frontier(&points);
+        let extra_bw = (r - 1.0) / r * 100.0;
+        println!("R = {r} ({extra_bw:.0}% extra memory-bus bandwidth)");
+        let mut table = Table::new(vec!["area mm²", "B", "Q", "K", "MTS cycles"]);
+        for p in frontier.iter().filter(|p| p.mts_total > 1.0) {
+            table.row(vec![
+                format!("{:.1}", p.area_mm2),
+                p.banks.to_string(),
+                p.queue_entries.to_string(),
+                p.storage_rows.to_string(),
+                fmt_mts(p.mts_total),
+            ]);
+        }
+        table.print();
+        let best30 = points
+            .iter()
+            .filter(|p| p.area_mm2 <= 30.0)
+            .map(|p| p.mts_total)
+            .fold(0.0, f64::max);
+        best_at_30mm.push((r, best30));
+        println!();
+    }
+
+    println!("best MTS within a ~30 mm² budget, per R (the paper picks R = 1.3/1.4 here):");
+    for (r, mts) in &best_at_30mm {
+        println!("  R = {r}: {}", fmt_mts(*mts));
+    }
+    // Paper: "For R = 1.3 … one second MTS = 1e9 for about 30 mm²" and
+    // R = 1.4 reaches ~1 hour; higher R must dominate lower R.
+    let at = |target: f64| {
+        best_at_30mm
+            .iter()
+            .find(|(r, _)| (*r - target).abs() < 1e-9)
+            .map(|(_, m)| *m)
+            .expect("ratio present")
+    };
+    assert!(at(1.3) >= 1e9, "R=1.3 must reach the 1-second budget at 30 mm²");
+    assert!(at(1.3) >= at(1.0), "more bus headroom must never hurt");
+    assert!(at(1.5) >= at(1.1));
+    println!("\nshape check passed: MTS grows with R at fixed area, R = 1.3 reaches 1e9 under 30 mm² ✓");
+}

@@ -1,0 +1,80 @@
+//! **Table 2** — optimal design parameters for the best MTS/area/energy
+//! combination (paper Section 5.3.1).
+//!
+//! Re-evaluates the paper's eight published rows (R ∈ {1.3, 1.4} ×
+//! four design points) through our analyses and hardware model, printing
+//! paper values next to reproduced ones.
+//!
+//! Run: `cargo run --release -p vpnm-bench --bin table2_optimal`
+
+use vpnm_analysis::design_space::evaluate;
+use vpnm_bench::{fmt_mts, Table};
+
+struct PaperRow {
+    r: f64,
+    area: f64,
+    mts: f64,
+    b: u32,
+    q: u64,
+    k: u64,
+    energy: f64,
+}
+
+fn main() {
+    // Table 2 as published. (The Q=64 row at R=1.3 prints "K=8" in the
+    // paper — an obvious typo for K=128, consistent with every other row
+    // doubling K = 2Q.)
+    let rows = [
+        PaperRow { r: 1.3, area: 13.6, mts: 5.12e5, b: 32, q: 24, k: 48, energy: 11.09 },
+        PaperRow { r: 1.3, area: 19.4, mts: 2.34e7, b: 32, q: 32, k: 64, energy: 13.26 },
+        PaperRow { r: 1.3, area: 34.1, mts: 4.57e10, b: 32, q: 48, k: 96, energy: 17.05 },
+        PaperRow { r: 1.3, area: 53.2, mts: 6.50e13, b: 32, q: 64, k: 128, energy: 21.51 },
+        PaperRow { r: 1.4, area: 13.6, mts: 1.14e7, b: 32, q: 24, k: 48, energy: 10.79 },
+        PaperRow { r: 1.4, area: 19.3, mts: 1.69e9, b: 32, q: 32, k: 64, energy: 12.83 },
+        PaperRow { r: 1.4, area: 34.0, mts: 3.62e13, b: 32, q: 48, k: 96, energy: 16.38 },
+        PaperRow { r: 1.4, area: 53.0, mts: 9.75e13, b: 32, q: 64, k: 128, energy: 20.54 },
+    ];
+
+    println!("Table 2: optimal design parameters (B = 32, L = 20)\n");
+    let mut table = Table::new(vec![
+        "R", "B/Q/K", "area paper", "area ours", "MTS paper", "MTS ours", "nJ paper", "nJ ours",
+    ]);
+    let mut area_err_max: f64 = 0.0;
+    let mut energy_err_max: f64 = 0.0;
+    for row in &rows {
+        let p = evaluate(row.b, row.q, row.k, row.r, 20);
+        table.row(vec![
+            format!("{}", row.r),
+            format!("{}/{}/{}", row.b, row.q, row.k),
+            format!("{:.1}", row.area),
+            format!("{:.1}", p.area_mm2),
+            fmt_mts(row.mts),
+            fmt_mts(p.mts_total),
+            format!("{:.2}", row.energy),
+            format!("{:.2}", p.energy_nj),
+        ]);
+        area_err_max = area_err_max.max((p.area_mm2 - row.area).abs() / row.area);
+        energy_err_max = energy_err_max.max((p.energy_nj - row.energy).abs() / row.energy);
+    }
+    table.print();
+
+    println!("\nmax relative error: area {:.1}%, energy {:.1}%", area_err_max * 100.0, energy_err_max * 100.0);
+    println!("(area/energy come from the least-squares calibration against these same");
+    println!(" published points — see vpnm-hw; MTS comes from the independent analyses.)");
+
+    println!("\nnote: our MTS values are systematically more optimistic than the paper's");
+    println!("      (the exact Markov variant behind their Figure 6 is not recoverable from");
+    println!("      the text); the orderings — monotone in Q/K, R = 1.4 dominating R = 1.3,");
+    println!("      and the jump to 'effectively never' at the big design points — all match.");
+
+    // Shape checks: MTS ordering across rows must match the paper's.
+    let mts: Vec<f64> = rows.iter().map(|r| evaluate(r.b, r.q, r.k, r.r, 20).mts_total).collect();
+    for i in 0..3 {
+        assert!(mts[i] <= mts[i + 1], "R=1.3 rows must be non-decreasing");
+        assert!(mts[i + 4] <= mts[i + 5], "R=1.4 rows must be non-decreasing");
+        assert!(mts[i + 4] >= mts[i], "R=1.4 must dominate R=1.3 at the same point");
+    }
+    assert!(mts[0] < mts[3], "the Q/K sweep must span orders of magnitude");
+    assert!(area_err_max < 0.12 && energy_err_max < 0.12);
+    println!("shape checks passed: MTS monotone in Q/K, R = 1.4 dominates R = 1.3 ✓");
+}

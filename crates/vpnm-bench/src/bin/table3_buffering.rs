@@ -1,0 +1,157 @@
+//! **Table 3** — packet buffering schemes compared with the generalized
+//! VPNM architecture (paper Section 5.4.1).
+//!
+//! Two parts:
+//!
+//! 1. A **measured** comparison: the same mixed enqueue/dequeue cell
+//!    workload driven through executable models of all four schemes, at
+//!    one event per cycle. Acceptance rate × 64 B/2 events × 1 GHz gives
+//!    the sustained line rate; the paper's ordering (Nikologiannis <
+//!    RADS < CFDS ≈ VPNM) must reproduce.
+//! 2. An **analytic** comparison of SRAM, area, delay, and supported
+//!    interfaces next to the paper's published row values.
+//!
+//! Run: `cargo run --release -p vpnm-bench --bin table3_buffering`
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vpnm_apps::baselines::{CfdsBuffer, NikologiannisBuffer, PacketBufferModel, RadsBuffer};
+use vpnm_apps::packet_buffer::{BufferEvent, VpnmPacketBuffer};
+use vpnm_bench::Table;
+use vpnm_core::VpnmConfig;
+use vpnm_dram::DramConfig;
+use vpnm_hw::{estimate, ControllerParams};
+use vpnm_workloads::packets::payload_bytes;
+
+const QUEUES: u32 = 64;
+const SLOTS: u64 = 100_000;
+const CELL: usize = 64;
+
+fn drive(model: &mut dyn PacketBufferModel) -> f64 {
+    let mut rng = StdRng::seed_from_u64(1234);
+    let mut seqs = vec![0u64; QUEUES as usize];
+    let mut occupancy = vec![0u64; QUEUES as usize];
+    let mut accepted = 0u64;
+    for slot in 0..SLOTS {
+        let event = if slot % 2 == 0 {
+            let q = rng.gen_range(0..QUEUES);
+            Some(BufferEvent::Enqueue { queue: q, cell: payload_bytes(q, seqs[q as usize], CELL) })
+        } else {
+            let start = rng.gen_range(0..QUEUES);
+            (0..QUEUES)
+                .map(|i| (start + i) % QUEUES)
+                .find(|&q| occupancy[q as usize] > 0)
+                .map(|q| BufferEvent::Dequeue { queue: q })
+        };
+        let info = event.clone();
+        if model.tick(event).is_ok() {
+            match info {
+                Some(BufferEvent::Enqueue { queue, .. }) => {
+                    seqs[queue as usize] += 1;
+                    occupancy[queue as usize] += 1;
+                    accepted += 1;
+                }
+                Some(BufferEvent::Dequeue { queue }) => {
+                    occupancy[queue as usize] -= 1;
+                    accepted += 1;
+                }
+                None => {}
+            }
+        }
+    }
+    accepted as f64 / SLOTS as f64
+}
+
+fn main() {
+    println!("Table 3 (measured part): one cell event per cycle, {QUEUES} queues, {SLOTS} slots\n");
+    let dram = DramConfig {
+        num_banks: 32,
+        rows_per_bank: 1 << 14,
+        cells_per_row: 64,
+        cell_bytes: CELL,
+        timing: vpnm_dram::timing::TimingModel::simple(20),
+    };
+
+    let mut vpnm = VpnmPacketBuffer::new(
+        VpnmConfig { addr_bits: 24, ..VpnmConfig::paper_optimal() },
+        QUEUES,
+        1 << 16,
+        5,
+    )
+    .unwrap();
+    // CFDS schedules one request every b cycles; the paper notes b = 1
+    // "is certainly of difficult viability", so the executable model uses
+    // b = 2 with a 64-entry reorder window.
+    let mut cfds = CfdsBuffer::new(dram.clone(), QUEUES, 1 << 16, 64, 2).unwrap();
+    // Nikologiannis: out-of-order pool over conventional banking.
+    let mut niko = NikologiannisBuffer::new(dram.clone(), QUEUES, 1 << 16, 64).unwrap();
+    // RADS: b = 8 cell batches, one batch per 20-cycle DRAM access.
+    let mut rads = RadsBuffer::new(QUEUES, 1 << 16, 8, 20, CELL).unwrap();
+
+    let mut measured = Table::new(vec!["scheme", "accept rate", "Gbps @1GHz (64B cells)"]);
+    let mut rates = Vec::new();
+    let models: Vec<(&str, &mut dyn PacketBufferModel)> = vec![
+        ("nikologiannis [22]", &mut niko),
+        ("rads [17]", &mut rads),
+        ("cfds [12]", &mut cfds),
+        ("vpnm (ours)", &mut vpnm),
+    ];
+    for (name, model) in models {
+        let rate = drive(model);
+        let gbps = rate * (CELL as f64) * 8.0 / 2.0; // 1 GHz, 2 slots/cell
+        measured.row(vec![name.into(), format!("{rate:.3}"), format!("{gbps:.0}")]);
+        rates.push((name, gbps));
+    }
+    measured.print();
+
+    println!("\nnote: the paper's absolute line-rate column reflects each scheme's own era and");
+    println!("      DRAM technology; the measured column above puts all four on identical DRAM");
+    println!("      and shows the sustainable fraction — the ordering is what must reproduce.");
+
+    // Ordering check: ours must be at the top, every baseline visibly
+    // below (shape of the paper's line-rate column).
+    let get = |n: &str| rates.iter().find(|(name, _)| name.starts_with(n)).expect("present").1;
+    assert!(get("vpnm") > 1.5 * get("cfds"), "vpnm must beat b=2 cfds");
+    assert!(get("vpnm") > 1.5 * get("rads"), "vpnm must beat rads");
+    assert!(get("vpnm") > 1.5 * get("nikologiannis"), "vpnm must beat nikologiannis");
+    assert!(get("vpnm") > 160.0, "vpnm must sustain the OC-3072 target");
+
+    // Analytic part: SRAM / area / delay / interfaces vs. the paper.
+    println!("\nTable 3 (analytic part) vs. paper values:\n");
+    let hw = estimate(&ControllerParams::paper_default());
+    let d_ns = VpnmConfig::paper_optimal().effective_delay(); // 1 cycle = 1 ns at 1 GHz
+    let buf4096 = VpnmPacketBuffer::new(
+        VpnmConfig { addr_bits: 32, ..VpnmConfig::paper_optimal() },
+        4096,
+        1 << 20,
+        0,
+    )
+    .unwrap();
+    let our_ptr_sram_kb = buf4096.pointer_sram_bytes() as f64 / 1024.0;
+    let our_ctl_sram_kb = hw.sram_kib_total(32);
+
+    let mut t = Table::new(vec!["scheme", "line rate", "SRAM", "area mm²", "delay ns", "interfaces"]);
+    t.row(vec!["[22] (paper)".into(), "10 Gbps".into(), "520 KB".into(), "27.4".into(), "-".into(), "64000".into()]);
+    t.row(vec!["RADS (paper)".into(), "40 Gbps".into(), "64 KB".into(), "10".into(), "53".into(), "130".into()]);
+    t.row(vec!["CFDS (paper)".into(), "160 Gbps".into(), "-".into(), "60".into(), "10000".into(), "850".into()]);
+    t.row(vec!["ours (paper)".into(), "160 Gbps".into(), "320 KB".into(), "41.9".into(), "960".into(), "4096".into()]);
+    t.row(vec![
+        "ours (reproduced)".into(),
+        format!("{:.0} Gbps", get("vpnm")),
+        format!("{:.0} KB ptrs + {:.0} KB ctl", our_ptr_sram_kb, our_ctl_sram_kb),
+        format!("{:.1}", hw.total_area_mm2),
+        format!("{d_ns}"),
+        "4096".into(),
+    ]);
+    t.print();
+
+    println!("\nRADS-style interface scaling: SRAM grows with 2b cells per queue, so a 64 KB");
+    let rads_per_queue = 2 * 8 * CELL; // 2b cells of 64 B at b = 8
+    println!("budget supports ~{} interfaces; VPNM stores 8 B of pointers per queue and", 64 * 1024 / rads_per_queue);
+    println!("supports 4096 interfaces in 32 KB — the ~5x-interfaces, ~10x-latency-better");
+    println!("trade against CFDS the paper reports.");
+    assert!(
+        (500..=2000).contains(&d_ns),
+        "our delay {d_ns} ns should be the paper's ~960 ns order"
+    );
+}

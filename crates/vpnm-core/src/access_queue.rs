@@ -1,0 +1,143 @@
+//! The bank access queue — pending bank work, `Q` entries (paper Figure 3,
+//! right).
+//!
+//! Each entry is one pending read or write that still needs the memory
+//! bank. To avoid keeping `Q` copies of address and data, a read entry is
+//! just the index of its row in the delay storage buffer, and a write entry
+//! carries nothing (write address/data are popped from the write buffer in
+//! FIFO order) — exactly the encoding the paper describes.
+
+use crate::delay_storage::RowId;
+use std::collections::VecDeque;
+
+/// One pending bank access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessEntry {
+    /// A read; the address lives in the delay storage buffer row.
+    Read {
+        /// Delay storage buffer row to fill.
+        row: RowId,
+    },
+    /// A write; address and data are at the head of the write buffer.
+    Write,
+}
+
+/// A bounded FIFO of [`AccessEntry`] — overflow is the *bank access queue
+/// stall* of paper Section 4.3.
+///
+/// ```
+/// use vpnm_core::access_queue::{AccessEntry, BankAccessQueue};
+/// let mut q = BankAccessQueue::new(2);
+/// q.push(AccessEntry::Read { row: 0 }).unwrap();
+/// q.push(AccessEntry::Write).unwrap();
+/// assert!(q.push(AccessEntry::Write).is_err(), "Q exhausted");
+/// assert_eq!(q.pop(), Some(AccessEntry::Read { row: 0 }));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BankAccessQueue {
+    entries: VecDeque<AccessEntry>,
+    capacity: usize,
+}
+
+/// Error returned when the queue is full; carries the rejected entry back
+/// to the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull(pub AccessEntry);
+
+impl BankAccessQueue {
+    /// Creates a queue with capacity `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q == 0`.
+    pub fn new(q: usize) -> Self {
+        assert!(q > 0, "bank access queue needs at least one entry");
+        BankAccessQueue { entries: VecDeque::with_capacity(q), capacity: q }
+    }
+
+    /// Capacity `Q`.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries currently queued.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when a push would stall.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() == self.capacity
+    }
+
+    /// Enqueues an access.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueFull`] with the rejected entry when at capacity.
+    pub fn push(&mut self, entry: AccessEntry) -> Result<(), QueueFull> {
+        if self.is_full() {
+            return Err(QueueFull(entry));
+        }
+        self.entries.push_back(entry);
+        Ok(())
+    }
+
+    /// Dequeues the oldest access, if any.
+    pub fn pop(&mut self) -> Option<AccessEntry> {
+        self.entries.pop_front()
+    }
+
+    /// Peeks at the oldest access without removing it.
+    pub fn front(&self) -> Option<&AccessEntry> {
+        self.entries.front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut q = BankAccessQueue::new(4);
+        q.push(AccessEntry::Read { row: 1 }).unwrap();
+        q.push(AccessEntry::Write).unwrap();
+        q.push(AccessEntry::Read { row: 2 }).unwrap();
+        assert_eq!(q.pop(), Some(AccessEntry::Read { row: 1 }));
+        assert_eq!(q.pop(), Some(AccessEntry::Write));
+        assert_eq!(q.pop(), Some(AccessEntry::Read { row: 2 }));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn overflow_returns_entry() {
+        let mut q = BankAccessQueue::new(1);
+        q.push(AccessEntry::Write).unwrap();
+        let err = q.push(AccessEntry::Read { row: 7 }).unwrap_err();
+        assert_eq!(err.0, AccessEntry::Read { row: 7 });
+        assert!(q.is_full());
+    }
+
+    #[test]
+    fn len_and_front_track_state() {
+        let mut q = BankAccessQueue::new(2);
+        assert!(q.is_empty());
+        assert_eq!(q.front(), None);
+        q.push(AccessEntry::Write).unwrap();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.front(), Some(&AccessEntry::Write));
+        assert_eq!(q.capacity(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_capacity_rejected() {
+        let _ = BankAccessQueue::new(0);
+    }
+}

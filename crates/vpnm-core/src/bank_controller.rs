@@ -1,0 +1,493 @@
+//! The per-bank controller — the state machine of paper Figure 3,
+//! assembled from the delay storage buffer, bank access queue, write
+//! buffer, and circular delay buffer.
+//!
+//! Each bank controller independently upholds the invariant that a read
+//! accepted at interface cycle `t` is answered at exactly `t + D` (paper
+//! Section 3.3: "each bank controller is in charge of ensuring that for
+//! every access at time t, it returns the result at time t + D"). Because
+//! at most one request enters the whole controller per interface cycle, at
+//! most one bank controller can have a playback due on any cycle, so no
+//! coordination between banks is needed.
+
+use crate::access_queue::{AccessEntry, BankAccessQueue};
+use crate::delay_line::CircularDelayBuffer;
+use crate::delay_storage::{DelayStorageBuffer, RowId};
+use crate::request::{LineAddr, StallKind};
+use crate::write_buffer::WriteBuffer;
+use vpnm_dram::DramDevice;
+use vpnm_sim::Cycle;
+
+/// One request as seen by a bank controller (after the hash stage).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BankEvent {
+    /// A read of `addr`.
+    Read {
+        /// Cell address.
+        addr: LineAddr,
+    },
+    /// A write of `data` to `addr`.
+    Write {
+        /// Cell address.
+        addr: LineAddr,
+        /// Cell contents.
+        data: Vec<u8>,
+    },
+}
+
+/// What the accepted event scheduled, reported back to the top-level
+/// controller for metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Accepted {
+    /// A fresh read was queued for the bank (row allocated).
+    ReadQueued(RowId),
+    /// A redundant read was merged into an existing row.
+    ReadMerged(RowId),
+    /// A write was buffered.
+    WriteBuffered,
+}
+
+/// A response due this cycle, produced by the circular delay buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DuePlayback {
+    /// Address the playback serves.
+    pub addr: LineAddr,
+    /// The data; `None` marks a deadline miss (mis-configured `D`).
+    pub data: Option<Vec<u8>>,
+}
+
+/// The controller for one memory bank.
+#[derive(Debug, Clone)]
+pub struct BankController {
+    bank: u32,
+    storage: DelayStorageBuffer,
+    queue: BankAccessQueue,
+    writes: WriteBuffer,
+    delay_line: CircularDelayBuffer,
+    /// Completion time of the access currently using the bank. The front
+    /// queue entry stays in the queue until this passes, so `Q` bounds the
+    /// number of *overlapping* accesses (queued + in service) — the
+    /// paper's definition (`Q = D/L` in Figure 1).
+    in_service_until: Option<Cycle>,
+    /// Whether redundant reads merge into live rows (ablation knob).
+    merging: bool,
+}
+
+impl BankController {
+    /// Creates a controller for `bank` with capacities `k` (storage rows),
+    /// `q` (access queue), `wb` (write buffer) and delay `d`.
+    pub fn new(bank: u32, k: usize, q: usize, wb: usize, d: u64) -> Self {
+        BankController {
+            bank,
+            storage: DelayStorageBuffer::new(k),
+            queue: BankAccessQueue::new(q),
+            writes: WriteBuffer::new(wb),
+            delay_line: CircularDelayBuffer::new(d as usize),
+            in_service_until: None,
+            merging: true,
+        }
+    }
+
+    /// Disables (or re-enables) redundant-request merging — the ablation
+    /// that shows why the paper's merging queue is necessary.
+    pub fn with_merging(mut self, enabled: bool) -> Self {
+        self.merging = enabled;
+        self
+    }
+
+    /// The bank index this controller owns.
+    pub fn bank(&self) -> u32 {
+        self.bank
+    }
+
+    /// Attempts to accept an event this interface cycle.
+    ///
+    /// On success, a read returns the delay-storage row that must be fed
+    /// into this cycle's [`BankController::advance_delay_line`] call.
+    ///
+    /// # Errors
+    ///
+    /// The stall kind when a buffer is exhausted; the event is **not**
+    /// partially applied.
+    pub fn submit(&mut self, event: BankEvent) -> Result<Accepted, StallKind> {
+        match event {
+            BankEvent::Read { addr } => {
+                if self.merging {
+                    if let Some(row) = self.storage.lookup(addr) {
+                        // Redundant access: merge, no bank access needed
+                        // (paper Figure 1, middle graph).
+                        self.storage.merge(row);
+                        return Ok(Accepted::ReadMerged(row));
+                    }
+                }
+                // Check queue space before allocating so no rollback is
+                // ever needed.
+                if self.queue.is_full() {
+                    return Err(StallKind::AccessQueue);
+                }
+                let Some(row) = self.storage.allocate(addr) else {
+                    return Err(StallKind::DelayStorage);
+                };
+                self.queue
+                    .push(AccessEntry::Read { row })
+                    .expect("checked for space above");
+                Ok(Accepted::ReadQueued(row))
+            }
+            BankEvent::Write { addr, data } => {
+                if self.writes.is_full() {
+                    return Err(StallKind::WriteBuffer);
+                }
+                if self.queue.is_full() {
+                    return Err(StallKind::AccessQueue);
+                }
+                self.writes.push(addr, data).expect("checked for space above");
+                self.queue.push(AccessEntry::Write).expect("checked for space above");
+                // New readers must re-fetch from the bank; in-flight
+                // readers keep the pre-write data (paper Section 4.2).
+                self.storage.invalidate(addr);
+                Ok(Accepted::WriteBuffered)
+            }
+        }
+    }
+
+    /// Advances the circular delay buffer by one interface cycle,
+    /// scheduling `incoming` (the row of a read accepted *this* cycle) and
+    /// returning the playback due now, if any.
+    pub fn advance_delay_line(&mut self, incoming: Option<RowId>) -> Option<DuePlayback> {
+        let due = self.delay_line.tick(incoming)?;
+        let pb = self.storage.playback(due);
+        Some(DuePlayback { addr: pb.addr, data: pb.data })
+    }
+
+    /// Called when the round-robin bus scheduler grants this bank a memory
+    /// cycle: retires the in-service access if it completed, then issues
+    /// the oldest queued access to the DRAM if the bank is free. Returns
+    /// `true` if an access was issued.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the DRAM rejects an access for a reason other than a busy
+    /// bank (range errors indicate controller/device misconfiguration).
+    pub fn on_bus_grant(&mut self, dram: &mut DramDevice, now_mem: Cycle) -> bool {
+        // Retire a completed access: its queue slot frees only now, so
+        // Q bounds overlapping accesses including the one in service.
+        if let Some(until) = self.in_service_until {
+            if now_mem < until {
+                return false; // bank busy — the grant is wasted
+            }
+            self.queue.pop();
+            self.in_service_until = None;
+        }
+        let Some(front) = self.queue.front().copied() else {
+            return false;
+        };
+        // Peek readiness: a grant to a busy bank is simply wasted (paper
+        // Section 4: "some of the round-robin slots are not used when …
+        // the memory bank is busy") and must not count as a conflict in
+        // device stats.
+        match dram.is_bank_ready(self.bank, now_mem) {
+            Ok(true) => {}
+            Ok(false) => return false,
+            Err(e) => panic!("unexpected DRAM error on readiness: {e}"),
+        }
+        match front {
+            AccessEntry::Read { row } => {
+                let addr = self.storage.row_addr(row);
+                let grant =
+                    dram.issue_read(self.bank, addr.0, now_mem).expect("bank checked ready");
+                self.storage.fill(row, grant.data);
+                self.in_service_until = Some(grant.data_ready_at);
+                true
+            }
+            AccessEntry::Write => {
+                let w = self.writes.pop().expect("Write queue entry implies buffered write");
+                let done = dram
+                    .issue_write(self.bank, w.addr.0, w.data, now_mem)
+                    .expect("bank checked ready");
+                self.in_service_until = Some(done);
+                true
+            }
+        }
+    }
+
+    /// Rows currently live in the delay storage buffer.
+    pub fn storage_occupancy(&self) -> usize {
+        self.storage.live_rows()
+    }
+
+    /// Entries currently in the bank access queue.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Entries currently in the write buffer.
+    pub fn write_buffer_depth(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// Scheduled playbacks in flight in the delay line.
+    pub fn in_flight(&self) -> usize {
+        self.delay_line.occupancy()
+    }
+
+    /// The configured delay `D` of this controller's delay line.
+    pub fn delay_line_depth(&self) -> usize {
+        self.delay_line.delay()
+    }
+
+    /// True when a bus grant at `now` would do useful work: there is
+    /// queued work and the bank is (or will just have become) free. Used
+    /// by the work-conserving scheduler ablation.
+    pub fn wants_grant(&self, now: Cycle) -> bool {
+        if self.queue.is_empty() {
+            return false;
+        }
+        match self.in_service_until {
+            Some(until) => now >= until && self.queue.len() > 1,
+            None => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpnm_dram::DramConfig;
+
+    fn dram() -> DramDevice {
+        // 4 banks, L = 3, 8-byte cells, 64 cells/bank
+        DramDevice::new(DramConfig::tiny_test())
+    }
+
+    fn controller() -> BankController {
+        BankController::new(1, 4, 4, 2, 10)
+    }
+
+    #[test]
+    fn read_lifecycle_end_to_end() {
+        let mut bc = controller();
+        let mut d = dram();
+        d.poke(1, 5, vec![0xAB]);
+
+        let acc = bc.submit(BankEvent::Read { addr: LineAddr(5) }).unwrap();
+        let Accepted::ReadQueued(row) = acc else { panic!("expected fresh read") };
+
+        // schedule into delay line at t0; grant the bank before the
+        // deadline
+        assert!(bc.advance_delay_line(Some(row)).is_none());
+        assert!(bc.on_bus_grant(&mut d, Cycle::new(1)));
+        // ticks 1..9: nothing due
+        for _ in 1..10 {
+            assert!(bc.advance_delay_line(None).is_none());
+        }
+        // tick 10 (= D): playback
+        let pb = bc.advance_delay_line(None).expect("due at D");
+        assert_eq!(pb.addr, LineAddr(5));
+        assert_eq!(pb.data.as_deref().map(|d| d[0]), Some(0xAB));
+        assert_eq!(bc.storage_occupancy(), 0, "row freed after playback");
+    }
+
+    #[test]
+    fn merged_read_plays_twice_with_one_bank_access() {
+        let mut bc = controller();
+        let mut d = dram();
+        d.poke(1, 7, vec![0x11]);
+
+        let Accepted::ReadQueued(row) = bc.submit(BankEvent::Read { addr: LineAddr(7) }).unwrap()
+        else {
+            panic!()
+        };
+        bc.advance_delay_line(Some(row));
+        let Accepted::ReadMerged(row2) = bc.submit(BankEvent::Read { addr: LineAddr(7) }).unwrap()
+        else {
+            panic!("second read of same addr must merge")
+        };
+        assert_eq!(row, row2);
+        bc.advance_delay_line(Some(row2));
+        bc.on_bus_grant(&mut d, Cycle::new(1));
+        assert_eq!(d.stats().reads, 1, "exactly one bank access for two reads");
+
+        for _ in 2..10 {
+            assert!(bc.advance_delay_line(None).is_none());
+        }
+        let pb1 = bc.advance_delay_line(None).unwrap();
+        let pb2 = bc.advance_delay_line(None).unwrap();
+        assert_eq!(pb1.data, Some(vec![0x11, 0, 0, 0, 0, 0, 0, 0]));
+        assert_eq!(pb1.data, pb2.data);
+    }
+
+    #[test]
+    fn queue_stall_when_q_exhausted() {
+        let mut bc = BankController::new(0, 8, 2, 2, 10);
+        bc.submit(BankEvent::Read { addr: LineAddr(1) }).unwrap();
+        bc.submit(BankEvent::Read { addr: LineAddr(2) }).unwrap();
+        let err = bc.submit(BankEvent::Read { addr: LineAddr(3) }).unwrap_err();
+        assert_eq!(err, StallKind::AccessQueue);
+        // but a merge of an in-flight address still works
+        assert!(matches!(
+            bc.submit(BankEvent::Read { addr: LineAddr(1) }),
+            Ok(Accepted::ReadMerged(_))
+        ));
+    }
+
+    #[test]
+    fn storage_stall_when_k_exhausted() {
+        // K = 2, Q = 8: storage fills first
+        let mut bc = BankController::new(0, 2, 8, 2, 10);
+        bc.submit(BankEvent::Read { addr: LineAddr(1) }).unwrap();
+        bc.submit(BankEvent::Read { addr: LineAddr(2) }).unwrap();
+        let err = bc.submit(BankEvent::Read { addr: LineAddr(3) }).unwrap_err();
+        assert_eq!(err, StallKind::DelayStorage);
+    }
+
+    #[test]
+    fn write_buffer_stall() {
+        let mut bc = BankController::new(0, 4, 8, 1, 10);
+        bc.submit(BankEvent::Write { addr: LineAddr(1), data: vec![] }).unwrap();
+        let err = bc.submit(BankEvent::Write { addr: LineAddr(2), data: vec![] }).unwrap_err();
+        assert_eq!(err, StallKind::WriteBuffer);
+    }
+
+    #[test]
+    fn write_then_read_returns_new_data() {
+        let mut bc = controller();
+        let mut d = dram();
+        d.poke(1, 3, vec![0x01]);
+
+        bc.submit(BankEvent::Write { addr: LineAddr(3), data: vec![0x02] }).unwrap();
+        bc.advance_delay_line(None);
+        let Accepted::ReadQueued(row) = bc.submit(BankEvent::Read { addr: LineAddr(3) }).unwrap()
+        else {
+            panic!("read after write must not merge with stale data")
+        };
+        bc.advance_delay_line(Some(row));
+
+        // grants: write first (FIFO), then read
+        let mut now = Cycle::new(2);
+        while bc.queue_depth() > 0 {
+            if bc.on_bus_grant(&mut d, now) {
+                now = now + 3; // wait out the bank
+            } else {
+                now = now + 1;
+            }
+        }
+        let pb = advance_until_due(&mut bc);
+        assert_eq!(pb.data.as_deref().map(|d| d[0]), Some(0x02));
+    }
+
+    /// Advances the delay line until the next playback becomes due.
+    fn advance_until_due(bc: &mut BankController) -> DuePlayback {
+        for _ in 0..2 * bc.delay_line_depth() {
+            if let Some(pb) = bc.advance_delay_line(None) {
+                return pb;
+            }
+        }
+        panic!("no playback within 2D cycles");
+    }
+
+    #[test]
+    fn read_before_write_keeps_old_data() {
+        let mut bc = controller();
+        let mut d = dram();
+        d.poke(1, 9, vec![0xAA]);
+
+        let Accepted::ReadQueued(row) = bc.submit(BankEvent::Read { addr: LineAddr(9) }).unwrap()
+        else {
+            panic!()
+        };
+        bc.advance_delay_line(Some(row));
+        bc.submit(BankEvent::Write { addr: LineAddr(9), data: vec![0xBB] }).unwrap();
+        bc.advance_delay_line(None);
+
+        let mut now = Cycle::new(1);
+        while bc.queue_depth() > 0 {
+            if bc.on_bus_grant(&mut d, now) {
+                now = now + 3;
+            } else {
+                now = now + 1;
+            }
+        }
+        let pb = advance_until_due(&mut bc);
+        // The read was issued before the write in bank FIFO order.
+        assert_eq!(pb.data.as_deref().map(|d| d[0]), Some(0xAA));
+        // And the write landed afterwards.
+        assert_eq!(d.peek(1, 9)[0], 0xBB);
+    }
+
+    #[test]
+    fn busy_bank_defers_grant_and_slots_free_on_completion() {
+        let mut bc = controller();
+        let mut d = dram();
+        bc.submit(BankEvent::Read { addr: LineAddr(1) }).unwrap();
+        bc.submit(BankEvent::Read { addr: LineAddr(2) }).unwrap();
+        assert!(bc.on_bus_grant(&mut d, Cycle::new(0)));
+        // bank busy until cycle 3 (L = 3); the in-service access keeps its
+        // queue slot so Q bounds *overlapping* accesses
+        assert!(!bc.on_bus_grant(&mut d, Cycle::new(1)));
+        assert_eq!(bc.queue_depth(), 2);
+        // completion grant retires the first access and issues the second
+        assert!(bc.on_bus_grant(&mut d, Cycle::new(3)));
+        assert_eq!(bc.queue_depth(), 1);
+        assert!(!bc.on_bus_grant(&mut d, Cycle::new(4)));
+        assert!(!bc.on_bus_grant(&mut d, Cycle::new(6))); // retires, nothing left
+        assert_eq!(bc.queue_depth(), 0);
+    }
+
+    #[test]
+    fn deadline_miss_reports_none_data() {
+        let mut bc = BankController::new(0, 2, 2, 1, 2); // absurdly small D
+        let Accepted::ReadQueued(row) = bc.submit(BankEvent::Read { addr: LineAddr(1) }).unwrap()
+        else {
+            panic!()
+        };
+        bc.advance_delay_line(Some(row));
+        bc.advance_delay_line(None);
+        // D = 2 elapses without any bus grant
+        let pb = bc.advance_delay_line(None).unwrap();
+        assert_eq!(pb.data, None, "unfilled row at deadline is a miss");
+    }
+
+    #[test]
+    fn merging_disabled_queues_every_read() {
+        let mut bc = BankController::new(0, 8, 2, 1, 10).with_merging(false);
+        assert!(matches!(
+            bc.submit(BankEvent::Read { addr: LineAddr(1) }),
+            Ok(Accepted::ReadQueued(_))
+        ));
+        assert!(matches!(
+            bc.submit(BankEvent::Read { addr: LineAddr(1) }),
+            Ok(Accepted::ReadQueued(_)),
+        ), "same address must NOT merge when disabled");
+        // Q = 2 exhausted by the duplicate
+        assert_eq!(
+            bc.submit(BankEvent::Read { addr: LineAddr(1) }).unwrap_err(),
+            StallKind::AccessQueue
+        );
+    }
+
+    #[test]
+    fn wants_grant_reflects_state() {
+        let mut bc = controller();
+        let mut d = dram();
+        assert!(!bc.wants_grant(Cycle::ZERO), "empty queue wants nothing");
+        bc.submit(BankEvent::Read { addr: LineAddr(1) }).unwrap();
+        assert!(bc.wants_grant(Cycle::ZERO));
+        bc.on_bus_grant(&mut d, Cycle::ZERO);
+        // in service, nothing else queued: no useful grant until more work
+        assert!(!bc.wants_grant(Cycle::new(1)));
+        bc.submit(BankEvent::Read { addr: LineAddr(2) }).unwrap();
+        assert!(!bc.wants_grant(Cycle::new(1)), "bank still busy");
+        assert!(bc.wants_grant(Cycle::new(3)), "completion frees the bank");
+    }
+
+    #[test]
+    fn occupancy_queries() {
+        let mut bc = controller();
+        bc.submit(BankEvent::Read { addr: LineAddr(1) }).unwrap();
+        bc.submit(BankEvent::Write { addr: LineAddr(2), data: vec![] }).unwrap();
+        assert_eq!(bc.storage_occupancy(), 1);
+        assert_eq!(bc.queue_depth(), 2);
+        assert_eq!(bc.write_buffer_depth(), 1);
+        assert_eq!(bc.bank(), 1);
+    }
+}

@@ -1,0 +1,157 @@
+//! The circular delay buffer — the component that *creates* the virtual
+//! pipeline (paper Figure 3, bottom center).
+//!
+//! A `D`-slot circular buffer of row ids. Every interface cycle the slot at
+//! the current position is read (it was written exactly `D` cycles ago, so
+//! its row id — if valid — is due for playback *now*) and then overwritten
+//! with this cycle's incoming read (or invalidated if there is none). This
+//! is "the only component which is accessed every cycle irrespective of the
+//! input requests"; storing row ids instead of data keeps it 2–3 orders of
+//! magnitude smaller than buffering the data itself, per the paper.
+
+use crate::delay_storage::RowId;
+
+/// A fixed-delay line of optional row ids.
+///
+/// ```
+/// use vpnm_core::delay_line::CircularDelayBuffer;
+/// let mut cdb = CircularDelayBuffer::new(3);
+/// assert_eq!(cdb.tick(Some(7)), None);   // t=0: schedule row 7 for t=3
+/// assert_eq!(cdb.tick(None), None);      // t=1
+/// assert_eq!(cdb.tick(None), None);      // t=2
+/// assert_eq!(cdb.tick(None), Some(7));   // t=3: row 7 due
+/// ```
+#[derive(Debug, Clone)]
+pub struct CircularDelayBuffer {
+    slots: Vec<Option<RowId>>,
+    pos: usize,
+    occupancy: usize,
+}
+
+impl CircularDelayBuffer {
+    /// Creates a delay line of `d` interface cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    pub fn new(d: usize) -> Self {
+        assert!(d > 0, "delay must be at least one cycle");
+        CircularDelayBuffer { slots: vec![None; d], pos: 0, occupancy: 0 }
+    }
+
+    /// The configured delay `D`.
+    pub fn delay(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of scheduled (valid) slots currently in flight.
+    pub fn occupancy(&self) -> usize {
+        self.occupancy
+    }
+
+    /// Advances one interface cycle: returns the row id scheduled `D`
+    /// cycles ago (if any) and schedules `incoming` for `D` cycles from
+    /// now.
+    pub fn tick(&mut self, incoming: Option<RowId>) -> Option<RowId> {
+        let due = self.slots[self.pos].take();
+        if due.is_some() {
+            self.occupancy -= 1;
+        }
+        if incoming.is_some() {
+            self.occupancy += 1;
+        }
+        self.slots[self.pos] = incoming;
+        self.pos = (self.pos + 1) % self.slots.len();
+        due
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_delay_for_every_slot() {
+        let d = 5;
+        let mut cdb = CircularDelayBuffer::new(d);
+        let mut due_log = Vec::new();
+        // schedule row i at cycle i for 40 cycles, expect row at cycle i+5
+        for t in 0..40u32 {
+            let due = cdb.tick(Some(t));
+            due_log.push(due);
+        }
+        for (t, due) in due_log.iter().enumerate() {
+            if t < d {
+                assert_eq!(*due, None);
+            } else {
+                assert_eq!(*due, Some((t - d) as u32));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_cycles_pass_through() {
+        let mut cdb = CircularDelayBuffer::new(2);
+        assert_eq!(cdb.tick(None), None);
+        assert_eq!(cdb.tick(Some(1)), None);
+        assert_eq!(cdb.tick(None), None);
+        assert_eq!(cdb.tick(None), Some(1));
+        assert_eq!(cdb.tick(None), None);
+    }
+
+    #[test]
+    fn occupancy_tracks_in_flight() {
+        let mut cdb = CircularDelayBuffer::new(4);
+        cdb.tick(Some(1));
+        cdb.tick(Some(2));
+        assert_eq!(cdb.occupancy(), 2);
+        cdb.tick(None);
+        cdb.tick(None);
+        cdb.tick(None); // row 1 out
+        assert_eq!(cdb.occupancy(), 1);
+        cdb.tick(None); // row 2 out
+        assert_eq!(cdb.occupancy(), 0);
+    }
+
+    #[test]
+    fn delay_one_is_next_cycle() {
+        let mut cdb = CircularDelayBuffer::new(1);
+        assert_eq!(cdb.tick(Some(9)), None);
+        assert_eq!(cdb.tick(None), Some(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_delay_rejected() {
+        let _ = CircularDelayBuffer::new(0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Whatever is scheduled comes out exactly D ticks later, for any
+        /// schedule pattern.
+        #[test]
+        fn exact_delay_for_arbitrary_schedules(
+            d in 1usize..50,
+            schedule in proptest::collection::vec(proptest::option::of(0u32..1000), 1..200),
+        ) {
+            let mut cdb = CircularDelayBuffer::new(d);
+            let mut outputs = Vec::new();
+            for &s in &schedule {
+                outputs.push(cdb.tick(s));
+            }
+            for _ in 0..d {
+                outputs.push(cdb.tick(None));
+            }
+            for (t, &inp) in schedule.iter().enumerate() {
+                prop_assert_eq!(outputs[t + d], inp, "scheduled at {} with D={}", t, d);
+            }
+            prop_assert_eq!(cdb.occupancy(), 0);
+        }
+    }
+}

@@ -1,0 +1,374 @@
+//! The delay storage buffer — the merging queue at the heart of each bank
+//! controller (paper Figure 3, left).
+//!
+//! The buffer holds `K` rows. Each row stores the address of a pending /
+//! accessing / waiting request, a redundant-request counter, and (once the
+//! bank access completes) the data words. A row is allocated on the first
+//! read of an address, *merged into* by redundant reads of the same address
+//! (paper Section 3.4: the patterns "A,A,A,…" and "A,B,A,B,…" must not
+//! consume extra rows), and freed when its counter drains to zero after the
+//! last playback.
+//!
+//! The address CAM match is gated by a valid flag: an incoming **write** to
+//! a matching address clears the flag (the row's data is now stale for new
+//! readers) but the row keeps serving the reads that merged before the
+//! write, exactly as the paper describes in Section 4.2.
+
+use crate::request::LineAddr;
+
+/// Index of a row in the delay storage buffer (the id stored in the bank
+/// access queue and the circular delay buffer, `log2 K` bits in hardware).
+pub type RowId = u32;
+
+/// Result of one playback: the served address and, if the bank access
+/// completed in time, the data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Playback {
+    /// The address this playback serves.
+    pub addr: LineAddr,
+    /// The data, or `None` on a deadline miss.
+    pub data: Option<Vec<u8>>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Row {
+    /// Address held by this row, when the row is live.
+    addr: LineAddr,
+    /// Address-valid flag: participates in CAM matching. Cleared by a
+    /// matching write while the row drains.
+    addr_valid: bool,
+    /// Outstanding playbacks against this row (the paper's `C`-bit
+    /// counter).
+    counter: u32,
+    /// Data words, present once the bank read completed.
+    data: Option<Vec<u8>>,
+}
+
+impl Row {
+    fn is_free(&self) -> bool {
+        self.counter == 0
+    }
+}
+
+/// The delay storage buffer of one bank controller.
+///
+/// ```
+/// use vpnm_core::delay_storage::DelayStorageBuffer;
+/// use vpnm_core::request::LineAddr;
+///
+/// let mut dsb = DelayStorageBuffer::new(2);
+/// let row = dsb.allocate(LineAddr(7)).expect("free row");
+/// assert_eq!(dsb.lookup(LineAddr(7)), Some(row));
+/// dsb.merge(row);                       // a redundant request
+/// dsb.fill(row, vec![1, 2, 3]);          // bank access completes
+/// assert_eq!(dsb.playback(row).data, Some(vec![1, 2, 3]));
+/// assert_eq!(dsb.playback(row).data, Some(vec![1, 2, 3]));
+/// assert_eq!(dsb.live_rows(), 0);        // counter drained, row freed
+/// ```
+#[derive(Debug, Clone)]
+pub struct DelayStorageBuffer {
+    rows: Vec<Row>,
+    live: usize,
+}
+
+impl DelayStorageBuffer {
+    /// Creates a buffer with `k` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "delay storage buffer needs at least one row");
+        DelayStorageBuffer { rows: vec![Row::default(); k], live: 0 }
+    }
+
+    /// Capacity `K`.
+    pub fn capacity(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Rows currently allocated (counter > 0).
+    pub fn live_rows(&self) -> usize {
+        self.live
+    }
+
+    /// CAM search: the row currently holding `addr` with a set valid flag.
+    pub fn lookup(&self, addr: LineAddr) -> Option<RowId> {
+        self.rows
+            .iter()
+            .position(|r| !r.is_free() && r.addr_valid && r.addr == addr)
+            .map(|i| i as RowId)
+    }
+
+    /// Allocates a free row for `addr` with counter 1 (the "first zero
+    /// circuit" of the paper). Returns `None` when every row is live —
+    /// the *delay storage buffer stall* condition.
+    pub fn allocate(&mut self, addr: LineAddr) -> Option<RowId> {
+        let idx = self.rows.iter().position(Row::is_free)?;
+        let row = &mut self.rows[idx];
+        row.addr = addr;
+        row.addr_valid = true;
+        row.counter = 1;
+        row.data = None;
+        self.live += 1;
+        Some(idx as RowId)
+    }
+
+    /// Registers a redundant request against a live row (counter += 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row is free — merging into a free row is a controller
+    /// bug.
+    pub fn merge(&mut self, row: RowId) {
+        let r = &mut self.rows[row as usize];
+        assert!(!r.is_free(), "merge into free row {row}");
+        r.counter += 1;
+    }
+
+    /// The address a live row is serving (used when issuing the bank
+    /// read).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row is free.
+    pub fn row_addr(&self, row: RowId) -> LineAddr {
+        let r = &self.rows[row as usize];
+        assert!(!r.is_free(), "address of free row {row}");
+        r.addr
+    }
+
+    /// Stores the data returned by the bank access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row is free.
+    pub fn fill(&mut self, row: RowId, data: Vec<u8>) {
+        let r = &mut self.rows[row as usize];
+        assert!(!r.is_free(), "fill of free row {row}");
+        r.data = Some(data);
+    }
+
+    /// True once [`DelayStorageBuffer::fill`] has run for this row.
+    pub fn is_filled(&self, row: RowId) -> bool {
+        self.rows[row as usize].data.is_some()
+    }
+
+    /// Plays one response back from a row at its deadline, decrementing
+    /// the counter and freeing the row when it drains.
+    ///
+    /// The returned [`Playback`] carries the row's address and its data;
+    /// `data` is `None` only if the bank access has not completed — a
+    /// deadline violation indicating a mis-configured `D`, which the
+    /// controller records as a deadline miss. The counter is consumed
+    /// either way so rows cannot leak.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row is free.
+    pub fn playback(&mut self, row: RowId) -> Playback {
+        let r = &mut self.rows[row as usize];
+        assert!(!r.is_free(), "playback of free row {row}");
+        let addr = r.addr;
+        let data = r.data.clone();
+        r.counter -= 1;
+        if r.counter == 0 {
+            r.addr_valid = false;
+            r.data = None;
+            self.live -= 1;
+        }
+        Playback { addr, data }
+    }
+
+    /// Write-match invalidation: clears the valid flag of the row holding
+    /// `addr` (if any) so future reads re-fetch from the bank, while the
+    /// row keeps serving already-merged reads. Returns whether a row
+    /// matched.
+    pub fn invalidate(&mut self, addr: LineAddr) -> bool {
+        if let Some(row) = self.lookup(addr) {
+            self.rows[row as usize].addr_valid = false;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_until_full_then_stall() {
+        let mut dsb = DelayStorageBuffer::new(3);
+        for i in 0..3u64 {
+            assert!(dsb.allocate(LineAddr(i)).is_some());
+        }
+        assert_eq!(dsb.live_rows(), 3);
+        assert_eq!(dsb.allocate(LineAddr(99)), None, "K exhausted must stall");
+    }
+
+    #[test]
+    fn freed_rows_are_reusable() {
+        let mut dsb = DelayStorageBuffer::new(1);
+        let r = dsb.allocate(LineAddr(1)).unwrap();
+        dsb.fill(r, vec![7]);
+        assert_eq!(dsb.playback(r).data, Some(vec![7]));
+        assert_eq!(dsb.live_rows(), 0);
+        assert!(dsb.allocate(LineAddr(2)).is_some());
+    }
+
+    #[test]
+    fn lookup_only_matches_valid_live_rows() {
+        let mut dsb = DelayStorageBuffer::new(2);
+        assert_eq!(dsb.lookup(LineAddr(4)), None);
+        let r = dsb.allocate(LineAddr(4)).unwrap();
+        assert_eq!(dsb.lookup(LineAddr(4)), Some(r));
+        dsb.invalidate(LineAddr(4));
+        assert_eq!(dsb.lookup(LineAddr(4)), None, "invalidated row must not match");
+        // but the row still serves its pending playback
+        dsb.fill(r, vec![1]);
+        let pb = dsb.playback(r);
+        assert_eq!(pb.data, Some(vec![1]));
+        assert_eq!(pb.addr, LineAddr(4));
+    }
+
+    #[test]
+    fn merge_extends_row_lifetime() {
+        let mut dsb = DelayStorageBuffer::new(1);
+        let r = dsb.allocate(LineAddr(9)).unwrap();
+        dsb.merge(r);
+        dsb.merge(r);
+        dsb.fill(r, vec![5]);
+        for _ in 0..3 {
+            assert_eq!(dsb.playback(r).data, Some(vec![5]));
+        }
+        assert_eq!(dsb.live_rows(), 0);
+    }
+
+    #[test]
+    fn a_b_a_b_uses_two_rows() {
+        // The paper's requirement: "we need to handle A,B,A,B,... with
+        // only two queue entries."
+        let mut dsb = DelayStorageBuffer::new(2);
+        let ra = dsb.allocate(LineAddr(0xA)).unwrap();
+        let rb = dsb.allocate(LineAddr(0xB)).unwrap();
+        for _ in 0..100 {
+            dsb.merge(dsb.lookup(LineAddr(0xA)).unwrap());
+            dsb.merge(dsb.lookup(LineAddr(0xB)).unwrap());
+        }
+        assert_eq!(dsb.live_rows(), 2);
+        assert_eq!(dsb.lookup(LineAddr(0xA)), Some(ra));
+        assert_eq!(dsb.lookup(LineAddr(0xB)), Some(rb));
+    }
+
+    #[test]
+    fn playback_before_fill_is_a_deadline_miss() {
+        let mut dsb = DelayStorageBuffer::new(1);
+        let r = dsb.allocate(LineAddr(1)).unwrap();
+        assert!(!dsb.is_filled(r));
+        let pb = dsb.playback(r);
+        assert_eq!(pb.data, None);
+        assert_eq!(pb.addr, LineAddr(1));
+        // the counter is consumed even on a miss so rows cannot leak
+        assert_eq!(dsb.live_rows(), 0);
+    }
+
+    #[test]
+    fn write_invalidation_allows_new_version_row() {
+        let mut dsb = DelayStorageBuffer::new(2);
+        let old = dsb.allocate(LineAddr(3)).unwrap();
+        dsb.invalidate(LineAddr(3));
+        let new = dsb.allocate(LineAddr(3)).unwrap();
+        assert_ne!(old, new);
+        assert_eq!(dsb.lookup(LineAddr(3)), Some(new));
+    }
+
+    #[test]
+    #[should_panic(expected = "merge into free row")]
+    fn merge_free_row_is_a_bug() {
+        let mut dsb = DelayStorageBuffer::new(1);
+        dsb.merge(0);
+    }
+
+    #[test]
+    fn row_addr_reports_address() {
+        let mut dsb = DelayStorageBuffer::new(1);
+        let r = dsb.allocate(LineAddr(0x42)).unwrap();
+        assert_eq!(dsb.row_addr(r), LineAddr(0x42));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Read(u8),
+        Fill(u8),
+        Playback,
+        Invalidate(u8),
+    }
+
+    fn op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            any::<u8>().prop_map(Op::Read),
+            any::<u8>().prop_map(Op::Fill),
+            Just(Op::Playback),
+            any::<u8>().prop_map(Op::Invalidate),
+        ]
+    }
+
+    proptest! {
+        /// Counter conservation: playbacks never exceed reads, live rows
+        /// never exceed capacity, and a drained buffer is fully free.
+        #[test]
+        fn conservation(ops in proptest::collection::vec(op(), 1..300)) {
+            let k = 8;
+            let mut dsb = DelayStorageBuffer::new(k);
+            let mut scheduled: Vec<RowId> = Vec::new(); // pending playbacks, FIFO
+            let mut reads = 0u64;
+            let mut playbacks = 0u64;
+            for op in &ops {
+                match op {
+                    Op::Read(a) => {
+                        let addr = LineAddr(u64::from(*a % 16));
+                        let row = match dsb.lookup(addr) {
+                            Some(r) => { dsb.merge(r); Some(r) }
+                            None => dsb.allocate(addr),
+                        };
+                        if let Some(r) = row {
+                            scheduled.push(r);
+                            reads += 1;
+                        }
+                    }
+                    Op::Fill(a) => {
+                        if let Some(r) = dsb.lookup(LineAddr(u64::from(*a % 16))) {
+                            dsb.fill(r, vec![*a]);
+                        }
+                    }
+                    Op::Playback => {
+                        if !scheduled.is_empty() {
+                            let r = scheduled.remove(0);
+                            dsb.playback(r);
+                            playbacks += 1;
+                        }
+                    }
+                    Op::Invalidate(a) => {
+                        dsb.invalidate(LineAddr(u64::from(*a % 16)));
+                    }
+                }
+                prop_assert!(dsb.live_rows() <= k);
+                prop_assert!(playbacks <= reads);
+            }
+            // drain all remaining playbacks: buffer must come back empty
+            while !scheduled.is_empty() {
+                let r = scheduled.remove(0);
+                dsb.playback(r);
+            }
+            prop_assert_eq!(dsb.live_rows(), 0);
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! The controller's universal hash unit (`HU` in paper Figure 2).
+//!
+//! [`HashEngine`] is a closed enum over the hash families provided by
+//! `vpnm-hash`, so configs remain plain data and the controller avoids
+//! generic/dynamic dispatch in its hot path.
+
+use std::fmt;
+use vpnm_hash::{AffinePermutation, BankHasher, H3Hash, LowBitsHash, MultiplyShiftHash, TabulationHash};
+
+/// Which universal hash family the controller uses for its bank mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HashKind {
+    /// Carter–Wegman H3 (XOR network) — the hardware-canonical choice and
+    /// the default.
+    H3,
+    /// Dietzfelbinger multiply–shift.
+    MultiplyShift,
+    /// Simple tabulation.
+    Tabulation,
+    /// Invertible affine GF(2) permutation (bijective placement).
+    Affine,
+    /// **Not universal**: plain low-order address bits, as a conventional
+    /// controller would use. Provided for the adversary experiments that
+    /// show why randomization is necessary.
+    LowBits,
+}
+
+impl HashKind {
+    /// Pipeline latency of a hardware realization, in interface cycles.
+    pub fn latency_cycles(self, addr_bits: u32) -> u64 {
+        let xor_depth = u64::from(32 - (addr_bits.max(2) - 1).leading_zeros());
+        match self {
+            HashKind::H3 | HashKind::Affine => xor_depth,
+            HashKind::MultiplyShift => 3,
+            HashKind::Tabulation => 2,
+            HashKind::LowBits => 0,
+        }
+    }
+}
+
+impl fmt::Display for HashKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            HashKind::H3 => "h3",
+            HashKind::MultiplyShift => "multiply-shift",
+            HashKind::Tabulation => "tabulation",
+            HashKind::Affine => "affine-permutation",
+            HashKind::LowBits => "low-bits",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A keyed instance of one of the [`HashKind`] families.
+#[derive(Debug, Clone)]
+pub enum HashEngine {
+    /// See [`HashKind::H3`].
+    H3(H3Hash),
+    /// See [`HashKind::MultiplyShift`].
+    MultiplyShift(MultiplyShiftHash),
+    /// See [`HashKind::Tabulation`].
+    Tabulation(TabulationHash),
+    /// See [`HashKind::Affine`].
+    Affine(AffinePermutation),
+    /// See [`HashKind::LowBits`].
+    LowBits(LowBitsHash),
+}
+
+impl HashEngine {
+    /// Keys an engine of the requested family from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate dimensions (`bank_bits == 0`,
+    /// `bank_bits >= addr_bits`).
+    pub fn from_seed(kind: HashKind, addr_bits: u32, bank_bits: u32, seed: u64) -> Self {
+        assert!(bank_bits >= 1 && bank_bits < addr_bits, "bank_bits must be in 1..addr_bits");
+        match kind {
+            HashKind::H3 => HashEngine::H3(H3Hash::from_seed(addr_bits, bank_bits, seed)),
+            HashKind::MultiplyShift => {
+                HashEngine::MultiplyShift(MultiplyShiftHash::from_seed(bank_bits, seed))
+            }
+            HashKind::Tabulation => {
+                HashEngine::Tabulation(TabulationHash::from_seed(bank_bits, seed))
+            }
+            HashKind::Affine => {
+                HashEngine::Affine(AffinePermutation::from_seed(addr_bits, bank_bits, seed))
+            }
+            HashKind::LowBits => HashEngine::LowBits(LowBitsHash::new(bank_bits)),
+        }
+    }
+
+    /// The family of this engine.
+    pub fn kind(&self) -> HashKind {
+        match self {
+            HashEngine::H3(_) => HashKind::H3,
+            HashEngine::MultiplyShift(_) => HashKind::MultiplyShift,
+            HashEngine::Tabulation(_) => HashKind::Tabulation,
+            HashEngine::Affine(_) => HashKind::Affine,
+            HashEngine::LowBits(_) => HashKind::LowBits,
+        }
+    }
+}
+
+impl BankHasher for HashEngine {
+    fn num_banks(&self) -> u32 {
+        match self {
+            HashEngine::H3(h) => h.num_banks(),
+            HashEngine::MultiplyShift(h) => h.num_banks(),
+            HashEngine::Tabulation(h) => h.num_banks(),
+            HashEngine::Affine(h) => h.num_banks(),
+            HashEngine::LowBits(h) => h.num_banks(),
+        }
+    }
+
+    fn bank_of(&self, addr: u64) -> u32 {
+        match self {
+            HashEngine::H3(h) => h.bank_of(addr),
+            HashEngine::MultiplyShift(h) => h.bank_of(addr),
+            HashEngine::Tabulation(h) => h.bank_of(addr),
+            HashEngine::Affine(h) => h.bank_of(addr),
+            HashEngine::LowBits(h) => h.bank_of(addr),
+        }
+    }
+
+    fn latency_cycles(&self) -> u64 {
+        match self {
+            HashEngine::H3(h) => h.latency_cycles(),
+            HashEngine::MultiplyShift(h) => h.latency_cycles(),
+            HashEngine::Tabulation(h) => h.latency_cycles(),
+            HashEngine::Affine(h) => h.latency_cycles(),
+            HashEngine::LowBits(h) => h.latency_cycles(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_construct_and_map_in_range() {
+        for kind in [
+            HashKind::H3,
+            HashKind::MultiplyShift,
+            HashKind::Tabulation,
+            HashKind::Affine,
+            HashKind::LowBits,
+        ] {
+            let e = HashEngine::from_seed(kind, 20, 4, 99);
+            assert_eq!(e.kind(), kind);
+            assert_eq!(e.num_banks(), 16);
+            for a in (0..1000u64).step_by(17) {
+                assert!(e.bank_of(a) < 16, "{kind} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn latency_matches_kind_helper() {
+        for kind in [
+            HashKind::H3,
+            HashKind::MultiplyShift,
+            HashKind::Tabulation,
+            HashKind::Affine,
+            HashKind::LowBits,
+        ] {
+            let e = HashEngine::from_seed(kind, 32, 5, 1);
+            assert_eq!(e.latency_cycles(), kind.latency_cycles(32), "{kind}");
+        }
+    }
+
+    #[test]
+    fn low_bits_is_deterministic_modulo() {
+        let e = HashEngine::from_seed(HashKind::LowBits, 16, 3, 0);
+        for a in 0..32u64 {
+            assert_eq!(e.bank_of(a), (a % 8) as u32);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(HashKind::H3.to_string(), "h3");
+        assert_eq!(HashKind::LowBits.to_string(), "low-bits");
+    }
+}

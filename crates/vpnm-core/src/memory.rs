@@ -1,0 +1,256 @@
+//! The [`PipelinedMemory`] abstraction and the ideal reference
+//! implementation.
+//!
+//! The whole point of VPNM is that algorithm designers can program against
+//! "a flat deeply pipelined memory with fully deterministic latency"
+//! (paper Section 1). [`PipelinedMemory`] is that programming model as a
+//! trait; [`IdealMemory`] realizes it with a perfect (bank-free, stall-free)
+//! memory, serving as the differential-testing oracle: whenever a
+//! [`crate::VpnmController`] accepts the same request stream without
+//! stalls, its responses must be byte-identical to `IdealMemory`'s.
+
+use crate::request::{LineAddr, Request, Response, TickOutput};
+use std::collections::{HashMap, VecDeque};
+use vpnm_sim::Cycle;
+
+/// A memory with the VPNM timing abstraction: one request per interface
+/// cycle in, read responses exactly `delay()` cycles later.
+pub trait PipelinedMemory {
+    /// The deterministic read latency `D` in interface cycles.
+    fn delay(&self) -> u64;
+
+    /// Advances one interface cycle, optionally presenting a request.
+    fn tick(&mut self, request: Option<Request>) -> TickOutput;
+
+    /// Reads accepted but not yet answered.
+    fn outstanding(&self) -> usize;
+
+    /// Current interface cycle.
+    fn now(&self) -> Cycle;
+}
+
+impl PipelinedMemory for crate::VpnmController {
+    fn delay(&self) -> u64 {
+        // Explicit paths: the inherent methods share these names.
+        crate::VpnmController::delay(self)
+    }
+
+    fn tick(&mut self, request: Option<Request>) -> TickOutput {
+        crate::VpnmController::tick(self, request)
+    }
+
+    fn outstanding(&self) -> usize {
+        crate::VpnmController::outstanding(self)
+    }
+
+    fn now(&self) -> Cycle {
+        crate::VpnmController::now(self)
+    }
+}
+
+/// A perfect pipelined memory: flat storage, never stalls, exact `D`-cycle
+/// latency. Used as the golden model in differential tests and as a
+/// drop-in for application development.
+///
+/// ```
+/// use vpnm_core::memory::{IdealMemory, PipelinedMemory};
+/// use vpnm_core::{LineAddr, Request};
+///
+/// let mut mem = IdealMemory::new(4, 8);
+/// mem.tick(Some(Request::Write { addr: LineAddr(1), data: vec![9] }));
+/// mem.tick(Some(Request::Read { addr: LineAddr(1) }));
+/// let mut got = None;
+/// for _ in 0..4 {
+///     got = got.or(mem.tick(None).response);
+/// }
+/// assert_eq!(got.unwrap().data[0], 9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IdealMemory {
+    delay: u64,
+    cell_bytes: usize,
+    store: HashMap<LineAddr, Vec<u8>>,
+    in_flight: VecDeque<PendingRead>,
+    now: Cycle,
+}
+
+#[derive(Debug, Clone)]
+struct PendingRead {
+    addr: LineAddr,
+    data: Vec<u8>,
+    issued_at: Cycle,
+    due_at: Cycle,
+}
+
+impl IdealMemory {
+    /// Creates an ideal memory with latency `delay` and `cell_bytes`-byte
+    /// cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay == 0` or `cell_bytes == 0`.
+    pub fn new(delay: u64, cell_bytes: usize) -> Self {
+        assert!(delay > 0, "delay must be positive");
+        assert!(cell_bytes > 0, "cell_bytes must be positive");
+        IdealMemory {
+            delay,
+            cell_bytes,
+            store: HashMap::new(),
+            in_flight: VecDeque::new(),
+            now: Cycle::ZERO,
+        }
+    }
+
+    /// Zero-time backdoor read (oracle access).
+    pub fn peek(&self, addr: LineAddr) -> Vec<u8> {
+        self.store.get(&addr).cloned().unwrap_or_else(|| vec![0; self.cell_bytes])
+    }
+}
+
+impl PipelinedMemory for IdealMemory {
+    fn delay(&self) -> u64 {
+        self.delay
+    }
+
+    fn tick(&mut self, request: Option<Request>) -> TickOutput {
+        self.now += 1;
+        if let Some(req) = request {
+            match req {
+                Request::Read { addr } => {
+                    // Data is snapshotted at accept time: in-flight reads
+                    // are not affected by later writes, matching the
+                    // VPNM row-invalidation semantics.
+                    let data = self.peek(addr);
+                    self.in_flight.push_back(PendingRead {
+                        addr,
+                        data,
+                        issued_at: self.now,
+                        due_at: self.now + self.delay,
+                    });
+                }
+                Request::Write { addr, mut data } => {
+                    assert!(
+                        data.len() <= self.cell_bytes,
+                        "write of {} bytes exceeds cell size {}",
+                        data.len(),
+                        self.cell_bytes
+                    );
+                    data.resize(self.cell_bytes, 0);
+                    self.store.insert(addr, data);
+                }
+            }
+        }
+        let response = match self.in_flight.front() {
+            Some(p) if p.due_at == self.now => {
+                let p = self.in_flight.pop_front().expect("front checked");
+                Some(Response {
+                    addr: p.addr,
+                    data: p.data,
+                    issued_at: p.issued_at,
+                    completed_at: p.due_at,
+                })
+            }
+            _ => None,
+        };
+        TickOutput { response, stall: None }
+    }
+
+    fn outstanding(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    fn now(&self) -> Cycle {
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{VpnmConfig, VpnmController};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn ideal_memory_latency_exact() {
+        let mut m = IdealMemory::new(5, 4);
+        m.tick(Some(Request::Read { addr: LineAddr(0) }));
+        for i in 0..5u64 {
+            let out = m.tick(None);
+            if i < 4 {
+                assert!(out.response.is_none());
+            } else {
+                let r = out.response.expect("due at D");
+                assert_eq!(r.latency(), 5);
+            }
+        }
+        assert_eq!(m.outstanding(), 0);
+    }
+
+    #[test]
+    fn ideal_memory_snapshot_semantics() {
+        let mut m = IdealMemory::new(3, 1);
+        m.tick(Some(Request::Write { addr: LineAddr(1), data: vec![1] }));
+        m.tick(Some(Request::Read { addr: LineAddr(1) }));
+        // write lands while the read is in flight — read keeps snapshot
+        m.tick(Some(Request::Write { addr: LineAddr(1), data: vec![2] }));
+        let mut responses = Vec::new();
+        for _ in 0..4 {
+            responses.extend(m.tick(None).response);
+        }
+        assert_eq!(responses.len(), 1);
+        assert_eq!(responses[0].data[0], 1);
+        assert_eq!(m.peek(LineAddr(1))[0], 2);
+    }
+
+    /// The core abstraction claim of the paper, checked differentially:
+    /// on any request stream VPNM accepts without stalling, its responses
+    /// are identical (address, data, timing offset) to a perfect pipeline
+    /// of the same depth.
+    #[test]
+    fn vpnm_equals_ideal_on_stall_free_streams() {
+        let mut vpnm = VpnmController::new(VpnmConfig::test_roomy(), 11).unwrap();
+        let mut ideal = IdealMemory::new(vpnm.delay(), 8);
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut vpnm_rs = Vec::new();
+        let mut ideal_rs = Vec::new();
+        for _ in 0..5000 {
+            let addr = rng.gen_range(0..256u64);
+            let req = if rng.gen_bool(0.25) {
+                Request::Write { addr: LineAddr(addr), data: vec![rng.gen::<u8>()] }
+            } else {
+                Request::Read { addr: LineAddr(addr) }
+            };
+            let out_v = vpnm.tick(Some(req.clone()));
+            assert!(out_v.accepted(), "stall would invalidate the comparison");
+            let out_i = ideal.tick(Some(req));
+            vpnm_rs.extend(out_v.response);
+            ideal_rs.extend(out_i.response);
+        }
+        // drain both
+        while vpnm.outstanding() > 0 || ideal.outstanding() > 0 {
+            vpnm_rs.extend(vpnm.tick(None).response);
+            ideal_rs.extend(ideal.tick(None).response);
+        }
+        assert_eq!(vpnm_rs.len(), ideal_rs.len());
+        for (v, i) in vpnm_rs.iter().zip(&ideal_rs) {
+            assert_eq!(v.addr, i.addr);
+            assert_eq!(v.issued_at, i.issued_at);
+            assert_eq!(v.completed_at, i.completed_at);
+            assert_eq!(v.data[0], i.data[0], "data mismatch at {}", v.addr);
+        }
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let mut mems: Vec<Box<dyn PipelinedMemory>> = vec![
+            Box::new(IdealMemory::new(4, 8)),
+            Box::new(VpnmController::new(VpnmConfig::small_test(), 0).unwrap()),
+        ];
+        for m in &mut mems {
+            m.tick(Some(Request::Read { addr: LineAddr(3) }));
+            assert_eq!(m.outstanding(), 1);
+            assert!(m.delay() > 0);
+        }
+    }
+}

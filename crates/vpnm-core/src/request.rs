@@ -1,0 +1,162 @@
+//! Request, response, and stall types — the controller's wire format.
+
+use std::fmt;
+use vpnm_sim::Cycle;
+
+/// A memory-line (cell) address presented at the VPNM interface.
+///
+/// Addresses are cell-granular (the paper buffers 64-byte cells); the
+/// controller's universal hash decides which bank a given address lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(pub u64);
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+impl From<u64> for LineAddr {
+    fn from(v: u64) -> Self {
+        LineAddr(v)
+    }
+}
+
+/// One request presented at the interface (at most one per interface
+/// cycle).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Read the cell at `addr`; the reply arrives exactly `D` interface
+    /// cycles later.
+    Read {
+        /// Cell address.
+        addr: LineAddr,
+    },
+    /// Write `data` to the cell at `addr`; fire-and-forget (the paper:
+    /// "unlike read requests, we need not wait for the write requests to
+    /// complete").
+    Write {
+        /// Cell address.
+        addr: LineAddr,
+        /// Cell contents (at most the configured cell size).
+        data: Vec<u8>,
+    },
+}
+
+impl Request {
+    /// The address this request targets.
+    pub fn addr(&self) -> LineAddr {
+        match self {
+            Request::Read { addr } | Request::Write { addr, .. } => *addr,
+        }
+    }
+
+    /// True for reads.
+    pub fn is_read(&self) -> bool {
+        matches!(self, Request::Read { .. })
+    }
+}
+
+/// A completed read delivered at its deterministic deadline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// The address that was read.
+    pub addr: LineAddr,
+    /// The data (exactly one cell).
+    pub data: Vec<u8>,
+    /// Interface cycle the read was accepted.
+    pub issued_at: Cycle,
+    /// Interface cycle the response was delivered (`issued_at + D`).
+    pub completed_at: Cycle,
+}
+
+impl Response {
+    /// Observed latency in interface cycles — always exactly `D` for a
+    /// correctly configured controller.
+    pub fn latency(&self) -> u64 {
+        self.completed_at - self.issued_at
+    }
+}
+
+/// The three stall conditions of paper Section 4.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StallKind {
+    /// No free row in the delay storage buffer (`K` exhausted).
+    DelayStorage,
+    /// The bank access queue is full (`Q` exhausted).
+    AccessQueue,
+    /// The write buffer FIFO is full.
+    WriteBuffer,
+}
+
+impl fmt::Display for StallKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StallKind::DelayStorage => "delay storage buffer stall",
+            StallKind::AccessQueue => "bank access queue stall",
+            StallKind::WriteBuffer => "write buffer stall",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Everything that happened during one interface cycle of the controller.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TickOutput {
+    /// The read response due this cycle, if any (at most one: the
+    /// interface accepts at most one request per cycle, so at most one can
+    /// be due per cycle).
+    pub response: Option<Response>,
+    /// If the submitted request could not be accepted, why. The request
+    /// was *not* enqueued; the caller decides whether to retry it next
+    /// cycle (stall the line card) or drop it.
+    pub stall: Option<StallKind>,
+}
+
+impl TickOutput {
+    /// True when the submitted request (if any) was accepted.
+    pub fn accepted(&self) -> bool {
+        self.stall.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_accessors() {
+        let r = Request::Read { addr: LineAddr(5) };
+        let w = Request::Write { addr: LineAddr(6), data: vec![1] };
+        assert!(r.is_read());
+        assert!(!w.is_read());
+        assert_eq!(r.addr(), LineAddr(5));
+        assert_eq!(w.addr(), LineAddr(6));
+    }
+
+    #[test]
+    fn response_latency() {
+        let resp = Response {
+            addr: LineAddr(0),
+            data: vec![],
+            issued_at: Cycle::new(10),
+            completed_at: Cycle::new(40),
+        };
+        assert_eq!(resp.latency(), 30);
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        assert_eq!(LineAddr(255).to_string(), "0xff");
+        assert!(StallKind::DelayStorage.to_string().contains("delay storage"));
+        assert!(StallKind::AccessQueue.to_string().contains("access queue"));
+        assert!(StallKind::WriteBuffer.to_string().contains("write buffer"));
+    }
+
+    #[test]
+    fn tick_output_accepted() {
+        assert!(TickOutput::default().accepted());
+        let t = TickOutput { response: None, stall: Some(StallKind::AccessQueue) };
+        assert!(!t.accepted());
+    }
+}

@@ -1,0 +1,343 @@
+//! The assembled DRAM device: banks + data bus + storage.
+
+use crate::bank::{AccessKind, Bank};
+use crate::config::DramConfig;
+use crate::stats::DramStats;
+use crate::storage::SparseStorage;
+use crate::timing::TimingPolicy;
+use std::fmt;
+use vpnm_sim::Cycle;
+
+/// Why a DRAM command could not be accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DramError {
+    /// The target bank is busy with a previous access until `free_at` —
+    /// a bank conflict (paper Section 3.1).
+    BankBusy {
+        /// Bank that was busy.
+        bank: u32,
+        /// When it becomes free.
+        free_at: Cycle,
+    },
+    /// The shared data bus is occupied until `free_at`.
+    BusBusy {
+        /// When the bus frees.
+        free_at: Cycle,
+    },
+    /// Bank index ≥ configured bank count.
+    BadBank {
+        /// Offending bank index.
+        bank: u32,
+        /// Configured number of banks.
+        num_banks: u32,
+    },
+    /// Cell offset outside the bank.
+    BadOffset {
+        /// Offending cell offset.
+        offset: u64,
+        /// Cells per bank.
+        cells_per_bank: u64,
+    },
+}
+
+impl fmt::Display for DramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DramError::BankBusy { bank, free_at } => {
+                write!(f, "bank {bank} busy until {free_at}")
+            }
+            DramError::BusBusy { free_at } => write!(f, "data bus busy until {free_at}"),
+            DramError::BadBank { bank, num_banks } => {
+                write!(f, "bank index {bank} out of range (device has {num_banks} banks)")
+            }
+            DramError::BadOffset { offset, cells_per_bank } => {
+                write!(f, "cell offset {offset} out of range (bank holds {cells_per_bank} cells)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DramError {}
+
+/// Result of an accepted read: the data and when it is available.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadGrant {
+    /// Cycle at which the data appears on the bus. The simulator hands the
+    /// bytes over immediately; a well-behaved caller must not *act* on them
+    /// before `data_ready_at`.
+    pub data_ready_at: Cycle,
+    /// The cell contents.
+    pub data: Vec<u8>,
+}
+
+/// A banked DRAM device with a shared data bus.
+///
+/// See the [crate-level documentation](crate) for an example.
+#[derive(Debug, Clone)]
+pub struct DramDevice {
+    config: DramConfig,
+    banks: Vec<Bank>,
+    storage: SparseStorage,
+    stats: DramStats,
+}
+
+impl DramDevice {
+    /// Creates a device from a validated config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.validate()` fails.
+    pub fn new(config: DramConfig) -> Self {
+        config.validate().expect("invalid DramConfig");
+        let banks = (0..config.num_banks).map(|_| Bank::new()).collect();
+        let storage = SparseStorage::new(config.cell_bytes);
+        DramDevice { config, banks, storage, stats: DramStats::default() }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &DramStats {
+        &self.stats
+    }
+
+    /// True if `bank` can accept an access at `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::BadBank`] for an out-of-range index.
+    pub fn is_bank_ready(&self, bank: u32, now: Cycle) -> Result<bool, DramError> {
+        let b = self.bank_ref(bank)?;
+        Ok(!b.is_busy(now))
+    }
+
+    fn bank_ref(&self, bank: u32) -> Result<&Bank, DramError> {
+        self.banks
+            .get(bank as usize)
+            .ok_or(DramError::BadBank { bank, num_banks: self.config.num_banks })
+    }
+
+    fn check_offset(&self, offset: u64) -> Result<(), DramError> {
+        let cells = self.config.cells_per_bank();
+        if offset >= cells {
+            Err(DramError::BadOffset { offset, cells_per_bank: cells })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn cell_index(&self, bank: u32, offset: u64) -> u64 {
+        u64::from(bank) * self.config.cells_per_bank() + offset
+    }
+
+    fn row_of(&self, offset: u64) -> u64 {
+        offset / self.config.cells_per_row
+    }
+
+    /// Issues a read of cell `offset` in `bank` at cycle `now`.
+    ///
+    /// # Errors
+    ///
+    /// [`DramError::BankBusy`] on a bank conflict, plus the range errors.
+    pub fn issue_read(&mut self, bank: u32, offset: u64, now: Cycle) -> Result<ReadGrant, DramError> {
+        self.check_offset(offset)?;
+        let row = self.row_of(offset);
+        let num_banks = self.config.num_banks;
+        let timing = self.config.timing;
+        let b = self
+            .banks
+            .get_mut(bank as usize)
+            .ok_or(DramError::BadBank { bank, num_banks })?;
+        let was_hits = b.row_hits();
+        let done = match b.start_access(&timing, AccessKind::Read, row, now) {
+            Ok(done) => done,
+            Err(free_at) => {
+                self.stats.bank_conflicts += 1;
+                return Err(DramError::BankBusy { bank, free_at });
+            }
+        };
+        self.stats.row_hits += b.row_hits() - was_hits;
+        self.stats.reads += 1;
+        self.stats.bus_busy_cycles += timing.transfer_cycles();
+        self.stats.last_activity = Some(now);
+        let data = self.storage.read(self.cell_index(bank, offset));
+        Ok(ReadGrant { data_ready_at: done, data })
+    }
+
+    /// Issues a write of `data` into cell `offset` of `bank` at `now`,
+    /// returning the completion cycle.
+    ///
+    /// # Errors
+    ///
+    /// [`DramError::BankBusy`] on a bank conflict, plus the range errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` exceeds the configured cell size.
+    pub fn issue_write(
+        &mut self,
+        bank: u32,
+        offset: u64,
+        data: Vec<u8>,
+        now: Cycle,
+    ) -> Result<Cycle, DramError> {
+        self.check_offset(offset)?;
+        let row = self.row_of(offset);
+        let num_banks = self.config.num_banks;
+        let timing = self.config.timing;
+        let b = self
+            .banks
+            .get_mut(bank as usize)
+            .ok_or(DramError::BadBank { bank, num_banks })?;
+        let was_hits = b.row_hits();
+        let done = match b.start_access(&timing, AccessKind::Write, row, now) {
+            Ok(done) => done,
+            Err(free_at) => {
+                self.stats.bank_conflicts += 1;
+                return Err(DramError::BankBusy { bank, free_at });
+            }
+        };
+        self.stats.row_hits += b.row_hits() - was_hits;
+        self.stats.writes += 1;
+        self.stats.bus_busy_cycles += timing.transfer_cycles();
+        self.stats.last_activity = Some(now);
+        let idx = self.cell_index(bank, offset);
+        self.storage.write(idx, data);
+        Ok(done)
+    }
+
+    /// Direct (zero-time) backdoor read for test oracles and debugging —
+    /// does not touch bank state or stats.
+    pub fn peek(&self, bank: u32, offset: u64) -> Vec<u8> {
+        self.storage.read(self.cell_index(bank, offset))
+    }
+
+    /// Direct (zero-time) backdoor write for preloading test contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` exceeds the configured cell size.
+    pub fn poke(&mut self, bank: u32, offset: u64, data: Vec<u8>) {
+        let idx = self.cell_index(bank, offset);
+        self.storage.write(idx, data);
+    }
+
+    /// Per-bank access counts (for balance checks).
+    pub fn bank_access_counts(&self) -> Vec<u64> {
+        self.banks.iter().map(Bank::accesses).collect()
+    }
+
+    /// Lists every populated `(bank, offset)` cell, in arbitrary order —
+    /// the walk a re-keying data migration performs.
+    pub fn populated(&self) -> Vec<(u32, u64)> {
+        let per_bank = self.config.cells_per_bank();
+        self.storage
+            .populated_indices()
+            .map(|idx| ((idx / per_bank) as u32, idx % per_bank))
+            .collect()
+    }
+
+    /// Zero-time backdoor removal of a cell (re-keying migration).
+    /// Returns the previous contents if the cell was populated.
+    pub fn take(&mut self, bank: u32, offset: u64) -> Option<Vec<u8>> {
+        let idx = self.cell_index(bank, offset);
+        self.storage.take(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::TimingModel;
+
+    fn tiny() -> DramDevice {
+        DramDevice::new(DramConfig::tiny_test()) // 4 banks, L=3, 8B cells
+    }
+
+    #[test]
+    fn read_after_write_roundtrips() {
+        let mut d = tiny();
+        let done = d.issue_write(1, 3, vec![9, 9, 9], Cycle::new(0)).unwrap();
+        assert_eq!(done, Cycle::new(3));
+        let g = d.issue_read(1, 3, done).unwrap();
+        assert_eq!(g.data, vec![9, 9, 9, 0, 0, 0, 0, 0]);
+        assert_eq!(g.data_ready_at, Cycle::new(6));
+    }
+
+    #[test]
+    fn conflict_on_same_bank_not_on_other() {
+        let mut d = tiny();
+        d.issue_read(0, 0, Cycle::new(0)).unwrap();
+        let err = d.issue_read(0, 1, Cycle::new(1)).unwrap_err();
+        assert!(matches!(err, DramError::BankBusy { bank: 0, free_at } if free_at == Cycle::new(3)));
+        // different bank at the same time is fine
+        d.issue_read(1, 1, Cycle::new(1)).unwrap();
+        assert_eq!(d.stats().bank_conflicts, 1);
+        assert_eq!(d.stats().reads, 2);
+    }
+
+    #[test]
+    fn range_validation() {
+        let mut d = tiny();
+        assert!(matches!(
+            d.issue_read(7, 0, Cycle::ZERO),
+            Err(DramError::BadBank { bank: 7, num_banks: 4 })
+        ));
+        assert!(matches!(
+            d.issue_read(0, 10_000, Cycle::ZERO),
+            Err(DramError::BadOffset { .. })
+        ));
+        assert!(d.is_bank_ready(9, Cycle::ZERO).is_err());
+    }
+
+    #[test]
+    fn peek_poke_bypass_timing() {
+        let mut d = tiny();
+        d.poke(2, 5, vec![1, 2, 3]);
+        assert_eq!(&d.peek(2, 5)[..3], &[1, 2, 3]);
+        assert_eq!(d.stats().accesses(), 0);
+    }
+
+    #[test]
+    fn distinct_banks_have_distinct_cells() {
+        let mut d = tiny();
+        d.poke(0, 5, vec![1]);
+        d.poke(1, 5, vec![2]);
+        assert_eq!(d.peek(0, 5)[0], 1);
+        assert_eq!(d.peek(1, 5)[0], 2);
+    }
+
+    #[test]
+    fn bus_efficiency_accumulates() {
+        let mut d = tiny();
+        let mut now = Cycle::ZERO;
+        for i in 0..4u32 {
+            now = d.issue_write(i, 0, vec![0], now).unwrap();
+        }
+        // 4 transfers of 1 cycle each over 12 elapsed cycles
+        assert!((d.stats().bus_efficiency(now) - 4.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn open_page_stats_count_row_hits() {
+        let cfg = DramConfig::tiny_test()
+            .with_timing(TimingModel::OpenPage(crate::timing::OpenPageTiming::sdram_pc133()));
+        let mut d = DramDevice::new(cfg);
+        let t1 = d.issue_read(0, 0, Cycle::ZERO).unwrap().data_ready_at;
+        let t2 = d.issue_read(0, 1, t1).unwrap().data_ready_at; // same row (4 cells/row)
+        assert_eq!(d.stats().row_hits, 1);
+        let _ = d.issue_read(0, 15, t2).unwrap(); // row 3 — miss
+        assert_eq!(d.stats().row_hits, 1);
+    }
+
+    #[test]
+    fn error_messages_render() {
+        let e = DramError::BankBusy { bank: 1, free_at: Cycle::new(9) };
+        assert!(e.to_string().contains("bank 1 busy"));
+        let e = DramError::BadOffset { offset: 9, cells_per_bank: 4 };
+        assert!(e.to_string().contains("out of range"));
+    }
+}

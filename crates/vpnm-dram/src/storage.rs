@@ -1,0 +1,130 @@
+//! Sparse backing storage for simulated DRAM cells.
+//!
+//! A 160 Gbps packet buffer needs 4 GB of DRAM (paper Section 5.4.1); the
+//! simulator cannot allocate that eagerly, so cells are materialized on
+//! first write. Reads of never-written cells return zeroes, matching the
+//! "fresh DRAM" abstraction the rest of the stack assumes.
+
+use std::collections::HashMap;
+
+/// Sparse map from cell index to cell contents.
+///
+/// ```
+/// use vpnm_dram::SparseStorage;
+/// let mut s = SparseStorage::new(8);
+/// assert_eq!(s.read(42), vec![0u8; 8]); // untouched cells read as zero
+/// s.write(42, b"abc".to_vec());
+/// assert_eq!(&s.read(42)[..3], b"abc");
+/// assert_eq!(s.populated_cells(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SparseStorage {
+    cells: HashMap<u64, Box<[u8]>>,
+    cell_bytes: usize,
+}
+
+impl SparseStorage {
+    /// Creates storage with `cell_bytes` bytes per cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_bytes == 0`.
+    pub fn new(cell_bytes: usize) -> Self {
+        assert!(cell_bytes > 0, "cell_bytes must be positive");
+        SparseStorage { cells: HashMap::new(), cell_bytes }
+    }
+
+    /// Bytes per cell.
+    pub fn cell_bytes(&self) -> usize {
+        self.cell_bytes
+    }
+
+    /// Reads cell `index`, zero-filled if never written.
+    pub fn read(&self, index: u64) -> Vec<u8> {
+        match self.cells.get(&index) {
+            Some(data) => data.to_vec(),
+            None => vec![0u8; self.cell_bytes],
+        }
+    }
+
+    /// Writes cell `index`. Short data is zero-padded to the cell size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` exceeds the cell size.
+    pub fn write(&mut self, index: u64, mut data: Vec<u8>) {
+        assert!(
+            data.len() <= self.cell_bytes,
+            "write of {} bytes exceeds cell size {}",
+            data.len(),
+            self.cell_bytes
+        );
+        data.resize(self.cell_bytes, 0);
+        self.cells.insert(index, data.into_boxed_slice());
+    }
+
+    /// Number of cells that have been written at least once.
+    pub fn populated_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Iterates over the indices of populated cells (arbitrary order).
+    pub fn populated_indices(&self) -> impl Iterator<Item = u64> + '_ {
+        self.cells.keys().copied()
+    }
+
+    /// Removes a cell entirely (subsequent reads see zeroes). Returns its
+    /// previous contents if it was populated.
+    pub fn take(&mut self, index: u64) -> Option<Vec<u8>> {
+        self.cells.remove(&index).map(Vec::from)
+    }
+
+    /// Drops all contents.
+    pub fn clear(&mut self) {
+        self.cells.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill_semantics() {
+        let s = SparseStorage::new(4);
+        assert_eq!(s.read(0), vec![0, 0, 0, 0]);
+        assert_eq!(s.populated_cells(), 0);
+    }
+
+    #[test]
+    fn write_pads_short_data() {
+        let mut s = SparseStorage::new(4);
+        s.write(1, vec![0xAA]);
+        assert_eq!(s.read(1), vec![0xAA, 0, 0, 0]);
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let mut s = SparseStorage::new(2);
+        s.write(5, vec![1, 2]);
+        s.write(5, vec![3]);
+        assert_eq!(s.read(5), vec![3, 0]);
+        assert_eq!(s.populated_cells(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds cell size")]
+    fn oversized_write_panics() {
+        let mut s = SparseStorage::new(2);
+        s.write(0, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s = SparseStorage::new(1);
+        s.write(9, vec![7]);
+        s.clear();
+        assert_eq!(s.populated_cells(), 0);
+        assert_eq!(s.read(9), vec![0]);
+    }
+}

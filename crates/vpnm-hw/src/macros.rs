@@ -1,0 +1,139 @@
+//! Raw SRAM / CAM macro models.
+//!
+//! First-order models at 0.13 µm: a 6T SRAM cell is ~2.5 µm²/bit and a
+//! ternary-capable CAM cell roughly twice that, plus per-macro periphery
+//! (decoders, sense amplifiers) that grows with the perimeter. These are
+//! the building blocks the calibrated controller model (and the baseline
+//! packet-buffer area comparisons) are assembled from.
+
+/// 6T SRAM cell area at 0.13 µm, µm² per bit.
+pub const SRAM_CELL_UM2_013: f64 = 2.5;
+
+/// CAM cell area at 0.13 µm, µm² per bit (9–10T search-capable cell).
+pub const CAM_CELL_UM2_013: f64 = 5.0;
+
+/// Dynamic read energy at 0.13 µm, pJ per bit accessed (order of
+/// magnitude; calibrated factors absorb the residual).
+pub const SRAM_READ_PJ_PER_BIT: f64 = 0.05;
+
+/// An SRAM macro: `entries × bits_per_entry` with `ports` access ports.
+///
+/// ```
+/// use vpnm_hw::SramMacro;
+/// let m = SramMacro::new(1024, 64, 1);
+/// assert_eq!(m.bits(), 65536);
+/// assert!(m.area_um2() > 65536.0 * 2.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SramMacro {
+    entries: u64,
+    bits_per_entry: u64,
+    ports: u32,
+}
+
+impl SramMacro {
+    /// Creates a macro description.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero dimensions or zero ports.
+    pub fn new(entries: u64, bits_per_entry: u64, ports: u32) -> Self {
+        assert!(entries > 0 && bits_per_entry > 0 && ports > 0, "macro dimensions must be positive");
+        SramMacro { entries, bits_per_entry, ports }
+    }
+
+    /// Total storage bits.
+    pub fn bits(&self) -> u64 {
+        self.entries * self.bits_per_entry
+    }
+
+    /// Total bytes (rounded up).
+    pub fn bytes(&self) -> u64 {
+        self.bits().div_ceil(8)
+    }
+
+    /// Estimated area in µm². Multi-porting grows the cell roughly
+    /// linearly; periphery grows with the array perimeter.
+    pub fn area_um2(&self) -> f64 {
+        let port_factor = 1.0 + 0.7 * f64::from(self.ports - 1);
+        let cell_area = self.bits() as f64 * SRAM_CELL_UM2_013 * port_factor;
+        let periphery = 50.0 * ((self.entries as f64).sqrt() + (self.bits_per_entry as f64).sqrt());
+        cell_area + periphery + 200.0
+    }
+
+    /// Estimated dynamic energy per access in pJ (reads one entry).
+    pub fn access_energy_pj(&self) -> f64 {
+        self.bits_per_entry as f64 * SRAM_READ_PJ_PER_BIT
+            + 0.002 * (self.entries as f64) // word-line/decode overhead
+    }
+}
+
+/// A CAM macro: fully associative search over `entries × tag_bits`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CamMacro {
+    entries: u64,
+    tag_bits: u64,
+}
+
+impl CamMacro {
+    /// Creates a CAM description.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero dimensions.
+    pub fn new(entries: u64, tag_bits: u64) -> Self {
+        assert!(entries > 0 && tag_bits > 0, "macro dimensions must be positive");
+        CamMacro { entries, tag_bits }
+    }
+
+    /// Total search bits.
+    pub fn bits(&self) -> u64 {
+        self.entries * self.tag_bits
+    }
+
+    /// Estimated area in µm².
+    pub fn area_um2(&self) -> f64 {
+        self.bits() as f64 * CAM_CELL_UM2_013 + 80.0 * (self.entries as f64).sqrt() + 200.0
+    }
+
+    /// Estimated dynamic energy per search in pJ — every entry compares in
+    /// parallel, so energy scales with total bits.
+    pub fn search_energy_pj(&self) -> f64 {
+        self.bits() as f64 * SRAM_READ_PJ_PER_BIT * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sram_sizes_scale() {
+        let small = SramMacro::new(16, 8, 1);
+        let big = SramMacro::new(1024, 64, 1);
+        assert!(big.area_um2() > small.area_um2() * 100.0);
+        assert_eq!(small.bytes(), 16);
+        assert_eq!(SramMacro::new(3, 3, 1).bytes(), 2); // 9 bits → 2 bytes
+    }
+
+    #[test]
+    fn dual_port_costs_more() {
+        let sp = SramMacro::new(256, 32, 1);
+        let dp = SramMacro::new(256, 32, 2);
+        assert!(dp.area_um2() > sp.area_um2() * 1.5);
+    }
+
+    #[test]
+    fn cam_denser_than_nothing_pricier_than_sram() {
+        let cam = CamMacro::new(64, 32);
+        let sram = SramMacro::new(64, 32, 1);
+        assert!(cam.area_um2() > sram.area_um2());
+        assert!(cam.search_energy_pj() > sram.access_energy_pj());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_entries_rejected() {
+        let _ = SramMacro::new(0, 8, 1);
+    }
+}

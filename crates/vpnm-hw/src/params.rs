@@ -1,0 +1,181 @@
+//! Controller parameters → storage-bit inventory → area/energy estimate.
+
+use crate::calibrate::CALIBRATION_013UM;
+
+/// The design parameters of a VPNM controller, as fed to the paper's
+/// "hardware overhead analysis tool" (Section 5.3): `B`, `L`, `K`, `Q`,
+/// `R`, plus the word sizes from Figure 3 (`A`-bit addresses, `W`-bit data
+/// words, `C`-bit counters).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControllerParams {
+    /// Number of banks `B` (the controller replicates per bank).
+    pub banks: u32,
+    /// Bank access latency `L` in memory cycles.
+    pub bank_latency: u64,
+    /// Bank access queue entries `Q`.
+    pub queue_entries: u64,
+    /// Delay storage buffer rows `K`.
+    pub storage_rows: u64,
+    /// Bus scaling ratio `R`.
+    pub bus_ratio: f64,
+    /// Address width `A` in bits.
+    pub addr_bits: u64,
+    /// Data word width `W` in bits (the paper's 64-byte cells → 512).
+    pub data_bits: u64,
+    /// Redundant-request counter width `C` in bits.
+    pub counter_bits: u64,
+}
+
+impl ControllerParams {
+    /// The paper's fixed context: `B = 32`, `L = 20`, 32-bit addresses,
+    /// 64-byte cells, 8-bit counters, `R = 1.3`, with the Table 2 optimum
+    /// `Q = 64`, `K = 128`.
+    pub fn paper_default() -> Self {
+        ControllerParams {
+            banks: 32,
+            bank_latency: 20,
+            queue_entries: 64,
+            storage_rows: 128,
+            bus_ratio: 1.3,
+            addr_bits: 32,
+            data_bits: 512,
+            counter_bits: 8,
+        }
+    }
+
+    /// Depth of the per-bank circular delay buffer: the normalized delay
+    /// `D ≈ Q·B/R` in interface cycles.
+    pub fn delay_entries(&self) -> u64 {
+        ((self.queue_entries * u64::from(self.banks)) as f64 / self.bus_ratio).ceil() as u64
+    }
+
+    /// `ceil(log2 K)` — the width of a row id.
+    pub fn row_id_bits(&self) -> u64 {
+        u64::from(64 - (self.storage_rows.max(2) - 1).leading_zeros())
+    }
+
+    /// SRAM bits in ONE bank controller: delay-storage payload (valid +
+    /// counter + data), bank access queue, write buffer, circular delay
+    /// buffer.
+    pub fn sram_bits_per_bank(&self) -> u64 {
+        let dsb = self.storage_rows * (1 + self.counter_bits + self.data_bits);
+        let baq = self.queue_entries * (1 + self.row_id_bits());
+        let wb = self.queue_entries.div_ceil(2) * (self.addr_bits + self.data_bits);
+        let cdb = self.delay_entries() * (1 + self.row_id_bits());
+        dsb + baq + wb + cdb
+    }
+
+    /// CAM bits in ONE bank controller: the delay-storage address match
+    /// array.
+    pub fn cam_bits_per_bank(&self) -> u64 {
+        self.storage_rows * self.addr_bits
+    }
+}
+
+impl Default for ControllerParams {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Area and energy estimate for a full set of bank controllers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HwEstimate {
+    /// Area of one bank controller, mm².
+    pub area_mm2_per_bank: f64,
+    /// Area of all `B` bank controllers, mm² (the paper's Figure 7 /
+    /// Table 2 quantity).
+    pub total_area_mm2: f64,
+    /// Energy per access across the controller set, nJ (Table 2).
+    pub energy_nj: f64,
+    /// SRAM bits per bank controller.
+    pub sram_bits_per_bank: u64,
+    /// CAM bits per bank controller.
+    pub cam_bits_per_bank: u64,
+}
+
+impl HwEstimate {
+    /// Total controller SRAM in kilobytes (all banks).
+    pub fn sram_kib_total(&self, banks: u32) -> f64 {
+        (self.sram_bits_per_bank * u64::from(banks)) as f64 / 8.0 / 1024.0
+    }
+}
+
+/// Estimates area and energy for `params` using the 0.13 µm calibration.
+pub fn estimate(params: &ControllerParams) -> HwEstimate {
+    let cal = &*CALIBRATION_013UM;
+    let w = crate::calibrate::weighted_bits(params);
+    let per_bank = (cal.area[0] + cal.area[1] * w + cal.area[2] * w * w).max(0.0);
+    let energy = (cal.energy[0] + cal.energy[1] * w + cal.energy[2] * w * w).max(0.0);
+    HwEstimate {
+        area_mm2_per_bank: per_bank,
+        total_area_mm2: per_bank * f64::from(params.banks),
+        energy_nj: energy,
+        sram_bits_per_bank: params.sram_bits_per_bank(),
+        cam_bits_per_bank: params.cam_bits_per_bank(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table2_params(q: u64, k: u64) -> ControllerParams {
+        ControllerParams { queue_entries: q, storage_rows: k, ..ControllerParams::paper_default() }
+    }
+
+    #[test]
+    fn reference_point_single_controller() {
+        // Paper: "one bank controller … with L = 20, K = 24, and Q = 12,
+        // occupies 0.15 mm²."
+        let p = table2_params(12, 24);
+        let hw = estimate(&p);
+        assert!(
+            (hw.area_mm2_per_bank - 0.15).abs() / 0.15 < 0.25,
+            "got {} mm²",
+            hw.area_mm2_per_bank
+        );
+    }
+
+    #[test]
+    fn table2_rows_reproduced() {
+        // (Q, K, paper total area mm², paper energy nJ) at R = 1.3
+        let rows =
+            [(24, 48, 13.6, 11.09), (32, 64, 19.4, 13.26), (48, 96, 34.1, 17.05), (64, 128, 53.2, 21.51)];
+        for (q, k, area, energy) in rows {
+            let hw = estimate(&table2_params(q, k));
+            let area_err = (hw.total_area_mm2 - area).abs() / area;
+            let energy_err = (hw.energy_nj - energy).abs() / energy;
+            assert!(area_err < 0.12, "Q={q} K={k}: area {} vs {area}", hw.total_area_mm2);
+            assert!(energy_err < 0.12, "Q={q} K={k}: energy {} vs {energy}", hw.energy_nj);
+        }
+    }
+
+    #[test]
+    fn area_monotone_in_k_and_q() {
+        let base = estimate(&table2_params(24, 48)).total_area_mm2;
+        assert!(estimate(&table2_params(24, 96)).total_area_mm2 > base);
+        assert!(estimate(&table2_params(48, 48)).total_area_mm2 > base);
+    }
+
+    #[test]
+    fn delay_entries_formula() {
+        let p = ControllerParams::paper_default();
+        // Q=64, B=32, R=1.3 → ceil(2048/1.3) = 1576
+        assert_eq!(p.delay_entries(), 1576);
+    }
+
+    #[test]
+    fn row_id_bits() {
+        assert_eq!(table2_params(12, 24).row_id_bits(), 5);
+        assert_eq!(table2_params(12, 64).row_id_bits(), 6);
+        assert_eq!(table2_params(12, 65).row_id_bits(), 7);
+    }
+
+    #[test]
+    fn sram_kib_total_math() {
+        let hw = estimate(&ControllerParams::paper_default());
+        let expect = (hw.sram_bits_per_bank * 32) as f64 / 8192.0;
+        assert!((hw.sram_kib_total(32) - expect).abs() < 1e-9);
+    }
+}

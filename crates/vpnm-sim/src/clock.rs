@@ -1,0 +1,340 @@
+//! Cycle counters and the dual-rate clock domain of the VPNM paper.
+//!
+//! The VPNM memory controller straddles two clock domains (paper Section 4):
+//! the *interface* side accepts at most one request per interface cycle,
+//! while the *memory* side runs at a frequency `R` times higher (the *bus
+//! scaling ratio*, `R > 1`) so that queued work drains faster than it
+//! arrives. [`DualClock`] drives a simulation on the memory clock and tells
+//! the caller on which memory cycles an interface cycle boundary falls.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, measured in cycles of some clock domain.
+///
+/// `Cycle` is a transparent newtype over `u64`; which domain it refers to
+/// (interface or memory) is by convention of the surrounding API.
+///
+/// ```
+/// use vpnm_sim::Cycle;
+/// let t = Cycle::new(10) + 5;
+/// assert_eq!(t, Cycle::new(15));
+/// assert_eq!(t - Cycle::new(10), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// The zero cycle — simulated time origin.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Creates a cycle count from a raw `u64`.
+    #[inline]
+    pub const fn new(value: u64) -> Self {
+        Cycle(value)
+    }
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction: `self - rhs`, clamping at zero.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Cycle) -> u64 {
+        self.0.saturating_sub(rhs.0)
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cycle {}", self.0)
+    }
+}
+
+impl From<u64> for Cycle {
+    fn from(v: u64) -> Self {
+        Cycle(v)
+    }
+}
+
+impl From<Cycle> for u64 {
+    fn from(c: Cycle) -> Self {
+        c.0
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = u64;
+    /// Distance in cycles between two points in time.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`.
+    #[inline]
+    fn sub(self, rhs: Cycle) -> u64 {
+        debug_assert!(self.0 >= rhs.0, "cycle subtraction underflow");
+        self.0 - rhs.0
+    }
+}
+
+/// A single monotonically advancing clock.
+///
+/// ```
+/// use vpnm_sim::Clock;
+/// let mut clk = Clock::new();
+/// assert_eq!(clk.now().as_u64(), 0);
+/// clk.tick();
+/// clk.advance(9);
+/// assert_eq!(clk.now().as_u64(), 10);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Clock {
+    now: Cycle,
+}
+
+impl Clock {
+    /// Creates a clock at cycle zero.
+    pub fn new() -> Self {
+        Clock { now: Cycle::ZERO }
+    }
+
+    /// The current cycle.
+    #[inline]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Advances the clock by one cycle and returns the new time.
+    #[inline]
+    pub fn tick(&mut self) -> Cycle {
+        self.now += 1;
+        self.now
+    }
+
+    /// Advances the clock by `n` cycles.
+    #[inline]
+    pub fn advance(&mut self, n: u64) {
+        self.now += n;
+    }
+}
+
+/// What happened on one memory-clock tick of a [`DualClock`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryTick {
+    /// The memory cycle that just elapsed (1-based count of completed ticks).
+    pub memory_cycle: Cycle,
+    /// `true` when an interface-clock edge falls on this memory cycle; the
+    /// caller should run one interface cycle of work (accept a request,
+    /// advance the circular delay buffer, emit a response).
+    pub interface_tick: bool,
+    /// The interface cycle count after this tick (number of completed
+    /// interface cycles).
+    pub interface_cycle: Cycle,
+}
+
+/// The VPNM dual clock: a memory clock running `R`× faster than the
+/// interface clock.
+///
+/// Simulation is driven on the memory clock. Interface edges are scheduled
+/// by an integer accumulator (Bresenham style) so that after `n` memory
+/// ticks exactly `floor(n / R)` interface ticks have occurred, with no
+/// floating-point drift: `R` is stored as a rational `num/den` derived from
+/// its decimal expansion.
+///
+/// For `R = 1.0`, every memory tick is also an interface tick.
+///
+/// ```
+/// use vpnm_sim::DualClock;
+/// let mut d = DualClock::new(1.5);
+/// let ticks: u32 = (0..15).map(|_| d.tick_memory().interface_tick as u32).sum();
+/// assert_eq!(ticks, 10); // 15 memory cycles / 1.5 = 10 interface cycles
+/// ```
+#[derive(Debug, Clone)]
+pub struct DualClock {
+    /// `R` as a rational number `num/den` (memory ticks per interface tick).
+    num: u64,
+    den: u64,
+    /// Accumulator for the Bresenham schedule, in units of `1/den` memory
+    /// cycles. An interface edge fires whenever `acc >= num`.
+    acc: u64,
+    memory: Clock,
+    interface: Clock,
+}
+
+impl DualClock {
+    /// Creates a dual clock with bus scaling ratio `r` (memory frequency /
+    /// interface frequency).
+    ///
+    /// `r` is converted to a rational with three decimal digits of
+    /// precision, which is exact for all ratios used in the paper
+    /// (1.0, 1.1, 1.2, 1.3, 1.4, 1.5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r < 1.0` (the memory side must be at least as fast as the
+    /// interface side) or `r` is not finite.
+    pub fn new(r: f64) -> Self {
+        assert!(r.is_finite() && r >= 1.0, "bus scaling ratio must be >= 1.0, got {r}");
+        let num = (r * 1000.0).round() as u64;
+        let den = 1000;
+        let g = gcd(num, den);
+        DualClock {
+            num: num / g,
+            den: den / g,
+            acc: 0,
+            memory: Clock::new(),
+            interface: Clock::new(),
+        }
+    }
+
+    /// The configured ratio `R` as a float.
+    pub fn ratio(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Advances the memory clock by one cycle, reporting whether an
+    /// interface edge fell on this cycle.
+    pub fn tick_memory(&mut self) -> MemoryTick {
+        self.memory.tick();
+        self.acc += self.den;
+        let interface_tick = self.acc >= self.num;
+        if interface_tick {
+            self.acc -= self.num;
+            self.interface.tick();
+        }
+        MemoryTick {
+            memory_cycle: self.memory.now(),
+            interface_tick,
+            interface_cycle: self.interface.now(),
+        }
+    }
+
+    /// Current memory-domain time.
+    pub fn memory_now(&self) -> Cycle {
+        self.memory.now()
+    }
+
+    /// Current interface-domain time.
+    pub fn interface_now(&self) -> Cycle {
+        self.interface.now()
+    }
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_arithmetic() {
+        let a = Cycle::new(5);
+        assert_eq!(a + 3, Cycle::new(8));
+        assert_eq!(Cycle::new(8) - a, 3);
+        assert_eq!(a.saturating_sub(Cycle::new(9)), 0);
+        assert_eq!(Cycle::from(7u64).as_u64(), 7);
+        assert_eq!(u64::from(Cycle::new(7)), 7);
+    }
+
+    #[test]
+    fn cycle_display_nonempty() {
+        assert_eq!(Cycle::new(3).to_string(), "cycle 3");
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    #[cfg(debug_assertions)]
+    fn cycle_sub_underflow_panics_in_debug() {
+        let _ = Cycle::new(1) - Cycle::new(2);
+    }
+
+    #[test]
+    fn clock_ticks_and_advances() {
+        let mut c = Clock::new();
+        assert_eq!(c.now(), Cycle::ZERO);
+        assert_eq!(c.tick(), Cycle::new(1));
+        c.advance(10);
+        assert_eq!(c.now(), Cycle::new(11));
+    }
+
+    #[test]
+    fn dual_clock_unity_ratio_ticks_every_cycle() {
+        let mut d = DualClock::new(1.0);
+        for i in 1..=100u64 {
+            let t = d.tick_memory();
+            assert!(t.interface_tick);
+            assert_eq!(t.memory_cycle.as_u64(), i);
+            assert_eq!(t.interface_cycle.as_u64(), i);
+        }
+    }
+
+    #[test]
+    fn dual_clock_r13_exact_long_run() {
+        let mut d = DualClock::new(1.3);
+        let mut iface = 0u64;
+        for _ in 0..1_300_000 {
+            if d.tick_memory().interface_tick {
+                iface += 1;
+            }
+        }
+        assert_eq!(iface, 1_000_000);
+        assert_eq!(d.interface_now().as_u64(), 1_000_000);
+        assert_eq!(d.memory_now().as_u64(), 1_300_000);
+    }
+
+    #[test]
+    fn dual_clock_interface_never_leads_memory() {
+        for &r in &[1.0, 1.1, 1.2, 1.3, 1.4, 1.5, 2.0] {
+            let mut d = DualClock::new(r);
+            for _ in 0..10_000 {
+                let t = d.tick_memory();
+                // interface ticks can never exceed memory ticks / 1.0
+                assert!(t.interface_cycle.as_u64() <= t.memory_cycle.as_u64());
+                // and never lag more than ratio implies (within one tick)
+                let expected = (t.memory_cycle.as_u64() as f64 / r).floor() as u64;
+                let got = t.interface_cycle.as_u64();
+                assert!(
+                    got == expected || got + 1 == expected || got == expected + 1,
+                    "r={r} mem={} iface={got} expected~{expected}",
+                    t.memory_cycle.as_u64()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dual_clock_ratio_roundtrip() {
+        assert!((DualClock::new(1.3).ratio() - 1.3).abs() < 1e-12);
+        assert!((DualClock::new(1.0).ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "bus scaling ratio")]
+    fn dual_clock_rejects_sub_unity() {
+        let _ = DualClock::new(0.9);
+    }
+}

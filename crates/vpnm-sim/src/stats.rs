@@ -1,0 +1,414 @@
+//! Counters, running statistics, and histograms for simulation accounting.
+
+use std::fmt;
+
+/// A named saturating event counter.
+///
+/// ```
+/// use vpnm_sim::Counter;
+/// let mut c = Counter::new("bank_conflicts");
+/// c.incr();
+/// c.add(4);
+/// assert_eq!(c.get(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counter {
+    name: &'static str,
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter with a static name.
+    pub fn new(name: &'static str) -> Self {
+        Counter { name, value: 0 }
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.value = self.value.saturating_add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.value = self.value.saturating_add(n);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+
+    /// The counter's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Resets to zero.
+    pub fn reset(&mut self) {
+        self.value = 0;
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} = {}", self.name, self.value)
+    }
+}
+
+/// Streaming mean/variance/min/max over `u64` samples (Welford's method).
+///
+/// ```
+/// use vpnm_sim::RunningStats;
+/// let mut s = RunningStats::new();
+/// for v in [2u64, 4, 4, 4, 5, 5, 7, 9] {
+///     s.record(v);
+/// }
+/// assert_eq!(s.count(), 8);
+/// assert!((s.mean() - 5.0).abs() < 1e-12);
+/// assert!((s.variance() - 4.571428).abs() < 1e-3); // sample variance
+/// assert_eq!(s.min(), Some(2));
+/// assert_eq!(s.max(), Some(9));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: Option<u64>,
+    max: Option<u64>,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        let v = value as f64;
+        let delta = v - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (v - self.mean);
+        self.min = Some(self.min.map_or(value, |m| m.min(value)));
+        self.max = Some(self.max.map_or(value, |m| m.max(value)));
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance; `0.0` for fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample seen, if any.
+    pub fn min(&self) -> Option<u64> {
+        self.min
+    }
+
+    /// Largest sample seen, if any.
+    pub fn max(&self) -> Option<u64> {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+}
+
+/// A histogram with logarithmic (power-of-two) buckets for latency and
+/// occupancy distributions.
+///
+/// Bucket `i` counts samples in `[2^i, 2^(i+1))`; bucket 0 counts `0..2`.
+///
+/// ```
+/// use vpnm_sim::Histogram;
+/// let mut h = Histogram::new();
+/// h.record(0);
+/// h.record(1);
+/// h.record(3);
+/// h.record(1000);
+/// assert_eq!(h.total(), 4);
+/// assert_eq!(h.bucket_count(0), 2); // values 0 and 1
+/// assert_eq!(h.bucket_count(1), 1); // value 3
+/// assert_eq!(h.bucket_count(9), 1); // value 1000 in [512, 1024)
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 64],
+    total: u64,
+    stats: RunningStatsMirror,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { buckets: [0; 64], total: 0, stats: RunningStatsMirror::default() }
+    }
+}
+
+/// Small embedded copy of min/max for the histogram without pulling in the
+/// full Welford state (mean is recoverable from buckets only approximately).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct RunningStatsMirror {
+    min: Option<u64>,
+    max: Option<u64>,
+    sum: u128,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = bucket_index(value);
+        self.buckets[idx] += 1;
+        self.total += 1;
+        self.stats.min = Some(self.stats.min.map_or(value, |m| m.min(value)));
+        self.stats.max = Some(self.stats.max.map_or(value, |m| m.max(value)));
+        self.stats.sum += u128::from(value);
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count in bucket `i` (`[2^i, 2^(i+1))`, with bucket 0 = `[0,2)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 64`.
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Exact mean of all recorded samples; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.stats.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Smallest recorded sample.
+    pub fn min(&self) -> Option<u64> {
+        self.stats.min
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> Option<u64> {
+        self.stats.max
+    }
+
+    /// Approximate quantile `q` in `[0,1]`, resolved to bucket upper bounds.
+    ///
+    /// Returns `None` when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // upper bound of bucket i
+                return Some(if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 });
+            }
+        }
+        self.stats.max
+    }
+
+    /// Iterates over `(bucket_lower_bound, count)` for non-empty buckets.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (if i == 0 { 0 } else { 1u64 << i }, c))
+    }
+}
+
+fn bucket_index(value: u64) -> usize {
+    if value < 2 {
+        0
+    } else {
+        63 - value.leading_zeros() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basic() {
+        let mut c = Counter::new("x");
+        assert_eq!(c.get(), 0);
+        c.incr();
+        c.add(2);
+        assert_eq!(c.get(), 3);
+        assert_eq!(c.name(), "x");
+        assert_eq!(c.to_string(), "x = 3");
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn counter_saturates() {
+        let mut c = Counter::new("s");
+        c.add(u64::MAX);
+        c.incr();
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn running_stats_empty() {
+        let s = RunningStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn running_stats_single_sample() {
+        let mut s = RunningStats::new();
+        s.record(10);
+        assert_eq!(s.mean(), 10.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), Some(10));
+        assert_eq!(s.max(), Some(10));
+    }
+
+    #[test]
+    fn running_stats_merge_matches_sequential() {
+        let samples: Vec<u64> = (0..100).map(|i| (i * 37) % 91).collect();
+        let mut all = RunningStats::new();
+        for &v in &samples {
+            all.record(v);
+        }
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        for &v in &samples[..40] {
+            a.record(v);
+        }
+        for &v in &samples[40..] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-6);
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn running_stats_merge_with_empty() {
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        b.record(5);
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.mean(), 5.0);
+        let empty = RunningStats::new();
+        a.merge(&empty);
+        assert_eq!(a.count(), 1);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(1023), 9);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), 63);
+    }
+
+    #[test]
+    fn histogram_mean_and_extremes() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 4] {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 4);
+        assert!((h.mean() - 2.5).abs() < 1e-12);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(4));
+    }
+
+    #[test]
+    fn histogram_quantile() {
+        let mut h = Histogram::new();
+        for v in 0..1000u64 {
+            h.record(v);
+        }
+        assert!(h.quantile(0.5).unwrap() >= 500 / 2); // coarse: bucketed
+        assert!(h.quantile(1.0).unwrap() >= 999);
+        assert_eq!(Histogram::new().quantile(0.5), None);
+    }
+
+    #[test]
+    fn histogram_iter_skips_empty() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(100);
+        let buckets: Vec<_> = h.iter().collect();
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0], (0, 1));
+        assert_eq!(buckets[1], (64, 1));
+    }
+}

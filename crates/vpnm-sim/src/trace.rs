@@ -1,0 +1,254 @@
+//! Bounded event tracing for debugging and timing-diagram rendering.
+//!
+//! The VPNM paper's Figure 1 illustrates the lifetime of individual memory
+//! requests inside a bank controller ("in the pipeline" vs. "accessing the
+//! bank"). [`TraceRecorder`] captures such per-request lifecycle events from
+//! a simulation so they can be rendered as an ASCII timing diagram (see the
+//! `fig1_timing` experiment binary).
+
+use crate::clock::Cycle;
+use std::collections::VecDeque;
+
+/// One recorded lifecycle event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When the event occurred (interface cycles unless noted otherwise).
+    pub at: Cycle,
+    /// An id correlating all events of a single request.
+    pub request: u64,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// The lifecycle stages of a request inside a VPNM bank controller
+/// (paper Section 4.2: pending → accessing → waiting → completed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceKind {
+    /// Request accepted at the interface and entered the virtual pipeline.
+    Accepted,
+    /// Request merged with an identical in-flight request (redundant access,
+    /// paper Section 3.4) — no bank access needed.
+    Merged,
+    /// The bank access for this request was issued to DRAM.
+    AccessIssued,
+    /// The bank access completed; data is now waiting in the delay storage
+    /// buffer.
+    AccessDone,
+    /// The result was played back to the interface at its deterministic
+    /// deadline `t + D`.
+    Completed,
+    /// The request caused a stall and was rejected or blocked.
+    Stalled,
+}
+
+impl TraceKind {
+    /// Short single-character tag used in rendered diagrams.
+    pub fn tag(self) -> char {
+        match self {
+            TraceKind::Accepted => 'a',
+            TraceKind::Merged => 'm',
+            TraceKind::AccessIssued => 'I',
+            TraceKind::AccessDone => 'D',
+            TraceKind::Completed => 'C',
+            TraceKind::Stalled => 'S',
+        }
+    }
+}
+
+/// A bounded FIFO of [`TraceEvent`]s.
+///
+/// When capacity is exceeded the oldest events are dropped, so a recorder
+/// can be left attached to a long simulation while only retaining the
+/// interesting tail.
+///
+/// ```
+/// use vpnm_sim::{Cycle, TraceEvent, TraceRecorder};
+/// use vpnm_sim::trace::TraceKind;
+///
+/// let mut tr = TraceRecorder::with_capacity(2);
+/// tr.record(Cycle::new(1), 100, TraceKind::Accepted);
+/// tr.record(Cycle::new(2), 100, TraceKind::AccessIssued);
+/// tr.record(Cycle::new(3), 100, TraceKind::Completed);
+/// assert_eq!(tr.len(), 2); // oldest dropped
+/// assert_eq!(tr.events().next().unwrap().at, Cycle::new(2));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceRecorder {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    enabled: bool,
+    dropped: u64,
+}
+
+impl TraceRecorder {
+    /// A disabled recorder that drops everything (zero overhead fast path).
+    pub fn disabled() -> Self {
+        TraceRecorder { events: VecDeque::new(), capacity: 0, enabled: false, dropped: 0 }
+    }
+
+    /// A recorder retaining at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceRecorder {
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            enabled: true,
+            dropped: 0,
+        }
+    }
+
+    /// Whether events are currently retained.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event (no-op when disabled).
+    pub fn record(&mut self, at: Cycle, request: u64, kind: TraceKind) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(TraceEvent { at, request, kind });
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events dropped due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates retained events oldest-first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Clears retained events (keeps the capacity and enabled state).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Renders a Figure-1-style ASCII timing diagram: one row per request,
+    /// one column per cycle between the earliest and latest retained event.
+    ///
+    /// Row cells show the [`TraceKind::tag`] character at event cycles, `-`
+    /// while the request is in flight, and spaces elsewhere. Returns an
+    /// empty string when no events are retained or the span exceeds
+    /// `max_width` columns.
+    pub fn render_timing_diagram(&self, max_width: usize) -> String {
+        if self.events.is_empty() {
+            return String::new();
+        }
+        let t0 = self.events.iter().map(|e| e.at.as_u64()).min().unwrap();
+        let t1 = self.events.iter().map(|e| e.at.as_u64()).max().unwrap();
+        let width = (t1 - t0 + 1) as usize;
+        if width > max_width {
+            return String::new();
+        }
+        // Stable request order: by first event.
+        let mut order: Vec<u64> = Vec::new();
+        for e in &self.events {
+            if !order.contains(&e.request) {
+                order.push(e.request);
+            }
+        }
+        let mut out = String::new();
+        for req in order {
+            let evs: Vec<&TraceEvent> =
+                self.events.iter().filter(|e| e.request == req).collect();
+            let first = evs.iter().map(|e| e.at.as_u64()).min().unwrap();
+            let last = evs.iter().map(|e| e.at.as_u64()).max().unwrap();
+            let mut row = vec![' '; width];
+            for col in first..=last {
+                row[(col - t0) as usize] = '-';
+            }
+            for e in &evs {
+                row[(e.at.as_u64() - t0) as usize] = e.kind.tag();
+            }
+            out.push_str(&format!("req {req:>4} |"));
+            out.extend(row);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_drops_everything() {
+        let mut tr = TraceRecorder::disabled();
+        tr.record(Cycle::new(1), 1, TraceKind::Accepted);
+        assert!(tr.is_empty());
+        assert!(!tr.is_enabled());
+    }
+
+    #[test]
+    fn capacity_bound_evicts_oldest() {
+        let mut tr = TraceRecorder::with_capacity(3);
+        for i in 0..5 {
+            tr.record(Cycle::new(i), i, TraceKind::Accepted);
+        }
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.dropped(), 2);
+        let first = tr.events().next().unwrap();
+        assert_eq!(first.at, Cycle::new(2));
+    }
+
+    #[test]
+    fn tags_are_distinct() {
+        use TraceKind::*;
+        let kinds = [Accepted, Merged, AccessIssued, AccessDone, Completed, Stalled];
+        let mut tags: Vec<char> = kinds.iter().map(|k| k.tag()).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), kinds.len());
+    }
+
+    #[test]
+    fn diagram_renders_rows_per_request() {
+        let mut tr = TraceRecorder::with_capacity(16);
+        tr.record(Cycle::new(0), 1, TraceKind::Accepted);
+        tr.record(Cycle::new(5), 1, TraceKind::Completed);
+        tr.record(Cycle::new(2), 2, TraceKind::Accepted);
+        tr.record(Cycle::new(7), 2, TraceKind::Completed);
+        let d = tr.render_timing_diagram(80);
+        let lines: Vec<&str> = d.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains('a'));
+        assert!(lines[0].contains('C'));
+        // request 1 spans cols 0..=5, request 2 cols 2..=7
+        assert!(lines[1].starts_with("req    2 |  a"));
+    }
+
+    #[test]
+    fn diagram_empty_and_too_wide() {
+        let tr = TraceRecorder::with_capacity(4);
+        assert_eq!(tr.render_timing_diagram(10), "");
+        let mut tr = TraceRecorder::with_capacity(4);
+        tr.record(Cycle::new(0), 1, TraceKind::Accepted);
+        tr.record(Cycle::new(1000), 1, TraceKind::Completed);
+        assert_eq!(tr.render_timing_diagram(10), "");
+    }
+
+    #[test]
+    fn clear_retains_settings() {
+        let mut tr = TraceRecorder::with_capacity(4);
+        tr.record(Cycle::new(0), 1, TraceKind::Accepted);
+        tr.clear();
+        assert!(tr.is_empty());
+        assert!(tr.is_enabled());
+    }
+}

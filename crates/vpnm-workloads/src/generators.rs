@@ -1,0 +1,275 @@
+//! Address stream generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An infinite stream of cell addresses.
+pub trait AddressGenerator {
+    /// Produces the next address.
+    fn next_addr(&mut self) -> u64;
+}
+
+/// Uniformly random addresses over `[0, space)` — the baseline pattern the
+/// MTS analysis assumes (the universal hash makes *every* pattern look
+/// like this one).
+#[derive(Debug, Clone)]
+pub struct UniformAddresses {
+    space: u64,
+    rng: StdRng,
+}
+
+impl UniformAddresses {
+    /// Creates a generator over `[0, space)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `space == 0`.
+    pub fn new(space: u64, seed: u64) -> Self {
+        assert!(space > 0, "address space must be non-empty");
+        UniformAddresses { space, rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl AddressGenerator for UniformAddresses {
+    fn next_addr(&mut self) -> u64 {
+        self.rng.gen_range(0..self.space)
+    }
+}
+
+/// Sequential addresses `start, start+1, …` wrapping at `space`.
+#[derive(Debug, Clone)]
+pub struct SequentialAddresses {
+    next: u64,
+    space: u64,
+}
+
+impl SequentialAddresses {
+    /// Creates a wrap-around sequential stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `space == 0`.
+    pub fn new(start: u64, space: u64) -> Self {
+        assert!(space > 0);
+        SequentialAddresses { next: start % space, space }
+    }
+}
+
+impl AddressGenerator for SequentialAddresses {
+    fn next_addr(&mut self) -> u64 {
+        let a = self.next;
+        self.next = (self.next + 1) % self.space;
+        a
+    }
+}
+
+/// Constant-stride addresses `start, start+s, start+2s, …` (mod space) —
+/// the classic bank-conflict killer for power-of-two banking (stride `B`
+/// puts every access in one bank under low-bit selection).
+#[derive(Debug, Clone)]
+pub struct StrideAddresses {
+    next: u64,
+    stride: u64,
+    space: u64,
+}
+
+impl StrideAddresses {
+    /// Creates a strided stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `space == 0` or `stride == 0`.
+    pub fn new(start: u64, stride: u64, space: u64) -> Self {
+        assert!(space > 0 && stride > 0);
+        StrideAddresses { next: start % space, stride, space }
+    }
+}
+
+impl AddressGenerator for StrideAddresses {
+    fn next_addr(&mut self) -> u64 {
+        let a = self.next;
+        self.next = (self.next + self.stride) % self.space;
+        a
+    }
+}
+
+/// Zipf-distributed addresses over `[0, space)` with exponent `s` —
+/// models skewed flow popularity (a few prefixes take most lookups).
+#[derive(Debug, Clone)]
+pub struct ZipfAddresses {
+    cdf: Vec<f64>,
+    rng: StdRng,
+}
+
+impl ZipfAddresses {
+    /// Creates a Zipf(`s`) stream over `space` distinct addresses. The
+    /// CDF is precomputed, so `space` should stay modest (≤ ~1e6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `space == 0` or `s < 0`.
+    pub fn new(space: u64, s: f64, seed: u64) -> Self {
+        assert!(space > 0, "address space must be non-empty");
+        assert!(s >= 0.0 && s.is_finite(), "exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(space as usize);
+        let mut acc = 0.0;
+        for rank in 1..=space {
+            acc += 1.0 / (rank as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        ZipfAddresses { cdf, rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl AddressGenerator for ZipfAddresses {
+    fn next_addr(&mut self) -> u64 {
+        let u: f64 = self.rng.gen();
+        self.cdf.partition_point(|&c| c < u) as u64
+    }
+}
+
+/// A two-population hotspot: with probability `hot_fraction` draw from a
+/// small hot set, otherwise uniform over the full space.
+#[derive(Debug, Clone)]
+pub struct HotspotAddresses {
+    hot_set: u64,
+    space: u64,
+    hot_fraction: f64,
+    rng: StdRng,
+}
+
+impl HotspotAddresses {
+    /// Creates a hotspot stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < hot_set <= space` and
+    /// `hot_fraction ∈ [0, 1]`.
+    pub fn new(hot_set: u64, space: u64, hot_fraction: f64, seed: u64) -> Self {
+        assert!(hot_set > 0 && hot_set <= space, "hot set must fit the space");
+        assert!((0.0..=1.0).contains(&hot_fraction));
+        HotspotAddresses { hot_set, space, hot_fraction, rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl AddressGenerator for HotspotAddresses {
+    fn next_addr(&mut self) -> u64 {
+        if self.rng.gen_bool(self.hot_fraction) {
+            self.rng.gen_range(0..self.hot_set)
+        } else {
+            self.rng.gen_range(0..self.space)
+        }
+    }
+}
+
+/// Cyclic repetition of a fixed address set: `[A]` gives the paper's
+/// "A,A,A,A,…", `[A, B]` gives "A,B,A,B,…" (Section 3.4) — the patterns
+/// the merging queue must absorb with bounded rows.
+#[derive(Debug, Clone)]
+pub struct RedundantPattern {
+    pattern: Vec<u64>,
+    pos: usize,
+}
+
+impl RedundantPattern {
+    /// Creates a cyclic pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern` is empty.
+    pub fn new(pattern: Vec<u64>) -> Self {
+        assert!(!pattern.is_empty(), "pattern must be non-empty");
+        RedundantPattern { pattern, pos: 0 }
+    }
+}
+
+impl AddressGenerator for RedundantPattern {
+    fn next_addr(&mut self) -> u64 {
+        let a = self.pattern[self.pos];
+        self.pos = (self.pos + 1) % self.pattern.len();
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn take<G: AddressGenerator>(g: &mut G, n: usize) -> Vec<u64> {
+        (0..n).map(|_| g.next_addr()).collect()
+    }
+
+    #[test]
+    fn uniform_stays_in_range_and_varies() {
+        let mut g = UniformAddresses::new(100, 1);
+        let v = take(&mut g, 1000);
+        assert!(v.iter().all(|&a| a < 100));
+        let distinct: std::collections::HashSet<_> = v.iter().collect();
+        assert!(distinct.len() > 50);
+    }
+
+    #[test]
+    fn uniform_deterministic() {
+        let a = take(&mut UniformAddresses::new(1000, 9), 50);
+        let b = take(&mut UniformAddresses::new(1000, 9), 50);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sequential_wraps() {
+        let mut g = SequentialAddresses::new(2, 4);
+        assert_eq!(take(&mut g, 6), vec![2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn stride_pattern() {
+        let mut g = StrideAddresses::new(0, 32, 128);
+        assert_eq!(take(&mut g, 5), vec![0, 32, 64, 96, 0]);
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let mut g = ZipfAddresses::new(1000, 1.0, 3);
+        let v = take(&mut g, 10_000);
+        let top = v.iter().filter(|&&a| a == 0).count();
+        let mid = v.iter().filter(|&&a| a == 500).count();
+        assert!(top > 10 * (mid + 1), "rank 0 ({top}) must dominate rank 500 ({mid})");
+        assert!(v.iter().all(|&a| a < 1000));
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniformish() {
+        let mut g = ZipfAddresses::new(10, 0.0, 4);
+        let v = take(&mut g, 10_000);
+        for target in 0..10u64 {
+            let c = v.iter().filter(|&&a| a == target).count();
+            assert!((700..1300).contains(&c), "addr {target} count {c}");
+        }
+    }
+
+    #[test]
+    fn hotspot_prefers_hot_set() {
+        let mut g = HotspotAddresses::new(10, 10_000, 0.9, 5);
+        let v = take(&mut g, 10_000);
+        let hot = v.iter().filter(|&&a| a < 10).count();
+        assert!(hot > 8500, "hot fraction was {hot}/10000");
+    }
+
+    #[test]
+    fn redundant_cycles() {
+        let mut g = RedundantPattern::new(vec![7]);
+        assert_eq!(take(&mut g, 3), vec![7, 7, 7]);
+        let mut g = RedundantPattern::new(vec![1, 2]);
+        assert_eq!(take(&mut g, 5), vec![1, 2, 1, 2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_pattern_rejected() {
+        let _ = RedundantPattern::new(vec![]);
+    }
+}

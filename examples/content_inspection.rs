@@ -1,0 +1,98 @@
+//! End-to-end intrusion detection on VPNM: reassembly feeding content
+//! inspection — the exact pipeline of paper Section 5.4.2 ("packet
+//! reassembly provides a strong front end to effective content
+//! inspection"), with both stages' memory traffic going through virtually
+//! pipelined controllers.
+//!
+//! An attacker splits signatures across deliberately reordered TCP
+//! segments; the reassembler restores byte order, the inspector's Bloom
+//! prefilter flags suspect windows, and the VPNM-resident verification
+//! table confirms every real signature with zero false negatives.
+//!
+//! Run with: `cargo run --release --example content_inspection`
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vpnm::apps::inspect::InspectionEngine;
+use vpnm::apps::reassembly::ReassemblyEngine;
+use vpnm::core::{VpnmConfig, VpnmController};
+use vpnm::workloads::OutOfOrderSegments;
+
+const CHUNK: usize = 64;
+const FLOWS: u32 = 16;
+const STREAM_CHUNKS: usize = 64;
+
+fn main() -> Result<(), String> {
+    // signature database: 64 rules of 8 bytes each
+    let mut rng = StdRng::seed_from_u64(13);
+    let mut signatures = Vec::new();
+    for rule in 1u32..=64 {
+        let mut s = [0u8; 8];
+        rng.fill(&mut s);
+        signatures.push((s.to_vec(), rule));
+    }
+
+    // streams with signatures planted across segment boundaries
+    let mut streams: Vec<Vec<u8>> = (0..FLOWS)
+        .map(|f| vpnm::workloads::packets::payload_bytes(f, 3, STREAM_CHUNKS * CHUNK))
+        .collect();
+    let mut planted = Vec::new(); // (flow, offset, rule)
+    for (f, stream) in streams.iter_mut().enumerate() {
+        let mut used = std::collections::HashSet::new();
+        while used.len() < 3 {
+            let idx = rng.gen_range(0..signatures.len());
+            // straddle a 4-chunk segment boundary on purpose
+            let boundary = (rng.gen_range(1..STREAM_CHUNKS / 4)) * 4 * CHUNK;
+            if !used.insert(boundary) {
+                continue; // don't overwrite an earlier plant
+            }
+            let offset = boundary - 4; // 4 bytes before, 4 after the cut
+            stream[offset..offset + 8].copy_from_slice(&signatures[idx].0);
+            planted.push((f as u32, offset as u64, signatures[idx].1));
+        }
+    }
+
+    // stage 1: reassembly over VPNM
+    let mem1 = VpnmController::new(VpnmConfig::paper_optimal(), 101)?;
+    let mut reasm = ReassemblyEngine::new(mem1, FLOWS, 1 << 12, CHUNK);
+    for (f, stream) in streams.iter().enumerate() {
+        let mut segs = OutOfOrderSegments::new(stream, 4 * CHUNK, 8, 600 + f as u64);
+        while let Some(seg) = segs.next_segment() {
+            reasm.submit_segment(f as u32, seg.offset, &seg.data);
+        }
+    }
+    reasm.drain();
+
+    // stage 2: inspection over a second VPNM (the verification table)
+    let mem2 = VpnmController::new(VpnmConfig::paper_optimal(), 202)?;
+    let mut inspector = InspectionEngine::new(mem2, &signatures, 64);
+    let mut found = Vec::new();
+    for f in 0..FLOWS {
+        let scanned = reasm.scanned(f).to_vec();
+        assert_eq!(scanned, streams[f as usize], "flow {f} must reassemble in order");
+        for m in inspector.scan(&scanned) {
+            found.push((f, m.offset, m.rule));
+        }
+    }
+
+    // every planted signature must be confirmed at its exact offset
+    for want in &planted {
+        assert!(found.contains(want), "missing planted match {want:?}");
+    }
+    println!("flows:              {FLOWS} ({STREAM_CHUNKS} chunks each, segments reordered)");
+    println!("signature rules:    {}", signatures.len());
+    println!("planted matches:    {} — all confirmed at exact offsets ✓", planted.len());
+    println!("total matches:      {} (extras are legitimate random collisions, all verified)", found.len());
+    println!(
+        "windows scanned:    {} ({} Bloom-positive -> memory-verified)",
+        inspector.windows_scanned(),
+        inspector.suspects()
+    );
+    println!(
+        "reassembly:         {:.2} cycles/chunk; inspection: {:.2} cycles/window",
+        reasm.cycles() as f64 / reasm.stats().chunks_ingested as f64,
+        inspector.cycles() as f64 / inspector.windows_scanned() as f64,
+    );
+    println!("signatures split across reordered segments cannot evade the scanner ✓");
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Design-space exploration (paper Section 5.3, Figure 7 / Table 2).
+//!
+//! Sweeps `(B, Q, K, R)` configurations through the MTS analyses and the
+//! calibrated hardware model, prints the Pareto frontier of Mean Time to
+//! Stall versus controller area, and picks the cheapest design meeting
+//! the paper's "one second / one hour / one day" MTS budgets at 1 GHz.
+//!
+//! Run with: `cargo run --release --example design_space`
+
+use vpnm::analysis::design_space::{cheapest_at_least, pareto_frontier};
+use vpnm::analysis::{sweep, SweepConfig};
+
+fn main() {
+    let config = SweepConfig::paper_figure7();
+    println!("sweeping {} configurations …", config.len());
+    let points = sweep(&config);
+
+    let frontier = pareto_frontier(&points);
+    println!("\nPareto frontier (MTS vs. total controller area):");
+    println!(
+        "{:>8} {:>6} {:>6} {:>6} {:>5} {:>12} {:>10}",
+        "area mm²", "B", "Q", "K", "R", "MTS cycles", "energy nJ"
+    );
+    for p in frontier.iter().filter(|p| p.mts_total > 1e3) {
+        println!(
+            "{:>8.1} {:>6} {:>6} {:>6} {:>5.1} {:>12.2e} {:>10.1}",
+            p.area_mm2, p.banks, p.queue_entries, p.storage_rows, p.bus_ratio, p.mts_total, p.energy_nj
+        );
+    }
+
+    // The paper's MTS budgets at an aggressive 1 GHz clock.
+    println!("\ncheapest designs meeting the paper's MTS budgets:");
+    for (label, budget) in [("1 second (1e9)", 1e9), ("1 hour (3.6e12)", 3.6e12), ("1 day (8.6e13)", 8.64e13)]
+    {
+        match cheapest_at_least(&points, budget) {
+            Some(p) => println!(
+                "  {label:<18} -> B={} Q={} K={} R={} : {:.1} mm², MTS {:.2e}",
+                p.banks, p.queue_entries, p.storage_rows, p.bus_ratio, p.area_mm2, p.mts_total
+            ),
+            None => println!("  {label:<18} -> not reachable in this grid"),
+        }
+    }
+
+    // Paper headline: B = 32 is the knee; fewer banks cannot reach a
+    // useful MTS at any K/Q in the grid.
+    let best_16: f64 = points
+        .iter()
+        .filter(|p| p.banks == 16)
+        .map(|p| p.mts_total)
+        .fold(0.0, f64::max);
+    let best_32: f64 = points
+        .iter()
+        .filter(|p| p.banks == 32)
+        .map(|p| p.mts_total)
+        .fold(0.0, f64::max);
+    println!("\nbest MTS with B=16: {best_16:.2e}   with B=32: {best_32:.2e}");
+    assert!(best_32 > best_16 * 1e3, "B=32 must dominate (paper Section 5.2)");
+}

@@ -1,0 +1,87 @@
+//! Packet buffering at line rate on VPNM (paper Section 5.4.1).
+//!
+//! Stands up a 1024-queue packet buffer where only head/tail *pointers*
+//! live in SRAM and every 64-byte cell goes to DRAM through the virtual
+//! pipeline. Drives one write + one read per two cycles (the OC-3072
+//! pattern) with uniformly random queue choices, then reports sustained
+//! throughput, stall counts, and the SRAM budget versus the special-
+//! purpose baselines.
+//!
+//! Run with: `cargo run --release --example packet_buffering`
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vpnm::apps::packet_buffer::{BufferError, BufferEvent, VpnmPacketBuffer};
+use vpnm::core::VpnmConfig;
+use vpnm::workloads::packets::payload_bytes;
+
+const QUEUES: u32 = 1024;
+const CELLS_PER_QUEUE: u64 = 1 << 12;
+const SLOTS: u64 = 200_000;
+
+fn main() -> Result<(), String> {
+    let config = VpnmConfig::paper_optimal();
+    let mut buf = VpnmPacketBuffer::new(config, QUEUES, CELLS_PER_QUEUE, 42)?;
+    println!(
+        "packet buffer: {} queues, pointer SRAM {:.1} KiB, dequeue latency D = {} cycles",
+        QUEUES,
+        buf.pointer_sram_bytes() as f64 / 1024.0,
+        buf.delay()
+    );
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut seqs = vec![0u64; QUEUES as usize]; // next sequence to write, per queue
+    let mut expect = vec![0u64; QUEUES as usize]; // next sequence to read, per queue
+    let mut delivered = 0u64;
+    let mut verified = 0u64;
+    let mut rejected = 0u64;
+
+    for slot in 0..SLOTS {
+        let event = if slot % 2 == 0 {
+            // write slot: enqueue a cell to a random queue
+            let q = rng.gen_range(0..QUEUES);
+            let seq = seqs[q as usize];
+            Some(BufferEvent::Enqueue { queue: q, cell: payload_bytes(q, seq, 64) })
+        } else {
+            // read slot: dequeue from a random backlogged queue
+            (0..8)
+                .map(|_| rng.gen_range(0..QUEUES))
+                .find(|&q| buf.occupancy(q) > 0)
+                .map(|q| BufferEvent::Dequeue { queue: q })
+        };
+        let is_enq = matches!(event, Some(BufferEvent::Enqueue { .. }));
+        let enq_q = if let Some(BufferEvent::Enqueue { queue, .. }) = &event { Some(*queue) } else { None };
+        match buf.tick(event) {
+            Ok(cell) => {
+                if is_enq {
+                    seqs[enq_q.expect("enqueue has a queue") as usize] += 1;
+                }
+                if let Some(c) = cell {
+                    let want = payload_bytes(c.queue, expect[c.queue as usize], 64);
+                    assert_eq!(c.data, want, "FIFO data mismatch on queue {}", c.queue);
+                    expect[c.queue as usize] += 1;
+                    delivered += 1;
+                    verified += 1;
+                }
+            }
+            Err(BufferError::MemoryStall(_)) => rejected += 1,
+            Err(BufferError::QueueEmpty | BufferError::QueueFull) => rejected += 1,
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+    delivered += buf.drain().len() as u64;
+
+    let stats = *buf.stats();
+    let utilization = (stats.enqueued + stats.dequeued) as f64 / SLOTS as f64;
+    // One cell moves per two slots at full rate; 64 B cells at 1 GHz.
+    let gbps = utilization / 2.0 * 64.0 * 8.0;
+    println!("slots driven:        {SLOTS}");
+    println!("cells enqueued:      {}", stats.enqueued);
+    println!("cells delivered:     {delivered} ({verified} payload-verified)");
+    println!("memory stalls:       {}", stats.memory_stalls);
+    println!("rejected slots:      {rejected}");
+    println!("slot utilization:    {:.2}%", utilization * 100.0);
+    println!("sustained rate:      {gbps:.0} Gbps-equivalent at 1 GHz (paper target: 160)");
+    assert!(gbps > 160.0, "must sustain the OC-3072 target");
+    Ok(())
+}

@@ -1,0 +1,183 @@
+//! End-to-end application integration: the packet buffer and the
+//! reassembler running on full-size controllers against generated
+//! traffic, plus a three-way baseline shoot-out on one workload.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vpnm::apps::baselines::{CfdsBuffer, NikologiannisBuffer, PacketBufferModel, RadsBuffer};
+use vpnm::apps::packet_buffer::{BufferError, BufferEvent, VpnmPacketBuffer};
+use vpnm::apps::reassembly::ReassemblyEngine;
+use vpnm::core::{VpnmConfig, VpnmController};
+use vpnm::dram::DramConfig;
+use vpnm::workloads::packets::{payload_bytes, PacketTrace, PacketTraceConfig, SizeDistribution};
+use vpnm::workloads::OutOfOrderSegments;
+
+#[test]
+fn packet_buffer_full_scale_mixed_traffic() {
+    let mut buf =
+        VpnmPacketBuffer::new(VpnmConfig::paper_optimal(), 256, 1 << 10, 3).unwrap();
+    let mut trace = PacketTrace::new(PacketTraceConfig {
+        num_flows: 256,
+        sizes: SizeDistribution::Fixed(64),
+        seed: 4,
+    });
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut expect = vec![0u64; 256];
+    let mut delivered = 0u64;
+    for slot in 0..40_000u64 {
+        let event = if slot % 2 == 0 {
+            let p = trace.next_packet();
+            Some(BufferEvent::Enqueue { queue: p.flow, cell: p.payload.to_vec() })
+        } else {
+            (0..16)
+                .map(|_| rng.gen_range(0..256u32))
+                .find(|&q| buf.occupancy(q) > 0)
+                .map(|q| BufferEvent::Dequeue { queue: q })
+        };
+        match buf.tick(event) {
+            Ok(Some(cell)) => {
+                let want = payload_bytes(cell.queue, expect[cell.queue as usize], 64);
+                assert_eq!(cell.data, want, "queue {}", cell.queue);
+                expect[cell.queue as usize] += 1;
+                delivered += 1;
+            }
+            Ok(None) => {}
+            Err(BufferError::QueueEmpty | BufferError::QueueFull) => {}
+            Err(e) => panic!("unexpected rejection: {e}"),
+        }
+    }
+    for cell in buf.drain() {
+        let want = payload_bytes(cell.queue, expect[cell.queue as usize], 64);
+        assert_eq!(cell.data, want);
+        expect[cell.queue as usize] += 1;
+        delivered += 1;
+    }
+    assert!(delivered > 15_000, "delivered {delivered}");
+    assert_eq!(buf.stats().memory_stalls, 0, "paper-scale config must not stall");
+}
+
+/// One uniform enqueue/dequeue workload driven through all four buffer
+/// architectures; everyone must preserve FIFO data, and the harness
+/// records relative acceptance so the Table 3 ordering is measured.
+#[test]
+fn baseline_shootout_preserves_fifo_everywhere() {
+    const QUEUES: u32 = 16;
+    const SLOTS: u64 = 8_000;
+    let make_models = || -> Vec<Box<dyn PacketBufferModel>> {
+        let dram = DramConfig {
+            num_banks: 32,
+            rows_per_bank: 1 << 12,
+            cells_per_row: 64,
+            cell_bytes: 64,
+            timing: vpnm::dram::timing::TimingModel::simple(20),
+        };
+        vec![
+            Box::new(
+                VpnmPacketBuffer::new(
+                    VpnmConfig { addr_bits: 24, ..VpnmConfig::paper_optimal() },
+                    QUEUES,
+                    1 << 12,
+                    9,
+                )
+                .unwrap(),
+            ),
+            Box::new(CfdsBuffer::new(dram.clone(), QUEUES, 1 << 12, 64, 2).unwrap()),
+            Box::new(NikologiannisBuffer::new(dram.clone(), QUEUES, 1 << 12, 64).unwrap()),
+            // batch of 16 cells per 20-cycle DRAM batch access: 0.8
+            // cells/cycle of channel capacity for a 0.5 cells/cycle load
+            Box::new(RadsBuffer::new(QUEUES, 1 << 12, 16, 20, 64).unwrap()),
+        ]
+    };
+    for mut model in make_models() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut seqs = vec![0u64; QUEUES as usize];
+        let mut expect = vec![0u64; QUEUES as usize];
+        let mut occupancy = vec![0u64; QUEUES as usize];
+        let mut accepted = 0u64;
+        let mut checked = 0u64;
+        for slot in 0..SLOTS {
+            let event = if slot % 2 == 0 {
+                let q = rng.gen_range(0..QUEUES);
+                Some(BufferEvent::Enqueue {
+                    queue: q,
+                    cell: payload_bytes(q, seqs[q as usize], 64),
+                })
+            } else {
+                (0..QUEUES).find(|&q| occupancy[q as usize] > 0).map(|q| BufferEvent::Dequeue { queue: q })
+            };
+            let is_enq = matches!(event, Some(BufferEvent::Enqueue { .. }));
+            let q_of = match &event {
+                Some(BufferEvent::Enqueue { queue, .. }) | Some(BufferEvent::Dequeue { queue }) => {
+                    Some(*queue)
+                }
+                None => None,
+            };
+            match model.tick(event) {
+                Ok(cell_opt) => {
+                    if let Some(q) = q_of {
+                        if is_enq {
+                            seqs[q as usize] += 1;
+                            occupancy[q as usize] += 1;
+                            accepted += 1;
+                        } else {
+                            occupancy[q as usize] -= 1;
+                            accepted += 1;
+                        }
+                    }
+                    if let Some(cell) = cell_opt {
+                        let want = payload_bytes(cell.queue, expect[cell.queue as usize], 64);
+                        assert_eq!(
+                            cell.data, want,
+                            "{}: FIFO violation on queue {}",
+                            model.name(),
+                            cell.queue
+                        );
+                        expect[cell.queue as usize] += 1;
+                        checked += 1;
+                    }
+                }
+                Err(_) => {}
+            }
+        }
+        assert!(
+            accepted > SLOTS / 4,
+            "{} accepted only {accepted}/{SLOTS}",
+            model.name()
+        );
+        assert!(checked > 100, "{} verified only {checked} cells", model.name());
+        assert!(model.sram_bytes() > 0);
+    }
+}
+
+#[test]
+fn reassembly_paper_scale_out_of_order() {
+    const CHUNK: usize = 64;
+    let mem = VpnmController::new(VpnmConfig::paper_optimal(), 31).unwrap();
+    let mut engine = ReassemblyEngine::new(mem, 32, 1 << 12, CHUNK);
+    let streams: Vec<Vec<u8>> =
+        (0..32).map(|f| payload_bytes(f, 9, 64 * CHUNK)).collect();
+    let mut sources: Vec<OutOfOrderSegments> = streams
+        .iter()
+        .enumerate()
+        .map(|(f, s)| OutOfOrderSegments::new(s, 4 * CHUNK, 8, 500 + f as u64))
+        .collect();
+    loop {
+        let mut progressed = false;
+        for (f, src) in sources.iter_mut().enumerate() {
+            if let Some(seg) = src.next_segment() {
+                engine.submit_segment(f as u32, seg.offset, &seg.data);
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    engine.drain();
+    for (f, stream) in streams.iter().enumerate() {
+        assert_eq!(engine.scanned(f as u32), &stream[..], "flow {f}");
+    }
+    // 5 accesses per chunk at ~1/cycle
+    let per_chunk = engine.cycles() as f64 / engine.stats().chunks_ingested as f64;
+    assert!(per_chunk < 6.5, "cycles per chunk {per_chunk:.2}");
+}

@@ -1,0 +1,157 @@
+//! Cross-crate integration: the deterministic-latency abstraction holds
+//! across hash families, clock ratios, and traffic shapes, and VPNM is
+//! observationally equivalent to the ideal pipelined memory whenever it
+//! accepts the stream.
+
+use vpnm::core::{
+    HashKind, IdealMemory, LineAddr, PipelinedMemory, Request, VpnmConfig, VpnmController,
+};
+use vpnm::workloads::burst::BurstShaper;
+use vpnm::workloads::generators::AddressGenerator;
+use vpnm::workloads::{RequestKind, RequestMix, RequestStream, UniformAddresses};
+
+fn to_request(kind: RequestKind) -> Request {
+    match kind {
+        RequestKind::Read { addr } => Request::Read { addr: LineAddr(addr) },
+        RequestKind::Write { addr, data } => Request::Write { addr: LineAddr(addr), data },
+    }
+}
+
+/// Runs `n` mixed requests through both memories in lockstep and checks
+/// byte-for-byte, cycle-for-cycle equivalence.
+fn differential_run(hash: HashKind, seed: u64, n: u64) {
+    let config = VpnmConfig::test_roomy().with_hash(hash);
+    let mut vpnm = VpnmController::new(config, seed).expect("valid config");
+    let mut ideal = IdealMemory::new(vpnm.delay(), 8);
+    let gen = UniformAddresses::new(1 << 16, seed ^ 0x9999);
+    let mut stream = RequestStream::new(gen, RequestMix { read_fraction: 0.7, write_bytes: 8 }, seed);
+    let mut v_rs = Vec::new();
+    let mut i_rs = Vec::new();
+    for _ in 0..n {
+        let req = to_request(stream.next_request());
+        let out_v = vpnm.tick(Some(req.clone()));
+        assert!(out_v.accepted(), "roomy config must not stall on uniform traffic");
+        v_rs.extend(out_v.response);
+        i_rs.extend(ideal.tick(Some(req)).response);
+    }
+    while vpnm.outstanding() > 0 || ideal.outstanding() > 0 {
+        v_rs.extend(vpnm.tick(None).response);
+        i_rs.extend(ideal.tick(None).response);
+    }
+    assert_eq!(v_rs.len(), i_rs.len());
+    for (v, i) in v_rs.iter().zip(&i_rs) {
+        assert_eq!(v.addr, i.addr, "hash {hash}");
+        assert_eq!(v.issued_at, i.issued_at);
+        assert_eq!(v.completed_at, i.completed_at);
+        assert_eq!(v.data, i.data, "data mismatch at {} ({hash})", v.addr);
+    }
+    assert_eq!(vpnm.metrics().deadline_misses, 0);
+}
+
+#[test]
+fn vpnm_equals_ideal_under_h3() {
+    differential_run(HashKind::H3, 1, 4000);
+}
+
+#[test]
+fn vpnm_equals_ideal_under_multiply_shift() {
+    differential_run(HashKind::MultiplyShift, 2, 4000);
+}
+
+#[test]
+fn vpnm_equals_ideal_under_tabulation() {
+    differential_run(HashKind::Tabulation, 3, 4000);
+}
+
+#[test]
+fn vpnm_equals_ideal_under_affine_permutation() {
+    differential_run(HashKind::Affine, 4, 4000);
+}
+
+#[test]
+fn bursty_traffic_preserves_latency() {
+    // Full-rate bursts with idle gaps: every response still lands exactly
+    // D cycles after its issue.
+    let mut mem = VpnmController::new(VpnmConfig::test_roomy(), 9).unwrap();
+    let d = mem.delay();
+    let mut shaper = BurstShaper::new(200, 50);
+    let mut gen = UniformAddresses::new(1 << 16, 10);
+    let mut responses = 0u64;
+    let mut issued = 0u64;
+    for _ in 0..20_000 {
+        let req = shaper
+            .tick()
+            .then(|| Request::Read { addr: LineAddr(gen.next_addr()) });
+        issued += u64::from(req.is_some());
+        let out = mem.tick(req);
+        assert!(out.accepted());
+        if let Some(r) = out.response {
+            assert_eq!(r.latency(), d);
+            responses += 1;
+        }
+    }
+    responses += mem.drain().len() as u64;
+    assert_eq!(issued, responses);
+}
+
+#[test]
+fn every_bus_ratio_upholds_the_invariant() {
+    for &r in &[1.0, 1.1, 1.25, 1.3, 1.5, 2.0] {
+        let config = VpnmConfig {
+            bus_ratio: r,
+            queue_entries: 16,
+            storage_rows: 32,
+            ..VpnmConfig::test_roomy()
+        };
+        let mut mem = VpnmController::new(config, 5).unwrap();
+        let d = mem.delay();
+        let mut gen = UniformAddresses::new(1 << 16, 6);
+        for _ in 0..2000 {
+            let out = mem.tick(Some(Request::Read { addr: LineAddr(gen.next_addr()) }));
+            if let Some(resp) = out.response {
+                assert_eq!(resp.latency(), d, "R = {r}");
+            }
+        }
+        for resp in mem.drain() {
+            assert_eq!(resp.latency(), d, "R = {r}");
+        }
+        assert_eq!(mem.metrics().deadline_misses, 0, "R = {r}");
+    }
+}
+
+#[test]
+fn merging_bounds_redundant_pattern_resources() {
+    // The "A,B,A,B,…" pattern holds exactly two storage rows no matter
+    // how long it runs (paper Section 3.4).
+    let mut mem = VpnmController::new(VpnmConfig::test_roomy(), 11).unwrap();
+    mem.tick(Some(Request::Write { addr: LineAddr(0xA), data: vec![1] }));
+    mem.tick(Some(Request::Write { addr: LineAddr(0xB), data: vec![2] }));
+    let mut pattern = vpnm::workloads::RedundantPattern::new(vec![0xA, 0xB]);
+    for _ in 0..2000 {
+        let out = mem.tick(Some(Request::Read { addr: LineAddr(pattern.next_addr()) }));
+        assert!(out.accepted(), "merging must absorb the pattern");
+    }
+    let m = mem.metrics();
+    assert!(m.reads_merged >= 1990);
+    assert_eq!(m.total_stalls(), 0);
+    assert!(
+        m.storage_occupancy.max().unwrap_or(0) <= 4,
+        "A,B pattern must hold ≤2 rows (plus transients), saw {}",
+        m.storage_occupancy.max().unwrap_or(0)
+    );
+    for r in mem.drain() {
+        let want = if r.addr.0 == 0xA { 1 } else { 2 };
+        assert_eq!(r.data[0], want);
+    }
+}
+
+#[test]
+fn rekeying_changes_the_mapping() {
+    // Two controllers with different seeds map the same addresses to
+    // different banks (with overwhelming probability over 64 addresses).
+    use vpnm::hash::BankHasher;
+    let a = VpnmController::new(VpnmConfig::test_roomy(), 100).unwrap();
+    let b = VpnmController::new(VpnmConfig::test_roomy(), 101).unwrap();
+    let differing = (0..64u64).filter(|&x| a.hash().bank_of(x) != b.hash().bank_of(x)).count();
+    assert!(differing > 16, "re-keying must reshuffle the mapping ({differing}/64)");
+}
