@@ -1,0 +1,102 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The workspace only uses `crossbeam::scope` + `Scope::spawn` for
+//! fork-join parallelism over borrowed data. Since Rust 1.63,
+//! `std::thread::scope` provides the same guarantee (all spawned threads
+//! join before the closure returns, so borrows of stack data are sound),
+//! so this shim wraps it behind crossbeam's 0.8 API shape: `spawn` passes
+//! an (unused) `&Scope` argument, and `scope` returns a `Result` —
+//! always `Ok` here because the std implementation resumes unwinding of
+//! child panics in the parent instead of collecting them.
+
+use std::marker::PhantomData;
+use std::thread;
+
+/// Error type for [`scope`]; never actually produced by this shim.
+pub type ScopeError = Box<dyn std::any::Any + Send + 'static>;
+
+/// A scope for spawning threads that may borrow from the caller's stack.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+/// Handle to a spawned scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: thread::ScopedJoinHandle<'scope, T>,
+    _marker: PhantomData<&'scope ()>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread to finish and returns its result.
+    pub fn join(self) -> Result<T, ScopeError> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives a `&Scope` for
+    /// API compatibility with crossbeam (callers in this workspace
+    /// ignore it).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner_scope = self.inner;
+        let handle = inner_scope.spawn(move || {
+            let scope = Scope { inner: inner_scope };
+            f(&scope)
+        });
+        ScopedJoinHandle { inner: handle, _marker: PhantomData }
+    }
+}
+
+/// Creates a scope in which threads can borrow non-`'static` data.
+///
+/// All threads spawned within the scope are joined before this returns.
+/// Always returns `Ok`: child panics propagate by unwinding the parent
+/// (std semantics) rather than being collected into the `Err` variant.
+pub fn scope<'env, F, R>(f: F) -> Result<R, ScopeError>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| {
+        let scope = Scope { inner: s };
+        f(&scope)
+    }))
+}
+
+/// `crossbeam::thread` module alias, mirroring the real crate layout.
+pub mod thread_mod {
+    pub use super::{scope, Scope, ScopedJoinHandle};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fork_join_over_borrowed_data() {
+        let data = [1u64, 2, 3, 4, 5, 6, 7, 8];
+        let mid = data.len() / 2;
+        let (lo, hi) = data.split_at(mid);
+        let total = super::scope(|scope| {
+            let a = scope.spawn(|_| lo.iter().sum::<u64>());
+            let b = scope.spawn(|_| hi.iter().sum::<u64>());
+            a.join().unwrap() + b.join().unwrap()
+        })
+        .expect("scope");
+        assert_eq!(total, 36);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let n = super::scope(|scope| {
+            let h = scope.spawn(|inner| {
+                let h2 = inner.spawn(|_| 21u32);
+                h2.join().unwrap() * 2
+            });
+            h.join().unwrap()
+        })
+        .expect("scope");
+        assert_eq!(n, 42);
+    }
+}

@@ -177,7 +177,7 @@ impl RadsBuffer {
                     return Err(BufferError::QueueEmpty);
                 }
                 match q.head_cache.pop_front() {
-                    Some(data) => Ok(Some(DequeuedCell { queue, data })),
+                    Some(data) => Ok(Some(DequeuedCell { queue, data: data.into() })),
                     None => Err(BufferError::NotReady),
                 }
             }

@@ -171,7 +171,7 @@ impl<M: PipelinedMemory> InspectionEngine<M> {
             }
             loop {
                 let out = mem
-                    .tick(Some(Request::Write { addr: LineAddr(b as u64), data: data.clone() }));
+                    .tick(Some(Request::Write { addr: LineAddr(b as u64), data: data.clone().into() }));
                 if out.stall.is_none() {
                     break;
                 }

@@ -221,7 +221,7 @@ impl<M: PipelinedMemory> LpmEngine<M> {
                 }
                 let addr = (n * cells_per_node + c) as u64;
                 loop {
-                    let out = mem.tick(Some(Request::Write { addr: LineAddr(addr), data: data.clone() }));
+                    let out = mem.tick(Some(Request::Write { addr: LineAddr(addr), data: data.clone().into() }));
                     if out.stall.is_none() {
                         break;
                     }

@@ -36,8 +36,8 @@ pub enum BufferEvent {
 pub struct DequeuedCell {
     /// The queue it came from.
     pub queue: u32,
-    /// The cell payload.
-    pub data: Vec<u8>,
+    /// The cell payload (refcounted; cloning does not copy).
+    pub data: bytes::Bytes,
 }
 
 /// Why a buffer event was rejected this cycle.
@@ -236,7 +236,7 @@ impl VpnmPacketBuffer {
                     return Err(BufferError::QueueFull);
                 }
                 let addr = self.cell_addr(queue, q.tail);
-                (Some(Request::Write { addr, data: cell }), Action::Enqueue(queue))
+                (Some(Request::Write { addr, data: cell.into() }), Action::Enqueue(queue))
             }
             Some(BufferEvent::Dequeue { queue }) => {
                 let q = *self.queues.get(queue as usize).ok_or(BufferError::BadQueue)?;

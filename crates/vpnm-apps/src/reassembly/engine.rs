@@ -191,11 +191,11 @@ impl<M: PipelinedMemory> ReassemblyEngine<M> {
             };
             // (3) hole buffer write-back (serialized working state)
             let serialized = self.serialize_hole(flow);
-            self.issue(Request::Write { addr: self.hole_addr(flow), data: serialized });
+            self.issue(Request::Write { addr: self.hole_addr(flow), data: serialized.into() });
             // (4) packet data write
             self.issue(Request::Write {
                 addr: self.data_addr(flow, chunk_index),
-                data: chunk_data.to_vec(),
+                data: bytes::Bytes::copy_from_slice(chunk_data),
             });
             self.stats.chunks_ingested += 1;
             // (5) in-order scan reads for every chunk the prefix crossed

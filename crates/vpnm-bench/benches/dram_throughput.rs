@@ -12,11 +12,10 @@ fn bench_interleaved_access(c: &mut Criterion) {
         b.iter_batched(
             || DramDevice::new(DramConfig::paper_rdram()),
             |mut dram| {
-                let mut now = Cycle::ZERO;
                 for i in 0..accesses {
                     let bank = (i % 32) as u32;
+                    let now = Cycle::new(i);
                     let _ = std::hint::black_box(dram.issue_write(bank, i % 1024, vec![0u8; 8], now));
-                    now += 1;
                 }
                 dram
             },
@@ -34,10 +33,8 @@ fn bench_conflict_heavy(c: &mut Criterion) {
         b.iter_batched(
             || DramDevice::new(DramConfig::paper_rdram()),
             |mut dram| {
-                let mut now = Cycle::ZERO;
                 for i in 0..accesses {
-                    let _ = std::hint::black_box(dram.issue_read(0, i % 64, now));
-                    now += 1;
+                    let _ = std::hint::black_box(dram.issue_read(0, i % 64, Cycle::new(i)));
                 }
                 dram
             },

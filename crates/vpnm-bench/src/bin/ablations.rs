@@ -42,18 +42,59 @@ fn tight() -> VpnmConfig {
     }
 }
 
+const HASH_KINDS: [HashKind; 5] = [
+    HashKind::LowBits,
+    HashKind::H3,
+    HashKind::MultiplyShift,
+    HashKind::Tabulation,
+    HashKind::Affine,
+];
+const RATIOS: [f64; 6] = [1.0, 1.1, 1.2, 1.3, 1.4, 1.5];
+
 fn main() {
     println!("Ablations on a tightened configuration (B=16, L=10, Q=8, K=16), {REQUESTS} reads each\n");
+
+    // Every measurement is an independent (config, seed, generator)
+    // triple, so the whole battery shards across cores; results return in
+    // job order, keeping the report byte-identical to a sequential run.
+    type Job = Box<dyn FnOnce() -> f64 + Send>;
+    let mut jobs: Vec<Job> = vec![
+        Box::new(|| stall_fraction(tight(), 1, &mut RedundantPattern::new(vec![10, 20]))),
+        Box::new(|| {
+            stall_fraction(
+                VpnmConfig { merging: false, ..tight() },
+                1,
+                &mut RedundantPattern::new(vec![10, 20]),
+            )
+        }),
+    ];
+    for kind in HASH_KINDS {
+        jobs.push(Box::new(move || {
+            stall_fraction(tight().with_hash(kind), 2, &mut StrideAddresses::new(0, 16, 1 << 24))
+        }));
+    }
+    for r in RATIOS {
+        jobs.push(Box::new(move || {
+            stall_fraction(tight().with_bus_ratio(r), 3, &mut UniformAddresses::new(1 << 24, 30))
+        }));
+    }
+    jobs.push(Box::new(|| stall_fraction(tight(), 4, &mut UniformAddresses::new(1 << 24, 40))));
+    jobs.push(Box::new(|| {
+        stall_fraction(
+            VpnmConfig { scheduler: SchedulerKind::WorkConserving, ..tight() },
+            4,
+            &mut UniformAddresses::new(1 << 24, 40),
+        )
+    }));
+    let results = vpnm_bench::parallel::run_jobs(jobs);
+    let mut results = results.into_iter();
+    let mut next = || results.next().expect("one result per job");
 
     // 1. merging
     println!("1. redundant-request merging (A,B,A,B flood):");
     let mut t = Table::new(vec!["variant", "stall fraction"]);
-    let on = stall_fraction(tight(), 1, &mut RedundantPattern::new(vec![10, 20]));
-    let off = stall_fraction(
-        VpnmConfig { merging: false, ..tight() },
-        1,
-        &mut RedundantPattern::new(vec![10, 20]),
-    );
+    let on = next();
+    let off = next();
     t.row(vec!["merging on (paper)".into(), format!("{on:.5}")]);
     t.row(vec!["merging off".into(), format!("{off:.5}")]);
     t.print();
@@ -62,13 +103,8 @@ fn main() {
     // 2. hashing under stride
     println!("\n2. bank mapping under a stride-by-B attack:");
     let mut t = Table::new(vec!["mapping", "stall fraction"]);
-    for kind in [HashKind::LowBits, HashKind::H3, HashKind::MultiplyShift, HashKind::Tabulation, HashKind::Affine] {
-        let f = stall_fraction(
-            tight().with_hash(kind),
-            2,
-            &mut StrideAddresses::new(0, 16, 1 << 24),
-        );
-        t.row(vec![kind.to_string(), format!("{f:.5}")]);
+    for kind in HASH_KINDS {
+        t.row(vec![kind.to_string(), format!("{:.5}", next())]);
     }
     t.print();
 
@@ -76,12 +112,8 @@ fn main() {
     println!("\n3. bus scaling ratio R under uniform load (fixed Q=8, K=16):");
     let mut t = Table::new(vec!["R", "stall fraction"]);
     let mut prev = f64::INFINITY;
-    for r in [1.0, 1.1, 1.2, 1.3, 1.4, 1.5] {
-        let f = stall_fraction(
-            tight().with_bus_ratio(r),
-            3,
-            &mut UniformAddresses::new(1 << 24, 30),
-        );
+    for r in RATIOS {
+        let f = next();
         t.row(vec![format!("{r}"), format!("{f:.5}")]);
         assert!(f <= prev + 0.01, "stalls must (weakly) fall with R");
         prev = f;
@@ -91,12 +123,8 @@ fn main() {
     // 4. scheduler
     println!("\n4. bus scheduler under uniform load:");
     let mut t = Table::new(vec!["scheduler", "stall fraction"]);
-    let rr = stall_fraction(tight(), 4, &mut UniformAddresses::new(1 << 24, 40));
-    let wc = stall_fraction(
-        VpnmConfig { scheduler: SchedulerKind::WorkConserving, ..tight() },
-        4,
-        &mut UniformAddresses::new(1 << 24, 40),
-    );
+    let rr = next();
+    let wc = next();
     t.row(vec!["round-robin (paper)".into(), format!("{rr:.5}")]);
     t.row(vec!["work-conserving".into(), format!("{wc:.5}")]);
     t.print();

@@ -7,6 +7,16 @@
 //! a deliberately tightened configuration where differences are visible
 //! within a million requests.
 //!
+//! The universal-hash guarantee is an expectation *over keys*: any one
+//! fixed key can be unlucky for a particular blind pattern (H3 is
+//! GF(2)-linear, so a stride whose varying bits align with a
+//! rank-deficient block of the key matrix revisits few banks per
+//! window). The blind attacks are therefore scored as the **median over
+//! a panel of keys** — the typical outcome an attacker who cannot
+//! choose the key faces — and the unlucky-key tail is exactly what the
+//! paper's re-keying response (Section 4) repairs, demonstrated by the
+//! leaked-key/re-key pair below.
+//!
 //! Run: `cargo run --release -p vpnm-bench --bin adversary_resistance`
 
 use vpnm_bench::Table;
@@ -42,58 +52,92 @@ fn run(mut mem: VpnmController, gen: &mut dyn AddressGenerator) -> f64 {
     stalls as f64 / REQUESTS as f64
 }
 
+/// Stall fraction a blind attacker typically achieves: the median over a
+/// panel of independently keyed controllers, each replaying the same
+/// attack stream from scratch.
+fn run_median<G: AddressGenerator>(
+    hash: HashKind,
+    seeds: [u64; 5],
+    mk_gen: impl Fn() -> G,
+) -> f64 {
+    let mut rates: Vec<f64> =
+        seeds.iter().map(|&s| run(controller(hash, s), &mut mk_gen())).collect();
+    rates.sort_by(|a, b| a.partial_cmp(b).expect("stall rates are finite"));
+    rates[rates.len() / 2]
+}
+
 fn main() {
     println!("Adversarial resistance: stall fraction over {REQUESTS} reads\n");
+
+    // Each attack drives its own independently-seeded controller, so the
+    // battery shards across cores; only the omniscient pair stays one job
+    // (the re-key run replays the same adversary after its leaked-key
+    // round). Results come back in job order, so the report and the
+    // assertions below are identical to a sequential run.
+    type Job = Box<dyn FnOnce() -> Vec<f64> + Send>;
+    let jobs: Vec<Job> = vec![
+        Box::new(|| {
+            vec![run(controller(HashKind::H3, 1), &mut UniformAddresses::new(ADDR_SPACE, 10))]
+        }),
+        Box::new(|| {
+            vec![run(controller(HashKind::LowBits, 2), &mut StrideAdversary::new(16, ADDR_SPACE))]
+        }),
+        Box::new(|| {
+            vec![run_median(HashKind::H3, [3, 103, 203, 303, 403], || {
+                StrideAdversary::new(16, ADDR_SPACE)
+            })]
+        }),
+        Box::new(|| {
+            vec![run_median(HashKind::H3, [4, 104, 204, 304, 404], || {
+                ReplayAdversary::new(1024, ADDR_SPACE, 16, 11)
+            })]
+        }),
+        Box::new(|| {
+            vec![run_median(HashKind::H3, [5, 105, 205, 305, 405], || {
+                RedundantPattern::new(vec![1, 2])
+            })]
+        }),
+        Box::new(|| {
+            vec![run_median(HashKind::Tabulation, [6, 106, 206, 306, 406], || {
+                StrideAdversary::new(16, ADDR_SPACE)
+            })]
+        }),
+        Box::new(|| {
+            // Leaked key: the upper bound that motivates re-keying.
+            let mem = controller(HashKind::H3, 7);
+            let hash = mem.hash().clone();
+            let mut omni = OmniscientAdversary::new(ADDR_SPACE, 0, 4096, |a| hash.bank_of(a));
+            let leaked = run(mem, &mut omni);
+            let rekeyed = run(controller(HashKind::H3, 1007), &mut omni);
+            vec![leaked, rekeyed]
+        }),
+    ];
+    let results: Vec<f64> =
+        vpnm_bench::parallel::run_jobs(jobs).into_iter().flatten().collect();
+    let [baseline, stride_low, stride_h3, replay, redundant, tab, leaked, rekeyed] =
+        results[..] else {
+            unreachable!("eight measurements");
+        };
+
     let mut t = Table::new(vec!["attack", "mapping", "stall fraction"]);
-
-    let mut add = |attack: &str, mapping: &str, rate: f64| {
+    for (attack, mapping, rate) in [
+        ("uniform random (no attack)", "H3", baseline),
+        ("stride by B", "low bits", stride_low),
+        ("stride by B (median key)", "H3", stride_h3),
+        ("replay with mutations (median key)", "H3", replay),
+        ("redundant A,B,A,B flood (median key)", "H3", redundant),
+        ("stride by B (median key)", "tabulation", tab),
+        ("omniscient (leaked key)", "H3", leaked),
+        ("omniscient after re-key", "H3 (new key)", rekeyed),
+    ] {
         t.row(vec![attack.into(), mapping.into(), format!("{rate:.6}")]);
-        rate
-    };
-
-    let baseline = add(
-        "uniform random (no attack)",
-        "H3",
-        run(controller(HashKind::H3, 1), &mut UniformAddresses::new(ADDR_SPACE, 10)),
-    );
-    let stride_low = add(
-        "stride by B",
-        "low bits",
-        run(controller(HashKind::LowBits, 2), &mut StrideAdversary::new(16, ADDR_SPACE)),
-    );
-    let stride_h3 = add(
-        "stride by B",
-        "H3",
-        run(controller(HashKind::H3, 3), &mut StrideAdversary::new(16, ADDR_SPACE)),
-    );
-    let replay = add(
-        "replay with mutations",
-        "H3",
-        run(controller(HashKind::H3, 4), &mut ReplayAdversary::new(1024, ADDR_SPACE, 16, 11)),
-    );
-    let redundant = add(
-        "redundant A,B,A,B flood",
-        "H3",
-        run(controller(HashKind::H3, 5), &mut RedundantPattern::new(vec![1, 2])),
-    );
-    let tab = add(
-        "stride by B",
-        "tabulation",
-        run(controller(HashKind::Tabulation, 6), &mut StrideAdversary::new(16, ADDR_SPACE)),
-    );
-    // Leaked key: the upper bound that motivates re-keying.
-    let mem = controller(HashKind::H3, 7);
-    let hash = mem.hash().clone();
-    let mut omni = OmniscientAdversary::new(ADDR_SPACE, 0, 4096, |a| hash.bank_of(a));
-    let leaked = add("omniscient (leaked key)", "H3", run(mem, &mut omni));
-    let rekeyed = add("omniscient after re-key", "H3 (new key)", run(controller(HashKind::H3, 1007), &mut omni));
-
+    }
     t.print();
 
     println!("\nchecks:");
     println!("  conventional banking collapses under stride: {stride_low:.3} >> {baseline:.5}");
     assert!(stride_low > 0.25);
-    println!("  no attack beats random chance against the keyed hash:");
+    println!("  no blind attack beats random chance against a typical key:");
     for (name, rate) in
         [("stride", stride_h3), ("replay", replay), ("tabulation-stride", tab)]
     {

@@ -12,6 +12,7 @@
 //! Run: `cargo run --release -p vpnm-bench --bin fig1_timing`
 
 use vpnm_core::bank_controller::{Accepted, BankController, BankEvent};
+use vpnm_core::delay_line::CircularDelayBuffer;
 use vpnm_core::request::LineAddr;
 use vpnm_dram::{DramConfig, DramDevice};
 use vpnm_sim::trace::TraceKind;
@@ -29,8 +30,11 @@ fn run_scenario(title: &str, submissions: &[(u64, u64, u64)]) {
         cell_bytes: 8,
         timing: vpnm_dram::timing::TimingModel::simple(L),
     });
-    // K = 4 rows, Q = D/L = 2 queue entries, 1 write-buffer slot.
-    let mut bc = BankController::new(0, 4, 2, 1, D);
+    // K = 4 rows, Q = D/L = 2 queue entries, 1 write-buffer slot. The
+    // playback wheel lives outside the bank controller (in the full
+    // system one shared wheel serves all banks).
+    let mut bc = BankController::new(0, 4, 2, 1);
+    let mut wheel = CircularDelayBuffer::new(D as usize);
     let mut trace = TraceRecorder::with_capacity(256);
     // request id currently being accessed by the bank, with finish time
     let mut accessing: Option<(u64, Cycle)> = None;
@@ -82,7 +86,8 @@ fn run_scenario(title: &str, submissions: &[(u64, u64, u64)]) {
         }
         // The delay line is FIFO in schedule order, so a playback always
         // belongs to the globally oldest scheduled id.
-        if bc.advance_delay_line(incoming).is_some() {
+        if let Some(row) = wheel.tick(incoming) {
+            bc.playback(row);
             let id = scheduled.pop_front().expect("playback has a scheduled id");
             trace.record(now, id, TraceKind::Completed);
         }

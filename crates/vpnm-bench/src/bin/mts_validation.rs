@@ -19,9 +19,11 @@ use vpnm_workloads::generators::AddressGenerator;
 use vpnm_workloads::UniformAddresses;
 
 fn simulated_median(config: &VpnmConfig, trials: u64, horizon: u64) -> (f64, u64) {
-    let mut firsts = Vec::with_capacity(trials as usize);
-    let mut censored = 0;
-    for trial in 0..trials {
+    // Trials are independent controller instances whose seeds derive only
+    // from the trial index, so they shard freely across cores — the
+    // median is identical to the sequential run.
+    let mut firsts = vpnm_bench::parallel::run_trials(trials as usize, |t| {
+        let trial = t as u64;
         let mut mem = VpnmController::new(config.clone(), 40_000 + trial).expect("valid config");
         let mut gen = UniformAddresses::new(1u64 << config.addr_bits, 17 * trial + 3);
         let mut first = horizon;
@@ -31,11 +33,9 @@ fn simulated_median(config: &VpnmConfig, trials: u64, horizon: u64) -> (f64, u64
                 break;
             }
         }
-        if first == horizon {
-            censored += 1;
-        }
-        firsts.push(first);
-    }
+        first
+    });
+    let censored = firsts.iter().filter(|&&f| f == horizon).count() as u64;
     firsts.sort_unstable();
     (firsts[firsts.len() / 2] as f64, censored)
 }

@@ -1,0 +1,113 @@
+//! Deterministic work-sharding for the measurement binaries.
+//!
+//! The MTS-validation, adversary-resistance and ablation harnesses all
+//! reduce to "run many mutually independent simulations, then report in a
+//! fixed order". Each trial owns its own controller instance seeded from
+//! its trial index, so results are identical whether the trials run on one
+//! core or sixteen — sharding changes wall-clock time only. The worker
+//! pool is the same scoped-thread / atomic-cursor pattern as the
+//! design-space sweep in `vpnm-analysis::design_space`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `jobs` across the available cores and returns their results in
+/// job order (index `i` of the output is job `i`'s result, regardless of
+/// which worker ran it or when it finished).
+///
+/// Jobs must be independent: each should derive any randomness from its
+/// own index/seed, never from shared mutable state.
+///
+/// # Panics
+///
+/// Propagates a panic from any job after all workers stop.
+pub fn run_jobs<T, F>(jobs: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = jobs.len();
+    let workers = std::thread::available_parallelism().map_or(4, |w| w.get()).min(n.max(1));
+    if workers <= 1 {
+        return jobs.into_iter().map(|job| job()).collect();
+    }
+    let slots: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(slot) = slots.get(i) else { break };
+                let job = slot.lock().expect("job slot").take().expect("each job taken once");
+                let out = job();
+                *results[i].lock().expect("result slot") = Some(out);
+            });
+        }
+    })
+    .expect("sharded jobs must not panic");
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("worker joined").expect("every job ran"))
+        .collect()
+}
+
+/// Convenience: runs `count` indexed trials (`f(0), f(1), …`) across the
+/// cores, returning results in trial order.
+pub fn run_trials<T, F>(count: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let n = count;
+    let workers = std::thread::available_parallelism().map_or(4, |w| w.get()).min(n.max(1));
+    if workers <= 1 {
+        return (0..n).map(&f).collect();
+    }
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = f(i);
+                *results[i].lock().expect("result slot") = Some(out);
+            });
+        }
+    })
+    .expect("sharded trials must not panic");
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("worker joined").expect("every trial ran"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_keep_job_order() {
+        let jobs: Vec<_> = (0..97usize).map(|i| move || i * i).collect();
+        let out = run_jobs(jobs);
+        assert_eq!(out, (0..97).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn trials_match_sequential_run() {
+        let parallel = run_trials(64, |i| (i as u64).wrapping_mul(2654435761) % 1000);
+        let sequential: Vec<u64> =
+            (0..64).map(|i| (i as u64).wrapping_mul(2654435761) % 1000).collect();
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn empty_and_single_job_edge_cases() {
+        assert!(run_jobs::<u32, fn() -> u32>(vec![]).is_empty());
+        assert_eq!(run_jobs(vec![|| 7u32]), vec![7]);
+        assert!(run_trials(0, |i| i).is_empty());
+    }
+}

@@ -85,9 +85,85 @@ impl Table {
     }
 }
 
+/// One benchmark result destined for a machine-readable `BENCH_*.json`
+/// artifact, so perf trajectories can be tracked across commits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// `group/benchmark` path.
+    pub id: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Work items (cycles, elements, bytes) per second, when known.
+    pub per_second: Option<f64>,
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() { format!("{v:.3}") } else { "null".to_string() }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Renders benchmark records plus scalar summary metrics as a JSON
+/// document (hand-rolled — the workspace carries no serde dependency).
+///
+/// ```
+/// use vpnm_bench::report::{bench_json, BenchRecord};
+/// let doc = bench_json(
+///     &[BenchRecord { id: "g/x".into(), ns_per_iter: 10.0, per_second: Some(1e8) }],
+///     &[("speedup", 4.0)],
+/// );
+/// assert!(doc.contains("\"g/x\""));
+/// assert!(doc.contains("\"speedup\""));
+/// ```
+pub fn bench_json(records: &[BenchRecord], summary: &[(&str, f64)]) -> String {
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let per_second =
+            r.per_second.map_or("null".to_string(), json_f64);
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"ns_per_iter\": {}, \"per_second\": {}}}{}\n",
+            json_escape(&r.id),
+            json_f64(r.ns_per_iter),
+            per_second,
+            if i + 1 < records.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]");
+    for (key, value) in summary {
+        out.push_str(&format!(",\n  \"{}\": {}", json_escape(key), json_f64(*value)));
+    }
+    out.push_str("\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bench_json_is_well_formed() {
+        let doc = bench_json(
+            &[
+                BenchRecord { id: "a/b".into(), ns_per_iter: 1.5, per_second: Some(2e6) },
+                BenchRecord { id: "c\"d".into(), ns_per_iter: 3.0, per_second: None },
+            ],
+            &[("speedup_x", 3.25)],
+        );
+        assert!(doc.contains("\"a/b\""));
+        assert!(doc.contains("c\\\"d"));
+        assert!(doc.contains("\"per_second\": null"));
+        assert!(doc.contains("\"speedup_x\": 3.250"));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+    }
 
     #[test]
     fn alignment_grows_with_content() {

@@ -1,6 +1,6 @@
 //! The per-bank controller — the state machine of paper Figure 3,
-//! assembled from the delay storage buffer, bank access queue, write
-//! buffer, and circular delay buffer.
+//! assembled from the delay storage buffer, bank access queue, and write
+//! buffer.
 //!
 //! Each bank controller independently upholds the invariant that a read
 //! accepted at interface cycle `t` is answered at exactly `t + D` (paper
@@ -8,13 +8,18 @@
 //! every access at time t, it returns the result at time t + D"). Because
 //! at most one request enters the whole controller per interface cycle, at
 //! most one bank controller can have a playback due on any cycle, so no
-//! coordination between banks is needed.
+//! coordination between banks is needed — and for the same reason the
+//! playback *timing* wheel lives in the owning controller as one shared
+//! [`CircularDelayBuffer`](crate::delay_line::CircularDelayBuffer) keyed
+//! by `(bank, row)`, instead of `B` per-bank wheels all spinning in
+//! lockstep. The bank controller exposes [`BankController::playback`] for
+//! the owner to call when a scheduled row falls due.
 
 use crate::access_queue::{AccessEntry, BankAccessQueue};
-use crate::delay_line::CircularDelayBuffer;
-use crate::delay_storage::{DelayStorageBuffer, RowId};
+use crate::delay_storage::{DelayStorageBuffer, Playback, RowId};
 use crate::request::{LineAddr, StallKind};
 use crate::write_buffer::WriteBuffer;
+use bytes::Bytes;
 use vpnm_dram::DramDevice;
 use vpnm_sim::Cycle;
 
@@ -30,8 +35,8 @@ pub enum BankEvent {
     Write {
         /// Cell address.
         addr: LineAddr,
-        /// Cell contents.
-        data: Vec<u8>,
+        /// Cell contents (refcounted; cloning does not copy).
+        data: Bytes,
     },
 }
 
@@ -47,15 +52,6 @@ pub enum Accepted {
     WriteBuffered,
 }
 
-/// A response due this cycle, produced by the circular delay buffer.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct DuePlayback {
-    /// Address the playback serves.
-    pub addr: LineAddr,
-    /// The data; `None` marks a deadline miss (mis-configured `D`).
-    pub data: Option<Vec<u8>>,
-}
-
 /// The controller for one memory bank.
 #[derive(Debug, Clone)]
 pub struct BankController {
@@ -63,7 +59,6 @@ pub struct BankController {
     storage: DelayStorageBuffer,
     queue: BankAccessQueue,
     writes: WriteBuffer,
-    delay_line: CircularDelayBuffer,
     /// Completion time of the access currently using the bank. The front
     /// queue entry stays in the queue until this passes, so `Q` bounds the
     /// number of *overlapping* accesses (queued + in service) — the
@@ -75,14 +70,13 @@ pub struct BankController {
 
 impl BankController {
     /// Creates a controller for `bank` with capacities `k` (storage rows),
-    /// `q` (access queue), `wb` (write buffer) and delay `d`.
-    pub fn new(bank: u32, k: usize, q: usize, wb: usize, d: u64) -> Self {
+    /// `q` (access queue) and `wb` (write buffer).
+    pub fn new(bank: u32, k: usize, q: usize, wb: usize) -> Self {
         BankController {
             bank,
             storage: DelayStorageBuffer::new(k),
             queue: BankAccessQueue::new(q),
             writes: WriteBuffer::new(wb),
-            delay_line: CircularDelayBuffer::new(d as usize),
             in_service_until: None,
             merging: true,
         }
@@ -102,8 +96,8 @@ impl BankController {
 
     /// Attempts to accept an event this interface cycle.
     ///
-    /// On success, a read returns the delay-storage row that must be fed
-    /// into this cycle's [`BankController::advance_delay_line`] call.
+    /// On success, a read returns the delay-storage row that the caller
+    /// must schedule for playback exactly `D` interface cycles later.
     ///
     /// # Errors
     ///
@@ -150,13 +144,11 @@ impl BankController {
         }
     }
 
-    /// Advances the circular delay buffer by one interface cycle,
-    /// scheduling `incoming` (the row of a read accepted *this* cycle) and
-    /// returning the playback due now, if any.
-    pub fn advance_delay_line(&mut self, incoming: Option<RowId>) -> Option<DuePlayback> {
-        let due = self.delay_line.tick(incoming)?;
-        let pb = self.storage.playback(due);
-        Some(DuePlayback { addr: pb.addr, data: pb.data })
+    /// Plays back a row whose deadline arrived: the owning controller's
+    /// delay wheel decides *when*; this consumes one counter tick and
+    /// returns the served address + data (`None` data = deadline miss).
+    pub fn playback(&mut self, row: RowId) -> Playback {
+        self.storage.playback(row)
     }
 
     /// Called when the round-robin bus scheduler grants this bank a memory
@@ -225,16 +217,6 @@ impl BankController {
         self.writes.len()
     }
 
-    /// Scheduled playbacks in flight in the delay line.
-    pub fn in_flight(&self) -> usize {
-        self.delay_line.occupancy()
-    }
-
-    /// The configured delay `D` of this controller's delay line.
-    pub fn delay_line_depth(&self) -> usize {
-        self.delay_line.delay()
-    }
-
     /// True when a bus grant at `now` would do useful work: there is
     /// queued work and the bank is (or will just have become) free. Used
     /// by the work-conserving scheduler ablation.
@@ -252,6 +234,7 @@ impl BankController {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::delay_line::CircularDelayBuffer;
     use vpnm_dram::DramConfig;
 
     fn dram() -> DramDevice {
@@ -259,66 +242,99 @@ mod tests {
         DramDevice::new(DramConfig::tiny_test())
     }
 
+    const D: u64 = 10;
+
     fn controller() -> BankController {
-        BankController::new(1, 4, 4, 2, 10)
+        BankController::new(1, 4, 4, 2)
+    }
+
+    /// Test harness pairing one bank controller with its own delay wheel,
+    /// as the pre-refactor BankController embedded (the production
+    /// controller shares one wheel across banks; with a single bank the
+    /// two are identical).
+    struct Harness {
+        bc: BankController,
+        wheel: CircularDelayBuffer,
+    }
+
+    impl Harness {
+        fn new(bc: BankController, d: u64) -> Self {
+            Harness { bc, wheel: CircularDelayBuffer::new(d as usize) }
+        }
+
+        fn advance(&mut self, incoming: Option<RowId>) -> Option<Playback> {
+            let due = self.wheel.tick(incoming)?;
+            Some(self.bc.playback(due))
+        }
+
+        fn advance_until_due(&mut self) -> Playback {
+            for _ in 0..2 * self.wheel.delay() {
+                if let Some(pb) = self.advance(None) {
+                    return pb;
+                }
+            }
+            panic!("no playback within 2D cycles");
+        }
     }
 
     #[test]
     fn read_lifecycle_end_to_end() {
-        let mut bc = controller();
+        let mut h = Harness::new(controller(), D);
         let mut d = dram();
         d.poke(1, 5, vec![0xAB]);
 
-        let acc = bc.submit(BankEvent::Read { addr: LineAddr(5) }).unwrap();
+        let acc = h.bc.submit(BankEvent::Read { addr: LineAddr(5) }).unwrap();
         let Accepted::ReadQueued(row) = acc else { panic!("expected fresh read") };
 
         // schedule into delay line at t0; grant the bank before the
         // deadline
-        assert!(bc.advance_delay_line(Some(row)).is_none());
-        assert!(bc.on_bus_grant(&mut d, Cycle::new(1)));
+        assert!(h.advance(Some(row)).is_none());
+        assert!(h.bc.on_bus_grant(&mut d, Cycle::new(1)));
         // ticks 1..9: nothing due
         for _ in 1..10 {
-            assert!(bc.advance_delay_line(None).is_none());
+            assert!(h.advance(None).is_none());
         }
         // tick 10 (= D): playback
-        let pb = bc.advance_delay_line(None).expect("due at D");
+        let pb = h.advance(None).expect("due at D");
         assert_eq!(pb.addr, LineAddr(5));
         assert_eq!(pb.data.as_deref().map(|d| d[0]), Some(0xAB));
-        assert_eq!(bc.storage_occupancy(), 0, "row freed after playback");
+        assert_eq!(h.bc.storage_occupancy(), 0, "row freed after playback");
     }
 
     #[test]
     fn merged_read_plays_twice_with_one_bank_access() {
-        let mut bc = controller();
+        let mut h = Harness::new(controller(), D);
         let mut d = dram();
         d.poke(1, 7, vec![0x11]);
 
-        let Accepted::ReadQueued(row) = bc.submit(BankEvent::Read { addr: LineAddr(7) }).unwrap()
+        let Accepted::ReadQueued(row) =
+            h.bc.submit(BankEvent::Read { addr: LineAddr(7) }).unwrap()
         else {
             panic!()
         };
-        bc.advance_delay_line(Some(row));
-        let Accepted::ReadMerged(row2) = bc.submit(BankEvent::Read { addr: LineAddr(7) }).unwrap()
+        h.advance(Some(row));
+        let Accepted::ReadMerged(row2) =
+            h.bc.submit(BankEvent::Read { addr: LineAddr(7) }).unwrap()
         else {
             panic!("second read of same addr must merge")
         };
         assert_eq!(row, row2);
-        bc.advance_delay_line(Some(row2));
-        bc.on_bus_grant(&mut d, Cycle::new(1));
+        h.advance(Some(row2));
+        h.bc.on_bus_grant(&mut d, Cycle::new(1));
         assert_eq!(d.stats().reads, 1, "exactly one bank access for two reads");
 
         for _ in 2..10 {
-            assert!(bc.advance_delay_line(None).is_none());
+            assert!(h.advance(None).is_none());
         }
-        let pb1 = bc.advance_delay_line(None).unwrap();
-        let pb2 = bc.advance_delay_line(None).unwrap();
-        assert_eq!(pb1.data, Some(vec![0x11, 0, 0, 0, 0, 0, 0, 0]));
+        let pb1 = h.advance(None).unwrap();
+        let pb2 = h.advance(None).unwrap();
+        assert_eq!(pb1.data.as_deref(), Some(&[0x11, 0, 0, 0, 0, 0, 0, 0][..]));
         assert_eq!(pb1.data, pb2.data);
     }
 
     #[test]
     fn queue_stall_when_q_exhausted() {
-        let mut bc = BankController::new(0, 8, 2, 2, 10);
+        let mut bc = BankController::new(0, 8, 2, 2);
         bc.submit(BankEvent::Read { addr: LineAddr(1) }).unwrap();
         bc.submit(BankEvent::Read { addr: LineAddr(2) }).unwrap();
         let err = bc.submit(BankEvent::Read { addr: LineAddr(3) }).unwrap_err();
@@ -333,7 +349,7 @@ mod tests {
     #[test]
     fn storage_stall_when_k_exhausted() {
         // K = 2, Q = 8: storage fills first
-        let mut bc = BankController::new(0, 2, 8, 2, 10);
+        let mut bc = BankController::new(0, 2, 8, 2);
         bc.submit(BankEvent::Read { addr: LineAddr(1) }).unwrap();
         bc.submit(BankEvent::Read { addr: LineAddr(2) }).unwrap();
         let err = bc.submit(BankEvent::Read { addr: LineAddr(3) }).unwrap_err();
@@ -342,72 +358,65 @@ mod tests {
 
     #[test]
     fn write_buffer_stall() {
-        let mut bc = BankController::new(0, 4, 8, 1, 10);
-        bc.submit(BankEvent::Write { addr: LineAddr(1), data: vec![] }).unwrap();
-        let err = bc.submit(BankEvent::Write { addr: LineAddr(2), data: vec![] }).unwrap_err();
+        let mut bc = BankController::new(0, 4, 8, 1);
+        bc.submit(BankEvent::Write { addr: LineAddr(1), data: Bytes::new() }).unwrap();
+        let err =
+            bc.submit(BankEvent::Write { addr: LineAddr(2), data: Bytes::new() }).unwrap_err();
         assert_eq!(err, StallKind::WriteBuffer);
     }
 
     #[test]
     fn write_then_read_returns_new_data() {
-        let mut bc = controller();
+        let mut h = Harness::new(controller(), D);
         let mut d = dram();
         d.poke(1, 3, vec![0x01]);
 
-        bc.submit(BankEvent::Write { addr: LineAddr(3), data: vec![0x02] }).unwrap();
-        bc.advance_delay_line(None);
-        let Accepted::ReadQueued(row) = bc.submit(BankEvent::Read { addr: LineAddr(3) }).unwrap()
+        h.bc.submit(BankEvent::Write { addr: LineAddr(3), data: vec![0x02].into() }).unwrap();
+        h.advance(None);
+        let Accepted::ReadQueued(row) =
+            h.bc.submit(BankEvent::Read { addr: LineAddr(3) }).unwrap()
         else {
             panic!("read after write must not merge with stale data")
         };
-        bc.advance_delay_line(Some(row));
+        h.advance(Some(row));
 
         // grants: write first (FIFO), then read
         let mut now = Cycle::new(2);
-        while bc.queue_depth() > 0 {
-            if bc.on_bus_grant(&mut d, now) {
-                now = now + 3; // wait out the bank
+        while h.bc.queue_depth() > 0 {
+            if h.bc.on_bus_grant(&mut d, now) {
+                now += 3; // wait out the bank
             } else {
-                now = now + 1;
+                now += 1;
             }
         }
-        let pb = advance_until_due(&mut bc);
+        let pb = h.advance_until_due();
         assert_eq!(pb.data.as_deref().map(|d| d[0]), Some(0x02));
-    }
-
-    /// Advances the delay line until the next playback becomes due.
-    fn advance_until_due(bc: &mut BankController) -> DuePlayback {
-        for _ in 0..2 * bc.delay_line_depth() {
-            if let Some(pb) = bc.advance_delay_line(None) {
-                return pb;
-            }
-        }
-        panic!("no playback within 2D cycles");
     }
 
     #[test]
     fn read_before_write_keeps_old_data() {
-        let mut bc = controller();
+        let mut h = Harness::new(controller(), D);
         let mut d = dram();
         d.poke(1, 9, vec![0xAA]);
 
-        let Accepted::ReadQueued(row) = bc.submit(BankEvent::Read { addr: LineAddr(9) }).unwrap()
+        let Accepted::ReadQueued(row) =
+            h.bc.submit(BankEvent::Read { addr: LineAddr(9) }).unwrap()
         else {
             panic!()
         };
-        bc.advance_delay_line(Some(row));
-        bc.submit(BankEvent::Write { addr: LineAddr(9), data: vec![0xBB] }).unwrap();
-        bc.advance_delay_line(None);
+        h.advance(Some(row));
+        h.bc.submit(BankEvent::Write { addr: LineAddr(9), data: vec![0xBB].into() }).unwrap();
+        h.advance(None);
 
         let mut now = Cycle::new(1);
-        while bc.queue_depth() > 0 {
-            if bc.on_bus_grant(&mut d, now) {
-                now = now + 3;
+        while h.bc.queue_depth() > 0 {
+            if h.bc.on_bus_grant(&mut d, now) {
+                now += 3;
             } else {
-                now = now + 1;
+                now += 1;
             }
         }
-        let pb = advance_until_due(&mut bc);
+        let pb = h.advance_until_due();
         // The read was issued before the write in bank FIFO order.
         assert_eq!(pb.data.as_deref().map(|d| d[0]), Some(0xAA));
         // And the write landed afterwards.
@@ -435,21 +444,22 @@ mod tests {
 
     #[test]
     fn deadline_miss_reports_none_data() {
-        let mut bc = BankController::new(0, 2, 2, 1, 2); // absurdly small D
-        let Accepted::ReadQueued(row) = bc.submit(BankEvent::Read { addr: LineAddr(1) }).unwrap()
+        let mut h = Harness::new(BankController::new(0, 2, 2, 1), 2); // absurdly small D
+        let Accepted::ReadQueued(row) =
+            h.bc.submit(BankEvent::Read { addr: LineAddr(1) }).unwrap()
         else {
             panic!()
         };
-        bc.advance_delay_line(Some(row));
-        bc.advance_delay_line(None);
+        h.advance(Some(row));
+        h.advance(None);
         // D = 2 elapses without any bus grant
-        let pb = bc.advance_delay_line(None).unwrap();
+        let pb = h.advance(None).unwrap();
         assert_eq!(pb.data, None, "unfilled row at deadline is a miss");
     }
 
     #[test]
     fn merging_disabled_queues_every_read() {
-        let mut bc = BankController::new(0, 8, 2, 1, 10).with_merging(false);
+        let mut bc = BankController::new(0, 8, 2, 1).with_merging(false);
         assert!(matches!(
             bc.submit(BankEvent::Read { addr: LineAddr(1) }),
             Ok(Accepted::ReadQueued(_))
@@ -484,7 +494,7 @@ mod tests {
     fn occupancy_queries() {
         let mut bc = controller();
         bc.submit(BankEvent::Read { addr: LineAddr(1) }).unwrap();
-        bc.submit(BankEvent::Write { addr: LineAddr(2), data: vec![] }).unwrap();
+        bc.submit(BankEvent::Write { addr: LineAddr(2), data: Bytes::new() }).unwrap();
         assert_eq!(bc.storage_occupancy(), 1);
         assert_eq!(bc.queue_depth(), 2);
         assert_eq!(bc.write_buffer_depth(), 1);

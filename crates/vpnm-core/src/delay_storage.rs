@@ -13,8 +13,23 @@
 //! a matching address clears the flag (the row's data is now stale for new
 //! readers) but the row keeps serving the reads that merged before the
 //! write, exactly as the paper describes in Section 4.2.
+//!
+//! # Performance
+//!
+//! In hardware the CAM search and the "first zero circuit" (free-row scan)
+//! are single-cycle combinational logic; the original software model made
+//! them O(K) linear scans on every read. This implementation keeps the
+//! *semantics* of those scans — lookup returns the **lowest-index** valid
+//! live row for an address, allocate claims the **lowest-index** free row —
+//! but answers them from an address→row hash index and a free-row bitset,
+//! so the per-read cost is O(1) amortized (O(K/64) for allocate). The
+//! lowest-index tie-break only matters when several valid rows share an
+//! address, which cannot happen while merging is enabled but does happen
+//! in merging-off ablations; that rare removal path falls back to an O(K)
+//! rescan so behaviour stays bit-identical to the linear model.
 
 use crate::request::LineAddr;
+use bytes::Bytes;
 
 /// Index of a row in the delay storage buffer (the id stored in the bank
 /// access queue and the circular delay buffer, `log2 K` bits in hardware).
@@ -26,8 +41,9 @@ pub type RowId = u32;
 pub struct Playback {
     /// The address this playback serves.
     pub addr: LineAddr,
-    /// The data, or `None` on a deadline miss.
-    pub data: Option<Vec<u8>>,
+    /// The data, or `None` on a deadline miss. Cloned by refcount from the
+    /// row, not copied.
+    pub data: Option<Bytes>,
 }
 
 #[derive(Debug, Clone, Default)]
@@ -41,12 +57,129 @@ struct Row {
     /// counter).
     counter: u32,
     /// Data words, present once the bank read completed.
-    data: Option<Vec<u8>>,
+    data: Option<Bytes>,
 }
 
 impl Row {
     fn is_free(&self) -> bool {
         self.counter == 0
+    }
+}
+
+/// Hash-index entry: the lowest-index valid live row holding an address,
+/// plus how many valid live rows hold it (more than one only with merging
+/// disabled).
+#[derive(Debug, Clone, Copy)]
+struct CamEntry {
+    row: RowId,
+    valid_rows: u32,
+}
+
+/// SplitMix64 finalizer — full-avalanche integer hash for the CAM index.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CamSlot {
+    addr: LineAddr,
+    entry: CamEntry,
+    used: bool,
+}
+
+/// The address→row CAM index: an open-addressed table with linear probing
+/// and backward-shift deletion. At most `K` distinct addresses are ever
+/// live at once (each needs at least one row), so sizing the table to the
+/// next power of two ≥ `2K` bounds the load factor at ½ and keeps probe
+/// chains to a couple of cache hits — measurably cheaper per request than
+/// a general-purpose `HashMap` on this three-ops-per-request path.
+#[derive(Debug, Clone)]
+struct CamIndex {
+    slots: Vec<CamSlot>,
+    mask: usize,
+}
+
+impl CamIndex {
+    fn new(k: usize) -> Self {
+        let cap = (2 * k).next_power_of_two().max(8);
+        let empty = CamSlot {
+            addr: LineAddr(0),
+            entry: CamEntry { row: 0, valid_rows: 0 },
+            used: false,
+        };
+        CamIndex { slots: vec![empty; cap], mask: cap - 1 }
+    }
+
+    #[inline]
+    fn home(&self, addr: LineAddr) -> usize {
+        mix64(addr.0) as usize & self.mask
+    }
+
+    /// Slot index holding `addr`, if present.
+    #[inline]
+    fn find(&self, addr: LineAddr) -> Option<usize> {
+        let mut i = self.home(addr);
+        loop {
+            let s = &self.slots[i];
+            if !s.used {
+                return None;
+            }
+            if s.addr == addr {
+                return Some(i);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    #[inline]
+    fn get(&self, addr: LineAddr) -> Option<CamEntry> {
+        self.find(addr).map(|i| self.slots[i].entry)
+    }
+
+    /// Registers a newly allocated valid row: bumps the duplicate count
+    /// (keeping the lowest row index) or inserts a fresh entry. The ½ load
+    /// bound guarantees a free slot exists.
+    fn note_alloc(&mut self, addr: LineAddr, row: RowId) {
+        let mut i = self.home(addr);
+        loop {
+            let s = &mut self.slots[i];
+            if !s.used {
+                *s = CamSlot { addr, entry: CamEntry { row, valid_rows: 1 }, used: true };
+                return;
+            }
+            if s.addr == addr {
+                s.entry.row = s.entry.row.min(row);
+                s.entry.valid_rows += 1;
+                return;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Empties slot `i`, back-shifting displaced successors so probe
+    /// chains stay unbroken (no tombstones).
+    fn remove_at(&mut self, mut i: usize) {
+        let mut j = i;
+        loop {
+            j = (j + 1) & self.mask;
+            if !self.slots[j].used {
+                break;
+            }
+            let home = self.home(self.slots[j].addr);
+            // `j`'s element may fill the hole at `i` iff its home precedes
+            // or equals `i` in cyclic probe order.
+            if (j.wrapping_sub(home) & self.mask) >= (j.wrapping_sub(i) & self.mask) {
+                self.slots[i] = self.slots[j];
+                i = j;
+            }
+        }
+        self.slots[i].used = false;
     }
 }
 
@@ -59,16 +192,20 @@ impl Row {
 /// let mut dsb = DelayStorageBuffer::new(2);
 /// let row = dsb.allocate(LineAddr(7)).expect("free row");
 /// assert_eq!(dsb.lookup(LineAddr(7)), Some(row));
-/// dsb.merge(row);                       // a redundant request
+/// dsb.merge(row);                        // a redundant request
 /// dsb.fill(row, vec![1, 2, 3]);          // bank access completes
-/// assert_eq!(dsb.playback(row).data, Some(vec![1, 2, 3]));
-/// assert_eq!(dsb.playback(row).data, Some(vec![1, 2, 3]));
+/// assert_eq!(dsb.playback(row).data.as_deref(), Some(&[1, 2, 3][..]));
+/// assert_eq!(dsb.playback(row).data.as_deref(), Some(&[1, 2, 3][..]));
 /// assert_eq!(dsb.live_rows(), 0);        // counter drained, row freed
 /// ```
 #[derive(Debug, Clone)]
 pub struct DelayStorageBuffer {
     rows: Vec<Row>,
     live: usize,
+    /// CAM index: address → lowest valid live row (+ duplicate count).
+    cam: CamIndex,
+    /// Free-row bitset ("first zero circuit"); bit set = row free.
+    free: Vec<u64>,
 }
 
 impl DelayStorageBuffer {
@@ -79,7 +216,12 @@ impl DelayStorageBuffer {
     /// Panics if `k == 0`.
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "delay storage buffer needs at least one row");
-        DelayStorageBuffer { rows: vec![Row::default(); k], live: 0 }
+        let mut free = vec![0u64; k.div_ceil(64)];
+        for (i, word) in free.iter_mut().enumerate() {
+            let bits = (k - i * 64).min(64);
+            *word = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        }
+        DelayStorageBuffer { rows: vec![Row::default(); k], live: 0, cam: CamIndex::new(k), free }
     }
 
     /// Capacity `K`.
@@ -92,26 +234,54 @@ impl DelayStorageBuffer {
         self.live
     }
 
-    /// CAM search: the row currently holding `addr` with a set valid flag.
+    /// CAM search: the row currently holding `addr` with a set valid flag
+    /// (the lowest-index one, matching the hardware priority encoder).
     pub fn lookup(&self, addr: LineAddr) -> Option<RowId> {
-        self.rows
-            .iter()
-            .position(|r| !r.is_free() && r.addr_valid && r.addr == addr)
-            .map(|i| i as RowId)
+        self.cam.get(addr).map(|e| e.row)
     }
 
     /// Allocates a free row for `addr` with counter 1 (the "first zero
     /// circuit" of the paper). Returns `None` when every row is live —
     /// the *delay storage buffer stall* condition.
     pub fn allocate(&mut self, addr: LineAddr) -> Option<RowId> {
-        let idx = self.rows.iter().position(Row::is_free)?;
-        let row = &mut self.rows[idx];
+        let idx = self.first_free()?;
+        self.free[idx as usize / 64] &= !(1u64 << (idx as usize % 64));
+        let row = &mut self.rows[idx as usize];
         row.addr = addr;
         row.addr_valid = true;
         row.counter = 1;
         row.data = None;
         self.live += 1;
-        Some(idx as RowId)
+        self.cam.note_alloc(addr, idx);
+        Some(idx)
+    }
+
+    fn first_free(&self) -> Option<RowId> {
+        for (i, &word) in self.free.iter().enumerate() {
+            if word != 0 {
+                return Some((i * 64) as RowId + word.trailing_zeros());
+            }
+        }
+        None
+    }
+
+    /// Unlinks a (still or formerly) valid row from the CAM index,
+    /// promoting the next-lowest duplicate if one exists. Only the
+    /// duplicate case (merging disabled) pays the O(K) rescan.
+    fn cam_remove(&mut self, addr: LineAddr, row: RowId) {
+        let i = self.cam.find(addr).expect("CAM entry for valid row");
+        let entry = &mut self.cam.slots[i].entry;
+        entry.valid_rows -= 1;
+        if entry.valid_rows == 0 {
+            self.cam.remove_at(i);
+        } else if entry.row == row {
+            let next = self
+                .rows
+                .iter()
+                .position(|r| !r.is_free() && r.addr_valid && r.addr == addr)
+                .expect("duplicate valid row promised by CAM count");
+            self.cam.slots[i].entry.row = next as RowId;
+        }
     }
 
     /// Registers a redundant request against a live row (counter += 1).
@@ -143,10 +313,10 @@ impl DelayStorageBuffer {
     /// # Panics
     ///
     /// Panics if the row is free.
-    pub fn fill(&mut self, row: RowId, data: Vec<u8>) {
+    pub fn fill(&mut self, row: RowId, data: impl Into<Bytes>) {
         let r = &mut self.rows[row as usize];
         assert!(!r.is_free(), "fill of free row {row}");
-        r.data = Some(data);
+        r.data = Some(data.into());
     }
 
     /// True once [`DelayStorageBuffer::fill`] has run for this row.
@@ -173,9 +343,14 @@ impl DelayStorageBuffer {
         let data = r.data.clone();
         r.counter -= 1;
         if r.counter == 0 {
+            let was_valid = r.addr_valid;
             r.addr_valid = false;
             r.data = None;
             self.live -= 1;
+            self.free[row as usize / 64] |= 1u64 << (row as usize % 64);
+            if was_valid {
+                self.cam_remove(addr, row);
+            }
         }
         Playback { addr, data }
     }
@@ -185,11 +360,14 @@ impl DelayStorageBuffer {
     /// row keeps serving already-merged reads. Returns whether a row
     /// matched.
     pub fn invalidate(&mut self, addr: LineAddr) -> bool {
-        if let Some(row) = self.lookup(addr) {
-            self.rows[row as usize].addr_valid = false;
-            true
-        } else {
-            false
+        match self.cam.get(addr) {
+            Some(entry) => {
+                let row = entry.row;
+                self.rows[row as usize].addr_valid = false;
+                self.cam_remove(addr, row);
+                true
+            }
+            None => false,
         }
     }
 }
@@ -213,7 +391,7 @@ mod tests {
         let mut dsb = DelayStorageBuffer::new(1);
         let r = dsb.allocate(LineAddr(1)).unwrap();
         dsb.fill(r, vec![7]);
-        assert_eq!(dsb.playback(r).data, Some(vec![7]));
+        assert_eq!(dsb.playback(r).data.as_deref(), Some(&[7u8][..]));
         assert_eq!(dsb.live_rows(), 0);
         assert!(dsb.allocate(LineAddr(2)).is_some());
     }
@@ -229,7 +407,7 @@ mod tests {
         // but the row still serves its pending playback
         dsb.fill(r, vec![1]);
         let pb = dsb.playback(r);
-        assert_eq!(pb.data, Some(vec![1]));
+        assert_eq!(pb.data.as_deref(), Some(&[1u8][..]));
         assert_eq!(pb.addr, LineAddr(4));
     }
 
@@ -241,7 +419,7 @@ mod tests {
         dsb.merge(r);
         dsb.fill(r, vec![5]);
         for _ in 0..3 {
-            assert_eq!(dsb.playback(r).data, Some(vec![5]));
+            assert_eq!(dsb.playback(r).data.as_deref(), Some(&[5u8][..]));
         }
         assert_eq!(dsb.live_rows(), 0);
     }
@@ -285,6 +463,32 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_valid_rows_resolve_lowest_first() {
+        // With merging disabled the controller allocates a second valid
+        // row for an address it never looked up. The CAM must keep
+        // answering with the lowest-index valid row, exactly like the
+        // hardware priority encoder / the original linear scan.
+        let mut dsb = DelayStorageBuffer::new(4);
+        let r0 = dsb.allocate(LineAddr(7)).unwrap();
+        let r1 = dsb.allocate(LineAddr(7)).unwrap();
+        assert_eq!((r0, r1), (0, 1));
+        assert_eq!(dsb.lookup(LineAddr(7)), Some(r0));
+        // Freeing the lowest promotes the next duplicate.
+        dsb.fill(r0, vec![1]);
+        dsb.playback(r0);
+        assert_eq!(dsb.lookup(LineAddr(7)), Some(r1));
+        // Reallocating the freed slot 0 makes it the lowest again.
+        let r0b = dsb.allocate(LineAddr(7)).unwrap();
+        assert_eq!(r0b, 0);
+        assert_eq!(dsb.lookup(LineAddr(7)), Some(r0b));
+        // Invalidation hits only the lowest duplicate (seed semantics).
+        assert!(dsb.invalidate(LineAddr(7)));
+        assert_eq!(dsb.lookup(LineAddr(7)), Some(r1));
+        assert!(dsb.invalidate(LineAddr(7)));
+        assert_eq!(dsb.lookup(LineAddr(7)), None);
+    }
+
+    #[test]
     #[should_panic(expected = "merge into free row")]
     fn merge_free_row_is_a_bug() {
         let mut dsb = DelayStorageBuffer::new(1);
@@ -297,6 +501,21 @@ mod tests {
         let r = dsb.allocate(LineAddr(0x42)).unwrap();
         assert_eq!(dsb.row_addr(r), LineAddr(0x42));
     }
+
+    #[test]
+    fn large_capacity_spans_multiple_free_words() {
+        let mut dsb = DelayStorageBuffer::new(130);
+        let rows: Vec<RowId> = (0..130u64).map(|i| dsb.allocate(LineAddr(i)).unwrap()).collect();
+        assert_eq!(rows, (0..130).collect::<Vec<RowId>>(), "lowest-free order");
+        assert_eq!(dsb.allocate(LineAddr(999)), None);
+        // Free a high row and a low row; the low one must be claimed first.
+        dsb.fill(rows[128], vec![1]);
+        dsb.playback(rows[128]);
+        dsb.fill(rows[3], vec![1]);
+        dsb.playback(rows[3]);
+        assert_eq!(dsb.allocate(LineAddr(1000)), Some(3));
+        assert_eq!(dsb.allocate(LineAddr(1001)), Some(128));
+    }
 }
 
 #[cfg(test)]
@@ -307,6 +526,8 @@ mod proptests {
     #[derive(Debug, Clone)]
     enum Op {
         Read(u8),
+        /// Allocate without CAM lookup, as the merging-off controller does.
+        BlindRead(u8),
         Fill(u8),
         Playback,
         Invalidate(u8),
@@ -315,10 +536,53 @@ mod proptests {
     fn op() -> impl Strategy<Value = Op> {
         prop_oneof![
             any::<u8>().prop_map(Op::Read),
+            any::<u8>().prop_map(Op::BlindRead),
             any::<u8>().prop_map(Op::Fill),
             Just(Op::Playback),
             any::<u8>().prop_map(Op::Invalidate),
         ]
+    }
+
+    /// The original O(K) model: plain linear scans, no index structures.
+    /// The indexed implementation must agree with it on every observable.
+    struct LinearModel {
+        rows: Vec<(LineAddr, bool, u32)>, // (addr, valid, counter)
+    }
+
+    impl LinearModel {
+        fn new(k: usize) -> Self {
+            LinearModel { rows: vec![(LineAddr(0), false, 0); k] }
+        }
+        fn lookup(&self, addr: LineAddr) -> Option<RowId> {
+            self.rows
+                .iter()
+                .position(|&(a, valid, c)| c > 0 && valid && a == addr)
+                .map(|i| i as RowId)
+        }
+        fn allocate(&mut self, addr: LineAddr) -> Option<RowId> {
+            let idx = self.rows.iter().position(|&(_, _, c)| c == 0)?;
+            self.rows[idx] = (addr, true, 1);
+            Some(idx as RowId)
+        }
+        fn playback(&mut self, row: RowId) {
+            let r = &mut self.rows[row as usize];
+            r.2 -= 1;
+            if r.2 == 0 {
+                r.1 = false;
+            }
+        }
+        fn invalidate(&mut self, addr: LineAddr) -> bool {
+            match self.lookup(addr) {
+                Some(row) => {
+                    self.rows[row as usize].1 = false;
+                    true
+                }
+                None => false,
+            }
+        }
+        fn live(&self) -> usize {
+            self.rows.iter().filter(|&&(_, _, c)| c > 0).count()
+        }
     }
 
     proptest! {
@@ -333,7 +597,7 @@ mod proptests {
             let mut playbacks = 0u64;
             for op in &ops {
                 match op {
-                    Op::Read(a) => {
+                    Op::Read(a) | Op::BlindRead(a) => {
                         let addr = LineAddr(u64::from(*a % 16));
                         let row = match dsb.lookup(addr) {
                             Some(r) => { dsb.merge(r); Some(r) }
@@ -369,6 +633,62 @@ mod proptests {
                 dsb.playback(r);
             }
             prop_assert_eq!(dsb.live_rows(), 0);
+        }
+
+        /// The indexed CAM + free bitset must be observationally identical
+        /// to the original linear-scan model, including the duplicate-row
+        /// corner the merging-off controller exercises (`BlindRead`).
+        #[test]
+        fn matches_linear_scan_model(ops in proptest::collection::vec(op(), 1..400)) {
+            let k = 6;
+            let mut dsb = DelayStorageBuffer::new(k);
+            let mut model = LinearModel::new(k);
+            let mut scheduled: Vec<RowId> = Vec::new();
+            for op in &ops {
+                match op {
+                    Op::Read(a) => {
+                        let addr = LineAddr(u64::from(*a % 8));
+                        prop_assert_eq!(dsb.lookup(addr), model.lookup(addr));
+                        let row = match dsb.lookup(addr) {
+                            Some(r) => { dsb.merge(r); model.rows[r as usize].2 += 1; Some(r) }
+                            None => {
+                                let got = dsb.allocate(addr);
+                                prop_assert_eq!(got, model.allocate(addr));
+                                got
+                            }
+                        };
+                        if let Some(r) = row { scheduled.push(r); }
+                    }
+                    Op::BlindRead(a) => {
+                        // merging disabled: allocate without lookup
+                        let addr = LineAddr(u64::from(*a % 8));
+                        let got = dsb.allocate(addr);
+                        prop_assert_eq!(got, model.allocate(addr));
+                        if let Some(r) = got { scheduled.push(r); }
+                    }
+                    Op::Fill(a) => {
+                        let addr = LineAddr(u64::from(*a % 8));
+                        prop_assert_eq!(dsb.lookup(addr), model.lookup(addr));
+                        if let Some(r) = dsb.lookup(addr) { dsb.fill(r, vec![*a]); }
+                    }
+                    Op::Playback => {
+                        if !scheduled.is_empty() {
+                            let r = scheduled.remove(0);
+                            dsb.playback(r);
+                            model.playback(r);
+                        }
+                    }
+                    Op::Invalidate(a) => {
+                        let addr = LineAddr(u64::from(*a % 8));
+                        prop_assert_eq!(dsb.invalidate(addr), model.invalidate(addr));
+                    }
+                }
+                prop_assert_eq!(dsb.live_rows(), model.live());
+                // every address agrees after every operation
+                for probe in 0..8u64 {
+                    prop_assert_eq!(dsb.lookup(LineAddr(probe)), model.lookup(LineAddr(probe)));
+                }
+            }
         }
     }
 }

@@ -30,7 +30,7 @@
 //! use vpnm_core::{Request, LineAddr, VpnmConfig, VpnmController};
 //!
 //! let mut mem = VpnmController::new(VpnmConfig::small_test(), 0xC0FFEE)?;
-//! mem.tick(Some(Request::Write { addr: LineAddr(100), data: b"payload".to_vec() }));
+//! mem.tick(Some(Request::write(LineAddr(100), b"payload".to_vec())));
 //! mem.tick(Some(Request::Read { addr: LineAddr(100) }));
 //! let responses = mem.drain();
 //! assert_eq!(&responses[0].data[..7], b"payload");
@@ -53,11 +53,14 @@ pub mod delay_storage;
 pub mod hash_engine;
 pub mod memory;
 pub mod metrics;
+pub mod ready_set;
+pub mod reference;
 pub mod request;
 pub mod write_buffer;
 
 pub use config::{SchedulerKind, VpnmConfig};
-pub use controller::{StallPolicy, VpnmController};
+pub use controller::{RunReport, StallPolicy, VpnmController};
+pub use reference::ReferenceController;
 pub use hash_engine::{HashEngine, HashKind};
 pub use memory::{IdealMemory, PipelinedMemory};
 pub use metrics::ControllerMetrics;

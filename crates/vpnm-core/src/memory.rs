@@ -10,6 +10,7 @@
 //! stalls, its responses must be byte-identical to `IdealMemory`'s.
 
 use crate::request::{LineAddr, Request, Response, TickOutput};
+use bytes::Bytes;
 use std::collections::{HashMap, VecDeque};
 use vpnm_sim::Cycle;
 
@@ -57,7 +58,7 @@ impl PipelinedMemory for crate::VpnmController {
 /// use vpnm_core::{LineAddr, Request};
 ///
 /// let mut mem = IdealMemory::new(4, 8);
-/// mem.tick(Some(Request::Write { addr: LineAddr(1), data: vec![9] }));
+/// mem.tick(Some(Request::write(LineAddr(1), vec![9])));
 /// mem.tick(Some(Request::Read { addr: LineAddr(1) }));
 /// let mut got = None;
 /// for _ in 0..4 {
@@ -69,15 +70,17 @@ impl PipelinedMemory for crate::VpnmController {
 pub struct IdealMemory {
     delay: u64,
     cell_bytes: usize,
-    store: HashMap<LineAddr, Vec<u8>>,
+    store: HashMap<LineAddr, Bytes>,
     in_flight: VecDeque<PendingRead>,
     now: Cycle,
+    /// Shared zero cell for reads of never-written addresses.
+    zero: Bytes,
 }
 
 #[derive(Debug, Clone)]
 struct PendingRead {
     addr: LineAddr,
-    data: Vec<u8>,
+    data: Bytes,
     issued_at: Cycle,
     due_at: Cycle,
 }
@@ -98,12 +101,14 @@ impl IdealMemory {
             store: HashMap::new(),
             in_flight: VecDeque::new(),
             now: Cycle::ZERO,
+            zero: Bytes::from(vec![0u8; cell_bytes]),
         }
     }
 
-    /// Zero-time backdoor read (oracle access).
-    pub fn peek(&self, addr: LineAddr) -> Vec<u8> {
-        self.store.get(&addr).cloned().unwrap_or_else(|| vec![0; self.cell_bytes])
+    /// Zero-time backdoor read (oracle access). Returns a refcounted view
+    /// of the stored cell — no copy.
+    pub fn peek(&self, addr: LineAddr) -> Bytes {
+        self.store.get(&addr).cloned().unwrap_or_else(|| self.zero.clone())
     }
 }
 
@@ -128,15 +133,22 @@ impl PipelinedMemory for IdealMemory {
                         due_at: self.now + self.delay,
                     });
                 }
-                Request::Write { addr, mut data } => {
+                Request::Write { addr, data } => {
                     assert!(
                         data.len() <= self.cell_bytes,
                         "write of {} bytes exceeds cell size {}",
                         data.len(),
                         self.cell_bytes
                     );
-                    data.resize(self.cell_bytes, 0);
-                    self.store.insert(addr, data);
+                    // Pad only short writes (the single copy on this path).
+                    let cell = if data.len() == self.cell_bytes {
+                        data
+                    } else {
+                        let mut padded = data.to_vec();
+                        padded.resize(self.cell_bytes, 0);
+                        Bytes::from(padded)
+                    };
+                    self.store.insert(addr, cell);
                 }
             }
         }
@@ -190,10 +202,10 @@ mod tests {
     #[test]
     fn ideal_memory_snapshot_semantics() {
         let mut m = IdealMemory::new(3, 1);
-        m.tick(Some(Request::Write { addr: LineAddr(1), data: vec![1] }));
+        m.tick(Some(Request::write(LineAddr(1), vec![1])));
         m.tick(Some(Request::Read { addr: LineAddr(1) }));
         // write lands while the read is in flight — read keeps snapshot
-        m.tick(Some(Request::Write { addr: LineAddr(1), data: vec![2] }));
+        m.tick(Some(Request::write(LineAddr(1), vec![2])));
         let mut responses = Vec::new();
         for _ in 0..4 {
             responses.extend(m.tick(None).response);
@@ -217,7 +229,7 @@ mod tests {
         for _ in 0..5000 {
             let addr = rng.gen_range(0..256u64);
             let req = if rng.gen_bool(0.25) {
-                Request::Write { addr: LineAddr(addr), data: vec![rng.gen::<u8>()] }
+                Request::write(LineAddr(addr), vec![rng.gen::<u8>()])
             } else {
                 Request::Read { addr: LineAddr(addr) }
             };

@@ -8,7 +8,7 @@ use vpnm_sim::{Cycle, RunningStats};
 /// `first_stall_at` is the measured quantity behind the paper's Mean Time
 /// to Stall experiments: run a workload, read off when (if ever) the first
 /// stall happened.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ControllerMetrics {
     /// Reads accepted at the interface.
     pub reads_accepted: u64,
@@ -25,6 +25,12 @@ pub struct ControllerMetrics {
     pub access_queue_stalls: u64,
     /// Write buffer stalls.
     pub write_buffer_stalls: u64,
+    /// Malformed requests rejected (out-of-range address or oversized
+    /// write payload). Rejections are not stalls: they do not count
+    /// toward [`total_stalls`](Self::total_stalls) and do not set
+    /// [`first_stall_at`](Self::first_stall_at), because they say nothing
+    /// about the controller's capacity — only about the caller.
+    pub malformed_rejections: u64,
     /// Interface cycle of the first stall, if any ever happened.
     pub first_stall_at: Option<Cycle>,
     /// Deadline misses: playbacks whose data had not arrived (must stay 0
@@ -45,12 +51,17 @@ impl ControllerMetrics {
         Self::default()
     }
 
-    /// Records a stall of the given kind at `now`.
+    /// Records a stall (or rejection) of the given kind at `now`.
     pub fn record_stall(&mut self, kind: StallKind, now: Cycle) {
         match kind {
             StallKind::DelayStorage => self.delay_storage_stalls += 1,
             StallKind::AccessQueue => self.access_queue_stalls += 1,
             StallKind::WriteBuffer => self.write_buffer_stalls += 1,
+            StallKind::AddressRange | StallKind::OversizedWrite => {
+                self.malformed_rejections += 1;
+                // Rejections never count as the first stall.
+                return;
+            }
         }
         if self.first_stall_at.is_none() {
             self.first_stall_at = Some(now);
@@ -92,6 +103,20 @@ mod tests {
         assert_eq!(m.access_queue_stalls, 1);
         assert_eq!(m.delay_storage_stalls, 1);
         assert_eq!(m.write_buffer_stalls, 1);
+    }
+
+    #[test]
+    fn rejections_do_not_count_as_stalls() {
+        let mut m = ControllerMetrics::new();
+        m.record_stall(StallKind::AddressRange, Cycle::new(5));
+        m.record_stall(StallKind::OversizedWrite, Cycle::new(6));
+        assert_eq!(m.malformed_rejections, 2);
+        assert_eq!(m.total_stalls(), 0);
+        assert_eq!(m.first_stall_at, None);
+        // A real stall after a rejection still registers as the first.
+        m.record_stall(StallKind::AccessQueue, Cycle::new(7));
+        assert_eq!(m.first_stall_at, Some(Cycle::new(7)));
+        assert_eq!(m.total_stalls(), 1);
     }
 
     #[test]

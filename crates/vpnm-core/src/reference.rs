@@ -1,0 +1,574 @@
+//! The reference engine: the original, straightforward formulation of the
+//! VPNM controller, kept as a living specification.
+//!
+//! [`ReferenceController`] does exactly what the seed implementation did
+//! before the hot-path rework in [`controller`](crate::controller) and
+//! [`delay_storage`](crate::delay_storage) — down to owning its own port
+//! of the original per-bank stack:
+//!
+//! * the **delay storage buffer is linear**: CAM lookup, free-row search
+//!   and invalidation are all O(K) scans over the rows, exactly as the
+//!   seed's `DelayStorageBuffer` (the rework replaced these with a
+//!   hash-indexed CAM and a free bitset);
+//! * every bank owns its **own circular delay line**, all advanced in
+//!   lockstep every interface cycle (the rework shares one ring);
+//! * the bus scheduler **scans all `B` banks** every memory cycle;
+//! * occupancy metrics are sampled with **O(B) scans** per interface
+//!   cycle;
+//! * the memory-clock loop runs **every memory cycle**, busy or idle (no
+//!   idle fast-forward).
+//!
+//! It is deliberately naive: the `tests/engine_equivalence.rs` suite
+//! drives it and [`VpnmController`](crate::VpnmController) with identical
+//! request streams and requires cycle-for-cycle, byte-for-byte identical
+//! outputs and metrics, and the `controller_throughput` benchmark uses it
+//! as the baseline the fast engine's speedup is measured against.
+//!
+//! The only intentional departure from the seed is request validation:
+//! like the fast engine, malformed requests are rejected gracefully in
+//! release builds (the seed asserted unconditionally) so the two engines
+//! remain comparable on every input.
+
+use crate::access_queue::{AccessEntry, BankAccessQueue};
+use crate::bank_controller::{Accepted, BankEvent};
+use crate::config::{SchedulerKind, VpnmConfig};
+use crate::delay_line::CircularDelayBuffer;
+use crate::delay_storage::RowId;
+use crate::hash_engine::HashEngine;
+use crate::metrics::ControllerMetrics;
+use crate::request::{LineAddr, Request, Response, StallKind, TickOutput};
+use crate::write_buffer::WriteBuffer;
+use bytes::Bytes;
+use vpnm_dram::{DramConfig, DramDevice, DramStats};
+use vpnm_hash::BankHasher;
+use vpnm_sim::trace::TraceKind;
+use vpnm_sim::{Cycle, DualClock, TraceRecorder};
+
+#[derive(Debug, Clone, Default)]
+struct SeedRow {
+    addr: LineAddr,
+    addr_valid: bool,
+    counter: u32,
+    data: Option<Bytes>,
+}
+
+impl SeedRow {
+    fn is_free(&self) -> bool {
+        self.counter == 0
+    }
+}
+
+/// The seed's delay storage buffer: plain linear scans, no index
+/// structures. Must stay observably identical to the indexed
+/// [`DelayStorageBuffer`](crate::delay_storage::DelayStorageBuffer)
+/// (locked by that module's differential proptest and by the engine
+/// equivalence suite).
+#[derive(Debug, Clone)]
+struct SeedDelayStorage {
+    rows: Vec<SeedRow>,
+    live: usize,
+}
+
+impl SeedDelayStorage {
+    fn new(k: usize) -> Self {
+        assert!(k > 0, "delay storage buffer needs at least one row");
+        SeedDelayStorage { rows: vec![SeedRow::default(); k], live: 0 }
+    }
+
+    fn live_rows(&self) -> usize {
+        self.live
+    }
+
+    fn lookup(&self, addr: LineAddr) -> Option<RowId> {
+        self.rows
+            .iter()
+            .position(|r| !r.is_free() && r.addr_valid && r.addr == addr)
+            .map(|i| i as RowId)
+    }
+
+    fn allocate(&mut self, addr: LineAddr) -> Option<RowId> {
+        let idx = self.rows.iter().position(SeedRow::is_free)?;
+        let row = &mut self.rows[idx];
+        row.addr = addr;
+        row.addr_valid = true;
+        row.counter = 1;
+        row.data = None;
+        self.live += 1;
+        Some(idx as RowId)
+    }
+
+    fn merge(&mut self, row: RowId) {
+        let r = &mut self.rows[row as usize];
+        assert!(!r.is_free(), "merge into free row {row}");
+        r.counter += 1;
+    }
+
+    fn row_addr(&self, row: RowId) -> LineAddr {
+        let r = &self.rows[row as usize];
+        assert!(!r.is_free(), "address of free row {row}");
+        r.addr
+    }
+
+    fn fill(&mut self, row: RowId, data: Bytes) {
+        let r = &mut self.rows[row as usize];
+        assert!(!r.is_free(), "fill of free row {row}");
+        r.data = Some(data);
+    }
+
+    fn playback(&mut self, row: RowId) -> (LineAddr, Option<Bytes>) {
+        let r = &mut self.rows[row as usize];
+        assert!(!r.is_free(), "playback of free row {row}");
+        let addr = r.addr;
+        let data = r.data.clone();
+        r.counter -= 1;
+        if r.counter == 0 {
+            r.addr_valid = false;
+            r.data = None;
+            self.live -= 1;
+        }
+        (addr, data)
+    }
+
+    fn invalidate(&mut self, addr: LineAddr) -> bool {
+        if let Some(row) = self.lookup(addr) {
+            self.rows[row as usize].addr_valid = false;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// The seed's per-bank controller: linear delay storage plus its own
+/// internal circular delay line, advanced every interface cycle whether
+/// or not anything is in flight.
+#[derive(Debug, Clone)]
+struct SeedBank {
+    bank: u32,
+    storage: SeedDelayStorage,
+    queue: BankAccessQueue,
+    writes: WriteBuffer,
+    delay_line: CircularDelayBuffer,
+    in_service_until: Option<Cycle>,
+    merging: bool,
+}
+
+impl SeedBank {
+    fn new(bank: u32, k: usize, q: usize, wb: usize, d: u64, merging: bool) -> Self {
+        SeedBank {
+            bank,
+            storage: SeedDelayStorage::new(k),
+            queue: BankAccessQueue::new(q),
+            writes: WriteBuffer::new(wb),
+            delay_line: CircularDelayBuffer::new(d as usize),
+            in_service_until: None,
+            merging,
+        }
+    }
+
+    fn submit(&mut self, event: BankEvent) -> Result<Accepted, StallKind> {
+        match event {
+            BankEvent::Read { addr } => {
+                if self.merging {
+                    if let Some(row) = self.storage.lookup(addr) {
+                        self.storage.merge(row);
+                        return Ok(Accepted::ReadMerged(row));
+                    }
+                }
+                if self.queue.is_full() {
+                    return Err(StallKind::AccessQueue);
+                }
+                let Some(row) = self.storage.allocate(addr) else {
+                    return Err(StallKind::DelayStorage);
+                };
+                self.queue.push(AccessEntry::Read { row }).expect("checked for space above");
+                Ok(Accepted::ReadQueued(row))
+            }
+            BankEvent::Write { addr, data } => {
+                if self.writes.is_full() {
+                    return Err(StallKind::WriteBuffer);
+                }
+                if self.queue.is_full() {
+                    return Err(StallKind::AccessQueue);
+                }
+                self.writes.push(addr, data).expect("checked for space above");
+                self.queue.push(AccessEntry::Write).expect("checked for space above");
+                self.storage.invalidate(addr);
+                Ok(Accepted::WriteBuffered)
+            }
+        }
+    }
+
+    /// Advances this bank's delay line by one interface cycle.
+    fn advance_delay_line(&mut self, incoming: Option<RowId>) -> Option<(LineAddr, Option<Bytes>)> {
+        let due = self.delay_line.tick(incoming)?;
+        Some(self.storage.playback(due))
+    }
+
+    fn on_bus_grant(&mut self, dram: &mut DramDevice, now_mem: Cycle) -> bool {
+        if let Some(until) = self.in_service_until {
+            if now_mem < until {
+                return false; // bank busy — the grant is wasted
+            }
+            self.queue.pop();
+            self.in_service_until = None;
+        }
+        let Some(front) = self.queue.front().copied() else {
+            return false;
+        };
+        match dram.is_bank_ready(self.bank, now_mem) {
+            Ok(true) => {}
+            Ok(false) => return false,
+            Err(e) => panic!("unexpected DRAM error on readiness: {e}"),
+        }
+        match front {
+            AccessEntry::Read { row } => {
+                let addr = self.storage.row_addr(row);
+                let grant =
+                    dram.issue_read(self.bank, addr.0, now_mem).expect("bank checked ready");
+                self.storage.fill(row, grant.data);
+                self.in_service_until = Some(grant.data_ready_at);
+                true
+            }
+            AccessEntry::Write => {
+                let w = self.writes.pop().expect("Write queue entry implies buffered write");
+                let done = dram
+                    .issue_write(self.bank, w.addr.0, w.data, now_mem)
+                    .expect("bank checked ready");
+                self.in_service_until = Some(done);
+                true
+            }
+        }
+    }
+
+    fn wants_grant(&self, now: Cycle) -> bool {
+        if self.queue.is_empty() {
+            return false;
+        }
+        match self.in_service_until {
+            Some(until) => now >= until && self.queue.len() > 1,
+            None => true,
+        }
+    }
+
+    fn storage_occupancy(&self) -> usize {
+        self.storage.live_rows()
+    }
+
+    fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// The O(B)-per-cycle, O(K)-per-request reference implementation of the
+/// VPNM controller.
+///
+/// Behaviourally identical to [`VpnmController`](crate::VpnmController) —
+/// same responses on the same cycles, same metrics, same stalls — just
+/// without any of the incremental bookkeeping. See the module docs.
+#[derive(Debug)]
+pub struct ReferenceController {
+    config: VpnmConfig,
+    delay: u64,
+    hash: HashEngine,
+    clock: DualClock,
+    dram: DramDevice,
+    banks: Vec<SeedBank>,
+    rr_next: u32,
+    metrics: ControllerMetrics,
+    outstanding: usize,
+    trace: TraceRecorder,
+    next_request_id: u64,
+}
+
+impl ReferenceController {
+    /// Builds a reference controller from `config`, keying the universal
+    /// hash from `seed`. Same construction as the fast engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation failure message for an inconsistent config.
+    pub fn new(config: VpnmConfig, seed: u64) -> Result<Self, String> {
+        config.validate()?;
+        let delay = config.effective_delay();
+        let hash =
+            HashEngine::from_seed(config.hash, config.addr_bits, config.bank_bits(), seed);
+        let cells_per_row = 64u64;
+        let total_cells = 1u64 << config.addr_bits;
+        let dram_config = DramConfig {
+            num_banks: config.banks,
+            rows_per_bank: total_cells.div_ceil(cells_per_row),
+            cells_per_row,
+            cell_bytes: config.cell_bytes,
+            timing: vpnm_dram::timing::TimingModel::simple(config.bank_latency),
+        };
+        let dram = DramDevice::new(dram_config);
+        let wb = config.write_buffer_capacity();
+        let banks = (0..config.banks)
+            .map(|b| {
+                SeedBank::new(
+                    b,
+                    config.storage_rows,
+                    config.queue_entries,
+                    wb,
+                    delay,
+                    config.merging,
+                )
+            })
+            .collect();
+        let trace = if config.trace_capacity > 0 {
+            TraceRecorder::with_capacity(config.trace_capacity)
+        } else {
+            TraceRecorder::disabled()
+        };
+        Ok(ReferenceController {
+            clock: DualClock::new(config.bus_ratio),
+            delay,
+            hash,
+            dram,
+            banks,
+            rr_next: 0,
+            metrics: ControllerMetrics::new(),
+            outstanding: 0,
+            trace,
+            next_request_id: 0,
+            config,
+        })
+    }
+
+    /// The deterministic latency `D` in interface cycles.
+    pub fn delay(&self) -> u64 {
+        self.delay
+    }
+
+    /// The configuration this controller was built from.
+    pub fn config(&self) -> &VpnmConfig {
+        &self.config
+    }
+
+    /// The current interface cycle.
+    pub fn now(&self) -> Cycle {
+        self.clock.interface_now()
+    }
+
+    /// Accumulated controller metrics.
+    pub fn metrics(&self) -> &ControllerMetrics {
+        &self.metrics
+    }
+
+    /// Statistics of the underlying DRAM device.
+    pub fn dram_stats(&self) -> &DramStats {
+        self.dram.stats()
+    }
+
+    /// Reads still in flight.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// The keyed hash engine.
+    pub fn hash(&self) -> &HashEngine {
+        &self.hash
+    }
+
+    /// Advances exactly one interface cycle — the original formulation:
+    /// run every memory cycle with a grant, scan for the pick, scan for
+    /// the samples, advance every bank's delay line.
+    pub fn tick(&mut self, request: Option<Request>) -> TickOutput {
+        loop {
+            let mt = self.clock.tick_memory();
+            let bank = self.pick_grant(mt.memory_cycle);
+            self.banks[bank].on_bus_grant(&mut self.dram, mt.memory_cycle);
+            if mt.interface_tick {
+                break;
+            }
+        }
+        let now = self.clock.interface_now();
+
+        let mut stall = None;
+        let mut read_row = None; // (bank, row) scheduled into its delay line
+        if let Some(req) = request {
+            let id = self.next_request_id;
+            self.next_request_id += 1;
+            if let Some(kind) = self.validate(&req) {
+                stall = Some(kind);
+                self.metrics.record_stall(kind, now);
+                self.trace.record(now, id, TraceKind::Stalled);
+            } else {
+                let bank = self.hash.bank_of(req.addr().0) as usize;
+                let event = match req {
+                    Request::Read { addr } => BankEvent::Read { addr },
+                    Request::Write { addr, data } => BankEvent::Write { addr, data },
+                };
+                match self.banks[bank].submit(event) {
+                    Ok(Accepted::ReadQueued(row)) => {
+                        self.metrics.reads_accepted += 1;
+                        self.outstanding += 1;
+                        read_row = Some((bank, row));
+                        self.trace.record(now, id, TraceKind::Accepted);
+                    }
+                    Ok(Accepted::ReadMerged(row)) => {
+                        self.metrics.reads_accepted += 1;
+                        self.metrics.reads_merged += 1;
+                        self.outstanding += 1;
+                        read_row = Some((bank, row));
+                        self.trace.record(now, id, TraceKind::Merged);
+                    }
+                    Ok(Accepted::WriteBuffered) => {
+                        self.metrics.writes_accepted += 1;
+                        self.trace.record(now, id, TraceKind::Accepted);
+                    }
+                    Err(kind) => {
+                        stall = Some(kind);
+                        self.metrics.record_stall(kind, now);
+                        self.trace.record(now, id, TraceKind::Stalled);
+                    }
+                }
+            }
+        }
+
+        // Advance every bank's delay line. At most one bank can have a
+        // playback due (one request per interface cycle).
+        let mut response = None;
+        for (i, bc) in self.banks.iter_mut().enumerate() {
+            let incoming = match read_row {
+                Some((bank, row)) if bank == i => Some(row),
+                _ => None,
+            };
+            if let Some((addr, data)) = bc.advance_delay_line(incoming) {
+                debug_assert!(response.is_none(), "two playbacks due in one cycle");
+                let data = match data {
+                    Some(d) => d,
+                    None => {
+                        self.metrics.deadline_misses += 1;
+                        Bytes::from(vec![0u8; self.config.cell_bytes])
+                    }
+                };
+                self.outstanding -= 1;
+                self.metrics.responses += 1;
+                response = Some(Response {
+                    addr,
+                    data,
+                    issued_at: Cycle::new(now.as_u64() - self.delay),
+                    completed_at: now,
+                });
+            }
+        }
+
+        // occupancy sampling — the original O(B) scans
+        let max_queue = self.banks.iter().map(SeedBank::queue_depth).max().unwrap_or(0);
+        let storage: usize = self.banks.iter().map(SeedBank::storage_occupancy).sum();
+        self.metrics.queue_depth.record(max_queue as u64);
+        self.metrics.storage_occupancy.record(storage as u64);
+
+        TickOutput { response, stall }
+    }
+
+    /// Same request validation as the fast engine (debug builds assert,
+    /// release builds reject gracefully).
+    fn validate(&self, req: &Request) -> Option<StallKind> {
+        let addr = req.addr();
+        debug_assert!(
+            addr.0 < (1u64 << self.config.addr_bits),
+            "address {addr} outside the configured {}-bit space",
+            self.config.addr_bits
+        );
+        if addr.0 >= (1u64 << self.config.addr_bits) {
+            return Some(StallKind::AddressRange);
+        }
+        if let Request::Write { data, .. } = req {
+            debug_assert!(
+                data.len() <= self.config.cell_bytes,
+                "write of {} bytes exceeds cell size {}",
+                data.len(),
+                self.config.cell_bytes
+            );
+            if data.len() > self.config.cell_bytes {
+                return Some(StallKind::OversizedWrite);
+            }
+        }
+        None
+    }
+
+    /// The original grant scan: visit all `B` banks from the round-robin
+    /// position.
+    fn pick_grant(&mut self, now_mem: Cycle) -> usize {
+        let rr = self.rr_next as usize;
+        self.rr_next = (self.rr_next + 1) % self.config.banks;
+        match self.config.scheduler {
+            SchedulerKind::RoundRobin => rr,
+            SchedulerKind::WorkConserving => {
+                if self.banks[rr].wants_grant(now_mem) {
+                    return rr;
+                }
+                let b = self.config.banks as usize;
+                (0..b)
+                    .map(|i| (rr + i) % b)
+                    .filter(|&i| self.banks[i].wants_grant(now_mem))
+                    .max_by_key(|&i| self.banks[i].queue_depth())
+                    .unwrap_or(rr)
+            }
+        }
+    }
+
+    /// Shorthand for ticking with a read request.
+    pub fn tick_read(&mut self, addr: impl Into<LineAddr>) -> TickOutput {
+        self.tick(Some(Request::Read { addr: addr.into() }))
+    }
+
+    /// Shorthand for ticking with a write request.
+    pub fn tick_write(&mut self, addr: impl Into<LineAddr>, data: impl Into<Bytes>) -> TickOutput {
+        self.tick(Some(Request::write(addr.into(), data)))
+    }
+
+    /// Ticks with no request until all outstanding reads have been
+    /// answered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if draining takes more than `outstanding × D + D` cycles.
+    pub fn drain(&mut self) -> Vec<Response> {
+        let budget = (self.outstanding as u64 + 1) * self.delay + self.delay;
+        let mut out = Vec::with_capacity(self.outstanding);
+        let mut spent = 0u64;
+        while self.outstanding > 0 {
+            assert!(spent <= budget, "drain exceeded {budget} cycles");
+            if let Some(r) = self.tick(None).response {
+                out.push(r);
+            }
+            spent += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_answers_reads_at_exactly_d() {
+        let mut mem = ReferenceController::new(VpnmConfig::small_test(), 3).unwrap();
+        let d = mem.delay();
+        assert!(mem.tick_write(11, vec![0x5A]).accepted());
+        assert!(mem.tick_read(11).accepted());
+        let responses = mem.drain();
+        assert_eq!(responses.len(), 1);
+        assert_eq!(responses[0].latency(), d);
+        assert_eq!(responses[0].data[0], 0x5A);
+    }
+
+    #[test]
+    fn reference_merges_redundant_reads() {
+        let mut mem = ReferenceController::new(VpnmConfig::small_test(), 3).unwrap();
+        let mut responses = 0;
+        for _ in 0..100 {
+            let out = mem.tick_read(9);
+            assert!(out.accepted());
+            responses += out.response.iter().len();
+        }
+        responses += mem.drain().len();
+        assert_eq!(responses, 100);
+        assert!(mem.metrics().reads_merged >= 90);
+    }
+}

@@ -1,5 +1,12 @@
 //! Request, response, and stall types — the controller's wire format.
+//!
+//! Cell payloads travel as [`bytes::Bytes`]: a cheaply cloneable,
+//! reference-counted byte slice. Cloning a payload on its way through the
+//! delay storage buffer, delay line, and response path bumps a refcount
+//! instead of copying the cell, which keeps the controller's steady-state
+//! data path allocation-free.
 
+use bytes::Bytes;
 use std::fmt;
 use vpnm_sim::Cycle;
 
@@ -36,14 +43,20 @@ pub enum Request {
     /// "unlike read requests, we need not wait for the write requests to
     /// complete").
     Write {
-        /// Cell address.
+        /// Cell contents (at most the configured cell size). `Bytes`
+        /// converts from `Vec<u8>`/`&[u8]` via `.into()`.
         addr: LineAddr,
         /// Cell contents (at most the configured cell size).
-        data: Vec<u8>,
+        data: Bytes,
     },
 }
 
 impl Request {
+    /// Convenience constructor for a write carrying any byte-like payload.
+    pub fn write(addr: LineAddr, data: impl Into<Bytes>) -> Self {
+        Request::Write { addr, data: data.into() }
+    }
+
     /// The address this request targets.
     pub fn addr(&self) -> LineAddr {
         match self {
@@ -62,8 +75,9 @@ impl Request {
 pub struct Response {
     /// The address that was read.
     pub addr: LineAddr,
-    /// The data (exactly one cell).
-    pub data: Vec<u8>,
+    /// The data (exactly one cell). Shared with the controller's internal
+    /// buffers — cloning a `Response` does not copy the cell.
+    pub data: Bytes,
     /// Interface cycle the read was accepted.
     pub issued_at: Cycle,
     /// Interface cycle the response was delivered (`issued_at + D`).
@@ -78,7 +92,15 @@ impl Response {
     }
 }
 
-/// The three stall conditions of paper Section 4.3.
+/// Why a submitted request was not accepted this cycle.
+///
+/// The first three are the stall conditions of paper Section 4.3:
+/// back-pressure from full structures, where the request is well-formed
+/// and retrying later can succeed. The last two are *rejections* of
+/// malformed requests (out-of-range address, oversized payload): retrying
+/// the identical request can never succeed, so they are accounted
+/// separately from stalls and never satisfied by
+/// [`StallPolicy::Block`](crate::StallPolicy).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StallKind {
     /// No free row in the delay storage buffer (`K` exhausted).
@@ -87,6 +109,19 @@ pub enum StallKind {
     AccessQueue,
     /// The write buffer FIFO is full.
     WriteBuffer,
+    /// Rejected: the address is outside the configured capacity.
+    AddressRange,
+    /// Rejected: write payload larger than the configured cell size.
+    OversizedWrite,
+}
+
+impl StallKind {
+    /// True for the rejection kinds ([`AddressRange`](Self::AddressRange),
+    /// [`OversizedWrite`](Self::OversizedWrite)): the request is malformed
+    /// and retrying it verbatim can never succeed.
+    pub fn is_rejection(self) -> bool {
+        matches!(self, StallKind::AddressRange | StallKind::OversizedWrite)
+    }
 }
 
 impl fmt::Display for StallKind {
@@ -95,6 +130,8 @@ impl fmt::Display for StallKind {
             StallKind::DelayStorage => "delay storage buffer stall",
             StallKind::AccessQueue => "bank access queue stall",
             StallKind::WriteBuffer => "write buffer stall",
+            StallKind::AddressRange => "address out of range (rejected)",
+            StallKind::OversizedWrite => "write larger than cell (rejected)",
         };
         f.write_str(s)
     }
@@ -109,7 +146,8 @@ pub struct TickOutput {
     pub response: Option<Response>,
     /// If the submitted request could not be accepted, why. The request
     /// was *not* enqueued; the caller decides whether to retry it next
-    /// cycle (stall the line card) or drop it.
+    /// cycle (stall the line card) or drop it. Rejection kinds
+    /// ([`StallKind::is_rejection`]) must not be retried.
     pub stall: Option<StallKind>,
 }
 
@@ -127,7 +165,7 @@ mod tests {
     #[test]
     fn request_accessors() {
         let r = Request::Read { addr: LineAddr(5) };
-        let w = Request::Write { addr: LineAddr(6), data: vec![1] };
+        let w = Request::write(LineAddr(6), vec![1]);
         assert!(r.is_read());
         assert!(!w.is_read());
         assert_eq!(r.addr(), LineAddr(5));
@@ -138,7 +176,7 @@ mod tests {
     fn response_latency() {
         let resp = Response {
             addr: LineAddr(0),
-            data: vec![],
+            data: Bytes::new(),
             issued_at: Cycle::new(10),
             completed_at: Cycle::new(40),
         };
@@ -151,6 +189,17 @@ mod tests {
         assert!(StallKind::DelayStorage.to_string().contains("delay storage"));
         assert!(StallKind::AccessQueue.to_string().contains("access queue"));
         assert!(StallKind::WriteBuffer.to_string().contains("write buffer"));
+        assert!(StallKind::AddressRange.to_string().contains("rejected"));
+        assert!(StallKind::OversizedWrite.to_string().contains("rejected"));
+    }
+
+    #[test]
+    fn rejection_kinds_are_flagged() {
+        assert!(!StallKind::DelayStorage.is_rejection());
+        assert!(!StallKind::AccessQueue.is_rejection());
+        assert!(!StallKind::WriteBuffer.is_rejection());
+        assert!(StallKind::AddressRange.is_rejection());
+        assert!(StallKind::OversizedWrite.is_rejection());
     }
 
     #[test]
@@ -158,5 +207,18 @@ mod tests {
         assert!(TickOutput::default().accepted());
         let t = TickOutput { response: None, stall: Some(StallKind::AccessQueue) };
         assert!(!t.accepted());
+    }
+
+    #[test]
+    fn response_payload_clone_is_shared() {
+        let data = Bytes::from(vec![7u8; 64]);
+        let resp = Response {
+            addr: LineAddr(1),
+            data: data.clone(),
+            issued_at: Cycle::ZERO,
+            completed_at: Cycle::new(1),
+        };
+        let copy = resp.clone();
+        assert_eq!(copy.data.as_slice().as_ptr(), data.as_slice().as_ptr());
     }
 }

@@ -7,6 +7,7 @@
 //! than the access-queue stall.
 
 use crate::request::LineAddr;
+use bytes::Bytes;
 use std::collections::VecDeque;
 
 /// A pending write (address + cell data).
@@ -14,8 +15,8 @@ use std::collections::VecDeque;
 pub struct PendingWrite {
     /// Destination cell.
     pub addr: LineAddr,
-    /// Cell contents.
-    pub data: Vec<u8>,
+    /// Cell contents (reference-counted; cloning does not copy).
+    pub data: Bytes,
 }
 
 /// Bounded FIFO of pending writes.
@@ -75,7 +76,8 @@ impl WriteBuffer {
     /// # Errors
     ///
     /// Returns [`WriteBufferFull`] when at capacity.
-    pub fn push(&mut self, addr: LineAddr, data: Vec<u8>) -> Result<(), WriteBufferFull> {
+    pub fn push(&mut self, addr: LineAddr, data: impl Into<Bytes>) -> Result<(), WriteBufferFull> {
+        let data = data.into();
         if self.is_full() {
             return Err(WriteBufferFull(PendingWrite { addr, data }));
         }
@@ -109,7 +111,7 @@ mod tests {
         wb.push(LineAddr(1), vec![9]).unwrap();
         let err = wb.push(LineAddr(2), vec![8]).unwrap_err();
         assert_eq!(err.0.addr, LineAddr(2));
-        assert_eq!(err.0.data, vec![8]);
+        assert_eq!(err.0.data, vec![8u8]);
     }
 
     #[test]

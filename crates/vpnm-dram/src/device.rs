@@ -5,6 +5,7 @@ use crate::config::DramConfig;
 use crate::stats::DramStats;
 use crate::storage::SparseStorage;
 use crate::timing::TimingPolicy;
+use bytes::Bytes;
 use std::fmt;
 use vpnm_sim::Cycle;
 
@@ -66,8 +67,8 @@ pub struct ReadGrant {
     /// bytes over immediately; a well-behaved caller must not *act* on them
     /// before `data_ready_at`.
     pub data_ready_at: Cycle,
-    /// The cell contents.
-    pub data: Vec<u8>,
+    /// The cell contents (refcounted handle into device storage).
+    pub data: Bytes,
 }
 
 /// A banked DRAM device with a shared data bus.
@@ -79,6 +80,9 @@ pub struct DramDevice {
     banks: Vec<Bank>,
     storage: SparseStorage,
     stats: DramStats,
+    /// `log2(cells_per_row)` when the row width is a power of two, letting
+    /// the per-access row mapping shift instead of divide.
+    row_shift: Option<u32>,
 }
 
 impl DramDevice {
@@ -91,7 +95,9 @@ impl DramDevice {
         config.validate().expect("invalid DramConfig");
         let banks = (0..config.num_banks).map(|_| Bank::new()).collect();
         let storage = SparseStorage::new(config.cell_bytes);
-        DramDevice { config, banks, storage, stats: DramStats::default() }
+        let row_shift =
+            config.cells_per_row.is_power_of_two().then(|| config.cells_per_row.trailing_zeros());
+        DramDevice { config, banks, storage, stats: DramStats::default(), row_shift }
     }
 
     /// The device configuration.
@@ -134,7 +140,10 @@ impl DramDevice {
     }
 
     fn row_of(&self, offset: u64) -> u64 {
-        offset / self.config.cells_per_row
+        match self.row_shift {
+            Some(s) => offset >> s,
+            None => offset / self.config.cells_per_row,
+        }
     }
 
     /// Issues a read of cell `offset` in `bank` at cycle `now`.
@@ -181,7 +190,7 @@ impl DramDevice {
         &mut self,
         bank: u32,
         offset: u64,
-        data: Vec<u8>,
+        data: impl Into<Bytes>,
         now: Cycle,
     ) -> Result<Cycle, DramError> {
         self.check_offset(offset)?;
@@ -211,7 +220,7 @@ impl DramDevice {
 
     /// Direct (zero-time) backdoor read for test oracles and debugging —
     /// does not touch bank state or stats.
-    pub fn peek(&self, bank: u32, offset: u64) -> Vec<u8> {
+    pub fn peek(&self, bank: u32, offset: u64) -> Bytes {
         self.storage.read(self.cell_index(bank, offset))
     }
 
@@ -220,7 +229,7 @@ impl DramDevice {
     /// # Panics
     ///
     /// Panics if `data` exceeds the configured cell size.
-    pub fn poke(&mut self, bank: u32, offset: u64, data: Vec<u8>) {
+    pub fn poke(&mut self, bank: u32, offset: u64, data: impl Into<Bytes>) {
         let idx = self.cell_index(bank, offset);
         self.storage.write(idx, data);
     }
@@ -242,7 +251,7 @@ impl DramDevice {
 
     /// Zero-time backdoor removal of a cell (re-keying migration).
     /// Returns the previous contents if the cell was populated.
-    pub fn take(&mut self, bank: u32, offset: u64) -> Option<Vec<u8>> {
+    pub fn take(&mut self, bank: u32, offset: u64) -> Option<Bytes> {
         let idx = self.cell_index(bank, offset);
         self.storage.take(idx)
     }

@@ -4,8 +4,14 @@
 //! simulator cannot allocate that eagerly, so cells are materialized on
 //! first write. Reads of never-written cells return zeroes, matching the
 //! "fresh DRAM" abstraction the rest of the stack assumes.
+//!
+//! Cells are stored as [`bytes::Bytes`]: a read hands back a refcounted
+//! clone of the stored cell (or of a single shared zero cell), so the
+//! steady-state read path performs no allocation or copying at all.
+//! Padding to the cell size happens once, at write time.
 
-use std::collections::HashMap;
+use bytes::Bytes;
+use vpnm_sim::FastHashMap;
 
 /// Sparse map from cell index to cell contents.
 ///
@@ -19,8 +25,10 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct SparseStorage {
-    cells: HashMap<u64, Box<[u8]>>,
+    cells: FastHashMap<u64, Bytes>,
     cell_bytes: usize,
+    /// One shared zero cell handed to every read of an unwritten index.
+    zero: Bytes,
 }
 
 impl SparseStorage {
@@ -31,7 +39,11 @@ impl SparseStorage {
     /// Panics if `cell_bytes == 0`.
     pub fn new(cell_bytes: usize) -> Self {
         assert!(cell_bytes > 0, "cell_bytes must be positive");
-        SparseStorage { cells: HashMap::new(), cell_bytes }
+        SparseStorage {
+            cells: FastHashMap::default(),
+            cell_bytes,
+            zero: Bytes::from(vec![0u8; cell_bytes]),
+        }
     }
 
     /// Bytes per cell.
@@ -39,28 +51,37 @@ impl SparseStorage {
         self.cell_bytes
     }
 
-    /// Reads cell `index`, zero-filled if never written.
-    pub fn read(&self, index: u64) -> Vec<u8> {
+    /// Reads cell `index`, zero-filled if never written. The returned
+    /// handle shares the stored cell — no bytes are copied.
+    pub fn read(&self, index: u64) -> Bytes {
         match self.cells.get(&index) {
-            Some(data) => data.to_vec(),
-            None => vec![0u8; self.cell_bytes],
+            Some(data) => data.clone(),
+            None => self.zero.clone(),
         }
     }
 
-    /// Writes cell `index`. Short data is zero-padded to the cell size.
+    /// Writes cell `index`. Short data is zero-padded to the cell size
+    /// (the only copy on the write path).
     ///
     /// # Panics
     ///
     /// Panics if `data` exceeds the cell size.
-    pub fn write(&mut self, index: u64, mut data: Vec<u8>) {
+    pub fn write(&mut self, index: u64, data: impl Into<Bytes>) {
+        let data = data.into();
         assert!(
             data.len() <= self.cell_bytes,
             "write of {} bytes exceeds cell size {}",
             data.len(),
             self.cell_bytes
         );
-        data.resize(self.cell_bytes, 0);
-        self.cells.insert(index, data.into_boxed_slice());
+        let cell = if data.len() == self.cell_bytes {
+            data
+        } else {
+            let mut padded = data.to_vec();
+            padded.resize(self.cell_bytes, 0);
+            Bytes::from(padded)
+        };
+        self.cells.insert(index, cell);
     }
 
     /// Number of cells that have been written at least once.
@@ -75,8 +96,8 @@ impl SparseStorage {
 
     /// Removes a cell entirely (subsequent reads see zeroes). Returns its
     /// previous contents if it was populated.
-    pub fn take(&mut self, index: u64) -> Option<Vec<u8>> {
-        self.cells.remove(&index).map(Vec::from)
+    pub fn take(&mut self, index: u64) -> Option<Bytes> {
+        self.cells.remove(&index)
     }
 
     /// Drops all contents.
@@ -126,5 +147,27 @@ mod tests {
         s.clear();
         assert_eq!(s.populated_cells(), 0);
         assert_eq!(s.read(9), vec![0]);
+    }
+
+    #[test]
+    fn reads_share_storage_without_copying() {
+        let mut s = SparseStorage::new(4);
+        s.write(3, vec![1, 2, 3, 4]);
+        let a = s.read(3);
+        let b = s.read(3);
+        assert_eq!(a.as_slice().as_ptr(), b.as_slice().as_ptr(), "same backing cell");
+        // unwritten reads all share the one zero cell
+        let z1 = s.read(100);
+        let z2 = s.read(200);
+        assert_eq!(z1.as_slice().as_ptr(), z2.as_slice().as_ptr(), "shared zero cell");
+    }
+
+    #[test]
+    fn full_size_write_is_not_recopied() {
+        let mut s = SparseStorage::new(4);
+        let payload = Bytes::from(vec![9u8, 9, 9, 9]);
+        let ptr = payload.as_slice().as_ptr();
+        s.write(7, payload);
+        assert_eq!(s.read(7).as_slice().as_ptr(), ptr, "stored without padding copy");
     }
 }

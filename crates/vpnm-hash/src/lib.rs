@@ -151,6 +151,6 @@ mod tests {
         fn takes_generic<H: BankHasher>(h: H) -> u32 {
             h.bank_of(6)
         }
-        assert_eq!(takes_generic(&h), 2);
+        assert_eq!(takes_generic(h), 2);
     }
 }

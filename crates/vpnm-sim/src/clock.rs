@@ -226,6 +226,43 @@ impl DualClock {
         }
     }
 
+    /// Advances the memory clock directly to the next interface edge,
+    /// returning how many memory cycles elapsed (always `>= 1`).
+    ///
+    /// This is the idle fast-forward primitive: when a simulation knows no
+    /// memory-domain work can happen before the next interface edge (no
+    /// bank has queued requests, so every bus grant would be a no-op), it
+    /// can skip the intermediate memory ticks in O(1) instead of looping
+    /// [`DualClock::tick_memory`]. The resulting clock state — memory
+    /// cycle, interface cycle, and Bresenham accumulator — is bit-for-bit
+    /// identical to calling `tick_memory` repeatedly until
+    /// `interface_tick` is true.
+    ///
+    /// ```
+    /// use vpnm_sim::DualClock;
+    /// let mut a = DualClock::new(1.3);
+    /// let mut b = a.clone();
+    /// let m = a.advance_to_interface();
+    /// let mut n = 0;
+    /// while !b.tick_memory().interface_tick {
+    ///     n += 1;
+    /// }
+    /// assert_eq!(m, n + 1);
+    /// assert_eq!(a.memory_now(), b.memory_now());
+    /// assert_eq!(a.interface_now(), b.interface_now());
+    /// ```
+    pub fn advance_to_interface(&mut self) -> u64 {
+        // The edge fires on the m-th tick where acc + m*den >= num, i.e.
+        // m = ceil((num - acc) / den). The invariant acc < num between
+        // calls guarantees m >= 1; afterwards acc' = acc + m*den - num,
+        // which minimality of m keeps below den (hence below num).
+        let m = (self.num - self.acc).div_ceil(self.den);
+        self.acc = self.acc + m * self.den - self.num;
+        self.memory.advance(m);
+        self.interface.tick();
+        m
+    }
+
     /// Current memory-domain time.
     pub fn memory_now(&self) -> Cycle {
         self.memory.now()
@@ -323,6 +360,51 @@ mod tests {
                     t.memory_cycle.as_u64()
                 );
             }
+        }
+    }
+
+    #[test]
+    fn advance_to_interface_matches_tick_loop_for_all_ratios() {
+        // Interleave fast-forwards with single ticks so every accumulator
+        // phase is exercised, and check the fast path reproduces the
+        // looped path exactly (memory cycles, interface cycles, and the
+        // position of the *next* edge).
+        for &r in &[1.0, 1.1, 1.2, 1.25, 1.3, 1.4, 1.5, 2.0, 3.7] {
+            let mut fast = DualClock::new(r);
+            let mut slow = DualClock::new(r);
+            for round in 0..200u32 {
+                if round % 3 == 0 {
+                    // Desynchronize from the edge: run a few raw memory
+                    // ticks on both clocks (they stay in lockstep).
+                    for _ in 0..(round % 5) {
+                        let a = fast.tick_memory();
+                        let b = slow.tick_memory();
+                        assert_eq!(a, b, "r={r} round={round}");
+                    }
+                }
+                let m = fast.advance_to_interface();
+                let mut n = 0u64;
+                loop {
+                    n += 1;
+                    if slow.tick_memory().interface_tick {
+                        break;
+                    }
+                }
+                assert_eq!(m, n, "r={r} round={round}");
+                assert_eq!(fast.memory_now(), slow.memory_now(), "r={r}");
+                assert_eq!(fast.interface_now(), slow.interface_now(), "r={r}");
+                assert_eq!(fast.acc, slow.acc, "r={r} round={round}");
+            }
+        }
+    }
+
+    #[test]
+    fn advance_to_interface_is_one_cycle_at_unity_ratio() {
+        let mut d = DualClock::new(1.0);
+        for i in 1..=50u64 {
+            assert_eq!(d.advance_to_interface(), 1);
+            assert_eq!(d.memory_now().as_u64(), i);
+            assert_eq!(d.interface_now().as_u64(), i);
         }
     }
 

@@ -196,7 +196,7 @@ mod tests {
             sizes: SizeDistribution::Fixed(64),
             seed: 1,
         });
-        let mut seen = vec![0u64; 4];
+        let mut seen = [0u64; 4];
         for _ in 0..200 {
             let p = t.next_packet();
             assert_eq!(p.seq, seen[p.flow as usize], "per-flow sequence must be dense");

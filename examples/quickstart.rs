@@ -17,10 +17,10 @@ fn main() -> Result<(), String> {
 
     // Write a few cells…
     for i in 0..8u64 {
-        let out = mem.tick(Some(Request::Write {
-            addr: LineAddr(0x1000 + i),
-            data: format!("cell #{i}").into_bytes(),
-        }));
+        let out = mem.tick(Some(Request::write(
+            LineAddr(0x1000 + i),
+            format!("cell #{i}").into_bytes(),
+        )));
         assert!(out.accepted());
     }
 

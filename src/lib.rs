@@ -26,7 +26,7 @@
 //! use vpnm::core::{Request, LineAddr, VpnmConfig, VpnmController};
 //!
 //! let mut mem = VpnmController::new(VpnmConfig::small_test(), 7)?;
-//! mem.tick(Some(Request::Write { addr: LineAddr(1), data: vec![42] }));
+//! mem.tick(Some(Request::write(LineAddr(1), vec![42])));
 //! mem.tick(Some(Request::Read { addr: LineAddr(1) }));
 //! let responses = mem.drain();
 //! assert_eq!(responses[0].data[0], 42);

@@ -112,31 +112,28 @@ fn baseline_shootout_preserves_fifo_everywhere() {
                 }
                 None => None,
             };
-            match model.tick(event) {
-                Ok(cell_opt) => {
-                    if let Some(q) = q_of {
-                        if is_enq {
-                            seqs[q as usize] += 1;
-                            occupancy[q as usize] += 1;
-                            accepted += 1;
-                        } else {
-                            occupancy[q as usize] -= 1;
-                            accepted += 1;
-                        }
-                    }
-                    if let Some(cell) = cell_opt {
-                        let want = payload_bytes(cell.queue, expect[cell.queue as usize], 64);
-                        assert_eq!(
-                            cell.data, want,
-                            "{}: FIFO violation on queue {}",
-                            model.name(),
-                            cell.queue
-                        );
-                        expect[cell.queue as usize] += 1;
-                        checked += 1;
+            if let Ok(cell_opt) = model.tick(event) {
+                if let Some(q) = q_of {
+                    if is_enq {
+                        seqs[q as usize] += 1;
+                        occupancy[q as usize] += 1;
+                        accepted += 1;
+                    } else {
+                        occupancy[q as usize] -= 1;
+                        accepted += 1;
                     }
                 }
-                Err(_) => {}
+                if let Some(cell) = cell_opt {
+                    let want = payload_bytes(cell.queue, expect[cell.queue as usize], 64);
+                    assert_eq!(
+                        cell.data, want,
+                        "{}: FIFO violation on queue {}",
+                        model.name(),
+                        cell.queue
+                    );
+                    expect[cell.queue as usize] += 1;
+                    checked += 1;
+                }
             }
         }
         assert!(

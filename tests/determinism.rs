@@ -13,7 +13,7 @@ use vpnm::workloads::{RequestKind, RequestMix, RequestStream, UniformAddresses};
 fn to_request(kind: RequestKind) -> Request {
     match kind {
         RequestKind::Read { addr } => Request::Read { addr: LineAddr(addr) },
-        RequestKind::Write { addr, data } => Request::Write { addr: LineAddr(addr), data },
+        RequestKind::Write { addr, data } => Request::Write { addr: LineAddr(addr), data: data.into() },
     }
 }
 
@@ -124,8 +124,8 @@ fn merging_bounds_redundant_pattern_resources() {
     // The "A,B,A,B,…" pattern holds exactly two storage rows no matter
     // how long it runs (paper Section 3.4).
     let mut mem = VpnmController::new(VpnmConfig::test_roomy(), 11).unwrap();
-    mem.tick(Some(Request::Write { addr: LineAddr(0xA), data: vec![1] }));
-    mem.tick(Some(Request::Write { addr: LineAddr(0xB), data: vec![2] }));
+    mem.tick(Some(Request::write(LineAddr(0xA), vec![1])));
+    mem.tick(Some(Request::write(LineAddr(0xB), vec![2])));
     let mut pattern = vpnm::workloads::RedundantPattern::new(vec![0xA, 0xB]);
     for _ in 0..2000 {
         let out = mem.tick(Some(Request::Read { addr: LineAddr(pattern.next_addr()) }));

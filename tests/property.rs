@@ -24,7 +24,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 fn to_request(op: &Op) -> Option<Request> {
     match op {
         Op::Read(a) => Some(Request::Read { addr: LineAddr(u64::from(*a)) }),
-        Op::Write(a, v) => Some(Request::Write { addr: LineAddr(u64::from(*a)), data: vec![*v] }),
+        Op::Write(a, v) => Some(Request::write(LineAddr(u64::from(*a)), vec![*v])),
         Op::Idle => None,
     }
 }
@@ -94,7 +94,7 @@ proptest! {
         let mut mem = VpnmController::new(VpnmConfig::test_roomy(), 3).unwrap();
         let mut last = std::collections::HashMap::new();
         for (a, v) in &writes {
-            let out = mem.tick(Some(Request::Write { addr: LineAddr(u64::from(*a)), data: vec![*v] }));
+            let out = mem.tick(Some(Request::write(LineAddr(u64::from(*a)), vec![*v])));
             prop_assume!(out.accepted());
             last.insert(u64::from(*a), *v);
         }
