@@ -130,5 +130,15 @@ fn main() {
     t.print();
     assert!(wc <= rr + 1e-9, "reclaimed slots must not hurt");
 
+    // Re-run the scheduler baseline (tight config, seed 4, uniform load)
+    // sequentially and leave its aggregate metrics behind as a
+    // machine-readable record of the battery's reference operating point.
+    let mut mem = VpnmController::new(tight(), 4).expect("valid config");
+    let mut gen = UniformAddresses::new(1 << 24, 40);
+    for _ in 0..REQUESTS {
+        mem.tick(Some(Request::Read { addr: LineAddr(gen.next_addr()) }));
+    }
+    vpnm_bench::report::write_snapshot("ablations", &mem.snapshot().to_json());
+
     println!("\nall ablation checks passed ✓");
 }

@@ -153,5 +153,16 @@ fn main() {
     assert!(leaked > 0.25);
     println!("  …and re-keying neutralizes it: {rekeyed:.6}");
     assert!(rekeyed <= baseline * 3.0 + 50.0 / REQUESTS as f64);
+
+    // Re-run the no-attack baseline and emit its aggregate metrics; the
+    // snapshot's stall counters and per-bank high-water marks corroborate
+    // the table's first row.
+    let mut mem = controller(HashKind::H3, 1);
+    let mut gen = UniformAddresses::new(ADDR_SPACE, 10);
+    for _ in 0..REQUESTS {
+        mem.tick(Some(Request::Read { addr: LineAddr(gen.next_addr()) }));
+    }
+    vpnm_bench::report::write_snapshot("adversary_resistance", &mem.snapshot().to_json());
+
     println!("\nall adversarial claims hold ✓");
 }

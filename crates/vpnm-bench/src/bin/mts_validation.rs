@@ -47,6 +47,7 @@ fn main() {
 
     let mut t = Table::new(vec!["B", "Q", "predicted", "simulated", "ratio", "censored"]);
     let mut ratios = Vec::new();
+    let mut representative: Option<VpnmConfig> = None;
     for (b, q, trials, horizon) in [
         (4u32, 2usize, 400u64, 100_000u64),
         (4, 3, 400, 100_000),
@@ -66,9 +67,13 @@ fn main() {
             hash: HashKind::H3,
             write_buffer_entries: None,
             trace_capacity: 0,
+            forensics_capacity: 0,
             scheduler: SchedulerKind::RoundRobin,
             merging: true,
         };
+        if representative.is_none() {
+            representative = Some(config.clone());
+        }
         let model = BankQueueModel::new(b, u64::from(b), q as u64, 1.5);
         let target = 1.0 - 0.5f64.powf(1.0 / f64::from(b));
         let predicted_mem = model
@@ -96,4 +101,17 @@ fn main() {
         assert!((0.3..4.0).contains(r), "B={b} Q={q}: ratio {r} out of tolerance");
     }
     println!("all configurations agree within a small factor ✓");
+
+    // Emit a machine-readable record of one representative trial: the
+    // first (tightest) configuration, trial 0, run to its first stall.
+    // The snapshot's `first_stall_at` is exactly the trial's MTS sample.
+    let config = representative.expect("at least one configuration ran");
+    let mut mem = VpnmController::new(config.clone(), 40_000).expect("valid config");
+    let mut gen = UniformAddresses::new(1u64 << config.addr_bits, 3);
+    for _ in 0..100_000u64 {
+        if !mem.tick(Some(Request::Read { addr: LineAddr(gen.next_addr()) })).accepted() {
+            break;
+        }
+    }
+    vpnm_bench::report::write_snapshot("mts_validation", &mem.snapshot().to_json());
 }

@@ -145,6 +145,20 @@ pub fn bench_json(records: &[BenchRecord], summary: &[(&str, f64)]) -> String {
     out
 }
 
+/// Writes a controller's [`vpnm_core::MetricsSnapshot`] JSON to
+/// `SNAPSHOT_<name>.json` in the working directory (next to the
+/// `BENCH_*.json` artifacts) and announces the path on stdout, so every
+/// experiment binary leaves a machine-readable record of the aggregate
+/// metrics behind its headline numbers. See `docs/OBSERVABILITY.md` for
+/// the schema.
+pub fn write_snapshot(name: &str, json: &str) {
+    let path = format!("SNAPSHOT_{name}.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("\nmetrics snapshot -> {path}"),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

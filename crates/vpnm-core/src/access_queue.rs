@@ -22,8 +22,9 @@ pub enum AccessEntry {
     Write,
 }
 
-/// A bounded FIFO of [`AccessEntry`] — overflow is the *bank access queue
-/// stall* of paper Section 4.3.
+/// The paper's **bank access queue**: a bounded FIFO of [`AccessEntry`],
+/// `Q` entries per bank (Figure 3, right). Overflow is the *bank access
+/// queue stall* of paper Section 4.3.
 ///
 /// ```
 /// use vpnm_core::access_queue::{AccessEntry, BankAccessQueue};

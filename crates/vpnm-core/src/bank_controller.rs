@@ -52,7 +52,10 @@ pub enum Accepted {
     WriteBuffered,
 }
 
-/// The controller for one memory bank.
+/// The controller for one memory bank — the paper's per-bank state
+/// machine of Figure 3, composing the delay storage buffer (DSB), the
+/// bank access queue, and the write buffer. (The circular delay buffer is
+/// shared across banks and lives in the owning [`crate::VpnmController`].)
 #[derive(Debug, Clone)]
 pub struct BankController {
     bank: u32,

@@ -60,6 +60,11 @@ pub struct VpnmConfig {
     pub write_buffer_entries: Option<usize>,
     /// Per-bank trace retention (0 disables tracing).
     pub trace_capacity: usize,
+    /// Forensic event-ring capacity for the fast engine's observability
+    /// layer (0 disables event recording). Only meaningful when the
+    /// `forensics` cargo feature is compiled in; see
+    /// [`crate::forensics`].
+    pub forensics_capacity: usize,
     /// Bus grant policy (ablation knob; the paper uses round-robin).
     pub scheduler: SchedulerKind,
     /// Redundant-request merging (ablation knob; the paper's merging
@@ -84,6 +89,7 @@ impl VpnmConfig {
             hash: HashKind::H3,
             write_buffer_entries: None,
             trace_capacity: 0,
+            forensics_capacity: 0,
             scheduler: SchedulerKind::RoundRobin,
             merging: true,
         }
@@ -114,6 +120,7 @@ impl VpnmConfig {
             hash: HashKind::H3,
             write_buffer_entries: None,
             trace_capacity: 0,
+            forensics_capacity: 0,
             scheduler: SchedulerKind::RoundRobin,
             merging: true,
         }
@@ -135,6 +142,7 @@ impl VpnmConfig {
             hash: HashKind::H3,
             write_buffer_entries: None,
             trace_capacity: 0,
+            forensics_capacity: 0,
             scheduler: SchedulerKind::RoundRobin,
             merging: true,
         }
@@ -179,6 +187,12 @@ impl VpnmConfig {
     /// Builder-style trace capacity override.
     pub fn with_trace_capacity(mut self, cap: usize) -> Self {
         self.trace_capacity = cap;
+        self
+    }
+
+    /// Builder-style forensic event-ring capacity override.
+    pub fn with_forensics_capacity(mut self, cap: usize) -> Self {
+        self.forensics_capacity = cap;
         self
     }
 
@@ -372,6 +386,7 @@ mod tests {
             hash: HashKind::LowBits,
             write_buffer_entries: None,
             trace_capacity: 0,
+            forensics_capacity: 0,
             scheduler: SchedulerKind::RoundRobin,
             merging: true,
         };

@@ -38,10 +38,12 @@
 use crate::bank_controller::{Accepted, BankController, BankEvent};
 use crate::config::{SchedulerKind, VpnmConfig};
 use crate::delay_storage::RowId;
+use crate::forensics::{ForensicKind, ForensicRing};
 use crate::hash_engine::HashEngine;
 use crate::metrics::ControllerMetrics;
 use crate::ready_set::ReadySet;
 use crate::request::{LineAddr, Request, Response, StallKind, TickOutput};
+use crate::snapshot::MetricsSnapshot;
 use bytes::Bytes;
 use vpnm_dram::{DramConfig, DramDevice, DramStats};
 use vpnm_hash::BankHasher;
@@ -129,6 +131,10 @@ pub struct VpnmController {
     storage_live: u64,
     /// Cached zero cell served on deadline misses.
     zero_cell: Bytes,
+    /// Forensic event ring (see [`crate::forensics`]); inert unless
+    /// [`VpnmConfig::forensics_capacity`] is non-zero and the `forensics`
+    /// feature is compiled in.
+    forensics: ForensicRing,
 }
 
 impl VpnmController {
@@ -174,7 +180,7 @@ impl VpnmController {
             dram,
             banks,
             rr_next: 0,
-            metrics: ControllerMetrics::new(),
+            metrics: ControllerMetrics::with_banks(config.banks as usize),
             outstanding: 0,
             trace,
             next_request_id: 0,
@@ -185,6 +191,7 @@ impl VpnmController {
             max_depth: 0,
             storage_live: 0,
             zero_cell: Bytes::from(vec![0u8; config.cell_bytes]),
+            forensics: ForensicRing::new(config.forensics_capacity),
             config,
         })
     }
@@ -231,6 +238,18 @@ impl VpnmController {
         &self.trace
     }
 
+    /// The forensic event ring, when enabled via
+    /// [`VpnmConfig::forensics_capacity`] (and the `forensics` feature).
+    pub fn forensics(&self) -> &ForensicRing {
+        &self.forensics
+    }
+
+    /// Freezes the current aggregate metrics into a serializable
+    /// [`MetricsSnapshot`].
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot::capture(&self.config, self.delay, self.now(), &self.metrics)
+    }
+
     /// Advances exactly one interface cycle, optionally presenting one
     /// request, and reports the response due this cycle plus any stall.
     ///
@@ -264,6 +283,13 @@ impl VpnmController {
                     if after == 0 {
                         self.ready.remove(bank as u32);
                     }
+                    if self.forensics.is_enabled() {
+                        self.forensics.record(
+                            self.clock.interface_now(),
+                            bank as u32,
+                            ForensicKind::QueueExit { queue_depth: after as u32 },
+                        );
+                    }
                 }
             }
             if mt.interface_tick {
@@ -275,6 +301,10 @@ impl VpnmController {
         // --- interface-clock domain: accept at most one request …
         let mut stall = None;
         let mut read_row: Option<(u32, RowId)> = None;
+        // Bank that allocated a storage row this tick, for end-of-tick
+        // high-water-mark sampling (occupancy can only set a new maximum
+        // on a tick that allocated).
+        let mut alloc_bank: Option<usize> = None;
         if let Some(req) = request {
             let id = self.next_request_id;
             self.next_request_id += 1;
@@ -283,7 +313,8 @@ impl VpnmController {
                 self.metrics.record_stall(kind, now);
                 self.trace.record(now, id, TraceKind::Stalled);
             } else {
-                let bank = self.hash.bank_of(req.addr().0) as usize;
+                let addr = req.addr();
+                let bank = self.hash.bank_of(addr.0) as usize;
                 let event = match req {
                     Request::Read { addr } => BankEvent::Read { addr },
                     Request::Write { addr, data } => BankEvent::Write { addr, data },
@@ -292,31 +323,66 @@ impl VpnmController {
                     Ok(Accepted::ReadQueued(row)) => {
                         self.metrics.reads_accepted += 1;
                         self.outstanding += 1;
+                        self.metrics.note_outstanding(self.outstanding as u64);
                         read_row = Some((bank as u32, row));
                         self.trace.record(now, id, TraceKind::Accepted);
                         self.storage_live += 1;
+                        alloc_bank = Some(bank);
                         let after = self.banks[bank].queue_depth();
                         self.note_depth_change(after - 1, after);
+                        self.metrics.note_bank_queue_depth(bank, after as u32);
                         self.ready.insert(bank as u32);
+                        self.forensics.record(
+                            now,
+                            bank as u32,
+                            ForensicKind::Accepted { addr, row, queue_depth: after as u32 },
+                        );
                     }
                     Ok(Accepted::ReadMerged(row)) => {
                         self.metrics.reads_accepted += 1;
                         self.metrics.reads_merged += 1;
                         self.outstanding += 1;
+                        self.metrics.note_outstanding(self.outstanding as u64);
                         read_row = Some((bank as u32, row));
                         self.trace.record(now, id, TraceKind::Merged);
+                        self.forensics.record(
+                            now,
+                            bank as u32,
+                            ForensicKind::Merged { addr, row },
+                        );
                     }
                     Ok(Accepted::WriteBuffered) => {
                         self.metrics.writes_accepted += 1;
                         self.trace.record(now, id, TraceKind::Accepted);
                         let after = self.banks[bank].queue_depth();
                         self.note_depth_change(after - 1, after);
+                        self.metrics.note_bank_queue_depth(bank, after as u32);
+                        self.metrics.note_bank_write_depth(
+                            bank,
+                            self.banks[bank].write_buffer_depth() as u32,
+                        );
                         self.ready.insert(bank as u32);
+                        self.forensics.record(
+                            now,
+                            bank as u32,
+                            ForensicKind::WriteAccepted { addr, queue_depth: after as u32 },
+                        );
                     }
                     Err(kind) => {
                         stall = Some(kind);
                         self.metrics.record_stall(kind, now);
                         self.trace.record(now, id, TraceKind::Stalled);
+                        if self.forensics.is_enabled() {
+                            let bc = &self.banks[bank];
+                            let context = ForensicKind::Stalled {
+                                kind,
+                                addr,
+                                storage_live: bc.storage_occupancy() as u32,
+                                queue_depth: bc.queue_depth() as u32,
+                                write_depth: bc.write_buffer_depth() as u32,
+                            };
+                            self.forensics.record(now, bank as u32, context);
+                        }
                     }
                 }
             }
@@ -337,6 +403,7 @@ impl VpnmController {
             let live_before = bc.storage_occupancy();
             let pb = bc.playback(row);
             self.storage_live -= (live_before - bc.storage_occupancy()) as u64;
+            let miss = pb.data.is_none();
             let data = match pb.data {
                 Some(d) => d,
                 None => {
@@ -346,6 +413,7 @@ impl VpnmController {
             };
             self.outstanding -= 1;
             self.metrics.responses += 1;
+            self.forensics.record(now, bank, ForensicKind::Returned { addr: pb.addr, row, miss });
             response = Some(Response {
                 addr: pb.addr,
                 data,
@@ -356,8 +424,14 @@ impl VpnmController {
 
         // occupancy sampling for the occupancy distributions — O(1) from
         // the incrementally maintained histogram and live-row counter.
-        self.metrics.queue_depth.record(self.max_depth as u64);
-        self.metrics.storage_occupancy.record(self.storage_live);
+        // The per-bank storage high-water mark is sampled at the tick
+        // boundary (matching the reference engine's end-of-tick scan) and
+        // only for the bank that allocated a row this tick — the only
+        // bank whose boundary occupancy can have risen.
+        if let Some(bank) = alloc_bank {
+            self.metrics.note_bank_storage(bank, self.banks[bank].storage_occupancy() as u32);
+        }
+        self.metrics.sample_cycle(self.max_depth as u64, self.storage_live);
 
         #[cfg(debug_assertions)]
         self.check_incremental_invariants();

@@ -11,7 +11,10 @@
 
 use crate::delay_storage::RowId;
 
-/// A fixed-delay line of optional row ids.
+/// The paper's **circular delay buffer (CDB)**: a `D`-slot fixed-delay
+/// line of optional row ids (Figure 3, bottom center). The slot read at
+/// cycle `t` was written at `t − D`, which is what makes every read
+/// complete after exactly `D` cycles.
 ///
 /// ```
 /// use vpnm_core::delay_line::CircularDelayBuffer;

@@ -183,7 +183,10 @@ impl CamIndex {
     }
 }
 
-/// The delay storage buffer of one bank controller.
+/// The paper's **delay storage buffer (DSB)**: the `K`-row merging CAM of
+/// one bank controller (Figure 3, left). Overflow is the *delay storage
+/// stall* of Section 4.3 — the rarest of the three stall classes at paper
+/// sizing.
 ///
 /// ```
 /// use vpnm_core::delay_storage::DelayStorageBuffer;

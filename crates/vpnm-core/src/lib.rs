@@ -50,18 +50,22 @@ pub mod config;
 pub mod controller;
 pub mod delay_line;
 pub mod delay_storage;
+pub mod forensics;
 pub mod hash_engine;
 pub mod memory;
 pub mod metrics;
 pub mod ready_set;
 pub mod reference;
 pub mod request;
+pub mod snapshot;
 pub mod write_buffer;
 
 pub use config::{SchedulerKind, VpnmConfig};
 pub use controller::{RunReport, StallPolicy, VpnmController};
+pub use forensics::{ForensicEvent, ForensicKind, ForensicRing};
 pub use reference::ReferenceController;
 pub use hash_engine::{HashEngine, HashKind};
 pub use memory::{IdealMemory, PipelinedMemory};
 pub use metrics::ControllerMetrics;
 pub use request::{LineAddr, Request, Response, StallKind, TickOutput};
+pub use snapshot::{MetricsSnapshot, SNAPSHOT_SCHEMA_VERSION};

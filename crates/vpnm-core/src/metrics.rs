@@ -1,13 +1,34 @@
 //! Controller-level accounting: throughput, merges, stalls, occupancy.
+//!
+//! Two layers of instrumentation live here:
+//!
+//! 1. **Always-on aggregates** ([`ControllerMetrics`]): scalar counters,
+//!    per-bank high-water marks, and log2-bucketed distributions. These are
+//!    cheap enough (a handful of compares and adds per interface cycle) to
+//!    keep enabled in every build, including benchmark runs.
+//! 2. **Forensic event tracing** (see [`crate::forensics`]): a ring buffer
+//!    of individual lifecycle events, compile-time gated behind the
+//!    `forensics` cargo feature and runtime gated by
+//!    [`crate::VpnmConfig::forensics_capacity`].
+//!
+//! Both engines — the fast [`crate::VpnmController`] and the seed
+//! [`crate::ReferenceController`] — maintain the same
+//! [`ControllerMetrics`], and the differential suite asserts exact
+//! equality, so every aggregate defined here is cross-checked between two
+//! independent implementations.
 
 use crate::request::StallKind;
-use vpnm_sim::{Cycle, RunningStats};
+use vpnm_sim::{Cycle, Histogram, RunningStats};
 
 /// Counters and distributions accumulated by a running controller.
 ///
 /// `first_stall_at` is the measured quantity behind the paper's Mean Time
 /// to Stall experiments: run a workload, read off when (if ever) the first
 /// stall happened.
+///
+/// Per-bank vectors are sized by [`ControllerMetrics::with_banks`]; the
+/// plain [`ControllerMetrics::new`] constructor leaves them empty (useful
+/// for unit tests that only exercise the scalar counters).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ControllerMetrics {
     /// Reads accepted at the interface.
@@ -43,12 +64,42 @@ pub struct ControllerMetrics {
     /// Distribution of bank-access-queue depth sampled per interface
     /// cycle (max across banks).
     pub queue_depth: RunningStats,
+    /// Log2-bucketed histogram of the same per-cycle queue-depth samples
+    /// as [`queue_depth`](Self::queue_depth) (bucket 0 = depths 0..2,
+    /// bucket `i` = `[2^i, 2^(i+1))`).
+    pub queue_depth_hist: Histogram,
+    /// Log2-bucketed histogram of the same per-cycle total delay-storage
+    /// occupancy samples as
+    /// [`storage_occupancy`](Self::storage_occupancy).
+    pub storage_occupancy_hist: Histogram,
+    /// Per-bank high-water mark of bank access queue (BAQ) depth.
+    pub bank_queue_hwm: Vec<u32>,
+    /// Per-bank high-water mark of delay storage buffer (DSB) row
+    /// occupancy, sampled at interface-cycle boundaries.
+    pub bank_storage_hwm: Vec<u32>,
+    /// Per-bank high-water mark of write buffer depth.
+    pub bank_write_hwm: Vec<u32>,
+    /// High-water mark of outstanding reads (accepted, response not yet
+    /// delivered) — the peak load on the circular delay buffer (CDB).
+    pub outstanding_hwm: u64,
 }
 
 impl ControllerMetrics {
-    /// Creates zeroed metrics.
+    /// Creates zeroed metrics with empty per-bank vectors.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates zeroed metrics with per-bank high-water-mark vectors sized
+    /// for `banks` banks. Both engines construct metrics this way so that
+    /// the differential suite can compare them with `==`.
+    pub fn with_banks(banks: usize) -> Self {
+        ControllerMetrics {
+            bank_queue_hwm: vec![0; banks],
+            bank_storage_hwm: vec![0; banks],
+            bank_write_hwm: vec![0; banks],
+            ..Self::default()
+        }
     }
 
     /// Records a stall (or rejection) of the given kind at `now`.
@@ -68,6 +119,57 @@ impl ControllerMetrics {
         }
     }
 
+    /// Records the per-interface-cycle depth/occupancy samples into both
+    /// the running statistics and the log2 histograms. Called exactly once
+    /// per interface cycle by each engine with identical sample values, so
+    /// the distributions stay comparable with `==`.
+    #[inline]
+    pub fn sample_cycle(&mut self, max_queue_depth: u64, storage_live: u64) {
+        self.queue_depth.record(max_queue_depth);
+        self.storage_occupancy.record(storage_live);
+        self.queue_depth_hist.record(max_queue_depth);
+        self.storage_occupancy_hist.record(storage_live);
+    }
+
+    /// Raises the BAQ depth high-water mark for `bank` if `depth` exceeds
+    /// it. No-op (and no panic) when per-bank vectors were not sized.
+    #[inline]
+    pub fn note_bank_queue_depth(&mut self, bank: usize, depth: u32) {
+        if let Some(h) = self.bank_queue_hwm.get_mut(bank) {
+            if depth > *h {
+                *h = depth;
+            }
+        }
+    }
+
+    /// Raises the DSB occupancy high-water mark for `bank`.
+    #[inline]
+    pub fn note_bank_storage(&mut self, bank: usize, occupancy: u32) {
+        if let Some(h) = self.bank_storage_hwm.get_mut(bank) {
+            if occupancy > *h {
+                *h = occupancy;
+            }
+        }
+    }
+
+    /// Raises the write-buffer depth high-water mark for `bank`.
+    #[inline]
+    pub fn note_bank_write_depth(&mut self, bank: usize, depth: u32) {
+        if let Some(h) = self.bank_write_hwm.get_mut(bank) {
+            if depth > *h {
+                *h = depth;
+            }
+        }
+    }
+
+    /// Raises the outstanding-reads high-water mark.
+    #[inline]
+    pub fn note_outstanding(&mut self, outstanding: u64) {
+        if outstanding > self.outstanding_hwm {
+            self.outstanding_hwm = outstanding;
+        }
+    }
+
     /// Total stalls of all kinds.
     pub fn total_stalls(&self) -> u64 {
         self.delay_storage_stalls + self.access_queue_stalls + self.write_buffer_stalls
@@ -78,12 +180,64 @@ impl ControllerMetrics {
         self.reads_accepted + self.writes_accepted
     }
 
+    /// Total requests offered at the interface: accepted + stalled +
+    /// rejected.
+    pub fn offered(&self) -> u64 {
+        self.accepted() + self.total_stalls() + self.malformed_rejections
+    }
+
     /// Fraction of accepted reads that were merged.
     pub fn merge_rate(&self) -> f64 {
         if self.reads_accepted == 0 {
             0.0
         } else {
             self.reads_merged as f64 / self.reads_accepted as f64
+        }
+    }
+
+    /// Fraction of offered requests that stalled. `0.0` on an empty run.
+    pub fn stall_rate(&self) -> f64 {
+        let offered = self.offered();
+        if offered == 0 {
+            0.0
+        } else {
+            self.total_stalls() as f64 / offered as f64
+        }
+    }
+
+    /// Fraction of delivered responses that missed their deadline. `0.0`
+    /// on an empty run; must stay `0.0` for any validated configuration.
+    pub fn deadline_miss_rate(&self) -> f64 {
+        if self.responses == 0 {
+            0.0
+        } else {
+            self.deadline_misses as f64 / self.responses as f64
+        }
+    }
+
+    /// Peak DSB load factor across banks: the largest per-bank storage
+    /// high-water mark divided by the per-bank row capacity `k`. This is
+    /// the "merge-CAM load factor" of the observability layer — how close
+    /// any bank's CAM-indexed delay storage came to overflowing.
+    ///
+    /// Returns `0.0` when `k` is zero or per-bank vectors were not sized.
+    pub fn peak_storage_load_factor(&self, k: usize) -> f64 {
+        if k == 0 {
+            return 0.0;
+        }
+        let peak = self.bank_storage_hwm.iter().copied().max().unwrap_or(0);
+        peak as f64 / k as f64
+    }
+
+    /// Peak delay-ring (CDB) utilization: the outstanding-reads high-water
+    /// mark divided by the ring capacity (the deterministic delay `D`).
+    ///
+    /// Returns `0.0` when `delay` is zero.
+    pub fn delay_ring_utilization(&self, delay: u64) -> f64 {
+        if delay == 0 {
+            0.0
+        } else {
+            self.outstanding_hwm as f64 / delay as f64
         }
     }
 }
@@ -128,5 +282,98 @@ mod tests {
         assert!((m.merge_rate() - 0.4).abs() < 1e-12);
         m.writes_accepted = 5;
         assert_eq!(m.accepted(), 15);
+    }
+
+    #[test]
+    fn rates_are_zero_on_empty_run() {
+        // Division-by-zero guards: a controller that never saw a request
+        // must report clean zero rates, not NaN.
+        let m = ControllerMetrics::new();
+        assert_eq!(m.offered(), 0);
+        assert_eq!(m.merge_rate(), 0.0);
+        assert_eq!(m.stall_rate(), 0.0);
+        assert_eq!(m.deadline_miss_rate(), 0.0);
+        assert_eq!(m.peak_storage_load_factor(0), 0.0);
+        assert_eq!(m.peak_storage_load_factor(16), 0.0);
+        assert_eq!(m.delay_ring_utilization(0), 0.0);
+        assert_eq!(m.delay_ring_utilization(1000), 0.0);
+        assert!(m.merge_rate().is_finite());
+        assert!(m.stall_rate().is_finite());
+    }
+
+    #[test]
+    fn rates_stay_finite_on_saturated_long_runs() {
+        // Saturation: counters near u64::MAX must not overflow into NaN or
+        // infinity when converted to rates.
+        let mut m = ControllerMetrics::new();
+        m.reads_accepted = u64::MAX / 2;
+        m.reads_merged = u64::MAX / 2;
+        m.writes_accepted = u64::MAX / 4;
+        m.access_queue_stalls = u64::MAX / 8;
+        m.responses = u64::MAX / 2;
+        m.deadline_misses = u64::MAX / 2;
+        assert!(m.merge_rate().is_finite());
+        assert!((m.merge_rate() - 1.0).abs() < 1e-9);
+        assert!(m.stall_rate().is_finite());
+        assert!(m.stall_rate() > 0.0 && m.stall_rate() < 1.0);
+        assert!((m.deadline_miss_rate() - 1.0).abs() < 1e-9);
+        m.outstanding_hwm = u64::MAX;
+        assert!(m.delay_ring_utilization(1).is_finite());
+    }
+
+    #[test]
+    fn stall_rate_counts_all_dispositions() {
+        let mut m = ControllerMetrics::new();
+        m.reads_accepted = 6;
+        m.writes_accepted = 2;
+        m.access_queue_stalls = 1;
+        m.write_buffer_stalls = 1;
+        m.malformed_rejections = 2;
+        assert_eq!(m.offered(), 12);
+        assert!((m.stall_rate() - 2.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_bank_hwms_track_maxima() {
+        let mut m = ControllerMetrics::with_banks(4);
+        m.note_bank_queue_depth(1, 3);
+        m.note_bank_queue_depth(1, 2); // lower: ignored
+        m.note_bank_storage(0, 7);
+        m.note_bank_storage(0, 9);
+        m.note_bank_write_depth(3, 1);
+        assert_eq!(m.bank_queue_hwm, vec![0, 3, 0, 0]);
+        assert_eq!(m.bank_storage_hwm, vec![9, 0, 0, 0]);
+        assert_eq!(m.bank_write_hwm, vec![0, 0, 0, 1]);
+        assert!((m.peak_storage_load_factor(16) - 9.0 / 16.0).abs() < 1e-12);
+        // Out-of-range bank indices are ignored, not a panic.
+        m.note_bank_queue_depth(99, 100);
+        assert_eq!(m.bank_queue_hwm, vec![0, 3, 0, 0]);
+        // Unsized vectors (plain `new`) are also safe.
+        let mut empty = ControllerMetrics::new();
+        empty.note_bank_storage(0, 5);
+        assert_eq!(empty.peak_storage_load_factor(16), 0.0);
+    }
+
+    #[test]
+    fn outstanding_hwm_and_ring_utilization() {
+        let mut m = ControllerMetrics::new();
+        m.note_outstanding(10);
+        m.note_outstanding(4);
+        m.note_outstanding(12);
+        assert_eq!(m.outstanding_hwm, 12);
+        assert!((m.delay_ring_utilization(48) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_cycle_feeds_stats_and_histograms() {
+        let mut m = ControllerMetrics::new();
+        m.sample_cycle(3, 100);
+        m.sample_cycle(1, 50);
+        assert_eq!(m.queue_depth.count(), 2);
+        assert_eq!(m.storage_occupancy.count(), 2);
+        assert_eq!(m.queue_depth_hist.total(), 2);
+        assert_eq!(m.storage_occupancy_hist.total(), 2);
+        assert_eq!(m.queue_depth_hist.max(), Some(3));
+        assert_eq!(m.storage_occupancy_hist.max(), Some(100));
     }
 }

@@ -10,6 +10,10 @@
 //! would be a no-op, so whole memory-cycle windows can be skipped).
 
 /// A fixed-capacity bitset over bank indices with rotated iteration.
+///
+/// An implementation artifact of this reproduction, not a structure from
+/// the paper: it only accelerates the bus scheduler's "which banks have
+/// queued work?" query and never changes what is scheduled.
 #[derive(Debug, Clone)]
 pub struct ReadySet {
     words: Vec<u64>,

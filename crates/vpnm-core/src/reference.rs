@@ -37,6 +37,7 @@ use crate::delay_storage::RowId;
 use crate::hash_engine::HashEngine;
 use crate::metrics::ControllerMetrics;
 use crate::request::{LineAddr, Request, Response, StallKind, TickOutput};
+use crate::snapshot::MetricsSnapshot;
 use crate::write_buffer::WriteBuffer;
 use bytes::Bytes;
 use vpnm_dram::{DramConfig, DramDevice, DramStats};
@@ -258,6 +259,10 @@ impl SeedBank {
     fn queue_depth(&self) -> usize {
         self.queue.len()
     }
+
+    fn write_depth(&self) -> usize {
+        self.writes.len()
+    }
 }
 
 /// The O(B)-per-cycle, O(K)-per-request reference implementation of the
@@ -328,7 +333,7 @@ impl ReferenceController {
             dram,
             banks,
             rr_next: 0,
-            metrics: ControllerMetrics::new(),
+            metrics: ControllerMetrics::with_banks(config.banks as usize),
             outstanding: 0,
             trace,
             next_request_id: 0,
@@ -371,6 +376,14 @@ impl ReferenceController {
         &self.hash
     }
 
+    /// Freezes the current aggregate metrics into a serializable
+    /// [`MetricsSnapshot`]. Running both engines on the same stream
+    /// yields byte-identical snapshots (the equivalence suite checks
+    /// this).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot::capture(&self.config, self.delay, self.now(), &self.metrics)
+    }
+
     /// Advances exactly one interface cycle — the original formulation:
     /// run every memory cycle with a grant, scan for the pick, scan for
     /// the samples, advance every bank's delay line.
@@ -404,6 +417,7 @@ impl ReferenceController {
                     Ok(Accepted::ReadQueued(row)) => {
                         self.metrics.reads_accepted += 1;
                         self.outstanding += 1;
+                        self.metrics.note_outstanding(self.outstanding as u64);
                         read_row = Some((bank, row));
                         self.trace.record(now, id, TraceKind::Accepted);
                     }
@@ -411,6 +425,7 @@ impl ReferenceController {
                         self.metrics.reads_accepted += 1;
                         self.metrics.reads_merged += 1;
                         self.outstanding += 1;
+                        self.metrics.note_outstanding(self.outstanding as u64);
                         read_row = Some((bank, row));
                         self.trace.record(now, id, TraceKind::Merged);
                     }
@@ -455,11 +470,21 @@ impl ReferenceController {
             }
         }
 
-        // occupancy sampling — the original O(B) scans
-        let max_queue = self.banks.iter().map(SeedBank::queue_depth).max().unwrap_or(0);
-        let storage: usize = self.banks.iter().map(SeedBank::storage_occupancy).sum();
-        self.metrics.queue_depth.record(max_queue as u64);
-        self.metrics.storage_occupancy.record(storage as u64);
+        // occupancy sampling — the original O(B) scans. The per-bank
+        // high-water marks piggyback on the same end-of-tick walk (the
+        // fast engine maintains them incrementally at the change sites;
+        // the equivalence suite requires both formulations to agree).
+        let mut max_queue = 0usize;
+        let mut storage = 0usize;
+        for (i, b) in self.banks.iter().enumerate() {
+            let q = b.queue_depth();
+            max_queue = max_queue.max(q);
+            storage += b.storage_occupancy();
+            self.metrics.note_bank_queue_depth(i, q as u32);
+            self.metrics.note_bank_storage(i, b.storage_occupancy() as u32);
+            self.metrics.note_bank_write_depth(i, b.write_depth() as u32);
+        }
+        self.metrics.sample_cycle(max_queue as u64, storage as u64);
 
         TickOutput { response, stall }
     }

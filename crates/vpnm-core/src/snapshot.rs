@@ -1,0 +1,215 @@
+//! Point-in-time metrics snapshots with a stable JSON serialization.
+//!
+//! [`MetricsSnapshot`] freezes everything the always-on aggregate layer
+//! knows — counters, derived rates, log2 occupancy histograms, per-bank
+//! high-water marks, CAM load factor, delay-ring utilization — together
+//! with the configuration geometry needed to interpret it. The
+//! [`MetricsSnapshot::to_json`] output is **byte-stable**: field order is
+//! fixed, floats are printed with exactly six decimals, and a
+//! `schema_version` field guards consumers against silent drift (a
+//! golden-file test pins the exact bytes).
+//!
+//! Both engines expose `snapshot()`; because the differential suite keeps
+//! their [`ControllerMetrics`] identical, the two snapshots of an
+//! identical run serialize to identical bytes.
+//!
+//! The JSON is hand-rolled (the workspace is dependency-free by policy —
+//! no serde); the grammar is small enough that the writer below is the
+//! whole implementation. See `docs/OBSERVABILITY.md` for the schema.
+
+use crate::config::VpnmConfig;
+use crate::metrics::ControllerMetrics;
+use std::fmt::Write as _;
+use vpnm_sim::{Cycle, Histogram};
+
+/// Bumped whenever a field is added, removed, renamed, or re-ordered in
+/// the JSON output.
+pub const SNAPSHOT_SCHEMA_VERSION: u32 = 1;
+
+/// A frozen copy of a controller's observable state, ready to serialize.
+///
+/// Capture one with [`crate::VpnmController::snapshot`] or
+/// [`crate::ReferenceController::snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Interface cycles elapsed when the snapshot was taken.
+    pub cycles: u64,
+    /// Bank count `B`.
+    pub banks: u32,
+    /// Bank access queue entries `Q`.
+    pub queue_entries: usize,
+    /// Delay storage rows `K` (per bank).
+    pub storage_rows: usize,
+    /// Write buffer entries per bank.
+    pub write_buffer_entries: usize,
+    /// The deterministic delay `D` in interface cycles.
+    pub delay: u64,
+    /// The aggregate metrics at capture time.
+    pub metrics: ControllerMetrics,
+}
+
+impl MetricsSnapshot {
+    /// Freezes `metrics` together with the geometry of `config`.
+    pub fn capture(
+        config: &VpnmConfig,
+        delay: u64,
+        now: Cycle,
+        metrics: &ControllerMetrics,
+    ) -> Self {
+        MetricsSnapshot {
+            cycles: now.as_u64(),
+            banks: config.banks,
+            queue_entries: config.queue_entries,
+            storage_rows: config.storage_rows,
+            write_buffer_entries: config.write_buffer_capacity(),
+            delay,
+            metrics: metrics.clone(),
+        }
+    }
+
+    /// Serializes to the stable JSON schema (version
+    /// [`SNAPSHOT_SCHEMA_VERSION`]), pretty-printed with two-space
+    /// indents and a trailing newline.
+    pub fn to_json(&self) -> String {
+        let m = &self.metrics;
+        let mut s = String::with_capacity(2048);
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"schema_version\": {},", SNAPSHOT_SCHEMA_VERSION);
+        let _ = writeln!(s, "  \"cycles\": {},", self.cycles);
+        s.push_str("  \"config\": {\n");
+        let _ = writeln!(s, "    \"banks\": {},", self.banks);
+        let _ = writeln!(s, "    \"queue_entries\": {},", self.queue_entries);
+        let _ = writeln!(s, "    \"storage_rows\": {},", self.storage_rows);
+        let _ = writeln!(s, "    \"write_buffer_entries\": {},", self.write_buffer_entries);
+        let _ = writeln!(s, "    \"delay\": {}", self.delay);
+        s.push_str("  },\n");
+        s.push_str("  \"counters\": {\n");
+        let _ = writeln!(s, "    \"reads_accepted\": {},", m.reads_accepted);
+        let _ = writeln!(s, "    \"reads_merged\": {},", m.reads_merged);
+        let _ = writeln!(s, "    \"writes_accepted\": {},", m.writes_accepted);
+        let _ = writeln!(s, "    \"responses\": {},", m.responses);
+        let _ = writeln!(s, "    \"delay_storage_stalls\": {},", m.delay_storage_stalls);
+        let _ = writeln!(s, "    \"access_queue_stalls\": {},", m.access_queue_stalls);
+        let _ = writeln!(s, "    \"write_buffer_stalls\": {},", m.write_buffer_stalls);
+        let _ = writeln!(s, "    \"malformed_rejections\": {},", m.malformed_rejections);
+        let _ = writeln!(s, "    \"deadline_misses\": {},", m.deadline_misses);
+        match m.first_stall_at {
+            Some(c) => {
+                let _ = writeln!(s, "    \"first_stall_at\": {}", c.as_u64());
+            }
+            None => s.push_str("    \"first_stall_at\": null\n"),
+        }
+        s.push_str("  },\n");
+        s.push_str("  \"rates\": {\n");
+        let _ = writeln!(s, "    \"merge_rate\": {:.6},", m.merge_rate());
+        let _ = writeln!(s, "    \"stall_rate\": {:.6},", m.stall_rate());
+        let _ = writeln!(s, "    \"deadline_miss_rate\": {:.6}", m.deadline_miss_rate());
+        s.push_str("  },\n");
+        write_dist(&mut s, "queue_depth", &m.queue_depth_hist, true);
+        write_dist(&mut s, "storage_occupancy", &m.storage_occupancy_hist, true);
+        s.push_str("  \"high_water_marks\": {\n");
+        write_u32_array(&mut s, "bank_queue_hwm", &m.bank_queue_hwm);
+        s.push_str(",\n");
+        write_u32_array(&mut s, "bank_storage_hwm", &m.bank_storage_hwm);
+        s.push_str(",\n");
+        write_u32_array(&mut s, "bank_write_hwm", &m.bank_write_hwm);
+        s.push_str(",\n");
+        let _ = write!(s, "    \"outstanding\": {}", m.outstanding_hwm);
+        s.push_str("\n  },\n");
+        let _ = writeln!(
+            s,
+            "  \"cam_load_factor\": {:.6},",
+            m.peak_storage_load_factor(self.storage_rows)
+        );
+        let _ = writeln!(
+            s,
+            "  \"delay_ring_utilization\": {:.6}",
+            m.delay_ring_utilization(self.delay)
+        );
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// Writes one `"name": {mean, max, buckets: [[lower_bound, count], …]}`
+/// distribution object (two-space top-level member).
+fn write_dist(s: &mut String, name: &str, hist: &Histogram, trailing_comma: bool) {
+    let _ = writeln!(s, "  \"{name}\": {{");
+    let _ = writeln!(s, "    \"samples\": {},", hist.total());
+    let _ = writeln!(s, "    \"mean\": {:.6},", hist.mean());
+    let _ = writeln!(s, "    \"max\": {},", hist.max().unwrap_or(0));
+    s.push_str("    \"log2_buckets\": [");
+    let mut first = true;
+    for (lo, count) in hist.iter() {
+        if !first {
+            s.push_str(", ");
+        }
+        first = false;
+        let _ = write!(s, "[{lo}, {count}]");
+    }
+    s.push_str("]\n");
+    s.push_str(if trailing_comma { "  },\n" } else { "  }\n" });
+}
+
+fn write_u32_array(s: &mut String, name: &str, values: &[u32]) {
+    let _ = write!(s, "    \"{name}\": [");
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "{v}");
+    }
+    s.push(']');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_deterministic_and_self_consistent() {
+        let cfg = VpnmConfig::small_test();
+        let mut m = ControllerMetrics::with_banks(cfg.banks as usize);
+        m.reads_accepted = 10;
+        m.reads_merged = 2;
+        m.responses = 10;
+        m.sample_cycle(3, 12);
+        m.sample_cycle(1, 5);
+        m.note_bank_storage(0, 6);
+        m.note_outstanding(4);
+        let snap = MetricsSnapshot::capture(&cfg, 40, Cycle::new(100), &m);
+        let a = snap.to_json();
+        let b = snap.clone().to_json();
+        assert_eq!(a, b, "serialization must be pure");
+        assert!(a.contains("\"schema_version\": 1"));
+        assert!(a.contains("\"reads_accepted\": 10"));
+        assert!(a.contains("\"merge_rate\": 0.200000"));
+        assert!(a.contains("\"first_stall_at\": null"));
+        assert!(a.contains("\"bank_storage_hwm\": [6, 0, 0, 0]"));
+        // 6 rows live of K=8 → load factor 0.75
+        assert!(a.contains("\"cam_load_factor\": 0.750000"), "{a}");
+        assert!(a.contains("\"delay_ring_utilization\": 0.100000"), "{a}");
+        assert!(a.ends_with("}\n"));
+    }
+
+    #[test]
+    fn first_stall_serializes_when_present() {
+        let cfg = VpnmConfig::small_test();
+        let mut m = ControllerMetrics::with_banks(cfg.banks as usize);
+        m.record_stall(crate::request::StallKind::AccessQueue, Cycle::new(17));
+        let snap = MetricsSnapshot::capture(&cfg, 40, Cycle::new(20), &m);
+        assert!(snap.to_json().contains("\"first_stall_at\": 17"));
+    }
+
+    #[test]
+    fn bucket_pairs_use_lower_bounds() {
+        let cfg = VpnmConfig::small_test();
+        let mut m = ControllerMetrics::with_banks(cfg.banks as usize);
+        m.sample_cycle(0, 0); // bucket 0
+        m.sample_cycle(5, 100); // depth bucket [4,8), storage bucket [64,128)
+        let snap = MetricsSnapshot::capture(&cfg, 40, Cycle::new(2), &m);
+        let json = snap.to_json();
+        assert!(json.contains("[0, 1], [4, 1]"), "{json}");
+        assert!(json.contains("[64, 1]"), "{json}");
+    }
+}

@@ -19,7 +19,9 @@ pub struct PendingWrite {
     pub data: Bytes,
 }
 
-/// Bounded FIFO of pending writes.
+/// The paper's **write buffer**: a bounded FIFO of pending writes, sized
+/// at `⌈Q/2⌉` entries (Figure 3, bottom left; Section 4.3). Overflow is
+/// the *write buffer stall*.
 ///
 /// ```
 /// use vpnm_core::write_buffer::WriteBuffer;

@@ -1,0 +1,49 @@
+//! Golden-file test: a short deterministic trace must serialize to a
+//! byte-stable `MetricsSnapshot` JSON.
+//!
+//! This pins the snapshot schema against accidental drift — adding,
+//! renaming, re-ordering, or re-formatting a field changes the bytes and
+//! fails here. Intentional schema changes must bump
+//! `SNAPSHOT_SCHEMA_VERSION` and regenerate the golden file:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p vpnm-core --test snapshot_golden
+//! ```
+
+use vpnm_core::{LineAddr, Request, VpnmConfig, VpnmController};
+
+const GOLDEN_PATH: &str = "tests/golden/metrics_snapshot.json";
+
+/// A fixed, fully scripted workload: mixed reads/writes/idle over a hot
+/// address set, dense enough to exercise merges and every histogram.
+fn scripted_request(i: u64) -> Option<Request> {
+    match i % 5 {
+        0 => Some(Request::Read { addr: LineAddr(i * 13 % 64) }),
+        1 => Some(Request::write(LineAddr(i % 32), vec![i as u8, (i >> 8) as u8])),
+        2 | 3 => Some(Request::Read { addr: LineAddr(i % 16) }),
+        _ => None,
+    }
+}
+
+#[test]
+fn snapshot_json_matches_golden_file() {
+    let mut mem = VpnmController::new(VpnmConfig::small_test(), 0xC0FFEE).unwrap();
+    for i in 0..300u64 {
+        mem.tick(scripted_request(i));
+    }
+    mem.drain();
+    let json = mem.snapshot().to_json();
+
+    let golden_file = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN_PATH);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden_file, &json).expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_file)
+        .expect("golden file present; regenerate with UPDATE_GOLDEN=1");
+    assert_eq!(
+        json, golden,
+        "MetricsSnapshot JSON drifted from {GOLDEN_PATH}. If the schema change is \
+         intentional, bump SNAPSHOT_SCHEMA_VERSION and rerun with UPDATE_GOLDEN=1."
+    );
+}

@@ -189,13 +189,23 @@ impl Default for Histogram {
     }
 }
 
-/// Small embedded copy of min/max for the histogram without pulling in the
-/// full Welford state (mean is recoverable from buckets only approximately).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// Small embedded copy of min/max/sum for the histogram without pulling in
+/// the full Welford state (mean is recoverable from buckets only
+/// approximately). Sentinel encoding (`min = u64::MAX`, `max = 0` when
+/// empty; `total == 0` discriminates) keeps the per-sample update
+/// branchless — `record` sits on simulation hot paths that run once per
+/// modeled cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct RunningStatsMirror {
-    min: Option<u64>,
-    max: Option<u64>,
-    sum: u128,
+    min: u64,
+    max: u64,
+    sum: u64,
+}
+
+impl Default for RunningStatsMirror {
+    fn default() -> Self {
+        RunningStatsMirror { min: u64::MAX, max: 0, sum: 0 }
+    }
 }
 
 impl Histogram {
@@ -204,14 +214,15 @@ impl Histogram {
         Self::default()
     }
 
-    /// Records one sample.
+    /// Records one sample. The sum saturates at `u64::MAX` (unreachable
+    /// for the cycle-occupancy ranges simulations produce).
+    #[inline]
     pub fn record(&mut self, value: u64) {
-        let idx = bucket_index(value);
-        self.buckets[idx] += 1;
+        self.buckets[bucket_index(value) & 63] += 1;
         self.total += 1;
-        self.stats.min = Some(self.stats.min.map_or(value, |m| m.min(value)));
-        self.stats.max = Some(self.stats.max.map_or(value, |m| m.max(value)));
-        self.stats.sum += u128::from(value);
+        self.stats.sum = self.stats.sum.saturating_add(value);
+        self.stats.min = self.stats.min.min(value);
+        self.stats.max = self.stats.max.max(value);
     }
 
     /// Total samples recorded.
@@ -239,12 +250,12 @@ impl Histogram {
 
     /// Smallest recorded sample.
     pub fn min(&self) -> Option<u64> {
-        self.stats.min
+        if self.total == 0 { None } else { Some(self.stats.min) }
     }
 
     /// Largest recorded sample.
     pub fn max(&self) -> Option<u64> {
-        self.stats.max
+        if self.total == 0 { None } else { Some(self.stats.max) }
     }
 
     /// Approximate quantile `q` in `[0,1]`, resolved to bucket upper bounds.
@@ -264,7 +275,7 @@ impl Histogram {
                 return Some(if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 });
             }
         }
-        self.stats.max
+        self.max()
     }
 
     /// Iterates over `(bucket_lower_bound, count)` for non-empty buckets.
@@ -274,6 +285,28 @@ impl Histogram {
             .enumerate()
             .filter(|(_, &c)| c > 0)
             .map(|(i, &c)| (if i == 0 { 0 } else { 1u64 << i }, c))
+    }
+
+    /// The inclusive lower bound of bucket `i` (0 for bucket 0, else `2^i`).
+    pub fn bucket_lower_bound(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << i
+        }
+    }
+
+    /// Merges another histogram into this one (used when measurements are
+    /// sharded across controller instances or worker threads).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, &c) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += c;
+        }
+        self.total += other.total;
+        self.stats.sum = self.stats.sum.saturating_add(other.stats.sum);
+        // The sentinels (`MAX`/`0` when empty) are identities of min/max.
+        self.stats.min = self.stats.min.min(other.stats.min);
+        self.stats.max = self.stats.max.max(other.stats.max);
     }
 }
 
@@ -399,6 +432,36 @@ mod tests {
         assert!(h.quantile(0.5).unwrap() >= 500 / 2); // coarse: bucketed
         assert!(h.quantile(1.0).unwrap() >= 999);
         assert_eq!(Histogram::new().quantile(0.5), None);
+    }
+
+    #[test]
+    fn histogram_merge_matches_sequential() {
+        let samples: Vec<u64> = (0..200).map(|i| (i * 13) % 97).collect();
+        let mut all = Histogram::new();
+        for &v in &samples {
+            all.record(v);
+        }
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for &v in &samples[..70] {
+            a.record(v);
+        }
+        for &v in &samples[70..] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+        // Merging an empty histogram is a no-op.
+        a.merge(&Histogram::new());
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn histogram_bucket_lower_bounds() {
+        assert_eq!(Histogram::bucket_lower_bound(0), 0);
+        assert_eq!(Histogram::bucket_lower_bound(1), 2);
+        assert_eq!(Histogram::bucket_lower_bound(6), 64);
+        assert_eq!(Histogram::bucket_lower_bound(63), 1u64 << 63);
     }
 
     #[test]

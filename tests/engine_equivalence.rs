@@ -66,6 +66,13 @@ fn assert_equivalent(cfg: VpnmConfig, seed: u64, stream: &[Option<Request>]) {
     assert_eq!(fast.metrics(), reference.metrics(), "metrics diverged");
     assert_eq!(fast.dram_stats(), reference.dram_stats(), "DRAM stats diverged");
     assert_eq!(fast.now(), reference.now(), "drain lengths diverged");
+    // The observability layer rides on the same metrics: both engines
+    // must serialize byte-identical snapshots.
+    assert_eq!(
+        fast.snapshot().to_json(),
+        reference.snapshot().to_json(),
+        "metrics snapshots diverged"
+    );
 }
 
 fn configs_under_test() -> Vec<VpnmConfig> {

@@ -51,6 +51,7 @@ fn markov_model_predicts_simulated_queue_stalls() {
         hash: HashKind::H3,
         write_buffer_entries: None,
         trace_capacity: 0,
+        forensics_capacity: 0,
         scheduler: SchedulerKind::RoundRobin,
         merging: true,
     };
@@ -79,6 +80,7 @@ fn markov_model_tracks_q_scaling() {
         hash: HashKind::H3,
         write_buffer_entries: None,
         trace_capacity: 0,
+        forensics_capacity: 0,
         scheduler: SchedulerKind::RoundRobin,
         merging: true,
     };
@@ -129,6 +131,7 @@ fn storage_dominated_config_stalls_on_storage() {
         hash: HashKind::H3,
         write_buffer_entries: None,
         trace_capacity: 0,
+        forensics_capacity: 0,
         scheduler: SchedulerKind::RoundRobin,
         merging: true,
     };
