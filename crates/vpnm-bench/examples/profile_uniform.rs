@@ -1,0 +1,32 @@
+//! Uniform full-load drive for quick timing checks (dev aid): reports the
+//! best and median of many short windows, which rides out scheduler noise
+//! on shared machines far better than one long average.
+
+use vpnm_core::{VpnmConfig, VpnmController};
+use vpnm_workloads::generators::AddressGenerator;
+use vpnm_workloads::UniformAddresses;
+
+fn main() {
+    let mut mem = VpnmController::new(VpnmConfig::paper_optimal(), 7).expect("valid");
+    let space = 1u64 << mem.config().addr_bits;
+    let mut gen = UniformAddresses::new(space, 3);
+    let mut addrs = vec![0u64; 10_000];
+    let mut acc = 0u64;
+    let mut windows: Vec<f64> = Vec::new();
+    for _ in 0..40 {
+        let start = std::time::Instant::now();
+        for _ in 0..10 {
+            gen.fill_addrs(&mut addrs);
+            let c = mem.run_reads_with(&addrs, 10_000, |r| acc ^= r.completed_at.as_u64());
+            acc ^= c.responses;
+        }
+        windows.push(start.elapsed().as_nanos() as f64 / 100_000.0);
+    }
+    windows.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    println!(
+        "best {:.1}  p25 {:.1}  median {:.1} ns/cycle (acc {acc})",
+        windows[0],
+        windows[windows.len() / 4],
+        windows[windows.len() / 2]
+    );
+}

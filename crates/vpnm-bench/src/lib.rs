@@ -9,6 +9,7 @@
 
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod inspect;
 pub mod parallel;
 pub mod report;

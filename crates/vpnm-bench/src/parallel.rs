@@ -11,6 +11,14 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// Workers to use for `n` units of claimable work: the machine's available
+/// parallelism, capped at the work-unit count (and at least 1, so the
+/// empty case still takes the sequential path). Both sharding helpers go
+/// through this so the capping policy cannot drift between them.
+pub fn worker_count(n: usize) -> usize {
+    std::thread::available_parallelism().map_or(4, |w| w.get()).min(n.max(1))
+}
+
 /// Runs `jobs` across the available cores and returns their results in
 /// job order (index `i` of the output is job `i`'s result, regardless of
 /// which worker ran it or when it finished).
@@ -27,7 +35,7 @@ where
     F: FnOnce() -> T + Send,
 {
     let n = jobs.len();
-    let workers = std::thread::available_parallelism().map_or(4, |w| w.get()).min(n.max(1));
+    let workers = worker_count(n);
     if workers <= 1 {
         return jobs.into_iter().map(|job| job()).collect();
     }
@@ -59,22 +67,59 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_trials_chunked(count, 1, f, |_, _| {})
+}
+
+/// [`run_trials`] with chunked claiming and a progress callback: workers
+/// claim `chunk` consecutive trial indices at a time (amortizing the
+/// atomic-cursor round trip when individual trials are short), and
+/// `progress(done, count)` fires after each completed chunk — from the
+/// worker thread that finished it, so long campaigns can report liveness
+/// or append checkpoints without a coordinator thread.
+///
+/// Trial `i` is always computed as `f(i)` no matter how trials land on
+/// workers, so results — in trial order — are identical to the sequential
+/// run for every chunk size and core count; only wall-clock time and the
+/// interleaving of `progress` calls vary.
+///
+/// # Panics
+///
+/// Panics if `chunk == 0`; propagates a panic from any trial after all
+/// workers stop.
+pub fn run_trials_chunked<T, F, P>(count: usize, chunk: usize, f: F, progress: P) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    P: Fn(usize, usize) + Sync,
+{
+    assert!(chunk > 0, "chunk size must be non-zero");
     let n = count;
-    let workers = std::thread::available_parallelism().map_or(4, |w| w.get()).min(n.max(1));
+    let workers = worker_count(n.div_ceil(chunk));
     if workers <= 1 {
-        return (0..n).map(&f).collect();
+        let mut out = Vec::with_capacity(n);
+        for start in (0..n).step_by(chunk) {
+            let end = (start + chunk).min(n);
+            out.extend((start..end).map(&f));
+            progress(end, n);
+        }
+        return out;
     }
     let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
     crossbeam::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|_| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
                     break;
                 }
-                let out = f(i);
-                *results[i].lock().expect("result slot") = Some(out);
+                let end = (start + chunk).min(n);
+                for i in start..end {
+                    *results[i].lock().expect("result slot") = Some(f(i));
+                }
+                let finished = done.fetch_add(end - start, Ordering::Relaxed) + (end - start);
+                progress(finished, n);
             });
         }
     })
@@ -109,5 +154,34 @@ mod tests {
         assert!(run_jobs::<u32, fn() -> u32>(vec![]).is_empty());
         assert_eq!(run_jobs(vec![|| 7u32]), vec![7]);
         assert!(run_trials(0, |i| i).is_empty());
+        assert!(run_trials_chunked(0, 8, |i| i, |_, _| {}).is_empty());
+    }
+
+    #[test]
+    fn chunked_trials_match_sequential_for_any_chunk_size() {
+        let sequential: Vec<u64> =
+            (0..100).map(|i| (i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 40).collect();
+        for chunk in [1, 3, 8, 100, 1000] {
+            let parallel = run_trials_chunked(
+                100,
+                chunk,
+                |i| (i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 40,
+                |_, _| {},
+            );
+            assert_eq!(parallel, sequential, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn progress_reports_every_chunk_and_reaches_total() {
+        let seen = Mutex::new(Vec::new());
+        let out = run_trials_chunked(50, 8, |i| i, |done, total| {
+            seen.lock().unwrap().push((done, total));
+        });
+        assert_eq!(out.len(), 50);
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(seen.len(), 50usize.div_ceil(8), "one report per chunk");
+        assert!(seen.iter().all(|&(_, t)| t == 50));
+        assert_eq!(seen.iter().map(|&(d, _)| d).max(), Some(50));
     }
 }

@@ -109,20 +109,31 @@ impl BankController {
     pub fn submit(&mut self, event: BankEvent) -> Result<Accepted, StallKind> {
         match event {
             BankEvent::Read { addr } => {
-                if self.merging {
-                    if let Some(row) = self.storage.lookup(addr) {
-                        // Redundant access: merge, no bank access needed
-                        // (paper Figure 1, middle graph).
-                        self.storage.merge(row);
-                        return Ok(Accepted::ReadMerged(row));
+                // One CAM probe serves both the merge lookup and (on a
+                // miss) the insert position for the fresh allocation.
+                let hint = if self.merging {
+                    match self.storage.lookup_hinted(addr) {
+                        Ok(row) => {
+                            // Redundant access: merge, no bank access
+                            // needed (paper Figure 1, middle graph).
+                            self.storage.merge(row);
+                            return Ok(Accepted::ReadMerged(row));
+                        }
+                        Err(hint) => Some(hint),
                     }
-                }
+                } else {
+                    None
+                };
                 // Check queue space before allocating so no rollback is
                 // ever needed.
                 if self.queue.is_full() {
                     return Err(StallKind::AccessQueue);
                 }
-                let Some(row) = self.storage.allocate(addr) else {
+                let row = match hint {
+                    Some(hint) => self.storage.allocate_hinted(addr, hint),
+                    None => self.storage.allocate(addr),
+                };
+                let Some(row) = row else {
                     return Err(StallKind::DelayStorage);
                 };
                 self.queue
@@ -176,33 +187,59 @@ impl BankController {
         let Some(front) = self.queue.front().copied() else {
             return false;
         };
-        // Peek readiness: a grant to a busy bank is simply wasted (paper
-        // Section 4: "some of the round-robin slots are not used when …
-        // the memory bank is busy") and must not count as a conflict in
-        // device stats.
-        match dram.is_bank_ready(self.bank, now_mem) {
-            Ok(true) => {}
-            Ok(false) => return false,
-            Err(e) => panic!("unexpected DRAM error on readiness: {e}"),
-        }
+        // A grant to a busy bank is simply wasted (paper Section 4: "some
+        // of the round-robin slots are not used when … the memory bank is
+        // busy") and must not count as a conflict in device stats — the
+        // `try_issue` variants fold that readiness peek into the issue
+        // itself, so the busy window is tested once, not twice.
         match front {
             AccessEntry::Read { row } => {
                 let addr = self.storage.row_addr(row);
-                let grant =
-                    dram.issue_read(self.bank, addr.0, now_mem).expect("bank checked ready");
+                let Some(grant) = dram
+                    .try_issue_read(self.bank, addr.0, now_mem)
+                    .unwrap_or_else(|e| panic!("unexpected DRAM error: {e}"))
+                else {
+                    return false;
+                };
                 self.storage.fill(row, grant.data);
                 self.in_service_until = Some(grant.data_ready_at);
                 true
             }
             AccessEntry::Write => {
-                let w = self.writes.pop().expect("Write queue entry implies buffered write");
-                let done = dram
-                    .issue_write(self.bank, w.addr.0, w.data, now_mem)
-                    .expect("bank checked ready");
+                let w = self.writes.front().expect("Write queue entry implies buffered write");
+                let Some(done) = dram
+                    .try_issue_write(self.bank, w.addr.0, w.data.clone(), now_mem)
+                    .unwrap_or_else(|e| panic!("unexpected DRAM error: {e}"))
+                else {
+                    return false;
+                };
+                self.writes.pop().expect("front checked above");
                 self.in_service_until = Some(done);
                 true
             }
         }
+    }
+
+    /// Warms the cache lines a `submit` of a read for `addr` will touch
+    /// (see [`DelayStorageBuffer::prefetch`]). Semantically a no-op;
+    /// batched drivers call it a few cycles ahead of the actual submit.
+    #[inline]
+    pub fn prefetch(&self, addr: LineAddr) {
+        self.storage.prefetch(addr);
+    }
+
+    /// Warms the delay-storage row an upcoming playback will touch (see
+    /// [`DelayStorageBuffer::prefetch_row`]). Semantically a no-op.
+    #[inline]
+    pub fn prefetch_row(&self, row: RowId) {
+        self.storage.prefetch_row(row);
+    }
+
+    /// Warms the CAM slot an upcoming playback's unlink will probe (see
+    /// [`DelayStorageBuffer::prefetch_playback`]). Semantically a no-op.
+    #[inline]
+    pub fn prefetch_playback(&self, row: RowId) {
+        self.storage.prefetch_playback(row);
     }
 
     /// Rows currently live in the delay storage buffer.

@@ -76,6 +76,43 @@ pub struct RunReport {
     pub rejected: u64,
 }
 
+/// Acceptance counts from a sink-style run — [`RunReport`] without the
+/// collected responses (those went to the caller's sink as they became
+/// due).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunCounts {
+    /// Requests accepted (including merged reads).
+    pub accepted: u64,
+    /// Requests that stalled on a full buffer (retryable).
+    pub stalled: u64,
+    /// Malformed requests rejected outright (not retryable).
+    pub rejected: u64,
+    /// Responses that became due during the run.
+    pub responses: u64,
+}
+
+/// Index of the first set bit in `bits` at a position in `from..to`, if
+/// any — the word-at-a-time scan behind the delay ring's next-due search.
+fn first_set_bit(bits: &[u64], from: usize, to: usize) -> Option<usize> {
+    if from >= to {
+        return None;
+    }
+    let last_w = (to - 1) / 64;
+    let mut w = from / 64;
+    let mut word = bits[w] & (!0u64 << (from % 64));
+    loop {
+        if word != 0 {
+            let p = w * 64 + word.trailing_zeros() as usize;
+            return (p < to).then_some(p);
+        }
+        if w == last_w {
+            return None;
+        }
+        w += 1;
+        word = bits[w];
+    }
+}
+
 /// The virtually pipelined memory controller.
 ///
 /// Presents banked DRAM as a flat pipeline: every accepted read is answered
@@ -123,12 +160,21 @@ pub struct VpnmController {
     /// scheduled `D` interface cycles ago, falling due this cycle.
     ring: Vec<Option<(u32, RowId)>>,
     ring_pos: usize,
+    /// Occupancy bitset over `ring` (bit `i` set ⇔ `ring[i].is_some()`),
+    /// letting the event-horizon skip find the next due playback by
+    /// scanning words instead of walking `Option` slots one by one.
+    ring_occ: Vec<u64>,
     /// Histogram of bank queue depths (`depth_hist[d]` = banks at depth
     /// `d`) and the current maximum, for O(1) occupancy sampling.
     depth_hist: Vec<u32>,
     max_depth: usize,
     /// Total live delay-storage rows across banks.
     storage_live: u64,
+    /// Interface cycles covered by event-horizon skips in
+    /// [`VpnmController::run_batch`] (drive-mode accounting; not part of
+    /// [`ControllerMetrics`] so metrics equality across engines and drive
+    /// modes is unaffected).
+    cycles_skipped: u64,
     /// Cached zero cell served on deadline misses.
     zero_cell: Bytes,
     /// Forensic event ring (see [`crate::forensics`]); inert unless
@@ -187,9 +233,11 @@ impl VpnmController {
             ready: ReadySet::new(config.banks),
             ring: vec![None; delay as usize],
             ring_pos: 0,
+            ring_occ: vec![0u64; (delay as usize).div_ceil(64)],
             depth_hist,
             max_depth: 0,
             storage_live: 0,
+            cycles_skipped: 0,
             zero_cell: Bytes::from(vec![0u8; config.cell_bytes]),
             forensics: ForensicRing::new(config.forensics_capacity),
             config,
@@ -244,10 +292,16 @@ impl VpnmController {
         &self.forensics
     }
 
+    /// Interface cycles covered by event-horizon skips rather than
+    /// individual ticks (see [`VpnmController::run_batch`]).
+    pub fn cycles_skipped(&self) -> u64 {
+        self.cycles_skipped
+    }
+
     /// Freezes the current aggregate metrics into a serializable
     /// [`MetricsSnapshot`].
     pub fn snapshot(&self) -> MetricsSnapshot {
-        MetricsSnapshot::capture(&self.config, self.delay, self.now(), &self.metrics)
+        MetricsSnapshot::capture(&self.config, self.delay, self.now(), self.cycles_skipped, &self.metrics)
     }
 
     /// Advances exactly one interface cycle, optionally presenting one
@@ -261,6 +315,24 @@ impl VpnmController {
     /// keeps running. Debug builds additionally `debug_assert!` so tests
     /// catch the caller bug at its source.
     pub fn tick(&mut self, request: Option<Request>) -> TickOutput {
+        // The bank hash is total over u64 (always in range), so it can be
+        // computed up front; `step` only consults it after validation.
+        let bank = match &request {
+            Some(req) => self.hash.bank_of(req.addr().0) as usize,
+            None => 0,
+        };
+        self.step(request, bank)
+    }
+
+    /// One interface cycle with the bank mapping already computed —
+    /// [`VpnmController::tick`] with the hash hoisted out so
+    /// [`VpnmController::run_batch`] can amortize hashing over a whole
+    /// batch. `bank` is only read for a `Some` request that passes
+    /// validation. Inlined into each drive loop so the request and
+    /// output structs stay in registers instead of crossing a call
+    /// boundary every simulated cycle.
+    #[inline]
+    fn step(&mut self, request: Option<Request>, bank: usize) -> TickOutput {
         // --- memory-clock domain: run memory cycles (with one bus grant
         // each) until the next interface edge falls. When no bank has
         // queued work a grant cannot do anything (an in-service access
@@ -270,7 +342,7 @@ impl VpnmController {
             if self.ready.is_empty() {
                 let skipped = self.clock.advance_to_interface();
                 self.rr_next = ((u64::from(self.rr_next) + skipped)
-                    % u64::from(self.config.banks)) as u32;
+                    & u64::from(self.config.banks - 1)) as u32;
                 break;
             }
             let mt = self.clock.tick_memory();
@@ -314,7 +386,6 @@ impl VpnmController {
                 self.trace.record(now, id, TraceKind::Stalled);
             } else {
                 let addr = req.addr();
-                let bank = self.hash.bank_of(addr.0) as usize;
                 let event = match req {
                     Request::Read { addr } => BankEvent::Read { addr },
                     Request::Write { addr, data } => BankEvent::Write { addr, data },
@@ -394,7 +465,17 @@ impl VpnmController {
             let slot = &mut self.ring[self.ring_pos];
             let due = slot.take();
             *slot = read_row;
-            self.ring_pos = (self.ring_pos + 1) % self.ring.len();
+            let bit = 1u64 << (self.ring_pos % 64);
+            let word = &mut self.ring_occ[self.ring_pos / 64];
+            if read_row.is_some() {
+                *word |= bit;
+            } else {
+                *word &= !bit;
+            }
+            // Branch instead of `%`: the ring length is not a power of
+            // two, and this wrap runs every interface cycle.
+            let next = self.ring_pos + 1;
+            self.ring_pos = if next == self.ring.len() { 0 } else { next };
             due
         };
         let mut response = None;
@@ -489,7 +570,10 @@ impl VpnmController {
     /// `on_bus_grant` is a guaranteed no-op.
     fn pick_grant(&mut self, now_mem: Cycle) -> Option<usize> {
         let rr = self.rr_next;
-        self.rr_next = (self.rr_next + 1) % self.config.banks;
+        // `banks` is validated to be a power of two, so the round-robin
+        // wrap is a mask — this runs every memory cycle, where a `div`
+        // would be the single most expensive instruction in the loop.
+        self.rr_next = (self.rr_next + 1) & (self.config.banks - 1);
         match self.config.scheduler {
             SchedulerKind::RoundRobin => {
                 self.ready.contains(rr).then_some(rr as usize)
@@ -542,6 +626,13 @@ impl VpnmController {
                 "ready bit out of sync for bank {i}"
             );
         }
+        for (i, slot) in self.ring.iter().enumerate() {
+            debug_assert_eq!(
+                self.ring_occ[i / 64] >> (i % 64) & 1 == 1,
+                slot.is_some(),
+                "ring occupancy bit out of sync at slot {i}"
+            );
+        }
     }
 
     /// Drives the controller for `cycles` interface cycles, pulling at
@@ -573,6 +664,238 @@ impl VpnmController {
             }
         }
         report
+    }
+
+    /// Drives the controller for `budget.max(requests.len())` interface
+    /// cycles, presenting `requests[i]` on cycle `i` (cycles beyond the
+    /// slice are idle). Produces exactly the same responses, metrics, and
+    /// acceptance counts as the equivalent [`VpnmController::tick`]
+    /// sequence — a property test pins this — but amortizes two costs the
+    /// per-tick path pays every cycle:
+    ///
+    /// * **Batched hashing**: the bank mapping of every request in the
+    ///   slice is computed in one [`HashEngine::hash_batch`] call up
+    ///   front, letting the hash tables stay hot in cache across the
+    ///   whole batch instead of being re-touched once per cycle.
+    /// * **Event-horizon skipping**: inside a run of idle cycles (no
+    ///   request presented, no bank with queued work), the next observable
+    ///   event is the earliest of the next request, the next delay-ring
+    ///   playback, and the end of the budget — so the clock jumps straight
+    ///   there. This generalizes the per-tick idle fast-forward (which
+    ///   still paid one `tick` call per idle interface cycle) into a true
+    ///   next-event jump. Skipped spans are counted in
+    ///   [`VpnmController::cycles_skipped`] and recorded as one
+    ///   [`ForensicKind::FastForward`] event when forensics are enabled.
+    pub fn run_batch(&mut self, requests: &[Option<Request>], budget: u64) -> RunReport {
+        let len = requests.len() as u64;
+        let total = budget.max(len);
+        // Pre-hash every presented address in one batched pass. The hash
+        // is total over u64, so malformed (out-of-range) addresses get a
+        // bank too — it is simply never read, because `step` validates
+        // before consulting it.
+        let mut addrs: Vec<u64> = Vec::with_capacity(requests.len());
+        addrs.extend(requests.iter().flatten().map(|r| r.addr().0));
+        let mut banks = vec![0u32; addrs.len()];
+        self.hash.hash_batch(&addrs, &mut banks);
+
+        let mut report = RunReport::default();
+        // Cursor into `banks`, advanced once per `Some` request visited
+        // (skips only ever jump over `None` entries, so it stays aligned).
+        let mut next_bank = 0usize;
+        // Exclusive end of the known idle (all-`None`) run containing the
+        // current cycle, cached so repeated skip attempts inside one gap
+        // never rescan the request slice.
+        let mut gap_end = 0u64;
+        let mut i = 0u64;
+        while i < total {
+            let idle = i >= len || requests[i as usize].is_none();
+            if idle && self.ready.is_empty() {
+                if gap_end <= i {
+                    let mut j = i + 1;
+                    while j < len && requests[j as usize].is_none() {
+                        j += 1;
+                    }
+                    gap_end = if j >= len { total } else { j };
+                }
+                let n = self.skip_idle(gap_end - i);
+                if n > 0 {
+                    i += n;
+                    continue;
+                }
+                // n == 0: a playback falls due this very cycle — take the
+                // normal step below.
+            }
+            let (request, bank) = if i < len {
+                match &requests[i as usize] {
+                    Some(r) => {
+                        let b = banks[next_bank] as usize;
+                        next_bank += 1;
+                        (Some(r.clone()), b)
+                    }
+                    None => (None, 0),
+                }
+            } else {
+                (None, 0)
+            };
+            let presented = request.is_some();
+            let out = self.step(request, bank);
+            if let Some(r) = out.response {
+                report.responses.push(r);
+            }
+            match out.stall {
+                None => report.accepted += u64::from(presented),
+                Some(kind) if kind.is_rejection() => report.rejected += 1,
+                Some(_) => report.stalled += 1,
+            }
+            i += 1;
+        }
+        report
+    }
+
+    /// [`VpnmController::run_batch`] specialized to an all-read request
+    /// stream given as raw line addresses: `addrs[i]` is presented as
+    /// `Request::Read` on cycle `i`, and cycles `addrs.len()..budget` are
+    /// idle. Exactly equivalent to the `run_batch` call over the same
+    /// stream (a test pins this) but without materializing a
+    /// `Vec<Option<Request>>` — the dominant cost of driving a full-load
+    /// read benchmark, where the request enum is pure overhead around an
+    /// 8-byte address.
+    pub fn run_reads(&mut self, addrs: &[u64], budget: u64) -> RunReport {
+        let mut responses = Vec::new();
+        let counts = self.run_reads_with(addrs, budget, |r| responses.push(r));
+        RunReport {
+            responses,
+            accepted: counts.accepted,
+            stalled: counts.stalled,
+            rejected: counts.rejected,
+        }
+    }
+
+    /// [`VpnmController::run_reads`] with responses streamed to a sink
+    /// instead of collected: throughput measurement and campaign shards
+    /// fold each [`Response`] into counters on the spot, so buffering
+    /// every response of a long run would be pure memory traffic.
+    /// Addresses are bank-hashed in cache-sized chunks via
+    /// [`HashEngine::hash_batch`].
+    pub fn run_reads_with(
+        &mut self,
+        addrs: &[u64],
+        budget: u64,
+        mut on_response: impl FnMut(Response),
+    ) -> RunCounts {
+        const CHUNK: usize = 1024;
+        let len = addrs.len() as u64;
+        let total = budget.max(len);
+        let mut counts = RunCounts::default();
+        let mut banks = [0u32; CHUNK];
+        // How far ahead of the current cycle the bank-controller cache
+        // warmup runs: far enough to beat a memory access, near enough
+        // that the touched lines survive until their submit.
+        const LOOKAHEAD: usize = 8;
+        for chunk in addrs.chunks(CHUNK) {
+            let banks = &mut banks[..chunk.len()];
+            self.hash.hash_batch(chunk, banks);
+            for k in 0..chunk.len() {
+                if let Some(&b) = banks.get(k + LOOKAHEAD) {
+                    self.banks[b as usize].prefetch(LineAddr(chunk[k + LOOKAHEAD]));
+                }
+                // Warm the row the playback LOOKAHEAD cycles out will
+                // drain; the ring itself is walked sequentially and stays
+                // cache-resident.
+                let len = self.ring.len();
+                if len > LOOKAHEAD {
+                    let rp = self.ring_pos + LOOKAHEAD;
+                    let rp = if rp >= len { rp - len } else { rp };
+                    if let Some((b, row)) = self.ring[rp] {
+                        self.banks[b as usize].prefetch_row(row);
+                    }
+                }
+                let out = self
+                    .step(Some(Request::Read { addr: LineAddr(chunk[k]) }), banks[k] as usize);
+                if let Some(r) = out.response {
+                    counts.responses += 1;
+                    on_response(r);
+                }
+                match out.stall {
+                    None => counts.accepted += 1,
+                    Some(kind) if kind.is_rejection() => counts.rejected += 1,
+                    Some(_) => counts.stalled += 1,
+                }
+            }
+        }
+        // Idle tail out to the budget, with event-horizon skipping.
+        let mut i = len;
+        while i < total {
+            if self.ready.is_empty() {
+                let n = self.skip_idle(total - i);
+                if n > 0 {
+                    i += n;
+                    continue;
+                }
+            }
+            if let Some(r) = self.step(None, 0).response {
+                counts.responses += 1;
+                on_response(r);
+            }
+            i += 1;
+        }
+        counts
+    }
+
+    /// Fast-forwards through up to `gap` interface cycles that are known
+    /// to present no request, with no bank holding queued work (`ready`
+    /// empty). Returns the cycles actually skipped: the distance to the
+    /// next due playback caps the jump, and 0 means a playback falls due
+    /// on the current cycle, which needs a normal step.
+    ///
+    /// Every controller field changes exactly as that many `tick(None)`
+    /// calls would have changed it — no grant fires (ready set empty), no
+    /// playback falls due (ring span empty), and queue depths / storage
+    /// occupancy are frozen, so the occupancy samples are identical by
+    /// bulk-recording.
+    fn skip_idle(&mut self, gap: u64) -> u64 {
+        debug_assert!(self.ready.is_empty());
+        // Occupied ring slots equal `outstanding` reads, so an empty
+        // controller skips the whole gap without scanning.
+        let n =
+            if self.outstanding == 0 { gap } else { gap.min(self.next_due_distance()) };
+        if n > 0 {
+            let m = self.clock.advance_interfaces(n);
+            self.rr_next =
+                ((u64::from(self.rr_next) + m) & u64::from(self.config.banks - 1)) as u32;
+            self.ring_pos = ((self.ring_pos as u64 + n) % self.ring.len() as u64) as usize;
+            self.metrics.sample_cycles(self.max_depth as u64, self.storage_live, n);
+            self.cycles_skipped += n;
+            if self.forensics.is_enabled() {
+                self.forensics.record(
+                    self.clock.interface_now(),
+                    0,
+                    ForensicKind::FastForward { interface_cycles: n },
+                );
+            }
+        }
+        n
+    }
+
+    /// Interface cycles from now until the next occupied delay-ring slot
+    /// falls due (0 when `ring[ring_pos]` itself is occupied), found by
+    /// scanning the occupancy bitset a word at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the ring is empty; callers guard on
+    /// `outstanding > 0`.
+    fn next_due_distance(&self) -> u64 {
+        let len = self.ring.len();
+        let pos = self.ring_pos;
+        match first_set_bit(&self.ring_occ, pos, len) {
+            Some(p) => (p - pos) as u64,
+            None => {
+                let p = first_set_bit(&self.ring_occ, 0, pos)
+                    .expect("outstanding > 0 implies an occupied ring slot");
+                (len - pos + p) as u64
+            }
+        }
     }
 
     /// Ticks with no request until all outstanding reads have been
@@ -1089,6 +1412,174 @@ mod tests {
         assert_eq!(report.stalled, stalled);
         assert_eq!(report.rejected, 0);
         assert_eq!(manual.metrics(), batched.metrics());
+    }
+
+    #[test]
+    fn run_batch_matches_manual_ticks_and_skips() {
+        // A bursty trace with long idle gaps: the batched path must take
+        // event-horizon skips (cycles_skipped > 0) and still be
+        // observationally identical to the tick-by-tick run.
+        let mk = || VpnmController::new(VpnmConfig::small_test(), 11).unwrap();
+        let mut reqs: Vec<Option<Request>> = Vec::new();
+        for burst in 0..20u64 {
+            for i in 0..12u64 {
+                let a = (burst * 977 + i * 37) % 5000;
+                reqs.push(Some(if i % 5 == 4 {
+                    Request::write(LineAddr(a % 64), vec![i as u8])
+                } else {
+                    Request::Read { addr: LineAddr(a) }
+                }));
+            }
+            reqs.extend(std::iter::repeat_n(None, 60 + burst as usize));
+        }
+        let budget = reqs.len() as u64 + 200;
+
+        let mut manual = mk();
+        let mut manual_report = RunReport::default();
+        for r in &reqs {
+            let out = manual.tick(r.clone());
+            manual_report.responses.extend(out.response);
+            match out.stall {
+                None => manual_report.accepted += u64::from(r.is_some()),
+                Some(k) if k.is_rejection() => manual_report.rejected += 1,
+                Some(_) => manual_report.stalled += 1,
+            }
+        }
+        for _ in reqs.len() as u64..budget {
+            manual_report.responses.extend(manual.tick(None).response);
+        }
+
+        let mut batched = mk();
+        let report = batched.run_batch(&reqs, budget);
+        assert_eq!(report, manual_report);
+        assert_eq!(batched.now(), manual.now());
+        assert_eq!(batched.metrics(), manual.metrics());
+        assert!(batched.cycles_skipped() > 0, "gaps must be skipped");
+        assert_eq!(manual.cycles_skipped(), 0);
+        // Snapshots agree byte-for-byte modulo the drive-mode counter.
+        let mut snap = batched.snapshot();
+        snap.cycles_skipped = 0;
+        assert_eq!(snap, manual.snapshot());
+    }
+
+    #[test]
+    fn run_batch_skip_lands_exactly_on_retire_cycle() {
+        // One read in flight, then a pure-idle batch: the event-horizon
+        // jump must stop exactly at the ring slot where the playback falls
+        // due, answer it with latency D, then skip the remaining budget.
+        for ratio in [1.0, 1.3, 2.0] {
+            let cfg = VpnmConfig::small_test().with_bus_ratio(ratio);
+            let mut mem = VpnmController::new(cfg, 21).unwrap();
+            let d = mem.delay();
+            mem.tick_write(9, vec![0x5A]);
+            assert!(mem.tick_read(9).accepted());
+            let before = mem.now().as_u64();
+            let report = mem.run_batch(&[], 5 * d);
+            assert_eq!(report.responses.len(), 1, "ratio {ratio}");
+            let r = &report.responses[0];
+            assert_eq!(r.latency(), d, "ratio {ratio}");
+            assert_eq!(r.data[0], 0x5A, "ratio {ratio}");
+            assert_eq!(mem.outstanding(), 0);
+            assert_eq!(mem.now().as_u64(), before + 5 * d, "budget fully consumed");
+            assert!(mem.cycles_skipped() > 0, "idle spans must be skipped");
+            assert_eq!(mem.metrics().deadline_misses, 0);
+        }
+    }
+
+    proptest! {
+        /// `run_batch` over arbitrary traces (with idle runs long enough
+        /// to trigger event-horizon skips) is observationally identical to
+        /// the equivalent `tick` sequence: same responses, same report,
+        /// same clock, same metrics, same snapshot bytes modulo the
+        /// `cycles_skipped` drive-mode counter.
+        #[test]
+        fn run_batch_equals_tick_sequence(
+            chunks in proptest::collection::vec(
+                prop_oneof![
+                    3 => (0u64..1 << 16).prop_map(|a|
+                        vec![Some(Request::Read { addr: LineAddr(a) })]),
+                    1 => (0u64..64u64, any::<u8>()).prop_map(|(a, v)|
+                        vec![Some(Request::write(LineAddr(a), vec![v]))]),
+                    2 => (1usize..100).prop_map(|n| vec![None; n]),
+                ],
+                0..40,
+            ),
+            extra in 0u64..120,
+            ratio_idx in 0usize..3,
+        ) {
+            let reqs: Vec<Option<Request>> = chunks.concat();
+            let ratio = [1.0, 1.3, 1.7][ratio_idx];
+            let cfg = VpnmConfig::small_test().with_bus_ratio(ratio);
+            let mk = || VpnmController::new(cfg.clone(), 7).unwrap();
+            let budget = reqs.len() as u64 + extra;
+
+            let mut manual = mk();
+            let mut manual_report = RunReport::default();
+            for r in &reqs {
+                let out = manual.tick(r.clone());
+                manual_report.responses.extend(out.response);
+                match out.stall {
+                    None => manual_report.accepted += u64::from(r.is_some()),
+                    Some(k) if k.is_rejection() => manual_report.rejected += 1,
+                    Some(_) => manual_report.stalled += 1,
+                }
+            }
+            for _ in reqs.len() as u64..budget {
+                manual_report.responses.extend(manual.tick(None).response);
+            }
+
+            let mut batched = mk();
+            let report = batched.run_batch(&reqs, budget);
+            prop_assert_eq!(report, manual_report);
+            prop_assert_eq!(batched.now(), manual.now());
+            prop_assert_eq!(batched.metrics(), manual.metrics());
+            let mut snap = batched.snapshot();
+            snap.cycles_skipped = 0;
+            prop_assert_eq!(snap.to_json(), manual.snapshot().to_json());
+        }
+
+        /// `run_reads` (and its streaming `run_reads_with` form) over an
+        /// address slice is observationally identical to `run_batch` over
+        /// the same stream wrapped in `Some(Request::Read)` — including
+        /// the idle tail past the end of the slice.
+        #[test]
+        fn run_reads_equals_run_batch(
+            addrs in proptest::collection::vec(0u64..1 << 16, 0..200),
+            extra in 0u64..150,
+            ratio_idx in 0usize..3,
+        ) {
+            let ratio = [1.0, 1.3, 1.7][ratio_idx];
+            let cfg = VpnmConfig::small_test().with_bus_ratio(ratio);
+            let mk = || VpnmController::new(cfg.clone(), 7).unwrap();
+            let budget = addrs.len() as u64 + extra;
+            let reqs: Vec<Option<Request>> = addrs
+                .iter()
+                .map(|&a| Some(Request::Read { addr: LineAddr(a) }))
+                .collect();
+
+            let mut batched = mk();
+            let batch_report = batched.run_batch(&reqs, budget);
+
+            let mut by_addrs = mk();
+            let report = by_addrs.run_reads(&addrs, budget);
+            prop_assert_eq!(&report, &batch_report);
+            prop_assert_eq!(by_addrs.now(), batched.now());
+            prop_assert_eq!(by_addrs.metrics(), batched.metrics());
+            prop_assert_eq!(
+                by_addrs.snapshot().to_json(),
+                batched.snapshot().to_json()
+            );
+
+            let mut streamed = mk();
+            let mut sunk = Vec::new();
+            let counts = streamed.run_reads_with(&addrs, budget, |r| sunk.push(r));
+            prop_assert_eq!(sunk, batch_report.responses);
+            prop_assert_eq!(counts.accepted, batch_report.accepted);
+            prop_assert_eq!(counts.stalled, batch_report.stalled);
+            prop_assert_eq!(counts.rejected, batch_report.rejected);
+            prop_assert_eq!(counts.responses, report.responses.len() as u64);
+            prop_assert_eq!(streamed.metrics(), batched.metrics());
+        }
     }
 
     #[test]

@@ -75,16 +75,9 @@ struct CamEntry {
     valid_rows: u32,
 }
 
-/// SplitMix64 finalizer — full-avalanche integer hash for the CAM index.
-#[inline]
-fn mix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    x ^= x >> 30;
-    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    x ^= x >> 27;
-    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
-    x ^ (x >> 31)
-}
+// Full-avalanche integer hash for the CAM index: the workspace's one
+// canonical SplitMix64 (bit-identical to the private copy it replaces).
+use vpnm_hash::fast::splitmix64 as mix64;
 
 #[derive(Debug, Clone, Copy)]
 struct CamSlot {
@@ -121,20 +114,29 @@ impl CamIndex {
         mix64(addr.0) as usize & self.mask
     }
 
-    /// Slot index holding `addr`, if present.
+    /// Probes `addr`'s chain: `Ok(slot)` when present, `Err(slot)` with
+    /// the unused slot terminating the chain when absent — exactly where
+    /// [`CamIndex::note_alloc`] would insert, letting the read hot path
+    /// reuse one probe for both the search and the insert.
     #[inline]
-    fn find(&self, addr: LineAddr) -> Option<usize> {
+    fn probe(&self, addr: LineAddr) -> Result<usize, usize> {
         let mut i = self.home(addr);
         loop {
             let s = &self.slots[i];
             if !s.used {
-                return None;
+                return Err(i);
             }
             if s.addr == addr {
-                return Some(i);
+                return Ok(i);
             }
             i = (i + 1) & self.mask;
         }
+    }
+
+    /// Slot index holding `addr`, if present.
+    #[inline]
+    fn find(&self, addr: LineAddr) -> Option<usize> {
+        self.probe(addr).ok()
     }
 
     #[inline]
@@ -182,6 +184,13 @@ impl CamIndex {
         self.slots[i].used = false;
     }
 }
+
+/// An opaque CAM insert position returned by a
+/// [`DelayStorageBuffer::lookup_hinted`] miss, consumable by
+/// [`DelayStorageBuffer::allocate_hinted`]. Invalidated by any other CAM
+/// mutation in between.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CamHint(usize);
 
 /// The paper's **delay storage buffer (DSB)**: the `K`-row merging CAM of
 /// one bank controller (Figure 3, left). Overflow is the *delay storage
@@ -241,6 +250,66 @@ impl DelayStorageBuffer {
     /// (the lowest-index one, matching the hardware priority encoder).
     pub fn lookup(&self, addr: LineAddr) -> Option<RowId> {
         self.cam.get(addr).map(|e| e.row)
+    }
+
+    /// Warms the CAM home slot of `addr`: an otherwise-unused load that
+    /// an out-of-order core retires off the critical path, so a
+    /// [`DelayStorageBuffer::lookup_hinted`] issued a few cycles later
+    /// finds the line already in cache. Semantically a no-op.
+    #[inline]
+    pub fn prefetch(&self, addr: LineAddr) {
+        let i = self.cam.home(addr);
+        std::hint::black_box(self.cam.slots[i].used);
+    }
+
+    /// Warms a row ahead of its playback deadline (see
+    /// [`DelayStorageBuffer::prefetch`]) — by playback time the row was
+    /// last touched a full bank access ago and has long left the cache.
+    #[inline]
+    pub fn prefetch_row(&self, row: RowId) {
+        std::hint::black_box(self.rows[row as usize].counter);
+    }
+
+    /// Second warmup stage before a playback: with the row line already
+    /// resident (an earlier [`DelayStorageBuffer::prefetch_row`]), touch
+    /// the CAM home slot its unlink will probe.
+    #[inline]
+    pub fn prefetch_playback(&self, row: RowId) {
+        let r = &self.rows[row as usize];
+        if r.addr_valid {
+            self.prefetch(r.addr);
+        }
+    }
+
+    /// CAM search that, on a miss, hands back the insert position as a
+    /// [`CamHint`] so a subsequent [`DelayStorageBuffer::allocate_hinted`]
+    /// can skip re-probing. Exactly [`DelayStorageBuffer::lookup`]
+    /// otherwise.
+    pub fn lookup_hinted(&self, addr: LineAddr) -> Result<RowId, CamHint> {
+        match self.cam.probe(addr) {
+            Ok(i) => Ok(self.cam.slots[i].entry.row),
+            Err(i) => Err(CamHint(i)),
+        }
+    }
+
+    /// [`DelayStorageBuffer::allocate`] with the CAM insert slot already
+    /// known from a [`DelayStorageBuffer::lookup_hinted`] miss. The hint
+    /// is only valid while no CAM mutation happened in between (the
+    /// submit path calls the two back to back).
+    pub fn allocate_hinted(&mut self, addr: LineAddr, hint: CamHint) -> Option<RowId> {
+        debug_assert!(!self.cam.slots[hint.0].used, "stale CAM hint");
+        debug_assert!(self.cam.probe(addr) == Err(hint.0), "hint for wrong address");
+        let idx = self.first_free()?;
+        self.free[idx as usize / 64] &= !(1u64 << (idx as usize % 64));
+        let row = &mut self.rows[idx as usize];
+        row.addr = addr;
+        row.addr_valid = true;
+        row.counter = 1;
+        row.data = None;
+        self.live += 1;
+        self.cam.slots[hint.0] =
+            CamSlot { addr, entry: CamEntry { row: idx, valid_rows: 1 }, used: true };
+        Some(idx)
     }
 
     /// Allocates a free row for `addr` with counter 1 (the "first zero
@@ -343,12 +412,13 @@ impl DelayStorageBuffer {
         let r = &mut self.rows[row as usize];
         assert!(!r.is_free(), "playback of free row {row}");
         let addr = r.addr;
-        let data = r.data.clone();
         r.counter -= 1;
+        // The last playback moves the data out instead of cloning it —
+        // the common (unmerged) case then costs no refcount round-trip.
+        let data = if r.counter == 0 { r.data.take() } else { r.data.clone() };
         if r.counter == 0 {
             let was_valid = r.addr_valid;
             r.addr_valid = false;
-            r.data = None;
             self.live -= 1;
             self.free[row as usize / 64] |= 1u64 << (row as usize % 64);
             if was_valid {

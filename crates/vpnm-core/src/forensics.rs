@@ -93,6 +93,15 @@ pub enum ForensicKind {
         /// must never happen for a validated config).
         miss: bool,
     },
+    /// An event-horizon skip ([`crate::VpnmController::run_batch`])
+    /// fast-forwarded `interface_cycles` idle interface cycles in one
+    /// step — no requests arrived, no bank had work, and no playback fell
+    /// due anywhere in the span. Recorded with bank 0 (the span is not
+    /// bank-specific). Explains apparent cycle gaps in the event stream.
+    FastForward {
+        /// Length of the skipped span in interface cycles.
+        interface_cycles: u64,
+    },
     /// A well-formed request could not be accepted: the causal context —
     /// every buffer's occupancy at the moment of the stall — is captured
     /// inline. Malformed rejections are *not* recorded (they carry no
@@ -133,6 +142,9 @@ impl fmt::Display for ForensicEvent {
                 } else {
                     write!(f, "return   read  {addr} from row {row}")
                 }
+            }
+            ForensicKind::FastForward { interface_cycles } => {
+                write!(f, "skip     {interface_cycles} idle interface cycles (event-horizon)")
             }
             ForensicKind::Stalled { kind, addr, storage_live, queue_depth, write_depth } => {
                 write!(

@@ -61,7 +61,7 @@ pub mod snapshot;
 pub mod write_buffer;
 
 pub use config::{SchedulerKind, VpnmConfig};
-pub use controller::{RunReport, StallPolicy, VpnmController};
+pub use controller::{RunCounts, RunReport, StallPolicy, VpnmController};
 pub use forensics::{ForensicEvent, ForensicKind, ForensicRing};
 pub use reference::ReferenceController;
 pub use hash_engine::{HashEngine, HashKind};

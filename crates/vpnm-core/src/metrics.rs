@@ -18,7 +18,7 @@
 //! independent implementations.
 
 use crate::request::StallKind;
-use vpnm_sim::{Cycle, Histogram, RunningStats};
+use vpnm_sim::{Cycle, Histogram};
 
 /// Counters and distributions accumulated by a running controller.
 ///
@@ -58,19 +58,17 @@ pub struct ControllerMetrics {
     /// for a validated config; counted rather than panicking so that
     /// deliberately mis-configured experiments can observe it).
     pub deadline_misses: u64,
-    /// Distribution of delay-storage-buffer occupancy sampled per
-    /// interface cycle.
-    pub storage_occupancy: RunningStats,
-    /// Distribution of bank-access-queue depth sampled per interface
-    /// cycle (max across banks).
-    pub queue_depth: RunningStats,
-    /// Log2-bucketed histogram of the same per-cycle queue-depth samples
-    /// as [`queue_depth`](Self::queue_depth) (bucket 0 = depths 0..2,
-    /// bucket `i` = `[2^i, 2^(i+1))`).
+    /// Log2-bucketed histogram of per-interface-cycle bank-access-queue
+    /// depth samples (max across banks; bucket 0 = depths 0..2, bucket
+    /// `i` = `[2^i, 2^(i+1))`). The histogram's exact count/sum/min/max
+    /// sidecar supersedes the floating-point Welford accumulator the seed
+    /// carried: integer-exact aggregates admit an O(1) bulk update
+    /// ([`sample_cycles`](Self::sample_cycles)) that stays bit-identical
+    /// across engines and across batched vs per-tick driving, which
+    /// order-dependent float accumulation cannot.
     pub queue_depth_hist: Histogram,
-    /// Log2-bucketed histogram of the same per-cycle total delay-storage
-    /// occupancy samples as
-    /// [`storage_occupancy`](Self::storage_occupancy).
+    /// Log2-bucketed histogram of per-interface-cycle total delay-storage
+    /// occupancy samples.
     pub storage_occupancy_hist: Histogram,
     /// Per-bank high-water mark of bank access queue (BAQ) depth.
     pub bank_queue_hwm: Vec<u32>,
@@ -119,16 +117,24 @@ impl ControllerMetrics {
         }
     }
 
-    /// Records the per-interface-cycle depth/occupancy samples into both
-    /// the running statistics and the log2 histograms. Called exactly once
-    /// per interface cycle by each engine with identical sample values, so
-    /// the distributions stay comparable with `==`.
+    /// Records the per-interface-cycle depth/occupancy samples into the
+    /// log2 histograms. Called exactly once per interface cycle by each
+    /// engine with identical sample values, so the distributions stay
+    /// comparable with `==`.
     #[inline]
     pub fn sample_cycle(&mut self, max_queue_depth: u64, storage_live: u64) {
-        self.queue_depth.record(max_queue_depth);
-        self.storage_occupancy.record(storage_live);
         self.queue_depth_hist.record(max_queue_depth);
         self.storage_occupancy_hist.record(storage_live);
+    }
+
+    /// Records `n` interface cycles that all share the same sample values
+    /// in O(1) — the event-horizon skip's accounting primitive. Exactly
+    /// equivalent to `n` calls to [`sample_cycle`](Self::sample_cycle)
+    /// (see [`Histogram::record_n`]).
+    #[inline]
+    pub fn sample_cycles(&mut self, max_queue_depth: u64, storage_live: u64, n: u64) {
+        self.queue_depth_hist.record_n(max_queue_depth, n);
+        self.storage_occupancy_hist.record_n(storage_live, n);
     }
 
     /// Raises the BAQ depth high-water mark for `bank` if `depth` exceeds
@@ -365,15 +371,29 @@ mod tests {
     }
 
     #[test]
-    fn sample_cycle_feeds_stats_and_histograms() {
+    fn sample_cycle_feeds_histograms() {
         let mut m = ControllerMetrics::new();
         m.sample_cycle(3, 100);
         m.sample_cycle(1, 50);
-        assert_eq!(m.queue_depth.count(), 2);
-        assert_eq!(m.storage_occupancy.count(), 2);
         assert_eq!(m.queue_depth_hist.total(), 2);
         assert_eq!(m.storage_occupancy_hist.total(), 2);
         assert_eq!(m.queue_depth_hist.max(), Some(3));
         assert_eq!(m.storage_occupancy_hist.max(), Some(100));
+    }
+
+    #[test]
+    fn sample_cycles_bulk_equals_loop() {
+        let mut bulk = ControllerMetrics::new();
+        let mut looped = ControllerMetrics::new();
+        bulk.sample_cycle(2, 9);
+        looped.sample_cycle(2, 9);
+        bulk.sample_cycles(0, 5, 100);
+        for _ in 0..100 {
+            looped.sample_cycle(0, 5);
+        }
+        assert_eq!(bulk, looped);
+        // n = 0 is a no-op.
+        bulk.sample_cycles(7, 7, 0);
+        assert_eq!(bulk, looped);
     }
 }

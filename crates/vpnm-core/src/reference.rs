@@ -381,7 +381,9 @@ impl ReferenceController {
     /// yields byte-identical snapshots (the equivalence suite checks
     /// this).
     pub fn snapshot(&self) -> MetricsSnapshot {
-        MetricsSnapshot::capture(&self.config, self.delay, self.now(), &self.metrics)
+        // The reference advances every memory cycle individually — it
+        // never skips, so its snapshot reports 0 skipped cycles.
+        MetricsSnapshot::capture(&self.config, self.delay, self.now(), 0, &self.metrics)
     }
 
     /// Advances exactly one interface cycle — the original formulation:

@@ -24,7 +24,12 @@ use vpnm_sim::{Cycle, Histogram};
 
 /// Bumped whenever a field is added, removed, renamed, or re-ordered in
 /// the JSON output.
-pub const SNAPSHOT_SCHEMA_VERSION: u32 = 1;
+///
+/// Version history: 1 — initial schema; 2 — added
+/// `counters.cycles_skipped` (interface cycles the fast engine's
+/// event-horizon skip fast-forwarded over; always 0 for the reference
+/// engine and per-tick driving).
+pub const SNAPSHOT_SCHEMA_VERSION: u32 = 2;
 
 /// A frozen copy of a controller's observable state, ready to serialize.
 ///
@@ -44,16 +49,25 @@ pub struct MetricsSnapshot {
     pub write_buffer_entries: usize,
     /// The deterministic delay `D` in interface cycles.
     pub delay: u64,
+    /// Interface cycles covered by event-horizon skips rather than
+    /// individual ticks. Pure drive-mode accounting — it lives on the
+    /// snapshot, not in [`ControllerMetrics`], so metrics equality between
+    /// engines (and between batched and per-tick runs) is unaffected.
+    pub cycles_skipped: u64,
     /// The aggregate metrics at capture time.
     pub metrics: ControllerMetrics,
 }
 
 impl MetricsSnapshot {
     /// Freezes `metrics` together with the geometry of `config`.
+    ///
+    /// `cycles_skipped` is the engine's skip accounting; engines without
+    /// an event-horizon skip (the reference) pass 0.
     pub fn capture(
         config: &VpnmConfig,
         delay: u64,
         now: Cycle,
+        cycles_skipped: u64,
         metrics: &ControllerMetrics,
     ) -> Self {
         MetricsSnapshot {
@@ -63,6 +77,7 @@ impl MetricsSnapshot {
             storage_rows: config.storage_rows,
             write_buffer_entries: config.write_buffer_capacity(),
             delay,
+            cycles_skipped,
             metrics: metrics.clone(),
         }
     }
@@ -93,6 +108,7 @@ impl MetricsSnapshot {
         let _ = writeln!(s, "    \"write_buffer_stalls\": {},", m.write_buffer_stalls);
         let _ = writeln!(s, "    \"malformed_rejections\": {},", m.malformed_rejections);
         let _ = writeln!(s, "    \"deadline_misses\": {},", m.deadline_misses);
+        let _ = writeln!(s, "    \"cycles_skipped\": {},", self.cycles_skipped);
         match m.first_stall_at {
             Some(c) => {
                 let _ = writeln!(s, "    \"first_stall_at\": {}", c.as_u64());
@@ -177,11 +193,12 @@ mod tests {
         m.sample_cycle(1, 5);
         m.note_bank_storage(0, 6);
         m.note_outstanding(4);
-        let snap = MetricsSnapshot::capture(&cfg, 40, Cycle::new(100), &m);
+        let snap = MetricsSnapshot::capture(&cfg, 40, Cycle::new(100), 25, &m);
         let a = snap.to_json();
         let b = snap.clone().to_json();
         assert_eq!(a, b, "serialization must be pure");
-        assert!(a.contains("\"schema_version\": 1"));
+        assert!(a.contains("\"schema_version\": 2"));
+        assert!(a.contains("\"cycles_skipped\": 25"));
         assert!(a.contains("\"reads_accepted\": 10"));
         assert!(a.contains("\"merge_rate\": 0.200000"));
         assert!(a.contains("\"first_stall_at\": null"));
@@ -197,7 +214,7 @@ mod tests {
         let cfg = VpnmConfig::small_test();
         let mut m = ControllerMetrics::with_banks(cfg.banks as usize);
         m.record_stall(crate::request::StallKind::AccessQueue, Cycle::new(17));
-        let snap = MetricsSnapshot::capture(&cfg, 40, Cycle::new(20), &m);
+        let snap = MetricsSnapshot::capture(&cfg, 40, Cycle::new(20), 0, &m);
         assert!(snap.to_json().contains("\"first_stall_at\": 17"));
     }
 
@@ -207,7 +224,7 @@ mod tests {
         let mut m = ControllerMetrics::with_banks(cfg.banks as usize);
         m.sample_cycle(0, 0); // bucket 0
         m.sample_cycle(5, 100); // depth bucket [4,8), storage bucket [64,128)
-        let snap = MetricsSnapshot::capture(&cfg, 40, Cycle::new(2), &m);
+        let snap = MetricsSnapshot::capture(&cfg, 40, Cycle::new(2), 0, &m);
         let json = snap.to_json();
         assert!(json.contains("[0, 1], [4, 1]"), "{json}");
         assert!(json.contains("[64, 1]"), "{json}");

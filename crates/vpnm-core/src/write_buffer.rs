@@ -87,6 +87,12 @@ impl WriteBuffer {
         Ok(())
     }
 
+    /// The oldest write, without removing it (the issue path peeks first
+    /// so a busy bank leaves the buffer untouched).
+    pub fn front(&self) -> Option<&PendingWrite> {
+        self.entries.front()
+    }
+
     /// Pops the oldest write.
     pub fn pop(&mut self) -> Option<PendingWrite> {
         self.entries.pop_front()

@@ -152,6 +152,25 @@ impl DramDevice {
     ///
     /// [`DramError::BankBusy`] on a bank conflict, plus the range errors.
     pub fn issue_read(&mut self, bank: u32, offset: u64, now: Cycle) -> Result<ReadGrant, DramError> {
+        match self.read_access(bank, offset, now)? {
+            Ok(grant) => Ok(grant),
+            Err(free_at) => {
+                self.stats.bank_conflicts += 1;
+                Err(DramError::BankBusy { bank, free_at })
+            }
+        }
+    }
+
+    /// Shared body of the read-issue variants: `Ok(Err(free_at))` signals
+    /// a busy bank, which the public wrappers map to either a counted
+    /// conflict or a silently wasted slot.
+    #[inline]
+    fn read_access(
+        &mut self,
+        bank: u32,
+        offset: u64,
+        now: Cycle,
+    ) -> Result<Result<ReadGrant, Cycle>, DramError> {
         self.check_offset(offset)?;
         let row = self.row_of(offset);
         let num_banks = self.config.num_banks;
@@ -163,17 +182,84 @@ impl DramDevice {
         let was_hits = b.row_hits();
         let done = match b.start_access(&timing, AccessKind::Read, row, now) {
             Ok(done) => done,
-            Err(free_at) => {
-                self.stats.bank_conflicts += 1;
-                return Err(DramError::BankBusy { bank, free_at });
-            }
+            Err(free_at) => return Ok(Err(free_at)),
         };
         self.stats.row_hits += b.row_hits() - was_hits;
         self.stats.reads += 1;
         self.stats.bus_busy_cycles += timing.transfer_cycles();
         self.stats.last_activity = Some(now);
         let data = self.storage.read(self.cell_index(bank, offset));
-        Ok(ReadGrant { data_ready_at: done, data })
+        Ok(Ok(ReadGrant { data_ready_at: done, data }))
+    }
+
+    /// Shared body of the write-issue variants (see
+    /// [`DramDevice::read_access`]).
+    #[inline]
+    fn write_access(
+        &mut self,
+        bank: u32,
+        offset: u64,
+        data: Bytes,
+        now: Cycle,
+    ) -> Result<Result<Cycle, Cycle>, DramError> {
+        self.check_offset(offset)?;
+        let row = self.row_of(offset);
+        let num_banks = self.config.num_banks;
+        let timing = self.config.timing;
+        let b = self
+            .banks
+            .get_mut(bank as usize)
+            .ok_or(DramError::BadBank { bank, num_banks })?;
+        let was_hits = b.row_hits();
+        let done = match b.start_access(&timing, AccessKind::Write, row, now) {
+            Ok(done) => done,
+            Err(free_at) => return Ok(Err(free_at)),
+        };
+        self.stats.row_hits += b.row_hits() - was_hits;
+        self.stats.writes += 1;
+        self.stats.bus_busy_cycles += timing.transfer_cycles();
+        self.stats.last_activity = Some(now);
+        let idx = self.cell_index(bank, offset);
+        self.storage.write(idx, data);
+        Ok(Ok(done))
+    }
+
+    /// [`DramDevice::issue_read`] that treats a busy bank as a wasted
+    /// scheduler slot rather than a conflict: returns `Ok(None)` without
+    /// touching stats (matching an `is_bank_ready` pre-check, in one
+    /// busy test instead of two).
+    ///
+    /// # Errors
+    ///
+    /// The same range errors as [`DramDevice::issue_read`].
+    pub fn try_issue_read(
+        &mut self,
+        bank: u32,
+        offset: u64,
+        now: Cycle,
+    ) -> Result<Option<ReadGrant>, DramError> {
+        Ok(self.read_access(bank, offset, now)?.ok())
+    }
+
+    /// [`DramDevice::issue_write`] with the same wasted-slot semantics as
+    /// [`DramDevice::try_issue_read`]: `Ok(None)` on a busy bank, no
+    /// conflict counted.
+    ///
+    /// # Errors
+    ///
+    /// The same range errors as [`DramDevice::issue_write`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` exceeds the configured cell size.
+    pub fn try_issue_write(
+        &mut self,
+        bank: u32,
+        offset: u64,
+        data: impl Into<Bytes>,
+        now: Cycle,
+    ) -> Result<Option<Cycle>, DramError> {
+        Ok(self.write_access(bank, offset, data.into(), now)?.ok())
     }
 
     /// Issues a write of `data` into cell `offset` of `bank` at `now`,
@@ -193,29 +279,13 @@ impl DramDevice {
         data: impl Into<Bytes>,
         now: Cycle,
     ) -> Result<Cycle, DramError> {
-        self.check_offset(offset)?;
-        let row = self.row_of(offset);
-        let num_banks = self.config.num_banks;
-        let timing = self.config.timing;
-        let b = self
-            .banks
-            .get_mut(bank as usize)
-            .ok_or(DramError::BadBank { bank, num_banks })?;
-        let was_hits = b.row_hits();
-        let done = match b.start_access(&timing, AccessKind::Write, row, now) {
-            Ok(done) => done,
+        match self.write_access(bank, offset, data.into(), now)? {
+            Ok(done) => Ok(done),
             Err(free_at) => {
                 self.stats.bank_conflicts += 1;
-                return Err(DramError::BankBusy { bank, free_at });
+                Err(DramError::BankBusy { bank, free_at })
             }
-        };
-        self.stats.row_hits += b.row_hits() - was_hits;
-        self.stats.writes += 1;
-        self.stats.bus_busy_cycles += timing.transfer_cycles();
-        self.stats.last_activity = Some(now);
-        let idx = self.cell_index(bank, offset);
-        self.storage.write(idx, data);
-        Ok(done)
+        }
     }
 
     /// Direct (zero-time) backdoor read for test oracles and debugging —

@@ -53,7 +53,13 @@ impl SparseStorage {
 
     /// Reads cell `index`, zero-filled if never written. The returned
     /// handle shares the stored cell — no bytes are copied.
+    #[inline]
     pub fn read(&self, index: u64) -> Bytes {
+        // Fast path for never-written memory (read-heavy simulations):
+        // skip the hash probe entirely while the map is empty.
+        if self.cells.is_empty() {
+            return self.zero.clone();
+        }
         match self.cells.get(&index) {
             Some(data) => data.clone(),
             None => self.zero.clone(),

@@ -21,6 +21,9 @@
 //!   of memory lines onto (bank, row) pairs, so every physical line is used
 //!   exactly once — this is how an actual controller must randomize
 //!   placement.
+//! * [`fast`] — the workspace's canonical *non-adversarial* SplitMix64
+//!   mixer and hasher for simulator-internal maps and keystreams
+//!   (re-exported by `vpnm-sim`); never used for bank selection.
 //!
 //! All hashers implement [`BankHasher`], the interface consumed by
 //! `vpnm-core`.
@@ -40,12 +43,14 @@
 
 #![warn(missing_docs)]
 
+pub mod fast;
 pub mod gf2;
 pub mod h3;
 pub mod multiply_shift;
 pub mod permute;
 pub mod tabulation;
 
+pub use fast::{splitmix64, FastHashMap, FastHashSet, FastHasher};
 pub use gf2::BitMatrix;
 pub use h3::H3Hash;
 pub use multiply_shift::MultiplyShiftHash;
@@ -64,6 +69,24 @@ pub trait BankHasher {
     /// Maps `addr` to a bank index in `0..num_banks()`.
     fn bank_of(&self, addr: u64) -> u32;
 
+    /// Maps a batch of addresses at once: `out[i] = bank_of(addrs[i])`.
+    ///
+    /// Semantically identical to the scalar loop; implementations may
+    /// override it to amortize per-call overhead (e.g. [`H3Hash`] hoists
+    /// its byte-fold table walk outside the address loop). Mirrors the
+    /// pipelined hardware `HU` block, which hashes one address per cycle
+    /// back-to-back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addrs` and `out` differ in length.
+    fn bank_of_batch(&self, addrs: &[u64], out: &mut [u32]) {
+        assert_eq!(addrs.len(), out.len(), "batch slices must match in length");
+        for (o, &a) in out.iter_mut().zip(addrs) {
+            *o = self.bank_of(a);
+        }
+    }
+
     /// The pipeline latency of a hardware realization of this hash, in
     /// interface cycles. The paper notes the universal hash "can be fully
     /// pipelined" (Section 3.4): it adds a constant to the normalized delay
@@ -81,6 +104,9 @@ impl<T: BankHasher + ?Sized> BankHasher for &T {
     }
     fn bank_of(&self, addr: u64) -> u32 {
         (**self).bank_of(addr)
+    }
+    fn bank_of_batch(&self, addrs: &[u64], out: &mut [u32]) {
+        (**self).bank_of_batch(addrs, out)
     }
     fn latency_cycles(&self) -> u64 {
         (**self).latency_cycles()

@@ -263,6 +263,35 @@ impl DualClock {
         m
     }
 
+    /// Advances past the next `n` interface edges in O(1), returning how
+    /// many memory cycles elapsed.
+    ///
+    /// Equivalent to calling [`advance_to_interface`] `n` times: the n-th
+    /// edge fires on the m-th memory tick where `acc + m*den >= n*num`,
+    /// so `m = ceil((n*num - acc) / den)` and the accumulator lands on
+    /// `acc + m*den - n*num`, exactly where the sequential walk leaves it
+    /// (each intermediate edge subtracts one `num`; the sum telescopes,
+    /// and `den <= num` means at most one edge fires per memory tick, so
+    /// minimal total `m` equals the sum of the per-edge minimal steps).
+    /// This is the event-horizon skip primitive: a simulation that knows
+    /// the next `n` interface cycles are pure idle (no arrivals, no
+    /// delay-ring retirements, no queued bank work) can jump the clock
+    /// there without looping.
+    ///
+    /// `n = 0` is a no-op returning 0.
+    ///
+    /// [`advance_to_interface`]: Self::advance_to_interface
+    pub fn advance_interfaces(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        let m = (n * self.num - self.acc).div_ceil(self.den);
+        self.acc = self.acc + m * self.den - n * self.num;
+        self.memory.advance(m);
+        self.interface.advance(n);
+        m
+    }
+
     /// Current memory-domain time.
     pub fn memory_now(&self) -> Cycle {
         self.memory.now()
@@ -396,6 +425,43 @@ mod tests {
                 assert_eq!(fast.acc, slow.acc, "r={r} round={round}");
             }
         }
+    }
+
+    #[test]
+    fn advance_interfaces_matches_sequential_advances() {
+        // The closed-form n-edge jump must land on the same memory cycle,
+        // interface cycle, and accumulator phase as n single-edge
+        // fast-forwards, from every accumulator phase.
+        for &r in &[1.0, 1.1, 1.2, 1.25, 1.3, 1.4, 1.5, 1.7, 2.0, 3.7] {
+            let mut bulk = DualClock::new(r);
+            let mut seq = DualClock::new(r);
+            for round in 0..120u64 {
+                // Desynchronize from the edge with a few raw ticks.
+                for _ in 0..(round % 4) {
+                    bulk.tick_memory();
+                    seq.tick_memory();
+                }
+                let n = round % 7;
+                let m_bulk = bulk.advance_interfaces(n);
+                let mut m_seq = 0u64;
+                for _ in 0..n {
+                    m_seq += seq.advance_to_interface();
+                }
+                assert_eq!(m_bulk, m_seq, "r={r} round={round} n={n}");
+                assert_eq!(bulk.memory_now(), seq.memory_now(), "r={r} round={round}");
+                assert_eq!(bulk.interface_now(), seq.interface_now(), "r={r} round={round}");
+                assert_eq!(bulk.acc, seq.acc, "r={r} round={round}");
+            }
+        }
+    }
+
+    #[test]
+    fn advance_interfaces_zero_is_noop() {
+        let mut d = DualClock::new(1.3);
+        d.tick_memory();
+        let before = (d.memory_now(), d.interface_now(), d.acc);
+        assert_eq!(d.advance_interfaces(0), 0);
+        assert_eq!((d.memory_now(), d.interface_now(), d.acc), before);
     }
 
     #[test]

@@ -1,123 +1,9 @@
-//! A fast integer-keyed hasher for simulator-internal maps.
+//! Fast integer-keyed hashing for simulator-internal maps.
 //!
-//! The hot data path performs several `HashMap` operations per simulated
-//! cycle (the delay-storage CAM, the sparse DRAM cell store). The standard
-//! library's default SipHash is DoS-resistant but costs tens of
-//! nanoseconds per probe — overkill for maps keyed by simulator-internal
-//! `u64` indices that no external party controls. [`FastHasher`] runs a
-//! SplitMix64 finalizer over integer writes: two multiplies and three
-//! xor-shifts, full avalanche, ~1 ns.
-//!
-//! Not for adversary-facing state: bank selection uses the keyed
-//! universal families in `vpnm-hash`, never this.
+//! The canonical implementation lives in [`vpnm_hash::fast`] so the
+//! workspace has exactly one SplitMix64 mixer to optimize; this module
+//! re-exports it unchanged (hash values are bit-identical to the previous
+//! in-crate copy). See that module for the rationale and the warning
+//! about adversary-facing state.
 
-use std::collections::{HashMap, HashSet};
-use std::hash::{BuildHasherDefault, Hasher};
-
-/// SplitMix64-finalizer hasher for integer keys (byte slices fold through
-/// an FNV-style loop first, so non-integer keys still hash correctly).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct FastHasher {
-    state: u64,
-}
-
-#[inline]
-fn mix(mut x: u64) -> u64 {
-    x ^= x >> 30;
-    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    x ^= x >> 27;
-    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
-    x ^ (x >> 31)
-}
-
-impl Hasher for FastHasher {
-    #[inline]
-    fn finish(&self) -> u64 {
-        self.state
-    }
-
-    #[inline]
-    fn write(&mut self, bytes: &[u8]) {
-        // FNV-1a fold, then the finalizer on top.
-        let mut acc = self.state ^ 0xcbf2_9ce4_8422_2325;
-        for &b in bytes {
-            acc = (acc ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        self.state = mix(acc);
-    }
-
-    #[inline]
-    fn write_u64(&mut self, i: u64) {
-        self.state = mix(self.state.wrapping_add(i).wrapping_add(0x9e37_79b9_7f4a_7c15));
-    }
-
-    #[inline]
-    fn write_u32(&mut self, i: u32) {
-        self.write_u64(u64::from(i));
-    }
-
-    #[inline]
-    fn write_u16(&mut self, i: u16) {
-        self.write_u64(u64::from(i));
-    }
-
-    #[inline]
-    fn write_u8(&mut self, i: u8) {
-        self.write_u64(u64::from(i));
-    }
-
-    #[inline]
-    fn write_usize(&mut self, i: usize) {
-        self.write_u64(i as u64);
-    }
-}
-
-/// `HashMap` with [`FastHasher`] — drop-in for simulator-internal maps.
-pub type FastHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
-
-/// `HashSet` with [`FastHasher`].
-pub type FastHashSet<K> = HashSet<K, BuildHasherDefault<FastHasher>>;
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn map_roundtrip() {
-        let mut m: FastHashMap<u64, u32> = FastHashMap::default();
-        for i in 0..10_000u64 {
-            m.insert(i * 97, i as u32);
-        }
-        for i in 0..10_000u64 {
-            assert_eq!(m.get(&(i * 97)), Some(&(i as u32)));
-        }
-        assert_eq!(m.len(), 10_000);
-    }
-
-    #[test]
-    fn avalanche_on_sequential_keys() {
-        // Sequential keys must spread across the full 64-bit range —
-        // identical low bits would degenerate the map to a linked list.
-        let hashes: Vec<u64> = (0..64u64)
-            .map(|i| {
-                let mut h = FastHasher::default();
-                h.write_u64(i);
-                h.finish()
-            })
-            .collect();
-        let low_bits: FastHashSet<u64> = hashes.iter().map(|h| h & 0xFFF).collect();
-        assert!(low_bits.len() >= 60, "low bits collide: {}", low_bits.len());
-    }
-
-    #[test]
-    fn byte_slices_hash_consistently() {
-        let mut a = FastHasher::default();
-        a.write(b"hello");
-        let mut b = FastHasher::default();
-        b.write(b"hello");
-        assert_eq!(a.finish(), b.finish());
-        let mut c = FastHasher::default();
-        c.write(b"hellp");
-        assert_ne!(a.finish(), c.finish());
-    }
-}
+pub use vpnm_hash::fast::{FastHashMap, FastHashSet, FastHasher};

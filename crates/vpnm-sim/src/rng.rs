@@ -58,14 +58,10 @@ impl SeedSequence {
     }
 }
 
-/// SplitMix64 finalizer: a high-quality 64-bit mixing function.
-#[inline]
-pub fn splitmix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+// Canonical implementation lives in vpnm-hash (one mixer for the whole
+// workspace); re-exported here because all historical call sites import
+// it from this module. Bit-identical to the previous in-crate copy.
+pub use vpnm_hash::fast::splitmix64;
 
 #[cfg(test)]
 mod tests {

@@ -225,9 +225,37 @@ impl Histogram {
         self.stats.max = self.stats.max.max(value);
     }
 
+    /// Records `n` identical samples in O(1).
+    ///
+    /// Exactly equivalent to calling [`record`](Self::record) `n` times:
+    /// bucket counts and totals are plain integer adds, and the saturating
+    /// sum is monotone, so `sum.saturating_add(value * n)` lands on the
+    /// same value as `n` saturating single-sample adds (both reach
+    /// `u64::MAX` precisely when the true sum would overflow).
+    #[inline]
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[bucket_index(value) & 63] += n;
+        self.total += n;
+        self.stats.sum = self.stats.sum.saturating_add(value.saturating_mul(n));
+        self.stats.min = self.stats.min.min(value);
+        self.stats.max = self.stats.max.max(value);
+    }
+
     /// Total samples recorded.
     pub fn total(&self) -> u64 {
         self.total
+    }
+
+    /// Saturating sum of all recorded samples.
+    ///
+    /// Exposed so exact (non-lossy) histogram state can be serialized and
+    /// reconstructed via [`from_parts`](Self::from_parts), e.g. for
+    /// campaign checkpoints.
+    pub fn sum(&self) -> u64 {
+        self.stats.sum
     }
 
     /// Count in bucket `i` (`[2^i, 2^(i+1))`, with bucket 0 = `[0,2)`).
@@ -294,6 +322,35 @@ impl Histogram {
         } else {
             1u64 << i
         }
+    }
+
+    /// Reconstructs a histogram from serialized parts: `(bucket index,
+    /// count)` pairs plus the exact sum/min/max sidecar.
+    ///
+    /// Inverse of reading [`iter`](Self::iter)/[`sum`](Self::sum)/
+    /// [`min`](Self::min)/[`max`](Self::max) back out; a checkpointed
+    /// histogram round-trips bit-for-bit so merged resume runs equal
+    /// uninterrupted ones. Empty histograms (`min`/`max` of `None`) use
+    /// the sentinel encoding automatically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a bucket index is ≥ 64.
+    pub fn from_parts(
+        bucket_counts: &[(usize, u64)],
+        sum: u64,
+        min: Option<u64>,
+        max: Option<u64>,
+    ) -> Self {
+        let mut h = Histogram::new();
+        for &(i, c) in bucket_counts {
+            h.buckets[i] += c;
+            h.total += c;
+        }
+        h.stats.sum = sum;
+        h.stats.min = min.unwrap_or(u64::MAX);
+        h.stats.max = max.unwrap_or(0);
+        h
     }
 
     /// Merges another histogram into this one (used when measurements are
@@ -454,6 +511,34 @@ mod tests {
         // Merging an empty histogram is a no-op.
         a.merge(&Histogram::new());
         assert_eq!(a, all);
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut bulk = Histogram::new();
+        let mut loop_h = Histogram::new();
+        for (v, n) in [(0u64, 3u64), (5, 17), (1023, 1), (7, 0), (u64::MAX, 2)] {
+            bulk.record_n(v, n);
+            for _ in 0..n {
+                loop_h.record(v);
+            }
+        }
+        assert_eq!(bulk, loop_h);
+        // Saturation corner: both paths pin the sum at u64::MAX.
+        assert_eq!(bulk.sum(), u64::MAX);
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 5, 5, 900, 1 << 40] {
+            h.record(v);
+        }
+        let counts: Vec<(usize, u64)> =
+            (0..64).filter(|&i| h.bucket_count(i) > 0).map(|i| (i, h.bucket_count(i))).collect();
+        let rebuilt = Histogram::from_parts(&counts, h.sum(), h.min(), h.max());
+        assert_eq!(rebuilt, h);
+        assert_eq!(Histogram::from_parts(&[], 0, None, None), Histogram::new());
     }
 
     #[test]

@@ -97,11 +97,13 @@ impl TraceRecorder {
     }
 
     /// Whether events are currently retained.
+    #[inline]
     pub fn is_enabled(&self) -> bool {
         self.enabled
     }
 
     /// Records an event (no-op when disabled).
+    #[inline]
     pub fn record(&mut self, at: Cycle, request: u64, kind: TraceKind) {
         if !self.enabled {
             return;

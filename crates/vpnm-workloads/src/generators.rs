@@ -7,6 +7,20 @@ use rand::{Rng, SeedableRng};
 pub trait AddressGenerator {
     /// Produces the next address.
     fn next_addr(&mut self) -> u64;
+
+    /// Fills `out` with the next `out.len()` addresses of the stream —
+    /// identical, element for element, to that many [`next_addr`] calls
+    /// (the default implementation *is* that loop, so determinism holds by
+    /// construction). Batch consumers (benchmark loops, campaign shards)
+    /// use this to amortize the per-call overhead of a boxed or enum
+    /// generator over a whole batch.
+    ///
+    /// [`next_addr`]: AddressGenerator::next_addr
+    fn fill_addrs(&mut self, out: &mut [u64]) {
+        for slot in out {
+            *slot = self.next_addr();
+        }
+    }
 }
 
 /// Uniformly random addresses over `[0, space)` — the baseline pattern the
@@ -271,5 +285,20 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn empty_pattern_rejected() {
         let _ = RedundantPattern::new(vec![]);
+    }
+
+    #[test]
+    fn fill_addrs_matches_next_addr_sequence() {
+        let mut a = UniformAddresses::new(1 << 20, 42);
+        let mut b = a.clone();
+        let expect = take(&mut a, 257);
+        let mut got = vec![0u64; 257];
+        b.fill_addrs(&mut got);
+        assert_eq!(got, expect);
+        // and across two consecutive batches
+        let expect2 = take(&mut a, 31);
+        let mut got2 = vec![0u64; 31];
+        b.fill_addrs(&mut got2);
+        assert_eq!(got2, expect2);
     }
 }

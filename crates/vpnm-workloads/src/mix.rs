@@ -83,6 +83,19 @@ impl<G: AddressGenerator> RequestStream<G> {
             RequestKind::Write { addr, data: payload_for(addr, self.mix.write_bytes) }
         }
     }
+
+    /// Clears `out` and refills it with the next `n` requests — identical,
+    /// element for element, to `n` [`RequestStream::next_request`] calls.
+    /// The batch front door for benchmark loops and campaign shards; the
+    /// buffer is reused across calls so steady-state refills allocate
+    /// nothing.
+    pub fn fill_batch(&mut self, out: &mut Vec<RequestKind>, n: usize) {
+        out.clear();
+        out.reserve(n);
+        for _ in 0..n {
+            out.push(self.next_request());
+        }
+    }
 }
 
 /// The canonical deterministic payload for a cell address: a SplitMix64
@@ -146,6 +159,25 @@ mod tests {
             }
             other => panic!("expected write, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn fill_batch_matches_next_request_sequence() {
+        let mk = || {
+            RequestStream::new(
+                SequentialAddresses::new(0, 1000),
+                RequestMix::half_and_half(8),
+                17,
+            )
+        };
+        let mut a = mk();
+        let expect: Vec<RequestKind> = (0..300).map(|_| a.next_request()).collect();
+        let mut b = mk();
+        let mut buf = Vec::new();
+        b.fill_batch(&mut buf, 200);
+        assert_eq!(buf, expect[..200]);
+        b.fill_batch(&mut buf, 100);
+        assert_eq!(buf, expect[200..]);
     }
 
     #[test]

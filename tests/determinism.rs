@@ -135,9 +135,9 @@ fn merging_bounds_redundant_pattern_resources() {
     assert!(m.reads_merged >= 1990);
     assert_eq!(m.total_stalls(), 0);
     assert!(
-        m.storage_occupancy.max().unwrap_or(0) <= 4,
+        m.storage_occupancy_hist.max().unwrap_or(0) <= 4,
         "A,B pattern must hold ≤2 rows (plus transients), saw {}",
-        m.storage_occupancy.max().unwrap_or(0)
+        m.storage_occupancy_hist.max().unwrap_or(0)
     );
     for r in mem.drain() {
         let want = if r.addr.0 == 0xA { 1 } else { 2 };
