@@ -68,11 +68,7 @@ impl Bytes {
             Bound::Unbounded => len,
         };
         assert!(begin <= end && end <= len, "slice out of bounds: {begin}..{end} of {len}");
-        Bytes {
-            data: self.data.clone(),
-            start: self.start + begin,
-            end: self.start + end,
-        }
+        Bytes { data: self.data.clone(), start: self.start + begin, end: self.start + end }
     }
 
     /// The bytes as a plain slice.

@@ -167,10 +167,9 @@ impl Criterion {
             None => (None, None),
         };
         match per_second {
-            Some(rate) => println!(
-                "bench: {id:<50} {:>12.1} ns/iter {:>14.0} elem/s",
-                ns_per_iter, rate
-            ),
+            Some(rate) => {
+                println!("bench: {id:<50} {:>12.1} ns/iter {:>14.0} elem/s", ns_per_iter, rate)
+            }
             None => println!("bench: {id:<50} {:>12.1} ns/iter", ns_per_iter),
         }
         self.measurements.push(Measurement { id, ns_per_iter, throughput: denom, per_second });

@@ -80,7 +80,10 @@ impl SweepConfig {
 
     /// Number of grid points.
     pub fn len(&self) -> usize {
-        self.banks.len() * self.queue_entries.len() * self.storage_rows.len() * self.bus_ratios.len()
+        self.banks.len()
+            * self.queue_entries.len()
+            * self.storage_rows.len()
+            * self.bus_ratios.len()
     }
 
     /// True when the grid is empty.
@@ -135,7 +138,8 @@ pub fn sweep(config: &SweepConfig) -> Vec<DesignPoint> {
     keys.dedup();
 
     let cache: Mutex<HashMap<(u32, u64, u64), f64>> = Mutex::new(HashMap::new());
-    let workers = std::thread::available_parallelism().map_or(4, |n| n.get()).min(keys.len().max(1));
+    let workers =
+        std::thread::available_parallelism().map_or(4, |n| n.get()).min(keys.len().max(1));
     let next = std::sync::atomic::AtomicUsize::new(0);
     crossbeam::scope(|scope| {
         for _ in 0..workers {
@@ -241,7 +245,8 @@ mod tests {
         let cfg = SweepConfig::tiny();
         let points = sweep(&cfg);
         for p in &points {
-            let e = evaluate(p.banks, p.queue_entries, p.storage_rows, p.bus_ratio, cfg.bank_latency);
+            let e =
+                evaluate(p.banks, p.queue_entries, p.storage_rows, p.bus_ratio, cfg.bank_latency);
             assert_eq!(p.mts_total, e.mts_total);
             assert_eq!(p.area_mm2, e.area_mm2);
         }
@@ -258,9 +263,8 @@ mod tests {
         }
         // every non-frontier point is dominated
         for p in &points {
-            let dominated = frontier
-                .iter()
-                .any(|f| f.area_mm2 <= p.area_mm2 && f.mts_total >= p.mts_total);
+            let dominated =
+                frontier.iter().any(|f| f.area_mm2 <= p.area_mm2 && f.mts_total >= p.mts_total);
             assert!(dominated);
         }
     }

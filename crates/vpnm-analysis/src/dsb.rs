@@ -90,10 +90,7 @@ mod tests {
         // (R = 1.3, Q matched to 8 for the B = 32 curve).
         let d = paper_delay(8, 20);
         let mts = dsb_mts(32, 32, d);
-        assert!(
-            (1e11..1e14).contains(&mts),
-            "MTS {mts:.3e} should be near the paper's 1e12"
-        );
+        assert!((1e11..1e14).contains(&mts), "MTS {mts:.3e} should be near the paper's 1e12");
     }
 
     #[test]

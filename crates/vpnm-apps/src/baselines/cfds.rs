@@ -124,9 +124,11 @@ impl CfdsBuffer {
     /// free (conflict-free by construction).
     fn schedule(&mut self) {
         let now = Cycle::new(self.now);
-        let Some(pos) = self.window.iter().position(|op| {
-            self.dram.is_bank_ready(op.bank, now).unwrap_or(false)
-        }) else {
+        let Some(pos) = self
+            .window
+            .iter()
+            .position(|op| self.dram.is_bank_ready(op.bank, now).unwrap_or(false))
+        else {
             return;
         };
         let op = self.window.remove(pos).expect("position valid");
@@ -135,7 +137,8 @@ impl CfdsBuffer {
                 self.dram.issue_write(op.bank, op.offset, data, now).expect("bank checked free");
             }
             OpKind::Read { queue, read_seq } => {
-                let grant = self.dram.issue_read(op.bank, op.offset, now).expect("bank checked free");
+                let grant =
+                    self.dram.issue_read(op.bank, op.offset, now).expect("bank checked free");
                 self.completed.push(CompletedRead {
                     read_seq,
                     ready_at: grant.data_ready_at,
@@ -178,8 +181,7 @@ impl CfdsBuffer {
                 }
                 match ev {
                     BufferEvent::Enqueue { queue, cell } => {
-                        let q =
-                            self.queues.get_mut(queue as usize).ok_or(BufferError::BadQueue)?;
+                        let q = self.queues.get_mut(queue as usize).ok_or(BufferError::BadQueue)?;
                         if q.tail - q.head >= self.cells_per_queue {
                             return Err(BufferError::QueueFull);
                         }
@@ -193,8 +195,7 @@ impl CfdsBuffer {
                         });
                     }
                     BufferEvent::Dequeue { queue } => {
-                        let q =
-                            self.queues.get_mut(queue as usize).ok_or(BufferError::BadQueue)?;
+                        let q = self.queues.get_mut(queue as usize).ok_or(BufferError::BadQueue)?;
                         if q.tail == q.head {
                             return Err(BufferError::QueueEmpty);
                         }

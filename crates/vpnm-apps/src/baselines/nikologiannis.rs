@@ -22,8 +22,12 @@ struct Pointers {
 
 #[derive(Debug, Clone)]
 enum OpKind {
-    Write { data: Vec<u8> },
-    Read { read_seq: u64 },
+    Write {
+        data: Vec<u8>,
+    },
+    Read {
+        read_seq: u64,
+    },
     /// A linked-list pointer access: per-flow queues in DRAM are linked
     /// lists, so every cell enqueue updates a next-pointer and every
     /// dequeue walks one — a second bank access per cell that halves the
@@ -114,10 +118,8 @@ impl NikologiannisBuffer {
     /// in order, so there are no read/write hazards).
     fn issue(&mut self) {
         let now = Cycle::new(self.now);
-        let Some(pos) = self
-            .pool
-            .iter()
-            .position(|op| self.dram.is_bank_ready(op.bank, now).unwrap_or(false))
+        let Some(pos) =
+            self.pool.iter().position(|op| self.dram.is_bank_ready(op.bank, now).unwrap_or(false))
         else {
             return;
         };
@@ -173,8 +175,7 @@ impl NikologiannisBuffer {
                 }
                 match ev {
                     BufferEvent::Enqueue { queue, cell } => {
-                        let q =
-                            self.queues.get_mut(queue as usize).ok_or(BufferError::BadQueue)?;
+                        let q = self.queues.get_mut(queue as usize).ok_or(BufferError::BadQueue)?;
                         if q.tail - q.head >= self.cells_per_queue {
                             return Err(BufferError::QueueFull);
                         }
@@ -187,12 +188,15 @@ impl NikologiannisBuffer {
                             offset,
                             kind: OpKind::Write { data: cell },
                         });
-                        self.pool
-                            .push_back(PendingOp { queue, bank, offset, kind: OpKind::Pointer });
+                        self.pool.push_back(PendingOp {
+                            queue,
+                            bank,
+                            offset,
+                            kind: OpKind::Pointer,
+                        });
                     }
                     BufferEvent::Dequeue { queue } => {
-                        let q =
-                            self.queues.get_mut(queue as usize).ok_or(BufferError::BadQueue)?;
+                        let q = self.queues.get_mut(queue as usize).ok_or(BufferError::BadQueue)?;
                         if q.tail == q.head {
                             return Err(BufferError::QueueEmpty);
                         }
@@ -202,8 +206,12 @@ impl NikologiannisBuffer {
                         let read_seq = self.next_read_seq;
                         self.next_read_seq += 1;
                         // list walk: pointer first, then the cell
-                        self.pool
-                            .push_back(PendingOp { queue, bank, offset, kind: OpKind::Pointer });
+                        self.pool.push_back(PendingOp {
+                            queue,
+                            bank,
+                            offset,
+                            kind: OpKind::Pointer,
+                        });
                         self.pool.push_back(PendingOp {
                             queue,
                             bank,

@@ -67,7 +67,8 @@ impl BloomFilter {
         // double hashing: h_i = h1 + i·h2
         let h1 = splitmix64(window ^ 0xB100_F11E);
         let h2 = splitmix64(window ^ 0x5EED_5EED) | 1;
-        (0..u64::from(self.hashes)).map(move |i| h1.wrapping_add(i.wrapping_mul(h2)) % self.num_bits)
+        (0..u64::from(self.hashes))
+            .map(move |i| h1.wrapping_add(i.wrapping_mul(h2)) % self.num_bits)
     }
 
     /// Inserts a window (as its packed 8-byte little-endian value).
@@ -170,8 +171,10 @@ impl<M: PipelinedMemory> InspectionEngine<M> {
                 data.extend_from_slice(&[0u8; TABLE_ENTRY_BYTES - 12]);
             }
             loop {
-                let out = mem
-                    .tick(Some(Request::Write { addr: LineAddr(b as u64), data: data.clone().into() }));
+                let out = mem.tick(Some(Request::Write {
+                    addr: LineAddr(b as u64),
+                    data: data.clone().into(),
+                }));
                 if out.stall.is_none() {
                     break;
                 }
@@ -235,8 +238,7 @@ impl<M: PipelinedMemory> InspectionEngine<M> {
             for e in 0..self.entries_per_cell {
                 let off = e * TABLE_ENTRY_BYTES;
                 let w = u64::from_le_bytes(r.data[off..off + 8].try_into().expect("entry"));
-                let rule =
-                    u32::from_le_bytes(r.data[off + 8..off + 12].try_into().expect("entry"));
+                let rule = u32::from_le_bytes(r.data[off + 8..off + 12].try_into().expect("entry"));
                 if rule == EMPTY_RULE {
                     bucket_full = false;
                     continue;

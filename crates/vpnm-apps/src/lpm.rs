@@ -221,7 +221,10 @@ impl<M: PipelinedMemory> LpmEngine<M> {
                 }
                 let addr = (n * cells_per_node + c) as u64;
                 loop {
-                    let out = mem.tick(Some(Request::Write { addr: LineAddr(addr), data: data.clone().into() }));
+                    let out = mem.tick(Some(Request::Write {
+                        addr: LineAddr(addr),
+                        data: data.clone().into(),
+                    }));
                     if out.stall.is_none() {
                         break;
                     }
@@ -362,12 +365,12 @@ mod tests {
 
     fn sample_table() -> RouteTable {
         RouteTable::from_routes(&[
-            route(0x0A00_0000, 8, 1),   // 10.0.0.0/8
-            route(0x0A0A_0000, 16, 2),  // 10.10.0.0/16
-            route(0x0A0A_0A00, 24, 3),  // 10.10.10.0/24
-            route(0x0A0A_0A2A, 32, 4),  // 10.10.10.42/32
-            route(0xC0A8_0000, 16, 5),  // 192.168.0.0/16
-            route(0x0000_0000, 0, 99),  // default
+            route(0x0A00_0000, 8, 1),  // 10.0.0.0/8
+            route(0x0A0A_0000, 16, 2), // 10.10.0.0/16
+            route(0x0A0A_0A00, 24, 3), // 10.10.10.0/24
+            route(0x0A0A_0A2A, 32, 4), // 10.10.10.42/32
+            route(0xC0A8_0000, 16, 5), // 192.168.0.0/16
+            route(0x0000_0000, 0, 99), // default
         ])
     }
 
@@ -405,7 +408,8 @@ mod tests {
     #[test]
     fn memory_backed_lookup_matches_software() {
         let mut eng = engine();
-        let addrs = [0x0A0A_0A2Au32, 0x0A0A_0A01, 0x0A0A_FF01, 0x0AFF_0001, 0xC0A8_1234, 0x0101_0101];
+        let addrs =
+            [0x0A0A_0A2Au32, 0x0A0A_0A01, 0x0A0A_FF01, 0x0AFF_0001, 0xC0A8_1234, 0x0101_0101];
         let got = eng.lookup_batch(&addrs);
         for (a, g) in addrs.iter().zip(&got) {
             assert_eq!(*g, eng.table().lookup(*a), "addr {a:#x}");
@@ -418,7 +422,8 @@ mod tests {
         let mut routes = Vec::new();
         for _ in 0..60 {
             let len = *[8u8, 16, 24, 32].get(rng.gen_range(0..4)).expect("index in range");
-            let prefix = rng.gen::<u32>() & if len == 32 { u32::MAX } else { !((1 << (32 - len)) - 1) };
+            let prefix =
+                rng.gen::<u32>() & if len == 32 { u32::MAX } else { !((1 << (32 - len)) - 1) };
             routes.push(route(prefix, len, rng.gen_range(1..1000)));
         }
         let table = RouteTable::from_routes(&routes);

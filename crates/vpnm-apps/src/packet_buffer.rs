@@ -12,7 +12,10 @@
 
 use std::collections::VecDeque;
 use std::fmt;
-use vpnm_core::{LineAddr, Request, StallKind, VpnmConfig, VpnmController};
+use vpnm_core::{
+    FabricConfig, LineAddr, PipelinedMemory, Request, StallKind, VpnmConfig, VpnmController,
+    VpnmFabric,
+};
 
 /// One interface event presented to a packet buffer per cell slot.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -99,7 +102,9 @@ struct QueuePointers {
     tail: u64,
 }
 
-/// A multi-queue packet buffer backed by a [`VpnmController`].
+/// A multi-queue packet buffer backed by any [`PipelinedMemory`] engine
+/// (a bare [`VpnmController`] by default, or a multi-channel
+/// [`VpnmFabric`] via [`VpnmPacketBuffer::new_fabric`]).
 ///
 /// Queue `q` owns the address region `[q·C, (q+1)·C)` (C =
 /// `cells_per_queue`) used as a ring; only the two pointer counters per
@@ -119,8 +124,8 @@ struct QueuePointers {
 /// assert_eq!(&out.unwrap().data[..3], b"abc");
 /// ```
 #[derive(Debug)]
-pub struct VpnmPacketBuffer {
-    mem: VpnmController,
+pub struct VpnmPacketBuffer<M: PipelinedMemory = VpnmController> {
+    mem: M,
     queues: Vec<QueuePointers>,
     cells_per_queue: u64,
     /// Queue index for each in-flight dequeue, FIFO by response order
@@ -130,6 +135,23 @@ pub struct VpnmPacketBuffer {
     /// (a rejected event); handed out on the next successful tick.
     pending: VecDeque<DequeuedCell>,
     stats: PacketBufferStats,
+}
+
+/// Checks that the queue regions fit an `addr_bits`-wide address space.
+fn check_region(num_queues: u32, cells_per_queue: u64, addr_bits: u32) -> Result<(), String> {
+    if num_queues == 0 || cells_per_queue == 0 {
+        return Err("need at least one queue and one cell per queue".into());
+    }
+    let needed =
+        u64::from(num_queues).checked_mul(cells_per_queue).ok_or("queue region overflow")?;
+    let space = 1u64 << addr_bits;
+    if needed > space {
+        return Err(format!(
+            "{num_queues} queues × {cells_per_queue} cells needs {needed} addresses, \
+             but the controller has only {space}"
+        ));
+    }
+    Ok(())
 }
 
 impl VpnmPacketBuffer {
@@ -146,20 +168,45 @@ impl VpnmPacketBuffer {
         cells_per_queue: u64,
         seed: u64,
     ) -> Result<Self, String> {
+        check_region(num_queues, cells_per_queue, config.addr_bits)?;
+        Self::with_memory(VpnmController::new(config, seed)?, num_queues, cells_per_queue)
+    }
+}
+
+impl VpnmPacketBuffer<VpnmFabric> {
+    /// Creates a buffer striped over a multi-channel [`VpnmFabric`]
+    /// built from `fabric_config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the fabric config is invalid or the queue
+    /// regions do not fit the fabric's (pre-split) address space.
+    pub fn new_fabric(
+        fabric_config: FabricConfig,
+        num_queues: u32,
+        cells_per_queue: u64,
+        seed: u64,
+    ) -> Result<Self, String> {
+        check_region(num_queues, cells_per_queue, fabric_config.base.addr_bits)?;
+        Self::with_memory(VpnmFabric::new(fabric_config, seed)?, num_queues, cells_per_queue)
+    }
+}
+
+impl<M: PipelinedMemory> VpnmPacketBuffer<M> {
+    /// Wraps an already-built memory engine. The caller is responsible
+    /// for sizing: addresses up to `num_queues · cells_per_queue` must be
+    /// valid in `mem`, or enqueues will surface
+    /// [`BufferError::MemoryStall`] rejections.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `num_queues` or `cells_per_queue` is zero, or
+    /// their product overflows.
+    pub fn with_memory(mem: M, num_queues: u32, cells_per_queue: u64) -> Result<Self, String> {
         if num_queues == 0 || cells_per_queue == 0 {
             return Err("need at least one queue and one cell per queue".into());
         }
-        let needed = u64::from(num_queues)
-            .checked_mul(cells_per_queue)
-            .ok_or("queue region overflow")?;
-        let space = 1u64 << config.addr_bits;
-        if needed > space {
-            return Err(format!(
-                "{num_queues} queues × {cells_per_queue} cells needs {needed} addresses, \
-                 but the controller has only {space}"
-            ));
-        }
-        let mem = VpnmController::new(config, seed)?;
+        u64::from(num_queues).checked_mul(cells_per_queue).ok_or("queue region overflow")?;
         Ok(VpnmPacketBuffer {
             mem,
             queues: vec![QueuePointers::default(); num_queues as usize],
@@ -195,8 +242,8 @@ impl VpnmPacketBuffer {
         &self.stats
     }
 
-    /// The underlying memory controller (for stall/merge metrics).
-    pub fn memory(&self) -> &VpnmController {
+    /// The underlying memory engine (for stall/merge metrics).
+    pub fn memory(&self) -> &M {
         &self.mem
     }
 
@@ -277,10 +324,8 @@ impl VpnmPacketBuffer {
     fn pump(&mut self, request: Option<Request>) -> Option<StallKind> {
         let out = self.mem.tick(request);
         if let Some(r) = out.response {
-            let queue = self
-                .in_flight
-                .pop_front()
-                .expect("a response implies an in-flight dequeue");
+            let queue =
+                self.in_flight.pop_front().expect("a response implies an in-flight dequeue");
             debug_assert_eq!(u64::from(queue), r.addr.0 / self.cells_per_queue);
             self.stats.delivered += 1;
             self.pending.push_back(DequeuedCell { queue, data: r.data });
@@ -416,9 +461,59 @@ mod tests {
 
     #[test]
     fn region_overflow_rejected() {
-        let err = VpnmPacketBuffer::new(VpnmConfig::test_roomy(), 1 << 16, 1 << 16, 0)
-            .unwrap_err();
+        let err = VpnmPacketBuffer::new(VpnmConfig::test_roomy(), 1 << 16, 1 << 16, 0).unwrap_err();
         assert!(err.contains("addresses"));
+    }
+
+    #[test]
+    fn fabric_backed_buffer_preserves_fifo_and_latency() {
+        use vpnm_core::fabric::ChannelSelect;
+
+        let config = FabricConfig {
+            channels: 4,
+            select: ChannelSelect::UniversalHash,
+            base: VpnmConfig::test_roomy(),
+        };
+        let mut buf = VpnmPacketBuffer::new_fabric(config, 8, 32, 5).unwrap();
+        assert_eq!(buf.memory().num_channels(), 4);
+        for seq in 0..10u64 {
+            buf.tick(Some(BufferEvent::Enqueue { queue: 2, cell: payload_bytes(2, seq, 8) }))
+                .unwrap();
+        }
+        let mut got = Vec::new();
+        for _ in 0..10 {
+            got.extend(buf.tick(Some(BufferEvent::Dequeue { queue: 2 })).unwrap());
+        }
+        got.extend(buf.drain());
+        assert_eq!(got.len(), 10);
+        for (seq, cell) in got.iter().enumerate() {
+            assert_eq!(cell.queue, 2);
+            assert_eq!(cell.data, payload_bytes(2, seq as u64, 8));
+        }
+        // The merged snapshot spans all four channels and records every
+        // memory operation the buffer issued (10 writes + 10 reads).
+        let snap = buf.memory().merged_snapshot().expect("fabric keeps metrics");
+        assert_eq!(snap.channels, 4);
+        assert_eq!(snap.metrics.reads_accepted, 10);
+        assert_eq!(snap.metrics.writes_accepted, 10);
+    }
+
+    #[test]
+    fn single_channel_fabric_buffer_matches_bare_buffer() {
+        let mut bare = buffer();
+        let mut fab =
+            VpnmPacketBuffer::new_fabric(FabricConfig::single(VpnmConfig::test_roomy()), 8, 32, 5)
+                .unwrap();
+        for seq in 0..6u64 {
+            let ev = BufferEvent::Enqueue { queue: 1, cell: payload_bytes(1, seq, 8) };
+            assert_eq!(bare.tick(Some(ev.clone())).unwrap(), fab.tick(Some(ev)).unwrap());
+        }
+        for _ in 0..6 {
+            let ev = BufferEvent::Dequeue { queue: 1 };
+            assert_eq!(bare.tick(Some(ev.clone())).unwrap(), fab.tick(Some(ev)).unwrap());
+        }
+        assert_eq!(bare.drain(), fab.drain());
+        assert_eq!(bare.stats(), fab.stats());
     }
 }
 

@@ -68,11 +68,7 @@ impl<M: PipelinedMemory> ReassemblyEngine<M> {
     pub fn new(mem: M, num_flows: u32, per_flow_chunks: u64, chunk_bytes: usize) -> Self {
         assert!(num_flows > 0 && per_flow_chunks > 0 && chunk_bytes > 0);
         let flows = (0..num_flows)
-            .map(|_| FlowState {
-                hole: HoleBuffer::new(),
-                scanned: Vec::new(),
-                scan_next_chunk: 0,
-            })
+            .map(|_| FlowState { hole: HoleBuffer::new(), scanned: Vec::new(), scan_next_chunk: 0 })
             .collect();
         ReassemblyEngine {
             mem,
@@ -167,11 +163,7 @@ impl<M: PipelinedMemory> ReassemblyEngine<M> {
     /// segment overflows the per-flow window.
     pub fn submit_segment(&mut self, flow: u32, offset: u64, data: &[u8]) {
         assert!((flow as usize) < self.flows.len(), "flow {flow} out of range");
-        assert_eq!(
-            offset % self.chunk_bytes as u64,
-            0,
-            "segment offset must be chunk-aligned"
-        );
+        assert_eq!(offset % self.chunk_bytes as u64, 0, "segment offset must be chunk-aligned");
         if data.is_empty() {
             return;
         }
@@ -330,12 +322,15 @@ mod tests {
         // hole-buffer read/write pair on one hashed address (one bank), so
         // realistic multi-connection traffic is what achieves line rate —
         // interleave 4 flows as a real trace would.
-        let streams: Vec<Vec<u8>> =
-            (0..4).map(|f| payload_bytes(f, 0, 50 * CHUNK)).collect();
+        let streams: Vec<Vec<u8>> = (0..4).map(|f| payload_bytes(f, 0, 50 * CHUNK)).collect();
         let mut eng = vpnm_engine();
         for i in 0..50usize {
             for (f, stream) in streams.iter().enumerate() {
-                eng.submit_segment(f as u32, (i * CHUNK) as u64, &stream[i * CHUNK..(i + 1) * CHUNK]);
+                eng.submit_segment(
+                    f as u32,
+                    (i * CHUNK) as u64,
+                    &stream[i * CHUNK..(i + 1) * CHUNK],
+                );
             }
         }
         let per_chunk = eng.cycles() as f64 / 200.0;
@@ -368,6 +363,37 @@ mod tests {
         ideal.drain();
         assert_eq!(vpnm.scanned(0), ideal.scanned(0));
         assert_eq!(vpnm.scanned(0), &stream[..]);
+    }
+
+    #[test]
+    fn identical_behaviour_on_a_multi_channel_fabric() {
+        // Striping the reassembly store over four channels must not
+        // change the scanned output — the fabric presents the same flat
+        // deterministic-latency interface as a bare controller.
+        use vpnm_core::fabric::{ChannelSelect, FabricConfig, VpnmFabric};
+
+        let stream = payload_bytes(8, 0, 32 * CHUNK);
+        let mut segs = OutOfOrderSegments::new(&stream, 4 * CHUNK, 4, 33);
+
+        let config = FabricConfig {
+            channels: 4,
+            select: ChannelSelect::UniversalHash,
+            base: VpnmConfig::test_roomy(),
+        };
+        let fabric = VpnmFabric::new(config, 9).unwrap();
+        let mut eng = ReassemblyEngine::new(fabric, 4, 256, CHUNK);
+        let mut bare = vpnm_engine();
+        while let Some(seg) = segs.next_segment() {
+            eng.submit_segment(0, seg.offset, &seg.data);
+            bare.submit_segment(0, seg.offset, &seg.data);
+        }
+        eng.drain();
+        bare.drain();
+        assert_eq!(eng.scanned(0), &stream[..]);
+        assert_eq!(eng.scanned(0), bare.scanned(0));
+        let snap = eng.memory().merged_snapshot().expect("fabric keeps metrics");
+        assert_eq!(snap.channels, 4);
+        assert!(snap.metrics.reads_accepted > 0 && snap.metrics.writes_accepted > 0);
     }
 
     #[test]

@@ -67,10 +67,9 @@ fn bench_uniform_reads(c: &mut Criterion) {
 /// door stays visible next to the batched one.
 fn bench_uniform_reads_tick(c: &mut Criterion) {
     let mut group = c.benchmark_group("controller/uniform_reads_tick");
-    for (name, config) in [
-        ("small_test", VpnmConfig::small_test()),
-        ("paper_optimal", VpnmConfig::paper_optimal()),
-    ] {
+    for (name, config) in
+        [("small_test", VpnmConfig::small_test()), ("paper_optimal", VpnmConfig::paper_optimal())]
+    {
         group.throughput(Throughput::Elements(CYCLES));
         group.bench_function(BenchmarkId::from_parameter(name), |bench| {
             bench.iter_batched(
@@ -96,10 +95,9 @@ fn bench_uniform_reads_tick(c: &mut Criterion) {
 /// reference engine — the baseline the ≥3× speedup target is against.
 fn bench_reference_uniform_reads(c: &mut Criterion) {
     let mut group = c.benchmark_group("reference/uniform_reads");
-    for (name, config) in [
-        ("small_test", VpnmConfig::small_test()),
-        ("paper_optimal", VpnmConfig::paper_optimal()),
-    ] {
+    for (name, config) in
+        [("small_test", VpnmConfig::small_test()), ("paper_optimal", VpnmConfig::paper_optimal())]
+    {
         group.throughput(Throughput::Elements(CYCLES));
         group.bench_function(BenchmarkId::from_parameter(name), |bench| {
             bench.iter_batched(
@@ -174,7 +172,10 @@ fn bench_idle_fast_forward(c: &mut Criterion) {
     group.bench_function("reference_paper_optimal", |bench| {
         bench.iter_batched(
             || {
-                (ReferenceController::new(VpnmConfig::paper_optimal(), 7).expect("valid"), source(9))
+                (
+                    ReferenceController::new(VpnmConfig::paper_optimal(), 7).expect("valid"),
+                    source(9),
+                )
             },
             |(mut mem, mut gen)| {
                 for _ in 0..CYCLES {
@@ -282,9 +283,8 @@ fn main() {
     };
     let speedup_uniform = ns_of("reference/uniform_reads/paper_optimal")
         / ns_of("controller/uniform_reads/paper_optimal");
-    let speedup_idle =
-        ns_of("controller/bursty_idle/reference_paper_optimal")
-            / ns_of("controller/bursty_idle/fast_paper_optimal");
+    let speedup_idle = ns_of("controller/bursty_idle/reference_paper_optimal")
+        / ns_of("controller/bursty_idle/fast_paper_optimal");
     let summary = [
         ("speedup_fast_vs_reference_paper_optimal_uniform_reads", speedup_uniform),
         ("speedup_fast_vs_reference_paper_optimal_bursty_idle", speedup_idle),

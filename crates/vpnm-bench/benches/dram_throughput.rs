@@ -15,7 +15,8 @@ fn bench_interleaved_access(c: &mut Criterion) {
                 for i in 0..accesses {
                     let bank = (i % 32) as u32;
                     let now = Cycle::new(i);
-                    let _ = std::hint::black_box(dram.issue_write(bank, i % 1024, vec![0u8; 8], now));
+                    let _ =
+                        std::hint::black_box(dram.issue_write(bank, i % 1024, vec![0u8; 8], now));
                 }
                 dram
             },

@@ -1,7 +1,9 @@
 //! Criterion bench: software throughput of the universal hash families.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use vpnm_hash::{AffinePermutation, BankHasher, H3Hash, LowBitsHash, MultiplyShiftHash, TabulationHash};
+use vpnm_hash::{
+    AffinePermutation, BankHasher, H3Hash, LowBitsHash, MultiplyShiftHash, TabulationHash,
+};
 
 fn bench_families(c: &mut Criterion) {
     let n = 4096u64;

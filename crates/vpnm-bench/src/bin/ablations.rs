@@ -11,16 +11,23 @@
 //!    slot-reclaim variant it alludes to.
 //!
 //! Run: `cargo run --release -p vpnm-bench --bin ablations`
+//! (engine flags: `--engine fast|reference --channels N --select …`; the
+//! pass/fail assertions target the default single-channel topology)
 
-use vpnm_bench::Table;
-use vpnm_core::{HashKind, LineAddr, Request, SchedulerKind, VpnmConfig, VpnmController};
+use vpnm_bench::{EngineOpts, Table};
+use vpnm_core::{HashKind, LineAddr, PipelinedMemory, Request, SchedulerKind, VpnmConfig};
 use vpnm_workloads::generators::{AddressGenerator, RedundantPattern, StrideAddresses};
 use vpnm_workloads::UniformAddresses;
 
 const REQUESTS: u64 = 100_000;
 
-fn stall_fraction(config: VpnmConfig, seed: u64, gen: &mut dyn AddressGenerator) -> f64 {
-    let mut mem = VpnmController::new(config, seed).expect("valid config");
+fn stall_fraction(
+    opts: EngineOpts,
+    config: VpnmConfig,
+    seed: u64,
+    gen: &mut dyn AddressGenerator,
+) -> f64 {
+    let mut mem = opts.build(config, seed).expect("valid config");
     let mut stalls = 0u64;
     for _ in 0..REQUESTS {
         if !mem.tick(Some(Request::Read { addr: LineAddr(gen.next_addr()) })).accepted() {
@@ -52,16 +59,24 @@ const HASH_KINDS: [HashKind; 5] = [
 const RATIOS: [f64; 6] = [1.0, 1.1, 1.2, 1.3, 1.4, 1.5];
 
 fn main() {
-    println!("Ablations on a tightened configuration (B=16, L=10, Q=8, K=16), {REQUESTS} reads each\n");
+    let opts = EngineOpts::from_env();
+    println!(
+        "Ablations on a tightened configuration (B=16, L=10, Q=8, K=16), {REQUESTS} reads \
+         each, engine {}\n",
+        opts.describe()
+    );
 
     // Every measurement is an independent (config, seed, generator)
     // triple, so the whole battery shards across cores; results return in
     // job order, keeping the report byte-identical to a sequential run.
     type Job = Box<dyn FnOnce() -> f64 + Send>;
     let mut jobs: Vec<Job> = vec![
-        Box::new(|| stall_fraction(tight(), 1, &mut RedundantPattern::new(vec![10, 20]))),
-        Box::new(|| {
+        Box::new(move || {
+            stall_fraction(opts, tight(), 1, &mut RedundantPattern::new(vec![10, 20]))
+        }),
+        Box::new(move || {
             stall_fraction(
+                opts,
                 VpnmConfig { merging: false, ..tight() },
                 1,
                 &mut RedundantPattern::new(vec![10, 20]),
@@ -70,17 +85,30 @@ fn main() {
     ];
     for kind in HASH_KINDS {
         jobs.push(Box::new(move || {
-            stall_fraction(tight().with_hash(kind), 2, &mut StrideAddresses::new(0, 16, 1 << 24))
+            stall_fraction(
+                opts,
+                tight().with_hash(kind),
+                2,
+                &mut StrideAddresses::new(0, 16, 1 << 24),
+            )
         }));
     }
     for r in RATIOS {
         jobs.push(Box::new(move || {
-            stall_fraction(tight().with_bus_ratio(r), 3, &mut UniformAddresses::new(1 << 24, 30))
+            stall_fraction(
+                opts,
+                tight().with_bus_ratio(r),
+                3,
+                &mut UniformAddresses::new(1 << 24, 30),
+            )
         }));
     }
-    jobs.push(Box::new(|| stall_fraction(tight(), 4, &mut UniformAddresses::new(1 << 24, 40))));
-    jobs.push(Box::new(|| {
+    jobs.push(Box::new(move || {
+        stall_fraction(opts, tight(), 4, &mut UniformAddresses::new(1 << 24, 40))
+    }));
+    jobs.push(Box::new(move || {
         stall_fraction(
+            opts,
             VpnmConfig { scheduler: SchedulerKind::WorkConserving, ..tight() },
             4,
             &mut UniformAddresses::new(1 << 24, 40),
@@ -133,12 +161,13 @@ fn main() {
     // Re-run the scheduler baseline (tight config, seed 4, uniform load)
     // sequentially and leave its aggregate metrics behind as a
     // machine-readable record of the battery's reference operating point.
-    let mut mem = VpnmController::new(tight(), 4).expect("valid config");
+    let mut mem = opts.build(tight(), 4).expect("valid config");
     let mut gen = UniformAddresses::new(1 << 24, 40);
     for _ in 0..REQUESTS {
         mem.tick(Some(Request::Read { addr: LineAddr(gen.next_addr()) }));
     }
-    vpnm_bench::report::write_snapshot("ablations", &mem.snapshot().to_json());
+    let snapshot = mem.snapshot().expect("engines keep metrics");
+    vpnm_bench::report::write_snapshot("ablations", &snapshot.to_json());
 
     println!("\nall ablation checks passed ✓");
 }

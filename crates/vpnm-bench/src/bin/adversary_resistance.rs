@@ -18,9 +18,13 @@
 //! leaked-key/re-key pair below.
 //!
 //! Run: `cargo run --release -p vpnm-bench --bin adversary_resistance`
+//! (engine flags: `--engine fast|reference --channels N --select …` steer
+//! the blind attacks; the omniscient pair needs the concrete fast engine
+//! for its leaked key, and the claim assertions target the default
+//! single-channel topology)
 
-use vpnm_bench::Table;
-use vpnm_core::{HashKind, LineAddr, Request, VpnmConfig, VpnmController};
+use vpnm_bench::{EngineOpts, Table};
+use vpnm_core::{HashKind, LineAddr, PipelinedMemory, Request, VpnmConfig, VpnmController};
 use vpnm_hash::BankHasher;
 use vpnm_workloads::generators::{AddressGenerator, RedundantPattern};
 use vpnm_workloads::{OmniscientAdversary, ReplayAdversary, StrideAdversary, UniformAddresses};
@@ -28,8 +32,8 @@ use vpnm_workloads::{OmniscientAdversary, ReplayAdversary, StrideAdversary, Unif
 const REQUESTS: u64 = 200_000;
 const ADDR_SPACE: u64 = 1 << 24;
 
-fn controller(hash: HashKind, seed: u64) -> VpnmController {
-    let config = VpnmConfig {
+fn tight_config(hash: HashKind) -> VpnmConfig {
+    VpnmConfig {
         banks: 16,
         bank_latency: 10,
         queue_entries: 8,
@@ -38,11 +42,20 @@ fn controller(hash: HashKind, seed: u64) -> VpnmController {
         addr_bits: 24,
         ..VpnmConfig::paper_optimal()
     }
-    .with_hash(hash);
-    VpnmController::new(config, seed).expect("valid config")
+    .with_hash(hash)
 }
 
-fn run(mut mem: VpnmController, gen: &mut dyn AddressGenerator) -> f64 {
+/// The omniscient pair inspects the controller's keyed hash, which only
+/// the concrete engine exposes — it stays off the generic path.
+fn controller(hash: HashKind, seed: u64) -> VpnmController {
+    VpnmController::new(tight_config(hash), seed).expect("valid config")
+}
+
+fn engine(opts: EngineOpts, hash: HashKind, seed: u64) -> Box<dyn PipelinedMemory> {
+    opts.build(tight_config(hash), seed).expect("valid config")
+}
+
+fn run(mut mem: impl PipelinedMemory, gen: &mut dyn AddressGenerator) -> f64 {
     let mut stalls = 0u64;
     for _ in 0..REQUESTS {
         if !mem.tick(Some(Request::Read { addr: LineAddr(gen.next_addr()) })).accepted() {
@@ -56,18 +69,23 @@ fn run(mut mem: VpnmController, gen: &mut dyn AddressGenerator) -> f64 {
 /// panel of independently keyed controllers, each replaying the same
 /// attack stream from scratch.
 fn run_median<G: AddressGenerator>(
+    opts: EngineOpts,
     hash: HashKind,
     seeds: [u64; 5],
     mk_gen: impl Fn() -> G,
 ) -> f64 {
     let mut rates: Vec<f64> =
-        seeds.iter().map(|&s| run(controller(hash, s), &mut mk_gen())).collect();
+        seeds.iter().map(|&s| run(engine(opts, hash, s), &mut mk_gen())).collect();
     rates.sort_by(|a, b| a.partial_cmp(b).expect("stall rates are finite"));
     rates[rates.len() / 2]
 }
 
 fn main() {
-    println!("Adversarial resistance: stall fraction over {REQUESTS} reads\n");
+    let opts = EngineOpts::from_env();
+    println!(
+        "Adversarial resistance: stall fraction over {REQUESTS} reads, engine {}\n",
+        opts.describe()
+    );
 
     // Each attack drives its own independently-seeded controller, so the
     // battery shards across cores; only the omniscient pair stays one job
@@ -76,29 +94,29 @@ fn main() {
     // assertions below are identical to a sequential run.
     type Job = Box<dyn FnOnce() -> Vec<f64> + Send>;
     let jobs: Vec<Job> = vec![
-        Box::new(|| {
-            vec![run(controller(HashKind::H3, 1), &mut UniformAddresses::new(ADDR_SPACE, 10))]
+        Box::new(move || {
+            vec![run(engine(opts, HashKind::H3, 1), &mut UniformAddresses::new(ADDR_SPACE, 10))]
         }),
-        Box::new(|| {
-            vec![run(controller(HashKind::LowBits, 2), &mut StrideAdversary::new(16, ADDR_SPACE))]
+        Box::new(move || {
+            vec![run(engine(opts, HashKind::LowBits, 2), &mut StrideAdversary::new(16, ADDR_SPACE))]
         }),
-        Box::new(|| {
-            vec![run_median(HashKind::H3, [3, 103, 203, 303, 403], || {
+        Box::new(move || {
+            vec![run_median(opts, HashKind::H3, [3, 103, 203, 303, 403], || {
                 StrideAdversary::new(16, ADDR_SPACE)
             })]
         }),
-        Box::new(|| {
-            vec![run_median(HashKind::H3, [4, 104, 204, 304, 404], || {
+        Box::new(move || {
+            vec![run_median(opts, HashKind::H3, [4, 104, 204, 304, 404], || {
                 ReplayAdversary::new(1024, ADDR_SPACE, 16, 11)
             })]
         }),
-        Box::new(|| {
-            vec![run_median(HashKind::H3, [5, 105, 205, 305, 405], || {
+        Box::new(move || {
+            vec![run_median(opts, HashKind::H3, [5, 105, 205, 305, 405], || {
                 RedundantPattern::new(vec![1, 2])
             })]
         }),
-        Box::new(|| {
-            vec![run_median(HashKind::Tabulation, [6, 106, 206, 306, 406], || {
+        Box::new(move || {
+            vec![run_median(opts, HashKind::Tabulation, [6, 106, 206, 306, 406], || {
                 StrideAdversary::new(16, ADDR_SPACE)
             })]
         }),
@@ -112,12 +130,11 @@ fn main() {
             vec![leaked, rekeyed]
         }),
     ];
-    let results: Vec<f64> =
-        vpnm_bench::parallel::run_jobs(jobs).into_iter().flatten().collect();
-    let [baseline, stride_low, stride_h3, replay, redundant, tab, leaked, rekeyed] =
-        results[..] else {
-            unreachable!("eight measurements");
-        };
+    let results: Vec<f64> = vpnm_bench::parallel::run_jobs(jobs).into_iter().flatten().collect();
+    let [baseline, stride_low, stride_h3, replay, redundant, tab, leaked, rekeyed] = results[..]
+    else {
+        unreachable!("eight measurements");
+    };
 
     let mut t = Table::new(vec!["attack", "mapping", "stall fraction"]);
     for (attack, mapping, rate) in [
@@ -138,9 +155,7 @@ fn main() {
     println!("  conventional banking collapses under stride: {stride_low:.3} >> {baseline:.5}");
     assert!(stride_low > 0.25);
     println!("  no blind attack beats random chance against a typical key:");
-    for (name, rate) in
-        [("stride", stride_h3), ("replay", replay), ("tabulation-stride", tab)]
-    {
+    for (name, rate) in [("stride", stride_h3), ("replay", replay), ("tabulation-stride", tab)] {
         assert!(
             rate <= baseline * 3.0 + 50.0 / REQUESTS as f64,
             "{name} rate {rate} vs baseline {baseline}"
@@ -157,12 +172,13 @@ fn main() {
     // Re-run the no-attack baseline and emit its aggregate metrics; the
     // snapshot's stall counters and per-bank high-water marks corroborate
     // the table's first row.
-    let mut mem = controller(HashKind::H3, 1);
+    let mut mem = engine(opts, HashKind::H3, 1);
     let mut gen = UniformAddresses::new(ADDR_SPACE, 10);
     for _ in 0..REQUESTS {
         mem.tick(Some(Request::Read { addr: LineAddr(gen.next_addr()) }));
     }
-    vpnm_bench::report::write_snapshot("adversary_resistance", &mem.snapshot().to_json());
+    let snapshot = mem.snapshot().expect("engines keep metrics");
+    vpnm_bench::report::write_snapshot("adversary_resistance", &snapshot.to_json());
 
     println!("\nall adversarial claims hold ✓");
 }

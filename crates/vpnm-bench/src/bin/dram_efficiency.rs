@@ -70,12 +70,16 @@ fn main() {
 
     let mut t = Table::new(vec!["device", "pattern", "bus efficiency"]);
     let mut results = Vec::new();
-    for (dev_name, cfg) in
-        [("SDRAM 4-bank open-page", &sdram), ("RDRAM-class 32-bank", &rdram32), ("RDRAM-class 512-bank", &rdram512)]
-    {
-        for (pat_name, pat) in
-            [("random", Pattern::Random), ("sequential", Pattern::Sequential), ("row-local", Pattern::RowLocal)]
-        {
+    for (dev_name, cfg) in [
+        ("SDRAM 4-bank open-page", &sdram),
+        ("RDRAM-class 32-bank", &rdram32),
+        ("RDRAM-class 512-bank", &rdram512),
+    ] {
+        for (pat_name, pat) in [
+            ("random", Pattern::Random),
+            ("sequential", Pattern::Sequential),
+            ("row-local", Pattern::RowLocal),
+        ] {
             let eff = measure(cfg.clone(), pat, 7);
             t.row(vec![dev_name.into(), pat_name.into(), format!("{:.1}%", eff * 100.0)]);
             results.push((dev_name, pat_name, eff));
@@ -96,7 +100,11 @@ fn main() {
     println!("conventional controller from below; the orderings are what matter:");
     println!("  few banks, random:        {:.0}% (conflict-bound)", sdram_rand * 100.0);
     println!("  few banks, row-local:     {:.0}% (the paper's ~60% regime)", sdram_local * 100.0);
-    println!("  many banks, random:       {:.0}% → {:.0}% as banks grow 32 → 512", r32 * 100.0, r512 * 100.0);
+    println!(
+        "  many banks, random:       {:.0}% → {:.0}% as banks grow 32 → 512",
+        r32 * 100.0,
+        r512 * 100.0
+    );
     println!("  streaming (sequential):   ~100% everywhere — why vendors quote peak numbers");
     assert!(sdram_rand < 0.5, "few banks + random traffic must be conflict-bound");
     assert!(sdram_local > sdram_rand, "row locality must help an open-page device");

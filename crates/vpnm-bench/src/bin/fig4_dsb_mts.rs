@@ -41,9 +41,14 @@ fn main() {
         let m64 = dsb_mts(64, k, paper_delay(8, L));
         m64 >= m32
     });
-    println!("  'curve for B = 64 follows closely B = 32'    -> B=64 ≥ B=32 at every K: {b64_close}");
-    let low_b_bad = dsb_mts(8, 32, paper_delay(12, L)) < 1e8 && dsb_mts(16, 32, paper_delay(12, L)) < 1e8;
-    println!("  'B < 32 needs much higher K to reach 10^8'   -> B∈{{8,16}}, K=32 below 1e8: {low_b_bad}");
+    println!(
+        "  'curve for B = 64 follows closely B = 32'    -> B=64 ≥ B=32 at every K: {b64_close}"
+    );
+    let low_b_bad =
+        dsb_mts(8, 32, paper_delay(12, L)) < 1e8 && dsb_mts(16, 32, paper_delay(12, L)) < 1e8;
+    println!(
+        "  'B < 32 needs much higher K to reach 10^8'   -> B∈{{8,16}}, K=32 below 1e8: {low_b_bad}"
+    );
     assert!((1e11..1e14).contains(&b32_k32), "B=32/K=32 must land near 1e12");
     assert!(b64_close && low_b_bad);
 }

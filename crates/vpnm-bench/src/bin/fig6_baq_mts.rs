@@ -44,10 +44,11 @@ fn main() {
     let big = BankQueueModel::new(32, L, 64, R).mts_cycles();
     println!("\npaper landmarks vs. reproduction:");
     println!("  'MTS of 10^14 for Q = 64 using 32 or 64 banks' -> B=32: {}", fmt_mts(big));
-    let small_capped = banks[..3]
-        .iter()
-        .all(|&b| BankQueueModel::new(b, L, 64, R).mts_cycles() < 1e5);
-    println!("  'lower number of banks … maximum MTS of 10^2'   -> B<32 stays tiny: {small_capped}");
+    let small_capped =
+        banks[..3].iter().all(|&b| BankQueueModel::new(b, L, 64, R).mts_cycles() < 1e5);
+    println!(
+        "  'lower number of banks … maximum MTS of 10^2'   -> B<32 stays tiny: {small_capped}"
+    );
     assert!(big > 1e12);
     assert!(small_capped);
 }

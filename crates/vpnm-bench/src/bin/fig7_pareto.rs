@@ -39,11 +39,8 @@ fn main() {
             ]);
         }
         table.print();
-        let best30 = points
-            .iter()
-            .filter(|p| p.area_mm2 <= 30.0)
-            .map(|p| p.mts_total)
-            .fold(0.0, f64::max);
+        let best30 =
+            points.iter().filter(|p| p.area_mm2 <= 30.0).map(|p| p.mts_total).fold(0.0, f64::max);
         best_at_30mm.push((r, best30));
         println!();
     }
@@ -64,5 +61,7 @@ fn main() {
     assert!(at(1.3) >= 1e9, "R=1.3 must reach the 1-second budget at 30 mm²");
     assert!(at(1.3) >= at(1.0), "more bus headroom must never hurt");
     assert!(at(1.5) >= at(1.1));
-    println!("\nshape check passed: MTS grows with R at fixed area, R = 1.3 reaches 1e9 under 30 mm² ✓");
+    println!(
+        "\nshape check passed: MTS grows with R at fixed area, R = 1.3 reaches 1e9 under 30 mm² ✓"
+    );
 }

@@ -36,9 +36,10 @@ fn parse_cycles(s: &str) -> Option<u64> {
 fn usage() -> ! {
     eprintln!(
         "usage: mts_campaign [--cycles N] [--shard-cycles N] [--preset NAME] \
-         [--seed N] [--checkpoint PATH]\n\
+         [--seed N] [--channels N] [--checkpoint PATH]\n\
          (N accepts scientific notation, e.g. 1e9; presets: paper_optimal, \
-         paper_compact, small_test, test_roomy)"
+         paper_compact, small_test, test_roomy; --channels > 1 stripes each \
+         shard over a universal-hash-selected fabric)"
     );
     std::process::exit(2)
 }
@@ -49,6 +50,7 @@ fn main() {
         cycles: 100_000_000,
         shard_cycles: 1_000_000,
         seed: 42,
+        channels: 1,
     };
     let mut checkpoint = PathBuf::from("mts_campaign_checkpoint.jsonl");
     let mut args = std::env::args().skip(1);
@@ -61,16 +63,18 @@ fn main() {
             }
             "--preset" => params.preset = value(),
             "--seed" => params.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--channels" => params.channels = value().parse().unwrap_or_else(|_| usage()),
             "--checkpoint" => checkpoint = PathBuf::from(value()),
             _ => usage(),
         }
     }
 
     println!(
-        "MTS campaign: {} cycles of full-rate uniform reads on '{}' \
+        "MTS campaign: {} cycles of full-rate uniform reads on '{}' x{} channel(s) \
          ({} shards x {} cycles, seed {})",
         params.cycles,
         params.preset,
+        params.channels,
         params.shards(),
         params.shard_cycles,
         params.seed

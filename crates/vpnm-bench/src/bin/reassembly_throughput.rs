@@ -54,7 +54,13 @@ fn run(flows: u32, chunks_per_flow: usize, reorder_window: usize) -> (f64, f64, 
 
 fn main() {
     println!("Reassembly throughput on VPNM (paper claim: 5 accesses / 64 B chunk → 40 Gbps at 400 MHz)\n");
-    let mut t = Table::new(vec!["flows", "reorder window", "cycles/chunk", "Gbps @400MHz", "stall retries"]);
+    let mut t = Table::new(vec![
+        "flows",
+        "reorder window",
+        "cycles/chunk",
+        "Gbps @400MHz",
+        "stall retries",
+    ]);
     let mut headline = 0.0;
     for (flows, window) in [(16u32, 4usize), (64, 8), (128, 8), (64, 16)] {
         let (per_chunk, gbps, stalls) = run(flows, 64, window);
@@ -76,7 +82,11 @@ fn main() {
     // one 64 B chunk arrives per 5 cycles.
     let d = VpnmConfig::paper_optimal().effective_delay();
     let fifo_kb = (3 * d) as f64 / 5.0 * CHUNK as f64 / 1024.0;
-    println!("\nsegment FIFO sizing: 3·D = {} cycles × (64 B / 5 cycles) = {:.0} KB (paper: 72 KB)", 3 * d, fifo_kb);
+    println!(
+        "\nsegment FIFO sizing: 3·D = {} cycles × (64 B / 5 cycles) = {:.0} KB (paper: 72 KB)",
+        3 * d,
+        fifo_kb
+    );
     println!("headline: {headline:.1} Gbps vs. the paper's 40 Gbps");
     assert!(headline > 30.0, "must be in the 40 Gbps regime, got {headline:.1}");
 }

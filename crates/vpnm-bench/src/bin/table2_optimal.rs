@@ -37,7 +37,14 @@ fn main() {
 
     println!("Table 2: optimal design parameters (B = 32, L = 20)\n");
     let mut table = Table::new(vec![
-        "R", "B/Q/K", "area paper", "area ours", "MTS paper", "MTS ours", "nJ paper", "nJ ours",
+        "R",
+        "B/Q/K",
+        "area paper",
+        "area ours",
+        "MTS paper",
+        "MTS ours",
+        "nJ paper",
+        "nJ ours",
     ]);
     let mut area_err_max: f64 = 0.0;
     let mut energy_err_max: f64 = 0.0;
@@ -58,7 +65,11 @@ fn main() {
     }
     table.print();
 
-    println!("\nmax relative error: area {:.1}%, energy {:.1}%", area_err_max * 100.0, energy_err_max * 100.0);
+    println!(
+        "\nmax relative error: area {:.1}%, energy {:.1}%",
+        area_err_max * 100.0,
+        energy_err_max * 100.0
+    );
     println!("(area/energy come from the least-squares calibration against these same");
     println!(" published points — see vpnm-hw; MTS comes from the independent analyses.)");
 

@@ -130,11 +130,40 @@ fn main() {
     let our_ptr_sram_kb = buf4096.pointer_sram_bytes() as f64 / 1024.0;
     let our_ctl_sram_kb = hw.sram_kib_total(32);
 
-    let mut t = Table::new(vec!["scheme", "line rate", "SRAM", "area mm²", "delay ns", "interfaces"]);
-    t.row(vec!["[22] (paper)".into(), "10 Gbps".into(), "520 KB".into(), "27.4".into(), "-".into(), "64000".into()]);
-    t.row(vec!["RADS (paper)".into(), "40 Gbps".into(), "64 KB".into(), "10".into(), "53".into(), "130".into()]);
-    t.row(vec!["CFDS (paper)".into(), "160 Gbps".into(), "-".into(), "60".into(), "10000".into(), "850".into()]);
-    t.row(vec!["ours (paper)".into(), "160 Gbps".into(), "320 KB".into(), "41.9".into(), "960".into(), "4096".into()]);
+    let mut t =
+        Table::new(vec!["scheme", "line rate", "SRAM", "area mm²", "delay ns", "interfaces"]);
+    t.row(vec![
+        "[22] (paper)".into(),
+        "10 Gbps".into(),
+        "520 KB".into(),
+        "27.4".into(),
+        "-".into(),
+        "64000".into(),
+    ]);
+    t.row(vec![
+        "RADS (paper)".into(),
+        "40 Gbps".into(),
+        "64 KB".into(),
+        "10".into(),
+        "53".into(),
+        "130".into(),
+    ]);
+    t.row(vec![
+        "CFDS (paper)".into(),
+        "160 Gbps".into(),
+        "-".into(),
+        "60".into(),
+        "10000".into(),
+        "850".into(),
+    ]);
+    t.row(vec![
+        "ours (paper)".into(),
+        "160 Gbps".into(),
+        "320 KB".into(),
+        "41.9".into(),
+        "960".into(),
+        "4096".into(),
+    ]);
     t.row(vec![
         "ours (reproduced)".into(),
         format!("{:.0} Gbps", get("vpnm")),
@@ -147,7 +176,10 @@ fn main() {
 
     println!("\nRADS-style interface scaling: SRAM grows with 2b cells per queue, so a 64 KB");
     let rads_per_queue = 2 * 8 * CELL; // 2b cells of 64 B at b = 8
-    println!("budget supports ~{} interfaces; VPNM stores 8 B of pointers per queue and", 64 * 1024 / rads_per_queue);
+    println!(
+        "budget supports ~{} interfaces; VPNM stores 8 B of pointers per queue and",
+        64 * 1024 / rads_per_queue
+    );
     println!("supports 4096 interfaces in 32 KB — the ~5x-interfaces, ~10x-latency-better");
     println!("trade against CFDS the paper reports.");
     assert!(

@@ -29,7 +29,10 @@ use std::collections::BTreeMap;
 use std::io::Write as _;
 use std::path::Path;
 use std::sync::Mutex;
-use vpnm_core::{LineAddr, Request, VpnmConfig, VpnmController};
+use vpnm_core::{
+    ChannelSelect, FabricConfig, LineAddr, PipelinedMemory, Request, VpnmConfig, VpnmController,
+    VpnmFabric,
+};
 use vpnm_sim::rng::splitmix64;
 use vpnm_sim::Histogram;
 use vpnm_workloads::generators::AddressGenerator;
@@ -37,7 +40,10 @@ use vpnm_workloads::UniformAddresses;
 
 /// Bumped when the checkpoint grammar changes; resuming across versions
 /// is refused.
-pub const CHECKPOINT_VERSION: u32 = 1;
+///
+/// Version history: 1 — initial grammar; 2 — header gained `channels`
+/// (multi-channel fabric campaigns).
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// Interface cycles simulated per `run_batch` call inside a shard — large
 /// enough to amortize batch setup, small enough to keep buffers in cache.
@@ -56,6 +62,10 @@ pub struct CampaignParams {
     /// Campaign master seed; per-shard seeds derive from it and the shard
     /// index only.
     pub seed: u64,
+    /// Memory channels per shard: 1 drives a bare controller through the
+    /// batched front door; more stripes each shard's stream over a
+    /// universal-hash-selected [`VpnmFabric`].
+    pub channels: u32,
 }
 
 impl CampaignParams {
@@ -82,8 +92,17 @@ impl CampaignParams {
         if self.shard_cycles == 0 {
             return Err("shard size must be non-zero".into());
         }
-        preset_config(&self.preset)
-            .ok_or_else(|| format!("unknown config preset '{}'", self.preset))
+        let config = preset_config(&self.preset)
+            .ok_or_else(|| format!("unknown config preset '{}'", self.preset))?;
+        if self.channels > 1 {
+            self.fabric_config(config.clone()).validate()?;
+        }
+        Ok(config)
+    }
+
+    /// The fabric geometry a multi-channel campaign stripes over.
+    pub fn fabric_config(&self, base: VpnmConfig) -> FabricConfig {
+        FabricConfig { channels: self.channels, select: ChannelSelect::UniversalHash, base }
     }
 }
 
@@ -123,14 +142,19 @@ pub struct ShardResult {
     pub storage_occupancy: Histogram,
 }
 
-/// Runs one shard to completion: a fresh controller and a fresh uniform
-/// read stream, both seeded deterministically from `(params.seed, shard)`,
-/// driven through [`VpnmController::run_batch`] in [`BATCH_CYCLES`]-sized
-/// batches and drained at the end.
+/// Runs one shard to completion: a fresh controller (or fabric, for
+/// `channels > 1`) and a fresh uniform read stream, both seeded
+/// deterministically from `(params.seed, shard)`, driven through
+/// [`VpnmController::run_batch`] in [`BATCH_CYCLES`]-sized batches (the
+/// single-channel fast path) or per-tick through the fabric, and drained
+/// at the end.
 pub fn run_shard(params: &CampaignParams, shard: u64) -> ShardResult {
     let config = params.validate().expect("validated before sharding");
     let ctrl_seed = splitmix64(params.seed.wrapping_add(shard));
     let wl_seed = splitmix64(ctrl_seed ^ 0x9E37_79B9_7F4A_7C15);
+    if params.channels > 1 {
+        return run_shard_fabric(params, shard, config, ctrl_seed, wl_seed);
+    }
     let mut mem = VpnmController::new(config.clone(), ctrl_seed).expect("preset validates");
     let mut gen = UniformAddresses::new(1u64 << config.addr_bits, wl_seed);
 
@@ -164,6 +188,50 @@ pub fn run_shard(params: &CampaignParams, shard: u64) -> ShardResult {
         first_stall_at: m.first_stall_at.map(|c| c.as_u64()),
         queue_depth: m.queue_depth_hist.clone(),
         storage_occupancy: m.storage_occupancy_hist.clone(),
+    }
+}
+
+/// The multi-channel shard body: the same deterministic stream, striped
+/// over a fabric and driven per-tick (the batched front door is a
+/// single-controller fast path). Histograms carry one sample per channel
+/// per cycle, merged across channels.
+fn run_shard_fabric(
+    params: &CampaignParams,
+    shard: u64,
+    config: VpnmConfig,
+    ctrl_seed: u64,
+    wl_seed: u64,
+) -> ShardResult {
+    let addr_bits = config.addr_bits;
+    let mut mem =
+        VpnmFabric::new(params.fabric_config(config), ctrl_seed).expect("params validate");
+    let mut gen = UniformAddresses::new(1u64 << addr_bits, wl_seed);
+
+    let mut accepted = 0u64;
+    let mut stalled = 0u64;
+    let mut responses = 0u64;
+    for _ in 0..params.cycles_of_shard(shard) {
+        let out = mem.tick(Some(Request::Read { addr: LineAddr(gen.next_addr()) }));
+        if out.accepted() {
+            accepted += 1;
+        } else {
+            stalled += 1;
+        }
+        responses += u64::from(out.response.is_some());
+    }
+    responses += PipelinedMemory::drain(&mut mem).len() as u64;
+
+    let snap = mem.merged_snapshot().expect("controllers keep metrics");
+    ShardResult {
+        shard,
+        cycles: mem.now().as_u64(),
+        cycles_skipped: snap.cycles_skipped,
+        accepted,
+        stalled,
+        responses,
+        first_stall_at: snap.metrics.first_stall_at.map(|c| c.as_u64()),
+        queue_depth: snap.metrics.queue_depth_hist.clone(),
+        storage_occupancy: snap.metrics.storage_occupancy_hist.clone(),
     }
 }
 
@@ -204,6 +272,7 @@ impl CampaignReport {
     pub fn render(&self) -> String {
         let mut t = crate::Table::new(vec!["metric", "value"]);
         t.row(vec!["preset".into(), self.params.preset.clone()]);
+        t.row(vec!["channels".into(), self.params.channels.to_string()]);
         t.row(vec!["shards".into(), format!("{} ({} resumed)", self.completed, self.resumed)]);
         t.row(vec!["cycles".into(), self.cycles.to_string()]);
         t.row(vec!["cycles skipped".into(), self.cycles_skipped.to_string()]);
@@ -217,10 +286,7 @@ impl CampaignReport {
                 None => format!("no stall observed; MTS >= {:.2e} cycles", self.cycles as f64),
             },
         ]);
-        t.row(vec![
-            "mean queue depth".into(),
-            format!("{:.4}", self.queue_depth.mean()),
-        ]);
+        t.row(vec!["mean queue depth".into(), format!("{:.4}", self.queue_depth.mean())]);
         t.row(vec![
             "peak storage occupancy".into(),
             self.storage_occupancy.max().unwrap_or(0).to_string(),
@@ -310,8 +376,8 @@ where
 fn header_line(params: &CampaignParams) -> String {
     format!(
         "{{\"campaign\":\"mts_uniform_reads\",\"version\":{CHECKPOINT_VERSION},\
-         \"preset\":\"{}\",\"cycles\":{},\"shard_cycles\":{},\"seed\":{}}}\n",
-        params.preset, params.cycles, params.shard_cycles, params.seed
+         \"preset\":\"{}\",\"cycles\":{},\"shard_cycles\":{},\"seed\":{},\"channels\":{}}}\n",
+        params.preset, params.cycles, params.shard_cycles, params.seed, params.channels
     )
 }
 
@@ -456,8 +522,7 @@ pub fn load_checkpoint(
     };
     let mut lines = text.lines();
     let header = lines.next().ok_or("checkpoint file is empty")?;
-    let version = parse_u64_field(header, "version")
-        .ok_or("checkpoint header is unparseable")?;
+    let version = parse_u64_field(header, "version").ok_or("checkpoint header is unparseable")?;
     if version != u64::from(CHECKPOINT_VERSION) {
         return Err(format!("checkpoint version {version} != {CHECKPOINT_VERSION}"));
     }
@@ -467,6 +532,7 @@ pub fn load_checkpoint(
         shard_cycles: parse_u64_field(header, "shard_cycles")
             .ok_or("header missing shard_cycles")?,
         seed: parse_u64_field(header, "seed").ok_or("header missing seed")?,
+        channels: parse_u64_field(header, "channels").ok_or("header missing channels")? as u32,
     };
     if &recorded != params {
         return Err(format!(
@@ -496,10 +562,7 @@ mod tests {
     fn temp_checkpoint(tag: &str) -> PathBuf {
         static UNIQUE: AtomicU64 = AtomicU64::new(0);
         let n = UNIQUE.fetch_add(1, Ordering::Relaxed);
-        std::env::temp_dir().join(format!(
-            "vpnm_campaign_{tag}_{}_{n}.jsonl",
-            std::process::id()
-        ))
+        std::env::temp_dir().join(format!("vpnm_campaign_{tag}_{}_{n}.jsonl", std::process::id()))
     }
 
     fn small_params() -> CampaignParams {
@@ -508,6 +571,7 @@ mod tests {
             cycles: 20_000,
             shard_cycles: 4_000,
             seed: 42,
+            channels: 1,
         }
     }
 
@@ -516,6 +580,20 @@ mod tests {
         let p = small_params();
         assert_eq!(run_shard(&p, 2), run_shard(&p, 2));
         assert_ne!(run_shard(&p, 2), run_shard(&p, 3), "shards must differ");
+    }
+
+    #[test]
+    fn fabric_shards_are_deterministic_and_answer_everything() {
+        let p = CampaignParams { channels: 4, cycles: 8_000, ..small_params() };
+        let a = run_shard(&p, 1);
+        assert_eq!(a, run_shard(&p, 1));
+        assert_eq!(a.accepted, a.responses, "drained shards answer everything");
+        assert_eq!(a.accepted + a.stalled, p.cycles_of_shard(1));
+        assert_ne!(a, run_shard(&small_params(), 1), "channel count changes the run");
+
+        // Bad channel geometry is caught at validation.
+        let bad = CampaignParams { channels: 3, ..small_params() };
+        assert!(bad.validate().is_err());
     }
 
     #[test]
@@ -597,7 +675,11 @@ mod tests {
             *recomputed.lock().unwrap() += 1;
         })
         .expect("resume run");
-        assert_eq!(resumed.resumed, p.shards() - 2, "three lines were lost/truncated… minus header");
+        assert_eq!(
+            resumed.resumed,
+            p.shards() - 2,
+            "three lines were lost/truncated… minus header"
+        );
         assert_eq!(*recomputed.lock().unwrap(), 2, "only the missing shards rerun");
         // The resumed report is identical to the uninterrupted one.
         let mut full_cmp = full.clone();
@@ -638,6 +720,7 @@ mod tests {
             cycles: 10_500,
             shard_cycles: 4_000,
             seed: 1,
+            channels: 1,
         };
         assert_eq!(p.shards(), 3);
         assert_eq!(p.cycles_of_shard(0), 4_000);

@@ -77,8 +77,7 @@ pub fn forced_dsb_overflow() -> DsbOverflowForensics {
             break;
         }
     }
-    let (stall_cycle, stall_kind) =
-        stall.expect("underdriven stride-B flood must exhaust the DSB");
+    let (stall_cycle, stall_kind) = stall.expect("underdriven stride-B flood must exhaust the DSB");
     DsbOverflowForensics {
         stall_cycle,
         stall_kind,
@@ -109,11 +108,8 @@ mod tests {
         let k = VpnmConfig::small_test().storage_rows;
         // Every accept that filled the DSB is retained (ring capacity 64
         // comfortably covers accepts + retires for K = 8 rows).
-        let accepts = f
-            .events
-            .iter()
-            .filter(|e| matches!(e.kind, ForensicKind::Accepted { .. }))
-            .count();
+        let accepts =
+            f.events.iter().filter(|e| matches!(e.kind, ForensicKind::Accepted { .. })).count();
         assert_eq!(accepts, k, "all {k} row-filling accepts retained");
         // The stall event carries the full causal context.
         let stall = f.events.last().expect("events end at the stall");
@@ -138,10 +134,8 @@ mod tests {
         let report = f.report.expect("forensics feature is on by default");
         let k = VpnmConfig::small_test().storage_rows;
         assert!(
-            report.contains(&format!(
-                "bank 0 exceeded DSB occupancy {k} at cycle {}",
-                f.stall_cycle
-            )),
+            report
+                .contains(&format!("bank 0 exceeded DSB occupancy {k} at cycle {}", f.stall_cycle)),
             "{report}"
         );
         assert!(report.contains("STALL"), "{report}");

@@ -10,10 +10,12 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod engine;
 pub mod inspect;
 pub mod parallel;
 pub mod report;
 
+pub use engine::{engine_from_args, EngineKind, EngineOpts};
 pub use report::Table;
 
 /// Formats an MTS value the way the paper's figures label them

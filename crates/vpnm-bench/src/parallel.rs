@@ -115,8 +115,8 @@ where
                     break;
                 }
                 let end = (start + chunk).min(n);
-                for i in start..end {
-                    *results[i].lock().expect("result slot") = Some(f(i));
+                for (i, slot) in results.iter().enumerate().take(end).skip(start) {
+                    *slot.lock().expect("result slot") = Some(f(i));
                 }
                 let finished = done.fetch_add(end - start, Ordering::Relaxed) + (end - start);
                 progress(finished, n);
@@ -175,9 +175,14 @@ mod tests {
     #[test]
     fn progress_reports_every_chunk_and_reaches_total() {
         let seen = Mutex::new(Vec::new());
-        let out = run_trials_chunked(50, 8, |i| i, |done, total| {
-            seen.lock().unwrap().push((done, total));
-        });
+        let out = run_trials_chunked(
+            50,
+            8,
+            |i| i,
+            |done, total| {
+                seen.lock().unwrap().push((done, total));
+            },
+        );
         assert_eq!(out.len(), 50);
         let seen = seen.into_inner().unwrap();
         assert_eq!(seen.len(), 50usize.div_ceil(8), "one report per chunk");

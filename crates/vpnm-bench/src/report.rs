@@ -98,7 +98,11 @@ pub struct BenchRecord {
 }
 
 fn json_f64(v: f64) -> String {
-    if v.is_finite() { format!("{v:.3}") } else { "null".to_string() }
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
 }
 
 fn json_escape(s: &str) -> String {
@@ -127,8 +131,7 @@ fn json_escape(s: &str) -> String {
 pub fn bench_json(records: &[BenchRecord], summary: &[(&str, f64)]) -> String {
     let mut out = String::from("{\n  \"benchmarks\": [\n");
     for (i, r) in records.iter().enumerate() {
-        let per_second =
-            r.per_second.map_or("null".to_string(), json_f64);
+        let per_second = r.per_second.map_or("null".to_string(), json_f64);
         out.push_str(&format!(
             "    {{\"id\": \"{}\", \"ns_per_iter\": {}, \"per_second\": {}}}{}\n",
             json_escape(&r.id),

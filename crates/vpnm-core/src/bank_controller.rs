@@ -136,9 +136,7 @@ impl BankController {
                 let Some(row) = row else {
                     return Err(StallKind::DelayStorage);
                 };
-                self.queue
-                    .push(AccessEntry::Read { row })
-                    .expect("checked for space above");
+                self.queue.push(AccessEntry::Read { row }).expect("checked for space above");
                 Ok(Accepted::ReadQueued(row))
             }
             BankEvent::Write { addr, data } => {
@@ -347,8 +345,7 @@ mod tests {
         let mut d = dram();
         d.poke(1, 7, vec![0x11]);
 
-        let Accepted::ReadQueued(row) =
-            h.bc.submit(BankEvent::Read { addr: LineAddr(7) }).unwrap()
+        let Accepted::ReadQueued(row) = h.bc.submit(BankEvent::Read { addr: LineAddr(7) }).unwrap()
         else {
             panic!()
         };
@@ -413,8 +410,7 @@ mod tests {
 
         h.bc.submit(BankEvent::Write { addr: LineAddr(3), data: vec![0x02].into() }).unwrap();
         h.advance(None);
-        let Accepted::ReadQueued(row) =
-            h.bc.submit(BankEvent::Read { addr: LineAddr(3) }).unwrap()
+        let Accepted::ReadQueued(row) = h.bc.submit(BankEvent::Read { addr: LineAddr(3) }).unwrap()
         else {
             panic!("read after write must not merge with stale data")
         };
@@ -439,8 +435,7 @@ mod tests {
         let mut d = dram();
         d.poke(1, 9, vec![0xAA]);
 
-        let Accepted::ReadQueued(row) =
-            h.bc.submit(BankEvent::Read { addr: LineAddr(9) }).unwrap()
+        let Accepted::ReadQueued(row) = h.bc.submit(BankEvent::Read { addr: LineAddr(9) }).unwrap()
         else {
             panic!()
         };
@@ -485,8 +480,7 @@ mod tests {
     #[test]
     fn deadline_miss_reports_none_data() {
         let mut h = Harness::new(BankController::new(0, 2, 2, 1), 2); // absurdly small D
-        let Accepted::ReadQueued(row) =
-            h.bc.submit(BankEvent::Read { addr: LineAddr(1) }).unwrap()
+        let Accepted::ReadQueued(row) = h.bc.submit(BankEvent::Read { addr: LineAddr(1) }).unwrap()
         else {
             panic!()
         };
@@ -504,10 +498,10 @@ mod tests {
             bc.submit(BankEvent::Read { addr: LineAddr(1) }),
             Ok(Accepted::ReadQueued(_))
         ));
-        assert!(matches!(
-            bc.submit(BankEvent::Read { addr: LineAddr(1) }),
-            Ok(Accepted::ReadQueued(_)),
-        ), "same address must NOT merge when disabled");
+        assert!(
+            matches!(bc.submit(BankEvent::Read { addr: LineAddr(1) }), Ok(Accepted::ReadQueued(_)),),
+            "same address must NOT merge when disabled"
+        );
         // Q = 2 exhausted by the duplicate
         assert_eq!(
             bc.submit(BankEvent::Read { addr: LineAddr(1) }).unwrap_err(),

@@ -98,11 +98,7 @@ impl VpnmConfig {
     /// A mid-size design point (Table 2: `Q = 24`, `K = 48`, area
     /// 13.6 mm², MTS 5.1e5).
     pub fn paper_compact() -> Self {
-        VpnmConfig {
-            queue_entries: 24,
-            storage_rows: 48,
-            ..VpnmConfig::paper_optimal()
-        }
+        VpnmConfig { queue_entries: 24, storage_rows: 48, ..VpnmConfig::paper_optimal() }
     }
 
     /// A deliberately small configuration whose stalls are frequent enough
@@ -222,11 +218,7 @@ impl VpnmConfig {
     /// the bank request queue size (Q)" with `D ∝ Q`.
     pub fn recommended_delay(&self) -> u64 {
         let b = u64::from(self.banks);
-        let step = if self.bank_latency <= b {
-            b
-        } else {
-            self.bank_latency.div_ceil(b) * b
-        };
+        let step = if self.bank_latency <= b { b } else { self.bank_latency.div_ceil(b) * b };
         let mem_cycles = (self.queue_entries as u64 + 1) * step + b;
         let interface_cycles = (mem_cycles as f64 / self.bus_ratio).ceil() as u64;
         interface_cycles + self.hash.latency_cycles(self.addr_bits) + 2

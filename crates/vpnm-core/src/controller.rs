@@ -193,8 +193,7 @@ impl VpnmController {
     pub fn new(config: VpnmConfig, seed: u64) -> Result<Self, String> {
         config.validate()?;
         let delay = config.effective_delay();
-        let hash =
-            HashEngine::from_seed(config.hash, config.addr_bits, config.bank_bits(), seed);
+        let hash = HashEngine::from_seed(config.hash, config.addr_bits, config.bank_bits(), seed);
         let cells_per_row = 64u64;
         let total_cells = 1u64 << config.addr_bits;
         let dram_config = DramConfig {
@@ -301,7 +300,13 @@ impl VpnmController {
     /// Freezes the current aggregate metrics into a serializable
     /// [`MetricsSnapshot`].
     pub fn snapshot(&self) -> MetricsSnapshot {
-        MetricsSnapshot::capture(&self.config, self.delay, self.now(), self.cycles_skipped, &self.metrics)
+        MetricsSnapshot::capture(
+            &self.config,
+            self.delay,
+            self.now(),
+            self.cycles_skipped,
+            &self.metrics,
+        )
     }
 
     /// Advances exactly one interface cycle, optionally presenting one
@@ -341,8 +346,8 @@ impl VpnmController {
         loop {
             if self.ready.is_empty() {
                 let skipped = self.clock.advance_to_interface();
-                self.rr_next = ((u64::from(self.rr_next) + skipped)
-                    & u64::from(self.config.banks - 1)) as u32;
+                self.rr_next =
+                    ((u64::from(self.rr_next) + skipped) & u64::from(self.config.banks - 1)) as u32;
                 break;
             }
             let mt = self.clock.tick_memory();
@@ -416,11 +421,7 @@ impl VpnmController {
                         self.metrics.note_outstanding(self.outstanding as u64);
                         read_row = Some((bank as u32, row));
                         self.trace.record(now, id, TraceKind::Merged);
-                        self.forensics.record(
-                            now,
-                            bank as u32,
-                            ForensicKind::Merged { addr, row },
-                        );
+                        self.forensics.record(now, bank as u32, ForensicKind::Merged { addr, row });
                     }
                     Ok(Accepted::WriteBuffered) => {
                         self.metrics.writes_accepted += 1;
@@ -575,9 +576,7 @@ impl VpnmController {
         // would be the single most expensive instruction in the loop.
         self.rr_next = (self.rr_next + 1) & (self.config.banks - 1);
         match self.config.scheduler {
-            SchedulerKind::RoundRobin => {
-                self.ready.contains(rr).then_some(rr as usize)
-            }
+            SchedulerKind::RoundRobin => self.ready.contains(rr).then_some(rr as usize),
             SchedulerKind::WorkConserving => {
                 // The round-robin owner keeps its slot whenever it has
                 // useful work (preserving the per-bank service guarantee
@@ -810,8 +809,8 @@ impl VpnmController {
                         self.banks[b as usize].prefetch_row(row);
                     }
                 }
-                let out = self
-                    .step(Some(Request::Read { addr: LineAddr(chunk[k]) }), banks[k] as usize);
+                let out =
+                    self.step(Some(Request::Read { addr: LineAddr(chunk[k]) }), banks[k] as usize);
                 if let Some(r) = out.response {
                     counts.responses += 1;
                     on_response(r);
@@ -857,8 +856,7 @@ impl VpnmController {
         debug_assert!(self.ready.is_empty());
         // Occupied ring slots equal `outstanding` reads, so an empty
         // controller skips the whole gap without scanning.
-        let n =
-            if self.outstanding == 0 { gap } else { gap.min(self.next_due_distance()) };
+        let n = if self.outstanding == 0 { gap } else { gap.min(self.next_due_distance()) };
         if n > 0 {
             let m = self.clock.advance_interfaces(n);
             self.rr_next =
@@ -1363,8 +1361,8 @@ mod tests {
         let mut mem = small();
         // Under Block a retryable stall would loop; a rejection must
         // return immediately instead of spinning forever.
-        let (rs, ok) = mem
-            .submit_with_policy(Request::Read { addr: LineAddr(1 << 20) }, StallPolicy::Block);
+        let (rs, ok) =
+            mem.submit_with_policy(Request::Read { addr: LineAddr(1 << 20) }, StallPolicy::Block);
         assert!(!ok);
         assert!(rs.is_empty());
     }
@@ -1658,10 +1656,8 @@ mod tests {
         // Regression pin for the scan → ready-index rewrite: a hand-built
         // queue state with a depth tie must grant exactly as the original
         // rotated `max_by_key` scan did (last maximal candidate wins).
-        let cfg = VpnmConfig {
-            scheduler: SchedulerKind::WorkConserving,
-            ..VpnmConfig::small_test()
-        };
+        let cfg =
+            VpnmConfig { scheduler: SchedulerKind::WorkConserving, ..VpnmConfig::small_test() };
         let mut mem = VpnmController::new(cfg, 1).unwrap();
         let banks = mem.config.banks as usize;
         assert!(banks >= 4);

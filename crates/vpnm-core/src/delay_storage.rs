@@ -101,11 +101,8 @@ struct CamIndex {
 impl CamIndex {
     fn new(k: usize) -> Self {
         let cap = (2 * k).next_power_of_two().max(8);
-        let empty = CamSlot {
-            addr: LineAddr(0),
-            entry: CamEntry { row: 0, valid_rows: 0 },
-            used: false,
-        };
+        let empty =
+            CamSlot { addr: LineAddr(0), entry: CamEntry { row: 0, valid_rows: 0 }, used: false };
         CamIndex { slots: vec![empty; cap], mask: cap - 1 }
     }
 

@@ -1,0 +1,556 @@
+//! Multi-channel composition: several independent VPNM controllers
+//! behind one flat deterministic-latency interface.
+//!
+//! A line card that outgrows one controller's bandwidth adds *channels*,
+//! not ports: [`VpnmFabric`] stripes a single request stream over `C`
+//! independent [`PipelinedMemory`] engines, each owning a private
+//! `1/C`-slice of the address space. The channel for an address is chosen
+//! by a bijective [`ChannelSelector`] stage (low bits, high bits, or a
+//! keyed invertible permutation — the paper's universal-hash argument,
+//! Section 3.2, lifted from banks to channels), and the *local* address
+//! the channel sees is the remainder of the split, so every fabric line
+//! maps to exactly one physical cell.
+//!
+//! The fabric preserves the VPNM contract end to end: all channels share
+//! one pinned delay `D`, tick in lockstep, and a read accepted at fabric
+//! cycle `t` is answered at exactly `t + D` — whichever channel served
+//! it. Because the interface accepts at most one request per cycle and
+//! every channel answers after the same `D`, at most one response is due
+//! per fabric cycle; the fabric re-translates its local address back to
+//! the fabric address before delivery.
+//!
+//! With `channels == 1` the selector is the identity and the fabric is a
+//! transparent wrapper: it reproduces the bare controller cycle-for-cycle
+//! and its merged snapshot serializes to the same bytes.
+//!
+//! Observability composes via [`MetricsSnapshot::merge`]: per-channel
+//! snapshots fold into one fabric-level snapshot (counters add,
+//! histograms merge, per-bank high-water marks concatenate in channel
+//! order) plus the fabric's own malformed-request accounting — requests
+//! are range-checked against the *fabric* address space before routing,
+//! since a bit-select stage would otherwise silently alias out-of-range
+//! addresses into a valid channel.
+
+use crate::config::VpnmConfig;
+use crate::memory::PipelinedMemory;
+use crate::metrics::ControllerMetrics;
+use crate::request::{LineAddr, Request, Response, StallKind, TickOutput};
+use crate::snapshot::MetricsSnapshot;
+use vpnm_sim::Cycle;
+
+pub use vpnm_hash::{ChannelSelect, ChannelSelector};
+
+/// Geometry of a multi-channel fabric: how many channels, how addresses
+/// pick one, and the per-channel controller configuration template.
+#[derive(Debug, Clone)]
+pub struct FabricConfig {
+    /// Number of independent channels (a power of two in `1..=256`).
+    pub channels: u32,
+    /// How a fabric address selects its channel.
+    pub select: ChannelSelect,
+    /// Template for every channel. `base.addr_bits` is the **fabric**
+    /// address width; each channel is built from this config with
+    /// `log2(channels)` fewer address bits and the common delay pinned
+    /// (see [`FabricConfig::channel_config`]).
+    pub base: VpnmConfig,
+}
+
+impl FabricConfig {
+    /// A single-channel fabric — a transparent wrapper around `base`.
+    pub fn single(base: VpnmConfig) -> Self {
+        FabricConfig { channels: 1, select: ChannelSelect::LowBits, base }
+    }
+
+    /// `log2(channels)`.
+    pub fn channel_bits(&self) -> u32 {
+        self.channels.trailing_zeros()
+    }
+
+    /// The common deterministic delay `D` every channel is pinned to:
+    /// the base config's effective delay (computed at the full fabric
+    /// address width, which upper-bounds every channel's own safe
+    /// minimum since the hash stage only narrows).
+    pub fn fabric_delay(&self) -> u64 {
+        self.base.effective_delay()
+    }
+
+    /// The per-channel controller configuration: `base` with the channel
+    /// bits carved off `addr_bits` and `delay_override` pinned to
+    /// [`FabricConfig::fabric_delay`] so all channels agree on `D` even
+    /// though their narrower hash stages would recommend less. A
+    /// single-channel fabric uses `base` verbatim.
+    pub fn channel_config(&self) -> VpnmConfig {
+        let cbits = self.channel_bits();
+        if cbits == 0 {
+            return self.base.clone();
+        }
+        let mut cfg = self.base.clone();
+        cfg.addr_bits -= cbits;
+        cfg.delay_override = Some(self.fabric_delay());
+        cfg
+    }
+
+    /// Validates the fabric geometry, including that each channel's
+    /// reduced configuration is itself valid.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.channels == 0 || !self.channels.is_power_of_two() {
+            return Err(format!("channels must be a power of two, got {}", self.channels));
+        }
+        if self.channels > 256 {
+            return Err(format!("channels must be at most 256, got {}", self.channels));
+        }
+        if self.channel_bits() >= self.base.addr_bits {
+            return Err(format!(
+                "{} channels leave no address bits of the {}-bit fabric space for the channels \
+                 themselves",
+                self.channels, self.base.addr_bits
+            ));
+        }
+        self.channel_config().validate().map_err(|e| format!("per-channel config invalid: {e}"))
+    }
+}
+
+/// `C` lockstep [`PipelinedMemory`] channels behind one flat interface.
+///
+/// Generic over the engine so the same fabric composes the fast
+/// [`crate::VpnmController`] (the default), the
+/// [`crate::ReferenceController`], or any other implementation — the
+/// differential suite runs both and demands identical observable
+/// behavior. The fabric itself implements [`PipelinedMemory`], so every
+/// generic harness and app takes a fabric wherever it takes a controller.
+#[derive(Debug)]
+pub struct VpnmFabric<M: PipelinedMemory = crate::VpnmController> {
+    config: FabricConfig,
+    selector: ChannelSelector,
+    channels: Vec<M>,
+    delay: u64,
+    now: u64,
+    /// Fabric-level accounting: malformed requests are rejected *before*
+    /// routing (a bit select would alias them into a valid channel), so
+    /// their counts live here and fold into the merged snapshot.
+    fabric_metrics: ControllerMetrics,
+}
+
+/// Per-channel seed derivation: channel 0 keeps the fabric seed verbatim
+/// (so a one-channel fabric is bit-exact with a bare controller built
+/// from the same seed) and later channels decorrelate via a golden-ratio
+/// stride.
+fn channel_seed(seed: u64, channel: u32) -> u64 {
+    seed ^ u64::from(channel).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+impl<M: PipelinedMemory> VpnmFabric<M> {
+    /// Builds a fabric whose channels come from `build(channel_index,
+    /// channel_config)` — the generic constructor behind
+    /// [`VpnmFabric::new`] and [`VpnmFabric::new_reference`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation failure for a bad [`FabricConfig`], or the
+    /// first channel construction failure.
+    pub fn with_engines(
+        config: FabricConfig,
+        seed: u64,
+        mut build: impl FnMut(u32, VpnmConfig, u64) -> Result<M, String>,
+    ) -> Result<Self, String> {
+        config.validate()?;
+        let selector = ChannelSelector::new(
+            config.select,
+            config.base.addr_bits,
+            config.channel_bits(),
+            seed,
+        )?;
+        let channel_config = config.channel_config();
+        let channels = (0..config.channels)
+            .map(|c| build(c, channel_config.clone(), channel_seed(seed, c)))
+            .collect::<Result<Vec<M>, String>>()?;
+        let delay = config.fabric_delay();
+        Ok(VpnmFabric {
+            config,
+            selector,
+            channels,
+            delay,
+            now: 0,
+            fabric_metrics: ControllerMetrics::new(),
+        })
+    }
+
+    /// The fabric geometry.
+    pub fn config(&self) -> &FabricConfig {
+        &self.config
+    }
+
+    /// The channel-select stage.
+    pub fn selector(&self) -> &ChannelSelector {
+        &self.selector
+    }
+
+    /// Number of channels.
+    pub fn num_channels(&self) -> u32 {
+        self.config.channels
+    }
+
+    /// The engine serving `channel`.
+    pub fn channel(&self, channel: u32) -> &M {
+        &self.channels[channel as usize]
+    }
+
+    /// The common deterministic latency `D` in interface cycles.
+    pub fn delay(&self) -> u64 {
+        self.delay
+    }
+
+    /// Current fabric interface cycle (identical to every channel's —
+    /// they tick in lockstep).
+    pub fn now(&self) -> Cycle {
+        Cycle::new(self.now)
+    }
+
+    /// Reads in flight across all channels.
+    pub fn outstanding(&self) -> usize {
+        self.channels.iter().map(|c| c.outstanding()).sum()
+    }
+
+    /// Malformed requests the fabric rejected before routing.
+    pub fn fabric_rejections(&self) -> u64 {
+        self.fabric_metrics.malformed_rejections
+    }
+
+    /// Range/size check against the *fabric* address space, mirroring the
+    /// controllers' own `validate`: debug builds assert (a malformed
+    /// request is a harness bug), release builds reject and count.
+    fn validate(&self, req: &Request) -> Option<StallKind> {
+        let addr = req.addr();
+        let addr_bits = self.config.base.addr_bits;
+        debug_assert!(
+            addr.0 < (1u64 << addr_bits),
+            "address {addr} outside the configured {addr_bits}-bit fabric space",
+        );
+        if addr.0 >= (1u64 << addr_bits) {
+            return Some(StallKind::AddressRange);
+        }
+        if let Request::Write { data, .. } = req {
+            debug_assert!(
+                data.len() <= self.config.base.cell_bytes,
+                "write of {} bytes exceeds cell size {}",
+                data.len(),
+                self.config.base.cell_bytes
+            );
+            if data.len() > self.config.base.cell_bytes {
+                return Some(StallKind::OversizedWrite);
+            }
+        }
+        None
+    }
+
+    /// Advances all channels one lockstep interface cycle, routing
+    /// `request` to its channel under the local address, and translating
+    /// the (at most one) due response back to the fabric address space.
+    pub fn tick(&mut self, request: Option<Request>) -> TickOutput {
+        let mut target: Option<(usize, Request)> = None;
+        let mut stall = None;
+        if let Some(req) = request {
+            if let Some(kind) = self.validate(&req) {
+                stall = Some(kind);
+            } else {
+                let (ch, local) = self.selector.route(req.addr().0);
+                let local_req = match req {
+                    Request::Read { .. } => Request::Read { addr: LineAddr(local) },
+                    Request::Write { data, .. } => Request::Write { addr: LineAddr(local), data },
+                };
+                target = Some((ch as usize, local_req));
+            }
+        }
+
+        let mut response: Option<Response> = None;
+        for (ch, engine) in self.channels.iter_mut().enumerate() {
+            let req = match &target {
+                Some((t, _)) if *t == ch => target.take().map(|(_, r)| r),
+                _ => None,
+            };
+            let out = engine.tick(req);
+            stall = stall.or(out.stall);
+            if let Some(mut resp) = out.response {
+                debug_assert!(
+                    response.is_none(),
+                    "two channels answered in one fabric cycle — delays disagree"
+                );
+                resp.addr = LineAddr(self.selector.unroute(ch as u32, resp.addr.0));
+                response = Some(resp);
+            }
+        }
+        self.now += 1;
+        if let Some(kind) = stall {
+            if kind.is_rejection() {
+                // Channel-level stalls were already recorded by the
+                // channel's own metrics; only fabric-level rejections
+                // (malformed requests never routed) are accounted here.
+                self.fabric_metrics.record_stall(kind, Cycle::new(self.now));
+            }
+        }
+        TickOutput { response, stall }
+    }
+
+    /// Merges the per-channel snapshots (plus the fabric's own rejection
+    /// accounting) into one fabric-level [`MetricsSnapshot`] — `None` when
+    /// the engine type keeps no metrics.
+    pub fn merged_snapshot(&self) -> Option<MetricsSnapshot> {
+        let parts: Option<Vec<MetricsSnapshot>> =
+            self.channels.iter().map(|c| c.snapshot()).collect();
+        let merged = MetricsSnapshot::merge(&parts?);
+        debug_assert!(merged.is_ok(), "lockstep channels cannot disagree: {merged:?}");
+        let mut merged = merged.ok()?;
+        merged.metrics.merge_from(&self.fabric_metrics);
+        Some(merged)
+    }
+}
+
+impl VpnmFabric<crate::VpnmController> {
+    /// Builds a fabric of fast [`crate::VpnmController`] channels, keying
+    /// channel `i`'s universal hash from a per-channel seed derived from
+    /// `seed` (channel 0 uses `seed` itself).
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation failure message for an inconsistent config.
+    pub fn new(config: FabricConfig, seed: u64) -> Result<Self, String> {
+        VpnmFabric::with_engines(config, seed, |_, cfg, s| crate::VpnmController::new(cfg, s))
+    }
+
+    /// Aggregate statistics of all per-channel DRAM devices.
+    pub fn merged_dram_stats(&self) -> vpnm_dram::DramStats {
+        let mut stats = vpnm_dram::DramStats::default();
+        for ch in &self.channels {
+            stats.merge_from(ch.dram_stats());
+        }
+        stats
+    }
+}
+
+impl VpnmFabric<crate::ReferenceController> {
+    /// Builds a fabric of [`crate::ReferenceController`] channels — the
+    /// seed-formulation twin of [`VpnmFabric::new`], for differential
+    /// testing at the fabric level.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation failure message for an inconsistent config.
+    pub fn new_reference(config: FabricConfig, seed: u64) -> Result<Self, String> {
+        VpnmFabric::with_engines(config, seed, |_, cfg, s| crate::ReferenceController::new(cfg, s))
+    }
+
+    /// Aggregate statistics of all per-channel DRAM devices.
+    pub fn merged_dram_stats(&self) -> vpnm_dram::DramStats {
+        let mut stats = vpnm_dram::DramStats::default();
+        for ch in &self.channels {
+            stats.merge_from(ch.dram_stats());
+        }
+        stats
+    }
+}
+
+impl<M: PipelinedMemory> PipelinedMemory for VpnmFabric<M> {
+    fn delay(&self) -> u64 {
+        VpnmFabric::delay(self)
+    }
+
+    fn tick(&mut self, request: Option<Request>) -> TickOutput {
+        VpnmFabric::tick(self, request)
+    }
+
+    fn outstanding(&self) -> usize {
+        VpnmFabric::outstanding(self)
+    }
+
+    fn now(&self) -> Cycle {
+        VpnmFabric::now(self)
+    }
+
+    fn snapshot(&self) -> Option<MetricsSnapshot> {
+        VpnmFabric::merged_snapshot(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{IdealMemory, VpnmController};
+
+    fn fabric_config(channels: u32, select: ChannelSelect) -> FabricConfig {
+        FabricConfig { channels, select, base: VpnmConfig::small_test() }
+    }
+
+    #[test]
+    fn validates_geometry() {
+        assert!(fabric_config(1, ChannelSelect::LowBits).validate().is_ok());
+        assert!(fabric_config(4, ChannelSelect::UniversalHash).validate().is_ok());
+        assert!(fabric_config(0, ChannelSelect::LowBits).validate().is_err());
+        assert!(fabric_config(3, ChannelSelect::LowBits).validate().is_err());
+        assert!(fabric_config(512, ChannelSelect::LowBits).validate().is_err());
+        // 256 channels on an 8-bit fabric space leave no local bits.
+        let mut tight = fabric_config(256, ChannelSelect::LowBits);
+        tight.base.addr_bits = 8;
+        assert!(tight.validate().is_err());
+        // 128 channels on 10 bits leave 3 — under the 4-bit config floor,
+        // caught by validating the per-channel config.
+        let mut shallow = fabric_config(128, ChannelSelect::LowBits);
+        shallow.base.addr_bits = 10;
+        let err = shallow.validate().unwrap_err();
+        assert!(err.contains("per-channel config invalid"), "{err}");
+        shallow.base.addr_bits = 16;
+        assert!(shallow.validate().is_ok());
+    }
+
+    #[test]
+    fn channel_config_carves_bits_and_pins_delay() {
+        let fc = fabric_config(4, ChannelSelect::LowBits);
+        let cc = fc.channel_config();
+        assert_eq!(cc.addr_bits, fc.base.addr_bits - 2);
+        assert_eq!(cc.delay_override, Some(fc.base.effective_delay()));
+        assert!(cc.validate().is_ok());
+        // Single channel: base verbatim.
+        let fc1 = fabric_config(1, ChannelSelect::LowBits);
+        assert_eq!(fc1.channel_config().delay_override, fc1.base.delay_override);
+    }
+
+    #[test]
+    fn deterministic_latency_across_channels() {
+        for select in
+            [ChannelSelect::LowBits, ChannelSelect::HighBits, ChannelSelect::UniversalHash]
+        {
+            let mut fab = VpnmFabric::new(fabric_config(4, select), 0xC0FFEE).unwrap();
+            let d = PipelinedMemory::delay(&fab);
+            let mut accepted = 0u64;
+            let mut responses = Vec::new();
+            for a in 0..64u64 {
+                let addr = LineAddr(a * 37 % (1 << 12));
+                let out = fab.issue_read(addr);
+                // A stall (possible when a bit select funnels a run of
+                // requests into one channel) drops the request; whatever
+                // IS accepted must come back after exactly D.
+                accepted += u64::from(out.accepted());
+                responses.extend(out.response);
+            }
+            responses.extend(PipelinedMemory::drain(&mut fab));
+            assert_eq!(fab.outstanding(), 0, "{select}");
+            assert_eq!(responses.len() as u64, accepted, "{select}");
+            assert!(accepted > 32, "{select}: most of the stream should land");
+            for r in &responses {
+                assert_eq!(r.latency(), d, "{select}: latency must be exactly D");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_ideal_memory_under_mixed_traffic() {
+        let mut fab = VpnmFabric::new(fabric_config(4, ChannelSelect::UniversalHash), 7).unwrap();
+        let mut ideal =
+            IdealMemory::new(PipelinedMemory::delay(&fab), fab.config().base.cell_bytes);
+        let mut fab_responses = Vec::new();
+        let mut ideal_responses = Vec::new();
+        let mut x = 0x1234_5678u64;
+        for i in 0..2000u64 {
+            // splitmix-style scramble for a deterministic mixed stream
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let addr = LineAddr(x >> 52);
+            let req = if i % 3 == 0 {
+                Request::write(addr, (x as u32).to_le_bytes().to_vec())
+            } else {
+                Request::Read { addr }
+            };
+            fab_responses.extend(fab.tick(Some(req.clone())).response);
+            ideal_responses.extend(ideal.tick(Some(req)).response);
+        }
+        fab_responses.extend(PipelinedMemory::drain(&mut fab));
+        ideal_responses.extend(PipelinedMemory::drain(&mut ideal));
+        assert_eq!(fab_responses.len(), ideal_responses.len());
+        for (f, i) in fab_responses.iter().zip(&ideal_responses) {
+            assert_eq!(
+                (f.addr, &f.data, f.issued_at, f.completed_at),
+                (i.addr, &i.data, i.issued_at, i.completed_at)
+            );
+        }
+    }
+
+    #[test]
+    fn single_channel_fabric_matches_bare_controller_byte_for_byte() {
+        let base = VpnmConfig::small_test();
+        let seed = 0xC0FFEE;
+        let mut bare = VpnmController::new(base.clone(), seed).unwrap();
+        let mut fab = VpnmFabric::new(FabricConfig::single(base), seed).unwrap();
+        for i in 0..500u64 {
+            let req = match i % 4 {
+                0 => Some(Request::write(LineAddr(i % 64), vec![i as u8; 4])),
+                1 | 2 => Some(Request::Read { addr: LineAddr(i % 64) }),
+                _ => None,
+            };
+            let a = bare.tick(req.clone());
+            let b = VpnmFabric::tick(&mut fab, req);
+            assert_eq!(a, b, "tick {i}");
+        }
+        assert_eq!(
+            bare.snapshot().to_json(),
+            fab.merged_snapshot().unwrap().to_json(),
+            "one-channel fabric snapshot must serialize identically"
+        );
+    }
+
+    #[test]
+    fn merged_snapshot_spans_channels() {
+        let mut fab = VpnmFabric::new(fabric_config(4, ChannelSelect::LowBits), 9).unwrap();
+        for a in 0..32u64 {
+            VpnmFabric::tick(&mut fab, Some(Request::Read { addr: LineAddr(a) }));
+        }
+        PipelinedMemory::drain(&mut fab);
+
+        let snap = fab.merged_snapshot().unwrap();
+        assert_eq!(snap.channels, 4);
+        assert_eq!(snap.metrics.reads_accepted, 32);
+        assert_eq!(snap.metrics.responses, 32);
+        let banks = fab.config().base.banks as usize;
+        assert_eq!(snap.metrics.bank_queue_hwm.len(), 4 * banks);
+        assert!(snap.to_json().contains("\"channels\": 4"));
+    }
+
+    #[test]
+    fn reference_fabric_agrees_with_fast_fabric() {
+        let cfg = fabric_config(2, ChannelSelect::UniversalHash);
+        let mut fast = VpnmFabric::new(cfg.clone(), 42).unwrap();
+        let mut reference = VpnmFabric::new_reference(cfg, 42).unwrap();
+        for i in 0..300u64 {
+            let req = (i % 3 != 2).then(|| {
+                if i % 5 == 0 {
+                    Request::write(LineAddr(i % 128), vec![1, 2, 3])
+                } else {
+                    Request::Read { addr: LineAddr((i * 13) % 128) }
+                }
+            });
+            let a = VpnmFabric::tick(&mut fast, req.clone());
+            let b = VpnmFabric::tick(&mut reference, req);
+            assert_eq!(a, b, "tick {i}");
+        }
+        assert_eq!(
+            fast.merged_snapshot().unwrap().to_json(),
+            reference.merged_snapshot().unwrap().to_json()
+        );
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn malformed_requests_are_rejected_at_the_fabric() {
+        let mut fab = VpnmFabric::new(fabric_config(2, ChannelSelect::LowBits), 1).unwrap();
+        let cell = fab.config().base.cell_bytes;
+        let out = VpnmFabric::tick(&mut fab, Some(Request::write(LineAddr(0), vec![0; cell + 1])));
+        assert_eq!(out.stall, Some(StallKind::OversizedWrite));
+        // One past the top of the fabric address space: rejected before routing.
+        let oob = 1u64 << fab.config().base.addr_bits;
+        let out = VpnmFabric::tick(&mut fab, Some(Request::Read { addr: LineAddr(oob) }));
+        assert_eq!(out.stall, Some(StallKind::AddressRange));
+        assert_eq!(fab.fabric_rejections(), 2);
+        assert_eq!(fab.merged_snapshot().unwrap().metrics.malformed_rejections, 2);
+    }
+}

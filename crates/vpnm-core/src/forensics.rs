@@ -235,9 +235,8 @@ impl ForensicRing {
     /// Returns `None` when no stall event is retained.
     pub fn stall_report(&self) -> Option<String> {
         let events = self.events();
-        let stall_idx = events
-            .iter()
-            .rposition(|e| matches!(e.kind, ForensicKind::Stalled { .. }))?;
+        let stall_idx =
+            events.iter().rposition(|e| matches!(e.kind, ForensicKind::Stalled { .. }))?;
         let stall = &events[stall_idx];
         let mut out = String::new();
         if let ForensicKind::Stalled { kind, storage_live, queue_depth, .. } = stall.kind {

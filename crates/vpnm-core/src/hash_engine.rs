@@ -5,7 +5,9 @@
 //! generic/dynamic dispatch in its hot path.
 
 use std::fmt;
-use vpnm_hash::{AffinePermutation, BankHasher, H3Hash, LowBitsHash, MultiplyShiftHash, TabulationHash};
+use vpnm_hash::{
+    AffinePermutation, BankHasher, H3Hash, LowBitsHash, MultiplyShiftHash, TabulationHash,
+};
 
 /// Which universal hash family the controller uses for its bank mapping.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

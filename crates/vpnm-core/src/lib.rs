@@ -40,7 +40,11 @@
 //!
 //! The [`memory::PipelinedMemory`] trait captures the programming model;
 //! [`memory::IdealMemory`] is a perfect-reference implementation used as a
-//! differential-testing oracle throughout the workspace.
+//! differential-testing oracle throughout the workspace. Both engines
+//! ([`VpnmController`] and the seed-faithful [`ReferenceController`])
+//! implement the trait in full, and [`fabric::VpnmFabric`] composes `N`
+//! independent channels of either engine behind the same flat
+//! deterministic-latency interface (see `DESIGN.md`, "Fabric layer").
 
 #![warn(missing_docs)]
 
@@ -50,6 +54,7 @@ pub mod config;
 pub mod controller;
 pub mod delay_line;
 pub mod delay_storage;
+pub mod fabric;
 pub mod forensics;
 pub mod hash_engine;
 pub mod memory;
@@ -62,10 +67,11 @@ pub mod write_buffer;
 
 pub use config::{SchedulerKind, VpnmConfig};
 pub use controller::{RunCounts, RunReport, StallPolicy, VpnmController};
+pub use fabric::{ChannelSelect, ChannelSelector, FabricConfig, VpnmFabric};
 pub use forensics::{ForensicEvent, ForensicKind, ForensicRing};
-pub use reference::ReferenceController;
 pub use hash_engine::{HashEngine, HashKind};
 pub use memory::{IdealMemory, PipelinedMemory};
 pub use metrics::ControllerMetrics;
+pub use reference::ReferenceController;
 pub use request::{LineAddr, Request, Response, StallKind, TickOutput};
 pub use snapshot::{MetricsSnapshot, SNAPSHOT_SCHEMA_VERSION};

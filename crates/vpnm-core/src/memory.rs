@@ -9,13 +9,24 @@
 //! [`crate::VpnmController`] accepts the same request stream without
 //! stalls, its responses must be byte-identical to `IdealMemory`'s.
 
+use crate::metrics::ControllerMetrics;
 use crate::request::{LineAddr, Request, Response, TickOutput};
+use crate::snapshot::MetricsSnapshot;
 use bytes::Bytes;
 use std::collections::{HashMap, VecDeque};
 use vpnm_sim::Cycle;
 
 /// A memory with the VPNM timing abstraction: one request per interface
 /// cycle in, read responses exactly `delay()` cycles later.
+///
+/// The first four methods are the required core; the rest is the widened
+/// request-lifecycle surface (issue helpers, drain, metrics/snapshot/stall
+/// observability) with object-safe defaults, so simple models like
+/// [`IdealMemory`] implement only the core while both real engines
+/// ([`crate::VpnmController`], [`crate::ReferenceController`]) and the
+/// multi-channel [`crate::VpnmFabric`] override the full surface.
+/// Differential harnesses, bins and apps can therefore drive any engine —
+/// or a fabric of engines — through one generic interface.
 pub trait PipelinedMemory {
     /// The deterministic read latency `D` in interface cycles.
     fn delay(&self) -> u64;
@@ -28,6 +39,91 @@ pub trait PipelinedMemory {
 
     /// Current interface cycle.
     fn now(&self) -> Cycle;
+
+    /// Issues a read this cycle: `tick(Some(Request::Read { addr }))`.
+    fn issue_read(&mut self, addr: LineAddr) -> TickOutput {
+        self.tick(Some(Request::Read { addr }))
+    }
+
+    /// Issues a write this cycle: `tick(Some(Request::Write { .. }))`.
+    fn issue_write(&mut self, addr: LineAddr, data: Bytes) -> TickOutput {
+        self.tick(Some(Request::Write { addr, data }))
+    }
+
+    /// Ticks with no new requests until every outstanding read has been
+    /// answered, returning the responses in delivery order.
+    ///
+    /// The default drives [`PipelinedMemory::tick`] under the same budget
+    /// the engines use inherently (`(outstanding + 1) * D + D` cycles — a
+    /// correct implementation answers everything within `D`; the slack
+    /// guards against a broken one looping forever). Engines with a faster
+    /// inherent drain (idle fast-forward) override this.
+    fn drain(&mut self) -> Vec<Response> {
+        let mut out = Vec::new();
+        let budget = (self.outstanding() as u64 + 1) * self.delay() + self.delay();
+        for _ in 0..budget {
+            if self.outstanding() == 0 {
+                break;
+            }
+            out.extend(self.tick(None).response);
+        }
+        out
+    }
+
+    /// The aggregate metrics, for engines that keep them. `None` for
+    /// models without an accounting layer ([`IdealMemory`]) and for
+    /// composites whose metrics only exist in merged snapshot form
+    /// ([`crate::VpnmFabric`]).
+    fn metrics(&self) -> Option<&ControllerMetrics> {
+        None
+    }
+
+    /// A point-in-time [`MetricsSnapshot`], for engines that keep
+    /// metrics; composites return their merged fabric-level snapshot.
+    fn snapshot(&self) -> Option<MetricsSnapshot> {
+        None
+    }
+
+    /// Total stalls recorded so far — the flat stall surface used by
+    /// MTS-style harnesses. Zero for models that cannot stall.
+    fn total_stalls(&self) -> u64 {
+        self.snapshot().map_or(0, |s| s.metrics.total_stalls())
+    }
+}
+
+/// Boxed engines forward everything, so `Box<dyn PipelinedMemory>` (and
+/// boxed concrete engines) slot into generic harnesses unchanged.
+impl<M: PipelinedMemory + ?Sized> PipelinedMemory for Box<M> {
+    fn delay(&self) -> u64 {
+        (**self).delay()
+    }
+    fn tick(&mut self, request: Option<Request>) -> TickOutput {
+        (**self).tick(request)
+    }
+    fn outstanding(&self) -> usize {
+        (**self).outstanding()
+    }
+    fn now(&self) -> Cycle {
+        (**self).now()
+    }
+    fn issue_read(&mut self, addr: LineAddr) -> TickOutput {
+        (**self).issue_read(addr)
+    }
+    fn issue_write(&mut self, addr: LineAddr, data: Bytes) -> TickOutput {
+        (**self).issue_write(addr, data)
+    }
+    fn drain(&mut self) -> Vec<Response> {
+        (**self).drain()
+    }
+    fn metrics(&self) -> Option<&ControllerMetrics> {
+        (**self).metrics()
+    }
+    fn snapshot(&self) -> Option<MetricsSnapshot> {
+        (**self).snapshot()
+    }
+    fn total_stalls(&self) -> u64 {
+        (**self).total_stalls()
+    }
 }
 
 impl PipelinedMemory for crate::VpnmController {
@@ -46,6 +142,57 @@ impl PipelinedMemory for crate::VpnmController {
 
     fn now(&self) -> Cycle {
         crate::VpnmController::now(self)
+    }
+
+    fn drain(&mut self) -> Vec<Response> {
+        // The inherent drain takes the idle fast-forward path.
+        crate::VpnmController::drain(self)
+    }
+
+    fn metrics(&self) -> Option<&ControllerMetrics> {
+        Some(crate::VpnmController::metrics(self))
+    }
+
+    fn snapshot(&self) -> Option<MetricsSnapshot> {
+        Some(crate::VpnmController::snapshot(self))
+    }
+
+    fn total_stalls(&self) -> u64 {
+        crate::VpnmController::metrics(self).total_stalls()
+    }
+}
+
+impl PipelinedMemory for crate::ReferenceController {
+    fn delay(&self) -> u64 {
+        crate::ReferenceController::delay(self)
+    }
+
+    fn tick(&mut self, request: Option<Request>) -> TickOutput {
+        crate::ReferenceController::tick(self, request)
+    }
+
+    fn outstanding(&self) -> usize {
+        crate::ReferenceController::outstanding(self)
+    }
+
+    fn now(&self) -> Cycle {
+        crate::ReferenceController::now(self)
+    }
+
+    fn drain(&mut self) -> Vec<Response> {
+        crate::ReferenceController::drain(self)
+    }
+
+    fn metrics(&self) -> Option<&ControllerMetrics> {
+        Some(crate::ReferenceController::metrics(self))
+    }
+
+    fn snapshot(&self) -> Option<MetricsSnapshot> {
+        Some(crate::ReferenceController::snapshot(self))
+    }
+
+    fn total_stalls(&self) -> u64 {
+        crate::ReferenceController::metrics(self).total_stalls()
     }
 }
 

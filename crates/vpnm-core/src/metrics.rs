@@ -176,6 +176,42 @@ impl ControllerMetrics {
         }
     }
 
+    /// Folds `other` into `self` — the fabric-level metrics merge.
+    ///
+    /// Scalar counters add, `first_stall_at` takes the earliest,
+    /// histograms merge exactly ([`Histogram::merge`]), and the per-bank
+    /// high-water-mark vectors *concatenate* in merge order, so a
+    /// `C`-channel fabric reports `C x B` per-bank entries grouped by
+    /// channel. `outstanding_hwm` adds, which makes the merged value an
+    /// upper bound on the fabric-level peak (per-channel peaks need not
+    /// coincide in time); it is exact for a single channel.
+    ///
+    /// Merging a freshly constructed `ControllerMetrics::new()` into
+    /// anything (or vice versa) is the identity on every scalar, so a
+    /// one-channel merge reproduces the input bit-for-bit (modulo the
+    /// concatenated per-bank vectors, which are then identical anyway).
+    pub fn merge_from(&mut self, other: &ControllerMetrics) {
+        self.reads_accepted += other.reads_accepted;
+        self.reads_merged += other.reads_merged;
+        self.writes_accepted += other.writes_accepted;
+        self.responses += other.responses;
+        self.delay_storage_stalls += other.delay_storage_stalls;
+        self.access_queue_stalls += other.access_queue_stalls;
+        self.write_buffer_stalls += other.write_buffer_stalls;
+        self.malformed_rejections += other.malformed_rejections;
+        self.deadline_misses += other.deadline_misses;
+        self.first_stall_at = match (self.first_stall_at, other.first_stall_at) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.queue_depth_hist.merge(&other.queue_depth_hist);
+        self.storage_occupancy_hist.merge(&other.storage_occupancy_hist);
+        self.bank_queue_hwm.extend_from_slice(&other.bank_queue_hwm);
+        self.bank_storage_hwm.extend_from_slice(&other.bank_storage_hwm);
+        self.bank_write_hwm.extend_from_slice(&other.bank_write_hwm);
+        self.outstanding_hwm += other.outstanding_hwm;
+    }
+
     /// Total stalls of all kinds.
     pub fn total_stalls(&self) -> u64 {
         self.delay_storage_stalls + self.access_queue_stalls + self.write_buffer_stalls
@@ -368,6 +404,44 @@ mod tests {
         m.note_outstanding(12);
         assert_eq!(m.outstanding_hwm, 12);
         assert!((m.delay_ring_utilization(48) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_from_identity_and_addition() {
+        let mut a = ControllerMetrics::with_banks(2);
+        a.reads_accepted = 10;
+        a.reads_merged = 1;
+        a.responses = 9;
+        a.access_queue_stalls = 2;
+        a.first_stall_at = Some(Cycle::new(30));
+        a.sample_cycle(3, 12);
+        a.note_bank_storage(1, 5);
+        a.note_outstanding(4);
+
+        // Folding into empty metrics reproduces the input exactly.
+        let mut merged = ControllerMetrics::new();
+        merged.merge_from(&a);
+        assert_eq!(merged, a);
+
+        let mut b = ControllerMetrics::with_banks(2);
+        b.reads_accepted = 5;
+        b.delay_storage_stalls = 1;
+        b.first_stall_at = Some(Cycle::new(12));
+        b.sample_cycle(1, 7);
+        b.note_bank_queue_depth(0, 2);
+        b.note_outstanding(3);
+        merged.merge_from(&b);
+        assert_eq!(merged.reads_accepted, 15);
+        assert_eq!(merged.total_stalls(), 3);
+        assert_eq!(merged.first_stall_at, Some(Cycle::new(12)), "earliest stall wins");
+        assert_eq!(merged.queue_depth_hist.total(), 2);
+        assert_eq!(merged.bank_storage_hwm, vec![0, 5, 0, 0], "per-bank vectors concatenate");
+        assert_eq!(merged.bank_queue_hwm, vec![0, 0, 2, 0]);
+        assert_eq!(merged.outstanding_hwm, 7, "summed upper bound");
+        // first_stall_at survives merging with a stall-free side.
+        let mut c = ControllerMetrics::new();
+        c.merge_from(&b);
+        assert_eq!(c.first_stall_at, Some(Cycle::new(12)));
     }
 
     #[test]

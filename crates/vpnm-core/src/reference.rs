@@ -296,8 +296,7 @@ impl ReferenceController {
     pub fn new(config: VpnmConfig, seed: u64) -> Result<Self, String> {
         config.validate()?;
         let delay = config.effective_delay();
-        let hash =
-            HashEngine::from_seed(config.hash, config.addr_bits, config.bank_bits(), seed);
+        let hash = HashEngine::from_seed(config.hash, config.addr_bits, config.bank_bits(), seed);
         let cells_per_row = 64u64;
         let total_cells = 1u64 << config.addr_bits;
         let dram_config = DramConfig {

@@ -28,8 +28,12 @@ use vpnm_sim::{Cycle, Histogram};
 /// Version history: 1 — initial schema; 2 — added
 /// `counters.cycles_skipped` (interface cycles the fast engine's
 /// event-horizon skip fast-forwarded over; always 0 for the reference
-/// engine and per-tick driving).
-pub const SNAPSHOT_SCHEMA_VERSION: u32 = 2;
+/// engine and per-tick driving); 3 — added `config.channels` for the
+/// multi-channel fabric ([`MetricsSnapshot::merge`]): `1` for a bare
+/// controller, the channel count for a merged fabric snapshot, whose
+/// per-bank high-water-mark arrays then carry `channels x banks` entries
+/// grouped by channel.
+pub const SNAPSHOT_SCHEMA_VERSION: u32 = 3;
 
 /// A frozen copy of a controller's observable state, ready to serialize.
 ///
@@ -39,7 +43,10 @@ pub const SNAPSHOT_SCHEMA_VERSION: u32 = 2;
 pub struct MetricsSnapshot {
     /// Interface cycles elapsed when the snapshot was taken.
     pub cycles: u64,
-    /// Bank count `B`.
+    /// Independent memory channels represented: 1 for a single
+    /// controller, `C` for a merged `C`-channel fabric snapshot.
+    pub channels: u32,
+    /// Bank count `B` *per channel*.
     pub banks: u32,
     /// Bank access queue entries `Q`.
     pub queue_entries: usize,
@@ -72,6 +79,7 @@ impl MetricsSnapshot {
     ) -> Self {
         MetricsSnapshot {
             cycles: now.as_u64(),
+            channels: 1,
             banks: config.banks,
             queue_entries: config.queue_entries,
             storage_rows: config.storage_rows,
@@ -80,6 +88,59 @@ impl MetricsSnapshot {
             cycles_skipped,
             metrics: metrics.clone(),
         }
+    }
+
+    /// Merges per-channel snapshots of one fabric run into a single
+    /// fabric-level snapshot.
+    ///
+    /// Channels tick in lockstep and share one geometry, so `cycles`,
+    /// `banks`, `queue_entries`, `storage_rows`, `write_buffer_entries`
+    /// and `delay` must agree across `parts`; `channels` and
+    /// `cycles_skipped` add, and the metrics fold via
+    /// [`ControllerMetrics::merge_from`] (counters add, histograms merge,
+    /// per-bank high-water marks concatenate in channel order). Merging a
+    /// single snapshot is the identity apart from nothing at all — which
+    /// is exactly what makes a one-channel fabric's snapshot byte-identical
+    /// to the bare controller's.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when `parts` is empty or the parts disagree on
+    /// cycles or geometry.
+    pub fn merge(parts: &[MetricsSnapshot]) -> Result<MetricsSnapshot, String> {
+        let first = parts.first().ok_or("cannot merge zero snapshots")?;
+        let mut merged = MetricsSnapshot {
+            cycles: first.cycles,
+            channels: 0,
+            banks: first.banks,
+            queue_entries: first.queue_entries,
+            storage_rows: first.storage_rows,
+            write_buffer_entries: first.write_buffer_entries,
+            delay: first.delay,
+            cycles_skipped: 0,
+            metrics: ControllerMetrics::new(),
+        };
+        for (i, p) in parts.iter().enumerate() {
+            if p.cycles != first.cycles || p.delay != first.delay {
+                return Err(format!(
+                    "snapshot {i} disagrees on cycles/delay — not one lockstep run"
+                ));
+            }
+            if (p.banks, p.queue_entries, p.storage_rows, p.write_buffer_entries)
+                != (
+                    first.banks,
+                    first.queue_entries,
+                    first.storage_rows,
+                    first.write_buffer_entries,
+                )
+            {
+                return Err(format!("snapshot {i} has a different geometry"));
+            }
+            merged.channels += p.channels;
+            merged.cycles_skipped += p.cycles_skipped;
+            merged.metrics.merge_from(&p.metrics);
+        }
+        Ok(merged)
     }
 
     /// Serializes to the stable JSON schema (version
@@ -92,6 +153,7 @@ impl MetricsSnapshot {
         let _ = writeln!(s, "  \"schema_version\": {},", SNAPSHOT_SCHEMA_VERSION);
         let _ = writeln!(s, "  \"cycles\": {},", self.cycles);
         s.push_str("  \"config\": {\n");
+        let _ = writeln!(s, "    \"channels\": {},", self.channels);
         let _ = writeln!(s, "    \"banks\": {},", self.banks);
         let _ = writeln!(s, "    \"queue_entries\": {},", self.queue_entries);
         let _ = writeln!(s, "    \"storage_rows\": {},", self.storage_rows);
@@ -137,10 +199,13 @@ impl MetricsSnapshot {
             "  \"cam_load_factor\": {:.6},",
             m.peak_storage_load_factor(self.storage_rows)
         );
+        // Each channel carries its own D-deep delay ring, so the merged
+        // capacity is channels x delay (identical to `delay` for a bare
+        // controller).
         let _ = writeln!(
             s,
             "  \"delay_ring_utilization\": {:.6}",
-            m.delay_ring_utilization(self.delay)
+            m.delay_ring_utilization(self.delay * u64::from(self.channels.max(1)))
         );
         s.push_str("}\n");
         s
@@ -197,7 +262,8 @@ mod tests {
         let a = snap.to_json();
         let b = snap.clone().to_json();
         assert_eq!(a, b, "serialization must be pure");
-        assert!(a.contains("\"schema_version\": 2"));
+        assert!(a.contains("\"schema_version\": 3"));
+        assert!(a.contains("\"channels\": 1"));
         assert!(a.contains("\"cycles_skipped\": 25"));
         assert!(a.contains("\"reads_accepted\": 10"));
         assert!(a.contains("\"merge_rate\": 0.200000"));
@@ -216,6 +282,46 @@ mod tests {
         m.record_stall(crate::request::StallKind::AccessQueue, Cycle::new(17));
         let snap = MetricsSnapshot::capture(&cfg, 40, Cycle::new(20), 0, &m);
         assert!(snap.to_json().contains("\"first_stall_at\": 17"));
+    }
+
+    #[test]
+    fn merge_of_one_is_identity_and_of_two_adds() {
+        let cfg = VpnmConfig::small_test();
+        let mut m0 = ControllerMetrics::with_banks(cfg.banks as usize);
+        m0.reads_accepted = 8;
+        m0.responses = 8;
+        m0.sample_cycle(2, 10);
+        m0.note_bank_storage(1, 3);
+        m0.note_outstanding(4);
+        let s0 = MetricsSnapshot::capture(&cfg, 40, Cycle::new(200), 5, &m0);
+
+        let only = MetricsSnapshot::merge(std::slice::from_ref(&s0)).unwrap();
+        assert_eq!(only, s0, "single-channel merge is the identity");
+        assert_eq!(only.to_json(), s0.to_json());
+
+        let mut m1 = ControllerMetrics::with_banks(cfg.banks as usize);
+        m1.reads_accepted = 2;
+        m1.access_queue_stalls = 1;
+        m1.first_stall_at = Some(Cycle::new(50));
+        m1.sample_cycle(1, 4);
+        m1.note_outstanding(1);
+        let s1 = MetricsSnapshot::capture(&cfg, 40, Cycle::new(200), 0, &m1);
+
+        let both = MetricsSnapshot::merge(&[s0.clone(), s1]).unwrap();
+        assert_eq!(both.channels, 2);
+        assert_eq!(both.cycles_skipped, 5);
+        assert_eq!(both.metrics.reads_accepted, 10);
+        assert_eq!(both.metrics.first_stall_at, Some(Cycle::new(50)));
+        assert_eq!(both.metrics.bank_storage_hwm.len(), 2 * cfg.banks as usize);
+        let json = both.to_json();
+        assert!(json.contains("\"channels\": 2"), "{json}");
+        // outstanding_hwm 5 over 2 channels x D=40 -> 0.0625
+        assert!(json.contains("\"delay_ring_utilization\": 0.062500"), "{json}");
+
+        // Mismatched runs are refused.
+        let late = MetricsSnapshot::capture(&cfg, 40, Cycle::new(999), 0, &m1);
+        assert!(MetricsSnapshot::merge(&[s0, late]).is_err());
+        assert!(MetricsSnapshot::merge(&[]).is_err());
     }
 
     #[test]

@@ -151,7 +151,12 @@ impl DramDevice {
     /// # Errors
     ///
     /// [`DramError::BankBusy`] on a bank conflict, plus the range errors.
-    pub fn issue_read(&mut self, bank: u32, offset: u64, now: Cycle) -> Result<ReadGrant, DramError> {
+    pub fn issue_read(
+        &mut self,
+        bank: u32,
+        offset: u64,
+        now: Cycle,
+    ) -> Result<ReadGrant, DramError> {
         match self.read_access(bank, offset, now)? {
             Ok(grant) => Ok(grant),
             Err(free_at) => {
@@ -175,10 +180,7 @@ impl DramDevice {
         let row = self.row_of(offset);
         let num_banks = self.config.num_banks;
         let timing = self.config.timing;
-        let b = self
-            .banks
-            .get_mut(bank as usize)
-            .ok_or(DramError::BadBank { bank, num_banks })?;
+        let b = self.banks.get_mut(bank as usize).ok_or(DramError::BadBank { bank, num_banks })?;
         let was_hits = b.row_hits();
         let done = match b.start_access(&timing, AccessKind::Read, row, now) {
             Ok(done) => done,
@@ -206,10 +208,7 @@ impl DramDevice {
         let row = self.row_of(offset);
         let num_banks = self.config.num_banks;
         let timing = self.config.timing;
-        let b = self
-            .banks
-            .get_mut(bank as usize)
-            .ok_or(DramError::BadBank { bank, num_banks })?;
+        let b = self.banks.get_mut(bank as usize).ok_or(DramError::BadBank { bank, num_banks })?;
         let was_hits = b.row_hits();
         let done = match b.start_access(&timing, AccessKind::Write, row, now) {
             Ok(done) => done,
@@ -351,7 +350,9 @@ mod tests {
         let mut d = tiny();
         d.issue_read(0, 0, Cycle::new(0)).unwrap();
         let err = d.issue_read(0, 1, Cycle::new(1)).unwrap_err();
-        assert!(matches!(err, DramError::BankBusy { bank: 0, free_at } if free_at == Cycle::new(3)));
+        assert!(
+            matches!(err, DramError::BankBusy { bank: 0, free_at } if free_at == Cycle::new(3))
+        );
         // different bank at the same time is fine
         d.issue_read(1, 1, Cycle::new(1)).unwrap();
         assert_eq!(d.stats().bank_conflicts, 1);
@@ -365,10 +366,7 @@ mod tests {
             d.issue_read(7, 0, Cycle::ZERO),
             Err(DramError::BadBank { bank: 7, num_banks: 4 })
         ));
-        assert!(matches!(
-            d.issue_read(0, 10_000, Cycle::ZERO),
-            Err(DramError::BadOffset { .. })
-        ));
+        assert!(matches!(d.issue_read(0, 10_000, Cycle::ZERO), Err(DramError::BadOffset { .. })));
         assert!(d.is_bank_ready(9, Cycle::ZERO).is_err());
     }
 

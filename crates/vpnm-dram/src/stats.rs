@@ -44,6 +44,22 @@ impl DramStats {
         }
     }
 
+    /// Folds another device's statistics into this one — used by the
+    /// multi-channel fabric to report aggregate device behavior across
+    /// per-channel DRAM instances. Counters add; `last_activity` keeps
+    /// the latest cycle.
+    pub fn merge_from(&mut self, other: &DramStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.bank_conflicts += other.bank_conflicts;
+        self.row_hits += other.row_hits;
+        self.bus_busy_cycles += other.bus_busy_cycles;
+        self.last_activity = match (self.last_activity, other.last_activity) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+
     /// Fraction of issue attempts that hit a busy bank.
     pub fn conflict_rate(&self) -> f64 {
         let attempts = self.accesses() + self.bank_conflicts;
@@ -72,6 +88,36 @@ mod tests {
         assert_eq!(s.accesses(), 8);
         assert!((s.bus_efficiency(Cycle::new(16)) - 0.5).abs() < 1e-12);
         assert!((s.conflict_rate() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_keeps_latest_activity() {
+        let mut a = DramStats {
+            reads: 3,
+            writes: 1,
+            bank_conflicts: 2,
+            row_hits: 0,
+            bus_busy_cycles: 4,
+            last_activity: Some(Cycle::new(10)),
+        };
+        let b = DramStats {
+            reads: 5,
+            writes: 0,
+            bank_conflicts: 1,
+            row_hits: 2,
+            bus_busy_cycles: 6,
+            last_activity: Some(Cycle::new(7)),
+        };
+        a.merge_from(&b);
+        assert_eq!(a.reads, 8);
+        assert_eq!(a.accesses(), 9);
+        assert_eq!(a.bank_conflicts, 3);
+        assert_eq!(a.row_hits, 2);
+        assert_eq!(a.bus_busy_cycles, 10);
+        assert_eq!(a.last_activity, Some(Cycle::new(10)));
+        let mut empty = DramStats::default();
+        empty.merge_from(&a);
+        assert_eq!(empty, a, "merging into fresh stats is a copy");
     }
 
     #[test]

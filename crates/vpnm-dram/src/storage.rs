@@ -11,7 +11,7 @@
 //! Padding to the cell size happens once, at write time.
 
 use bytes::Bytes;
-use vpnm_sim::FastHashMap;
+use vpnm_hash::fast::FastHashMap;
 
 /// Sparse map from cell index to cell contents.
 ///

@@ -217,10 +217,7 @@ mod tests {
                 }
             }
             let rate = f64::from(coll) / f64::from(trials);
-            assert!(
-                (rate - 1.0 / 32.0).abs() < 0.015,
-                "pair ({x},{y}) collision rate {rate:.4}"
-            );
+            assert!((rate - 1.0 / 32.0).abs() < 0.015, "pair ({x},{y}) collision rate {rate:.4}");
         }
     }
 

@@ -21,9 +21,14 @@
 //!   of memory lines onto (bank, row) pairs, so every physical line is used
 //!   exactly once — this is how an actual controller must randomize
 //!   placement.
+//! * [`channel`] — the fabric-level *channel-select* stage: bijective
+//!   `address -> (channel, local address)` splits (low bits, high bits,
+//!   or a keyed invertible permutation) used by `vpnm-core`'s
+//!   multi-channel `VpnmFabric` to stripe requests over independent
+//!   controllers.
 //! * [`fast`] — the workspace's canonical *non-adversarial* SplitMix64
-//!   mixer and hasher for simulator-internal maps and keystreams
-//!   (re-exported by `vpnm-sim`); never used for bank selection.
+//!   mixer and hasher for simulator-internal maps and keystreams;
+//!   never used for bank selection.
 //!
 //! All hashers implement [`BankHasher`], the interface consumed by
 //! `vpnm-core`.
@@ -43,6 +48,7 @@
 
 #![warn(missing_docs)]
 
+pub mod channel;
 pub mod fast;
 pub mod gf2;
 pub mod h3;
@@ -50,6 +56,7 @@ pub mod multiply_shift;
 pub mod permute;
 pub mod tabulation;
 
+pub use channel::{ChannelSelect, ChannelSelector};
 pub use fast::{splitmix64, FastHashMap, FastHashSet, FastHasher};
 pub use gf2::BitMatrix;
 pub use h3::H3Hash;

@@ -51,8 +51,8 @@ impl AffinePermutation {
         assert!(bank_bits >= 1 && bank_bits < addr_bits && bank_bits <= 31);
         let forward = BitMatrix::random_invertible(addr_bits, rng);
         let inverse = forward.inverse().expect("sampled invertible");
-        let offset = rng.gen::<u64>()
-            & if addr_bits == 64 { u64::MAX } else { (1u64 << addr_bits) - 1 };
+        let offset =
+            rng.gen::<u64>() & if addr_bits == 64 { u64::MAX } else { (1u64 << addr_bits) - 1 };
         AffinePermutation { forward, inverse, offset, addr_bits, bank_bits }
     }
 

@@ -37,7 +37,8 @@ pub fn weighted_bits(params: &ControllerParams) -> f64 {
 pub static CALIBRATION_013UM: LazyLock<Calibration> = LazyLock::new(calibrate_013um);
 
 fn bits_of(q: u64, k: u64) -> f64 {
-    let p = ControllerParams { queue_entries: q, storage_rows: k, ..ControllerParams::paper_default() };
+    let p =
+        ControllerParams { queue_entries: q, storage_rows: k, ..ControllerParams::paper_default() };
     weighted_bits(&p)
 }
 

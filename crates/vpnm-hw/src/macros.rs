@@ -38,7 +38,10 @@ impl SramMacro {
     ///
     /// Panics on zero dimensions or zero ports.
     pub fn new(entries: u64, bits_per_entry: u64, ports: u32) -> Self {
-        assert!(entries > 0 && bits_per_entry > 0 && ports > 0, "macro dimensions must be positive");
+        assert!(
+            entries > 0 && bits_per_entry > 0 && ports > 0,
+            "macro dimensions must be positive"
+        );
         SramMacro { entries, bits_per_entry, ports }
     }
 
@@ -63,8 +66,8 @@ impl SramMacro {
 
     /// Estimated dynamic energy per access in pJ (reads one entry).
     pub fn access_energy_pj(&self) -> f64 {
-        self.bits_per_entry as f64 * SRAM_READ_PJ_PER_BIT
-            + 0.002 * (self.entries as f64) // word-line/decode overhead
+        self.bits_per_entry as f64 * SRAM_READ_PJ_PER_BIT + 0.002 * (self.entries as f64)
+        // word-line/decode overhead
     }
 }
 

@@ -140,8 +140,12 @@ mod tests {
     #[test]
     fn table2_rows_reproduced() {
         // (Q, K, paper total area mm², paper energy nJ) at R = 1.3
-        let rows =
-            [(24, 48, 13.6, 11.09), (32, 64, 19.4, 13.26), (48, 96, 34.1, 17.05), (64, 128, 53.2, 21.51)];
+        let rows = [
+            (24, 48, 13.6, 11.09),
+            (32, 64, 19.4, 13.26),
+            (48, 96, 34.1, 17.05),
+            (64, 128, 53.2, 21.51),
+        ];
         for (q, k, area, energy) in rows {
             let hw = estimate(&table2_params(q, k));
             let area_err = (hw.total_area_mm2 - area).abs() / area;

@@ -38,13 +38,11 @@
 #![warn(missing_docs)]
 
 pub mod clock;
-pub mod fast_hash;
 pub mod rng;
 pub mod stats;
 pub mod trace;
 
 pub use clock::{Clock, Cycle, DualClock, MemoryTick};
-pub use fast_hash::{FastHashMap, FastHashSet, FastHasher};
 pub use rng::SeedSequence;
 pub use stats::{Counter, Histogram, RunningStats};
 pub use trace::{TraceEvent, TraceRecorder};

@@ -278,12 +278,20 @@ impl Histogram {
 
     /// Smallest recorded sample.
     pub fn min(&self) -> Option<u64> {
-        if self.total == 0 { None } else { Some(self.stats.min) }
+        if self.total == 0 {
+            None
+        } else {
+            Some(self.stats.min)
+        }
     }
 
     /// Largest recorded sample.
     pub fn max(&self) -> Option<u64> {
-        if self.total == 0 { None } else { Some(self.stats.max) }
+        if self.total == 0 {
+            None
+        } else {
+            Some(self.stats.max)
+        }
     }
 
     /// Approximate quantile `q` in `[0,1]`, resolved to bucket upper bounds.

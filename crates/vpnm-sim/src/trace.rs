@@ -166,8 +166,7 @@ impl TraceRecorder {
         }
         let mut out = String::new();
         for req in order {
-            let evs: Vec<&TraceEvent> =
-                self.events.iter().filter(|e| e.request == req).collect();
+            let evs: Vec<&TraceEvent> = self.events.iter().filter(|e| e.request == req).collect();
             let first = evs.iter().map(|e| e.at.as_u64()).min().unwrap();
             let last = evs.iter().map(|e| e.at.as_u64()).max().unwrap();
             let mut row = vec![' '; width];

@@ -128,12 +128,10 @@ mod tests {
 
     #[test]
     fn half_mix_roughly_balanced() {
-        let mut s = RequestStream::new(
-            SequentialAddresses::new(0, 1000),
-            RequestMix::half_and_half(8),
-            2,
-        );
-        let reads = (0..1000).filter(|_| matches!(s.next_request(), RequestKind::Read { .. })).count();
+        let mut s =
+            RequestStream::new(SequentialAddresses::new(0, 1000), RequestMix::half_and_half(8), 2);
+        let reads =
+            (0..1000).filter(|_| matches!(s.next_request(), RequestKind::Read { .. })).count();
         assert!((350..650).contains(&reads), "reads {reads}");
     }
 
@@ -164,11 +162,7 @@ mod tests {
     #[test]
     fn fill_batch_matches_next_request_sequence() {
         let mk = || {
-            RequestStream::new(
-                SequentialAddresses::new(0, 1000),
-                RequestMix::half_and_half(8),
-                17,
-            )
+            RequestStream::new(SequentialAddresses::new(0, 1000), RequestMix::half_and_half(8), 17)
         };
         let mut a = mk();
         let expect: Vec<RequestKind> = (0..300).map(|_| a.next_request()).collect();

@@ -82,7 +82,10 @@ fn main() -> Result<(), String> {
     println!("flows:              {FLOWS} ({STREAM_CHUNKS} chunks each, segments reordered)");
     println!("signature rules:    {}", signatures.len());
     println!("planted matches:    {} — all confirmed at exact offsets ✓", planted.len());
-    println!("total matches:      {} (extras are legitimate random collisions, all verified)", found.len());
+    println!(
+        "total matches:      {} (extras are legitimate random collisions, all verified)",
+        found.len()
+    );
     println!(
         "windows scanned:    {} ({} Bloom-positive -> memory-verified)",
         inspector.windows_scanned(),

@@ -24,13 +24,20 @@ fn main() {
     for p in frontier.iter().filter(|p| p.mts_total > 1e3) {
         println!(
             "{:>8.1} {:>6} {:>6} {:>6} {:>5.1} {:>12.2e} {:>10.1}",
-            p.area_mm2, p.banks, p.queue_entries, p.storage_rows, p.bus_ratio, p.mts_total, p.energy_nj
+            p.area_mm2,
+            p.banks,
+            p.queue_entries,
+            p.storage_rows,
+            p.bus_ratio,
+            p.mts_total,
+            p.energy_nj
         );
     }
 
     // The paper's MTS budgets at an aggressive 1 GHz clock.
     println!("\ncheapest designs meeting the paper's MTS budgets:");
-    for (label, budget) in [("1 second (1e9)", 1e9), ("1 hour (3.6e12)", 3.6e12), ("1 day (8.6e13)", 8.64e13)]
+    for (label, budget) in
+        [("1 second (1e9)", 1e9), ("1 hour (3.6e12)", 3.6e12), ("1 day (8.6e13)", 8.64e13)]
     {
         match cheapest_at_least(&points, budget) {
             Some(p) => println!(
@@ -43,16 +50,10 @@ fn main() {
 
     // Paper headline: B = 32 is the knee; fewer banks cannot reach a
     // useful MTS at any K/Q in the grid.
-    let best_16: f64 = points
-        .iter()
-        .filter(|p| p.banks == 16)
-        .map(|p| p.mts_total)
-        .fold(0.0, f64::max);
-    let best_32: f64 = points
-        .iter()
-        .filter(|p| p.banks == 32)
-        .map(|p| p.mts_total)
-        .fold(0.0, f64::max);
+    let best_16: f64 =
+        points.iter().filter(|p| p.banks == 16).map(|p| p.mts_total).fold(0.0, f64::max);
+    let best_32: f64 =
+        points.iter().filter(|p| p.banks == 32).map(|p| p.mts_total).fold(0.0, f64::max);
     println!("\nbest MTS with B=16: {best_16:.2e}   with B=32: {best_32:.2e}");
     assert!(best_32 > best_16 * 1e3, "B=32 must dominate (paper Section 5.2)");
 }

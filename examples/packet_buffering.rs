@@ -50,7 +50,8 @@ fn main() -> Result<(), String> {
                 .map(|q| BufferEvent::Dequeue { queue: q })
         };
         let is_enq = matches!(event, Some(BufferEvent::Enqueue { .. }));
-        let enq_q = if let Some(BufferEvent::Enqueue { queue, .. }) = &event { Some(*queue) } else { None };
+        let enq_q =
+            if let Some(BufferEvent::Enqueue { queue, .. }) = &event { Some(*queue) } else { None };
         match buf.tick(event) {
             Ok(cell) => {
                 if is_enq {

@@ -27,9 +27,7 @@ fn main() -> Result<(), String> {
     // Build one stream per flow; hide a "signature" across a segment
     // boundary in flow 0.
     let mut streams: Vec<Vec<u8>> = (0..FLOWS)
-        .map(|f| {
-            vpnm::workloads::packets::payload_bytes(f, 0, STREAM_CHUNKS * CHUNK)
-        })
+        .map(|f| vpnm::workloads::packets::payload_bytes(f, 0, STREAM_CHUNKS * CHUNK))
         .collect();
     let signature = b"EVIL_SIGNATURE_SPLIT_ACROSS_SEGMENTS";
     let boundary = 4 * CHUNK * 4; // lands on a segment boundary (segments are 4 chunks)
@@ -59,11 +57,7 @@ fn main() -> Result<(), String> {
 
     // Verify every stream was scanned fully in order.
     for (f, stream) in streams.iter().enumerate() {
-        assert_eq!(
-            engine.scanned(f as u32),
-            &stream[..],
-            "flow {f} must be scanned in order"
-        );
+        assert_eq!(engine.scanned(f as u32), &stream[..], "flow {f} must be scanned in order");
     }
     // The scanner sees the signature contiguously despite the reordering.
     let scanned0 = engine.scanned(0);

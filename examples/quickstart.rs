@@ -13,14 +13,16 @@ fn main() -> Result<(), String> {
     // The paper's optimal design point: B=32 banks, Q=64, K=128, R=1.3.
     let config = VpnmConfig::paper_optimal();
     let mut mem = VpnmController::new(config, 0xC0FFEE)?;
-    println!("controller ready: D = {} interface cycles (≈ {} ns at 1 GHz)", mem.delay(), mem.delay());
+    println!(
+        "controller ready: D = {} interface cycles (≈ {} ns at 1 GHz)",
+        mem.delay(),
+        mem.delay()
+    );
 
     // Write a few cells…
     for i in 0..8u64 {
-        let out = mem.tick(Some(Request::write(
-            LineAddr(0x1000 + i),
-            format!("cell #{i}").into_bytes(),
-        )));
+        let out =
+            mem.tick(Some(Request::write(LineAddr(0x1000 + i), format!("cell #{i}").into_bytes())));
         assert!(out.accepted());
     }
 

@@ -56,7 +56,10 @@ fn main() -> Result<(), String> {
     let accesses = engine.accesses();
     let per_lookup = cycles as f64 / queries.len() as f64;
     println!("lookups:        {}", queries.len());
-    println!("trie accesses:  {accesses} ({:.2} per lookup, max {LEVELS})", accesses as f64 / queries.len() as f64);
+    println!(
+        "trie accesses:  {accesses} ({:.2} per lookup, max {LEVELS})",
+        accesses as f64 / queries.len() as f64
+    );
     println!("cycles:         {cycles} ({per_lookup:.2} per lookup)");
     println!("stall retries:  {}", engine.stall_retries());
     println!(

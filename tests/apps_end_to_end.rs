@@ -14,8 +14,7 @@ use vpnm::workloads::OutOfOrderSegments;
 
 #[test]
 fn packet_buffer_full_scale_mixed_traffic() {
-    let mut buf =
-        VpnmPacketBuffer::new(VpnmConfig::paper_optimal(), 256, 1 << 10, 3).unwrap();
+    let mut buf = VpnmPacketBuffer::new(VpnmConfig::paper_optimal(), 256, 1 << 10, 3).unwrap();
     let mut trace = PacketTrace::new(PacketTraceConfig {
         num_flows: 256,
         sizes: SizeDistribution::Fixed(64),
@@ -103,7 +102,9 @@ fn baseline_shootout_preserves_fifo_everywhere() {
                     cell: payload_bytes(q, seqs[q as usize], 64),
                 })
             } else {
-                (0..QUEUES).find(|&q| occupancy[q as usize] > 0).map(|q| BufferEvent::Dequeue { queue: q })
+                (0..QUEUES)
+                    .find(|&q| occupancy[q as usize] > 0)
+                    .map(|q| BufferEvent::Dequeue { queue: q })
             };
             let is_enq = matches!(event, Some(BufferEvent::Enqueue { .. }));
             let q_of = match &event {
@@ -126,7 +127,8 @@ fn baseline_shootout_preserves_fifo_everywhere() {
                 if let Some(cell) = cell_opt {
                     let want = payload_bytes(cell.queue, expect[cell.queue as usize], 64);
                     assert_eq!(
-                        cell.data, want,
+                        cell.data,
+                        want,
                         "{}: FIFO violation on queue {}",
                         model.name(),
                         cell.queue
@@ -136,11 +138,7 @@ fn baseline_shootout_preserves_fifo_everywhere() {
                 }
             }
         }
-        assert!(
-            accepted > SLOTS / 4,
-            "{} accepted only {accepted}/{SLOTS}",
-            model.name()
-        );
+        assert!(accepted > SLOTS / 4, "{} accepted only {accepted}/{SLOTS}", model.name());
         assert!(checked > 100, "{} verified only {checked} cells", model.name());
         assert!(model.sram_bytes() > 0);
     }
@@ -151,8 +149,7 @@ fn reassembly_paper_scale_out_of_order() {
     const CHUNK: usize = 64;
     let mem = VpnmController::new(VpnmConfig::paper_optimal(), 31).unwrap();
     let mut engine = ReassemblyEngine::new(mem, 32, 1 << 12, CHUNK);
-    let streams: Vec<Vec<u8>> =
-        (0..32).map(|f| payload_bytes(f, 9, 64 * CHUNK)).collect();
+    let streams: Vec<Vec<u8>> = (0..32).map(|f| payload_bytes(f, 9, 64 * CHUNK)).collect();
     let mut sources: Vec<OutOfOrderSegments> = streams
         .iter()
         .enumerate()

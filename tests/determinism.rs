@@ -13,7 +13,9 @@ use vpnm::workloads::{RequestKind, RequestMix, RequestStream, UniformAddresses};
 fn to_request(kind: RequestKind) -> Request {
     match kind {
         RequestKind::Read { addr } => Request::Read { addr: LineAddr(addr) },
-        RequestKind::Write { addr, data } => Request::Write { addr: LineAddr(addr), data: data.into() },
+        RequestKind::Write { addr, data } => {
+            Request::Write { addr: LineAddr(addr), data: data.into() }
+        }
     }
 }
 
@@ -24,7 +26,8 @@ fn differential_run(hash: HashKind, seed: u64, n: u64) {
     let mut vpnm = VpnmController::new(config, seed).expect("valid config");
     let mut ideal = IdealMemory::new(vpnm.delay(), 8);
     let gen = UniformAddresses::new(1 << 16, seed ^ 0x9999);
-    let mut stream = RequestStream::new(gen, RequestMix { read_fraction: 0.7, write_bytes: 8 }, seed);
+    let mut stream =
+        RequestStream::new(gen, RequestMix { read_fraction: 0.7, write_bytes: 8 }, seed);
     let mut v_rs = Vec::new();
     let mut i_rs = Vec::new();
     for _ in 0..n {
@@ -79,9 +82,7 @@ fn bursty_traffic_preserves_latency() {
     let mut responses = 0u64;
     let mut issued = 0u64;
     for _ in 0..20_000 {
-        let req = shaper
-            .tick()
-            .then(|| Request::Read { addr: LineAddr(gen.next_addr()) });
+        let req = shaper.tick().then(|| Request::Read { addr: LineAddr(gen.next_addr()) });
         issued += u64::from(req.is_some());
         let out = mem.tick(req);
         assert!(out.accepted());

@@ -16,9 +16,18 @@
 //!   (heavy stalling), and a bursty stream with long idle gaps (the idle
 //!   fast-forward path).
 
+//!
+//! The same harness, generic over [`PipelinedMemory`], also checks the
+//! multi-channel [`VpnmFabric`]: at `channels = 1` the fabric is
+//! byte-identical to the bare controller (including the serialized
+//! snapshot), and at `channels = 4` a fast-engine fabric matches a
+//! reference-engine fabric under every channel-select policy.
+
 use proptest::prelude::*;
+use vpnm::core::fabric::{ChannelSelect, FabricConfig};
 use vpnm::core::{
-    LineAddr, ReferenceController, Request, SchedulerKind, VpnmConfig, VpnmController,
+    LineAddr, PipelinedMemory, ReferenceController, Request, SchedulerKind, VpnmConfig,
+    VpnmController, VpnmFabric,
 };
 
 #[derive(Debug, Clone)]
@@ -44,11 +53,15 @@ fn to_request(op: &Op, addr_mask: u64) -> Option<Request> {
     }
 }
 
-/// Drives both engines through the same stream and asserts every
-/// externally observable signal is identical, every cycle.
-fn assert_equivalent(cfg: VpnmConfig, seed: u64, stream: &[Option<Request>]) {
-    let mut fast = VpnmController::new(cfg.clone(), seed).expect("valid config");
-    let mut reference = ReferenceController::new(cfg, seed).expect("valid config");
+/// Drives two [`PipelinedMemory`] engines through the same stream and
+/// asserts every externally observable trait signal is identical, every
+/// cycle — including the serialized metrics snapshot, when both engines
+/// keep one.
+fn assert_engines_equivalent<A: PipelinedMemory, B: PipelinedMemory>(
+    fast: &mut A,
+    reference: &mut B,
+    stream: &[Option<Request>],
+) {
     for (i, req) in stream.iter().enumerate() {
         let out_fast = fast.tick(req.clone());
         let out_ref = reference.tick(req.clone());
@@ -63,16 +76,24 @@ fn assert_equivalent(cfg: VpnmConfig, seed: u64, stream: &[Option<Request>]) {
     let drained_fast = fast.drain();
     let drained_ref = reference.drain();
     assert_eq!(drained_fast, drained_ref, "drain responses diverged");
-    assert_eq!(fast.metrics(), reference.metrics(), "metrics diverged");
-    assert_eq!(fast.dram_stats(), reference.dram_stats(), "DRAM stats diverged");
     assert_eq!(fast.now(), reference.now(), "drain lengths diverged");
     // The observability layer rides on the same metrics: both engines
     // must serialize byte-identical snapshots.
     assert_eq!(
-        fast.snapshot().to_json(),
-        reference.snapshot().to_json(),
+        fast.snapshot().map(|s| s.to_json()),
+        reference.snapshot().map(|s| s.to_json()),
         "metrics snapshots diverged"
     );
+}
+
+/// Drives both bare engines through the same stream and asserts every
+/// externally observable signal is identical, every cycle.
+fn assert_equivalent(cfg: VpnmConfig, seed: u64, stream: &[Option<Request>]) {
+    let mut fast = VpnmController::new(cfg.clone(), seed).expect("valid config");
+    let mut reference = ReferenceController::new(cfg, seed).expect("valid config");
+    assert_engines_equivalent(&mut fast, &mut reference, stream);
+    assert_eq!(fast.metrics(), reference.metrics(), "metrics diverged");
+    assert_eq!(fast.dram_stats(), reference.dram_stats(), "DRAM stats diverged");
 }
 
 fn configs_under_test() -> Vec<VpnmConfig> {
@@ -129,8 +150,7 @@ fn engines_agree_under_adversarial_single_bank_flood() {
     // lands in one bank, stalling heavily. Stall streams must match too.
     use vpnm::core::HashKind;
     for scheduler in [SchedulerKind::RoundRobin, SchedulerKind::WorkConserving] {
-        let cfg = VpnmConfig { scheduler, ..VpnmConfig::small_test() }
-            .with_hash(HashKind::LowBits);
+        let cfg = VpnmConfig { scheduler, ..VpnmConfig::small_test() }.with_hash(HashKind::LowBits);
         let stream: Vec<Option<Request>> = (0..2000u64)
             .map(|i| Some(Request::Read { addr: LineAddr(i * 4 % (1 << 16)) }))
             .collect();
@@ -160,6 +180,108 @@ fn engines_agree_across_long_idle_gaps() {
         }
         assert_equivalent(cfg, 7, &stream);
     }
+}
+
+/// A deterministic mixed read/write/idle stream for the fabric suites
+/// (an LCG so the tests need no proptest machinery).
+fn mixed_stream(n: u64, addr_mask: u64) -> Vec<Option<Request>> {
+    let mut state = 0x2545_F491_4F6C_DD1Du64;
+    (0..n)
+        .map(|i| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let addr = LineAddr((state >> 17) & addr_mask);
+            match i % 7 {
+                6 => None,
+                0 | 3 => Some(Request::write(addr, vec![i as u8])),
+                _ => Some(Request::Read { addr }),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn single_channel_fabric_matches_both_bare_engines() {
+    // channels = 1 must reproduce the bare controller exactly — same tick
+    // outputs and a byte-identical serialized snapshot (the fabric merge
+    // of one part is the identity).
+    let stream = mixed_stream(1500, (1 << 16) - 1);
+    let cfg = VpnmConfig::small_test();
+
+    let mut fabric = VpnmFabric::new(FabricConfig::single(cfg.clone()), 3).expect("valid");
+    let mut bare = VpnmController::new(cfg.clone(), 3).expect("valid");
+    assert_engines_equivalent(&mut fabric, &mut bare, &stream);
+
+    let mut fabric =
+        VpnmFabric::new_reference(FabricConfig::single(cfg.clone()), 3).expect("valid");
+    let mut bare = ReferenceController::new(cfg, 3).expect("valid");
+    assert_engines_equivalent(&mut fabric, &mut bare, &stream);
+}
+
+#[test]
+fn fabric_engines_agree_at_four_channels() {
+    // The fast-engine fabric and the reference-engine fabric must stay in
+    // lockstep under every channel-select policy, exactly as the bare
+    // engines do at one channel.
+    let stream = mixed_stream(2000, (1 << 16) - 1);
+    for select in [ChannelSelect::LowBits, ChannelSelect::HighBits, ChannelSelect::UniversalHash] {
+        let cfg = FabricConfig { channels: 4, select, base: VpnmConfig::small_test() };
+        let mut fast = VpnmFabric::new(cfg.clone(), 11).expect("valid");
+        let mut reference = VpnmFabric::new_reference(cfg, 11).expect("valid");
+        assert_engines_equivalent(&mut fast, &mut reference, &stream);
+    }
+}
+
+#[test]
+fn fabric_runs_are_deterministic_at_four_channels() {
+    // Same config, seed and stream twice over: identical responses and an
+    // identical merged snapshot, independent of any host state.
+    let stream = mixed_stream(1200, (1 << 16) - 1);
+    let run = || {
+        let cfg = FabricConfig {
+            channels: 4,
+            select: ChannelSelect::UniversalHash,
+            base: VpnmConfig::small_test(),
+        };
+        let mut fabric = VpnmFabric::new(cfg, 21).expect("valid");
+        let mut responses = Vec::new();
+        for req in &stream {
+            responses.extend(fabric.tick(req.clone()).response);
+        }
+        responses.extend(PipelinedMemory::drain(&mut fabric));
+        (responses, fabric.merged_snapshot().expect("fabric keeps metrics").to_json())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn boxed_engines_run_the_same_stream_through_one_call_site() {
+    // The widened trait is object-safe: one loop drives a bare fast
+    // engine, a bare reference engine and a four-channel fabric through
+    // the same stream, and the two bare engines agree byte-for-byte.
+    let stream = mixed_stream(800, (1 << 16) - 1);
+    let cfg = VpnmConfig::small_test();
+    let mut engines: Vec<Box<dyn PipelinedMemory>> = vec![
+        Box::new(VpnmController::new(cfg.clone(), 5).expect("valid")),
+        Box::new(ReferenceController::new(cfg.clone(), 5).expect("valid")),
+        Box::new(
+            VpnmFabric::new(
+                FabricConfig { channels: 4, select: ChannelSelect::UniversalHash, base: cfg },
+                5,
+            )
+            .expect("valid"),
+        ),
+    ];
+    let mut delivered = Vec::new();
+    for mem in &mut engines {
+        let mut n = 0u64;
+        for req in &stream {
+            n += u64::from(mem.tick(req.clone()).response.is_some());
+        }
+        n += mem.drain().len() as u64;
+        delivered.push(n);
+    }
+    assert_eq!(delivered[0], delivered[1], "bare engines must deliver identically");
+    assert!(delivered[2] > 0, "the fabric must deliver responses too");
 }
 
 #[test]

@@ -3,8 +3,17 @@
 //! memory (whenever it accepts), upholds the constant-latency invariant,
 //! and conserves requests.
 
+//! The fabric layer gets the same treatment: the channel-select stage
+//! composed with the per-channel address carve must be a bijection over
+//! the whole address space (no aliasing, no lost cells), and uniform
+//! traffic must spread over the channels within binomial bounds.
+
 use proptest::prelude::*;
-use vpnm::core::{IdealMemory, LineAddr, PipelinedMemory, Request, VpnmConfig, VpnmController};
+use vpnm::core::fabric::{ChannelSelect, FabricConfig};
+use vpnm::core::{
+    IdealMemory, LineAddr, PipelinedMemory, Request, VpnmConfig, VpnmController, VpnmFabric,
+};
+use vpnm::hash::channel::ChannelSelector;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -83,6 +92,117 @@ proptest! {
         responses += mem.drain().len() as u64;
         prop_assert_eq!(accepted_reads, responses);
         prop_assert_eq!(mem.metrics().deadline_misses, 0);
+    }
+
+    /// The channel-select stage is a bijection: `route` maps the full
+    /// `2^addr_bits` space onto distinct `(channel, local)` pairs with
+    /// `local` inside the carved per-channel space, and `unroute` inverts
+    /// it exactly — for every select policy, geometry and key.
+    #[test]
+    fn channel_routing_is_a_bijection(
+        seed in any::<u64>(),
+        addr_bits in 4u32..=12,
+        channel_bits in 0u32..=3,
+    ) {
+        prop_assume!(channel_bits < addr_bits);
+        for kind in [ChannelSelect::LowBits, ChannelSelect::HighBits, ChannelSelect::UniversalHash] {
+            let sel = ChannelSelector::new(kind, addr_bits, channel_bits, seed).unwrap();
+            let local_space = 1u64 << sel.local_bits();
+            let mut seen = vec![false; 1 << addr_bits];
+            for addr in 0..(1u64 << addr_bits) {
+                let (channel, local) = sel.route(addr);
+                prop_assert!(channel < sel.channels());
+                prop_assert!(local < local_space, "{kind:?}: local {local} escapes the carve");
+                let slot = ((u64::from(channel) << sel.local_bits()) | local) as usize;
+                prop_assert!(!seen[slot], "{kind:?}: two addresses alias to {channel}/{local}");
+                seen[slot] = true;
+                prop_assert_eq!(sel.unroute(channel, local), addr, "{kind:?}: unroute is not the inverse");
+            }
+        }
+    }
+
+    /// End-to-end losslessness of the composed pipeline (channel select,
+    /// then the per-channel keyed bank hash, then DRAM storage): writing a
+    /// distinct value to *every* address of the fabric's space and reading
+    /// them all back returns exactly what was written — no two addresses
+    /// can collapse onto the same cell of the same channel.
+    #[test]
+    fn fabric_split_plus_bank_hash_loses_no_address(seed in any::<u64>()) {
+        let config = FabricConfig {
+            channels: 4,
+            select: ChannelSelect::UniversalHash,
+            base: VpnmConfig { addr_bits: 8, ..VpnmConfig::test_roomy() },
+        };
+        let mut fab = VpnmFabric::new(config, seed).unwrap();
+        let space = 1u64 << 8;
+        for a in 0..space {
+            let mut out = fab.tick(Some(Request::write(LineAddr(a), vec![a as u8, (a >> 4) as u8])));
+            let mut budget = 4 * fab.delay();
+            while !out.accepted() && budget > 0 {
+                out = fab.tick(Some(Request::write(LineAddr(a), vec![a as u8, (a >> 4) as u8])));
+                budget -= 1;
+            }
+            prop_assert!(out.accepted(), "write to {a} never accepted");
+        }
+        PipelinedMemory::drain(&mut fab);
+        let mut read_back = 0u64;
+        let mut check = |r: vpnm::core::Response| {
+            assert_eq!(r.data[0], r.addr.0 as u8, "address {} corrupted", r.addr);
+            assert_eq!(r.data[1], (r.addr.0 >> 4) as u8, "address {} corrupted", r.addr);
+            read_back += 1;
+        };
+        for a in 0..space {
+            let mut out = fab.tick(Some(Request::Read { addr: LineAddr(a) }));
+            let mut budget = 4 * fab.delay();
+            while !out.accepted() && budget > 0 {
+                out.response.map(&mut check);
+                out = fab.tick(Some(Request::Read { addr: LineAddr(a) }));
+                budget -= 1;
+            }
+            prop_assert!(out.accepted(), "read of {a} never accepted");
+            out.response.map(&mut check);
+        }
+        for r in PipelinedMemory::drain(&mut fab) {
+            check(r);
+        }
+        prop_assert_eq!(read_back, space, "every address must read back exactly once");
+    }
+
+    /// Uniform traffic spreads over the channels within binomial bounds:
+    /// with N requests over C channels each count is within six standard
+    /// deviations of N/C (a bound a correct split fails with probability
+    /// ~1e-9, so a failure means the selector is biased).
+    #[test]
+    fn uniform_traffic_balances_across_channels(seed in any::<u64>()) {
+        use vpnm::workloads::generators::AddressGenerator;
+        const N: u64 = 4000;
+        let config = FabricConfig {
+            channels: 4,
+            select: ChannelSelect::UniversalHash,
+            base: VpnmConfig::test_roomy(),
+        };
+        let mut fab = VpnmFabric::new(config, seed).unwrap();
+        let mut gen = vpnm::workloads::UniformAddresses::new(1 << 16, seed ^ 0xABCD);
+        let mut accepted = 0u64;
+        for _ in 0..N {
+            accepted += u64::from(
+                fab.tick(Some(Request::Read { addr: LineAddr(gen.next_addr()) })).accepted(),
+            );
+        }
+        let p = 0.25f64;
+        let sigma = (accepted as f64 * p * (1.0 - p)).sqrt();
+        let expect = accepted as f64 * p;
+        let mut total = 0u64;
+        for c in 0..4u32 {
+            let got = fab.channel(c).metrics().reads_accepted;
+            total += got;
+            prop_assert!(
+                (got as f64 - expect).abs() <= 6.0 * sigma,
+                "channel {c} took {got} of {accepted} (expected {expect:.0} ± {:.0})",
+                6.0 * sigma
+            );
+        }
+        prop_assert_eq!(total, accepted, "per-channel counts must sum to the total");
     }
 
     /// Read-your-writes: after quiescence, reading any written address
