@@ -15,7 +15,10 @@ use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use vpnm_bench::report::{bench_json, BenchRecord};
-use vpnm_core::{LineAddr, ReferenceController, Request, VpnmConfig, VpnmController};
+use vpnm_core::{
+    ChannelSelect, FabricConfig, LineAddr, ReferenceController, Request, VpnmConfig,
+    VpnmController, VpnmFabric,
+};
 use vpnm_workloads::generators::AddressGenerator;
 use vpnm_workloads::UniformAddresses;
 
@@ -189,6 +192,56 @@ fn bench_idle_fast_forward(c: &mut Criterion) {
     group.finish();
 }
 
+/// Multi-channel fabric throughput, sequential lockstep (`seq/…`: one
+/// `tick` per cycle, every channel stepped — the pre-epoch drive) against
+/// the epoch-batched path (`par/…`: `run_epoch` with one worker per
+/// channel). Fabrics persist across iterations so the parallel side
+/// measures steady-state epochs, not pool spawns; uniform reads at full
+/// rate, so each channel of a C-channel fabric sees ~1/C of the stream
+/// and the epoch path's per-channel idle skipping and batched hashing do
+/// real work even before threads help.
+fn bench_fabric_uniform_reads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fabric/uniform_reads");
+    for channels in [1u32, 4, 8] {
+        let fc = FabricConfig {
+            channels,
+            select: ChannelSelect::UniversalHash,
+            base: VpnmConfig::paper_optimal(),
+        };
+        let space = 1u64 << fc.base.addr_bits;
+        group.throughput(Throughput::Elements(CYCLES));
+
+        let mut fab = VpnmFabric::new(fc.clone(), 7).expect("valid");
+        let mut gen = UniformAddresses::new(space, 3);
+        let mut addrs = vec![0u64; CYCLES as usize];
+        group.bench_function(BenchmarkId::new("seq", format!("{channels}ch")), |bench| {
+            bench.iter(|| {
+                gen.fill_addrs(&mut addrs);
+                let mut served = 0u64;
+                for &a in &addrs {
+                    let out = fab.tick(Some(Request::Read { addr: LineAddr(a) }));
+                    served += out.response.map_or(0, |r| r.completed_at.as_u64());
+                }
+                std::hint::black_box(served);
+            });
+        });
+
+        let mut fab = VpnmFabric::new(fc, 7).expect("valid");
+        fab.set_workers(channels as usize);
+        let mut gen = UniformAddresses::new(space, 3);
+        let mut batch: Vec<Option<Request>> = Vec::with_capacity(CYCLES as usize);
+        group.bench_function(BenchmarkId::new("par", format!("{channels}ch")), |bench| {
+            bench.iter(|| {
+                gen.fill_addrs(&mut addrs);
+                batch.clear();
+                batch.extend(addrs.iter().map(|&a| Some(Request::Read { addr: LineAddr(a) })));
+                std::hint::black_box(fab.run_epoch(&batch));
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_mixed_traffic(c: &mut Criterion) {
     let mut group = c.benchmark_group("controller/mixed_rw");
     group.throughput(Throughput::Elements(CYCLES));
@@ -244,6 +297,7 @@ criterion_group!(
     bench_uniform_reads,
     bench_uniform_reads_tick,
     bench_reference_uniform_reads,
+    bench_fabric_uniform_reads,
     bench_idle_fast_forward,
     bench_mixed_traffic,
     bench_merged_stream
@@ -260,6 +314,7 @@ fn main() {
     bench_uniform_reads(&mut criterion);
     bench_uniform_reads_tick(&mut criterion);
     bench_reference_uniform_reads(&mut criterion);
+    bench_fabric_uniform_reads(&mut criterion);
     bench_idle_fast_forward(&mut criterion);
     bench_mixed_traffic(&mut criterion);
     bench_merged_stream(&mut criterion);
@@ -285,9 +340,12 @@ fn main() {
         / ns_of("controller/uniform_reads/paper_optimal");
     let speedup_idle = ns_of("controller/bursty_idle/reference_paper_optimal")
         / ns_of("controller/bursty_idle/fast_paper_optimal");
+    let speedup_fabric =
+        ns_of("fabric/uniform_reads/seq/8ch") / ns_of("fabric/uniform_reads/par/8ch");
     let summary = [
         ("speedup_fast_vs_reference_paper_optimal_uniform_reads", speedup_uniform),
         ("speedup_fast_vs_reference_paper_optimal_bursty_idle", speedup_idle),
+        ("speedup_parallel_vs_sequential_8ch", speedup_fabric),
     ];
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_controller.json");
@@ -295,6 +353,7 @@ fn main() {
     println!("\nwrote {path}");
     println!("fast vs reference (paper_optimal, uniform reads): {speedup_uniform:.2}x");
     println!("fast vs reference (paper_optimal, bursty idle):   {speedup_idle:.2}x");
+    println!("fabric epoch vs lockstep (8ch, uniform reads):    {speedup_fabric:.2}x");
     assert!(
         !(speedup_uniform.is_finite() && speedup_uniform < 1.0),
         "fast engine slower than the reference it replaced"

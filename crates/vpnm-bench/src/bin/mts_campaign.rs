@@ -14,14 +14,19 @@
 //! ```text
 //! cargo run --release -p vpnm-bench --bin mts_campaign -- \
 //!     --cycles 1e9 [--shard-cycles 1e6] [--preset paper_optimal] \
-//!     [--seed 42] [--checkpoint mts_campaign_checkpoint.jsonl]
+//!     [--seed 42] [--channels N] [--workers N] \
+//!     [--checkpoint mts_campaign_checkpoint.jsonl]
 //! ```
 //!
 //! Re-running the same command after a kill resumes from the checkpoint;
-//! delete the checkpoint file to start over.
+//! delete the checkpoint file to start over. `--workers` drives each
+//! multi-channel shard's epochs across a worker pool; it changes
+//! wall-clock time only, never results, so checkpoints resume freely
+//! across worker counts (defaults to `VPNM_WORKERS`/detected cores).
 
 use std::path::PathBuf;
 use vpnm_bench::campaign::{run_campaign, CampaignParams};
+use vpnm_bench::parallel::worker_count;
 
 /// Parses a cycle count given either as an integer (`1000000`) or in
 /// scientific notation (`1e9`, `2.5e8`).
@@ -36,10 +41,12 @@ fn parse_cycles(s: &str) -> Option<u64> {
 fn usage() -> ! {
     eprintln!(
         "usage: mts_campaign [--cycles N] [--shard-cycles N] [--preset NAME] \
-         [--seed N] [--channels N] [--checkpoint PATH]\n\
+         [--seed N] [--channels N] [--workers N] [--checkpoint PATH]\n\
          (N accepts scientific notation, e.g. 1e9; presets: paper_optimal, \
          paper_compact, small_test, test_roomy; --channels > 1 stripes each \
-         shard over a universal-hash-selected fabric)"
+         shard over a universal-hash-selected fabric; --workers > 1 runs \
+         each shard's channels on a worker pool — results are identical \
+         for every worker count)"
     );
     std::process::exit(2)
 }
@@ -53,6 +60,7 @@ fn main() {
         channels: 1,
     };
     let mut checkpoint = PathBuf::from("mts_campaign_checkpoint.jsonl");
+    let mut workers: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = || args.next().unwrap_or_else(|| usage());
@@ -64,25 +72,32 @@ fn main() {
             "--preset" => params.preset = value(),
             "--seed" => params.seed = value().parse().unwrap_or_else(|_| usage()),
             "--channels" => params.channels = value().parse().unwrap_or_else(|_| usage()),
+            "--workers" => {
+                workers = Some(value().parse::<usize>().unwrap_or_else(|_| usage()).max(1));
+            }
             "--checkpoint" => checkpoint = PathBuf::from(value()),
             _ => usage(),
         }
     }
+    // Default per-shard workers: the shared VPNM_WORKERS / detected-cores
+    // policy, capped at the channel count (the fabric clamps again anyway).
+    let workers = workers.unwrap_or_else(|| worker_count(params.channels as usize));
 
     println!(
         "MTS campaign: {} cycles of full-rate uniform reads on '{}' x{} channel(s) \
-         ({} shards x {} cycles, seed {})",
+         ({} shards x {} cycles, seed {}, {} worker(s)/shard)",
         params.cycles,
         params.preset,
         params.channels,
         params.shards(),
         params.shard_cycles,
-        params.seed
+        params.seed,
+        workers
     );
     println!("checkpoint: {} (delete to restart)\n", checkpoint.display());
 
     let started = std::time::Instant::now();
-    let report = run_campaign(&params, &checkpoint, |done, pending| {
+    let report = run_campaign(&params, &checkpoint, workers, |done, pending| {
         eprintln!("  shard {done}/{pending} done ({:.1}s)", started.elapsed().as_secs_f64());
     })
     .unwrap_or_else(|e| {

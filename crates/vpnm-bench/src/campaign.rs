@@ -42,8 +42,16 @@ use vpnm_workloads::UniformAddresses;
 /// is refused.
 ///
 /// Version history: 1 — initial grammar; 2 — header gained `channels`
-/// (multi-channel fabric campaigns).
-pub const CHECKPOINT_VERSION: u32 = 2;
+/// (multi-channel fabric campaigns); 3 — fabric shards switched from the
+/// per-tick loop to the epoch-batched `run_epoch` path, which changes the
+/// recorded `cycles_skipped` (per-channel idle spans are now skipped), so
+/// v2 fabric shard lines no longer match fresh ones.
+///
+/// The worker count is deliberately **not** part of the grammar: epoch
+/// results are byte-identical for every worker count, so a campaign
+/// checkpointed sequentially resumes under `--workers N` (and vice versa)
+/// without divergence.
+pub const CHECKPOINT_VERSION: u32 = 3;
 
 /// Interface cycles simulated per `run_batch` call inside a shard — large
 /// enough to amortize batch setup, small enough to keep buffers in cache.
@@ -142,18 +150,29 @@ pub struct ShardResult {
     pub storage_occupancy: Histogram,
 }
 
+/// Runs one shard to completion on the caller's thread — shorthand for
+/// [`run_shard_with_workers`] with one worker.
+pub fn run_shard(params: &CampaignParams, shard: u64) -> ShardResult {
+    run_shard_with_workers(params, shard, 1)
+}
+
 /// Runs one shard to completion: a fresh controller (or fabric, for
 /// `channels > 1`) and a fresh uniform read stream, both seeded
 /// deterministically from `(params.seed, shard)`, driven through
 /// [`VpnmController::run_batch`] in [`BATCH_CYCLES`]-sized batches (the
-/// single-channel fast path) or per-tick through the fabric, and drained
-/// at the end.
-pub fn run_shard(params: &CampaignParams, shard: u64) -> ShardResult {
+/// single-channel fast path) or through the fabric's epoch-batched
+/// `run_epoch` in the same batch size, and drained at the end.
+///
+/// `workers` only affects how a multi-channel shard's epochs execute
+/// (on-thread for 1, a per-shard [`vpnm_core::WorkerPool`] otherwise) —
+/// the result is byte-identical for every value, so the checkpoint
+/// grammar ignores it.
+pub fn run_shard_with_workers(params: &CampaignParams, shard: u64, workers: usize) -> ShardResult {
     let config = params.validate().expect("validated before sharding");
     let ctrl_seed = splitmix64(params.seed.wrapping_add(shard));
     let wl_seed = splitmix64(ctrl_seed ^ 0x9E37_79B9_7F4A_7C15);
     if params.channels > 1 {
-        return run_shard_fabric(params, shard, config, ctrl_seed, wl_seed);
+        return run_shard_fabric(params, shard, config, ctrl_seed, wl_seed, workers);
     }
     let mut mem = VpnmController::new(config.clone(), ctrl_seed).expect("preset validates");
     let mut gen = UniformAddresses::new(1u64 << config.addr_bits, wl_seed);
@@ -192,32 +211,42 @@ pub fn run_shard(params: &CampaignParams, shard: u64) -> ShardResult {
 }
 
 /// The multi-channel shard body: the same deterministic stream, striped
-/// over a fabric and driven per-tick (the batched front door is a
-/// single-controller fast path). Histograms carry one sample per channel
-/// per cycle, merged across channels.
+/// over a fabric and driven through the epoch-batched `run_epoch` path —
+/// each channel advances through a whole [`BATCH_CYCLES`] epoch at a time
+/// (per-channel batched hashing and idle-span skipping apply, since every
+/// channel sees only `~1/C` of the stream), optionally across `workers`
+/// pool threads. Histograms carry one sample per channel per cycle,
+/// merged across channels.
 fn run_shard_fabric(
     params: &CampaignParams,
     shard: u64,
     config: VpnmConfig,
     ctrl_seed: u64,
     wl_seed: u64,
+    workers: usize,
 ) -> ShardResult {
     let addr_bits = config.addr_bits;
     let mut mem =
         VpnmFabric::new(params.fabric_config(config), ctrl_seed).expect("params validate");
+    mem.set_workers(workers);
     let mut gen = UniformAddresses::new(1u64 << addr_bits, wl_seed);
 
+    let mut addrs = vec![0u64; BATCH_CYCLES];
+    let mut batch: Vec<Option<Request>> = Vec::with_capacity(BATCH_CYCLES);
+    let mut remaining = params.cycles_of_shard(shard);
     let mut accepted = 0u64;
     let mut stalled = 0u64;
     let mut responses = 0u64;
-    for _ in 0..params.cycles_of_shard(shard) {
-        let out = mem.tick(Some(Request::Read { addr: LineAddr(gen.next_addr()) }));
-        if out.accepted() {
-            accepted += 1;
-        } else {
-            stalled += 1;
-        }
-        responses += u64::from(out.response.is_some());
+    while remaining > 0 {
+        let n = remaining.min(BATCH_CYCLES as u64) as usize;
+        gen.fill_addrs(&mut addrs[..n]);
+        batch.clear();
+        batch.extend(addrs[..n].iter().map(|&a| Some(Request::Read { addr: LineAddr(a) })));
+        let report = mem.run_epoch(&batch);
+        accepted += report.accepted;
+        stalled += report.stalled;
+        responses += report.responses.len() as u64;
+        remaining -= n as u64;
     }
     responses += PipelinedMemory::drain(&mut mem).len() as u64;
 
@@ -299,6 +328,10 @@ impl CampaignReport {
 /// completed shard to `checkpoint`. `progress(done, pending)` fires after
 /// each freshly computed shard (resumed shards are not re-reported).
 ///
+/// `workers` is the per-shard fabric worker count (see
+/// [`run_shard_with_workers`]); it changes wall-clock time only, never
+/// results, so checkpoints resume freely across worker counts.
+///
 /// # Errors
 ///
 /// Returns a message when the checkpoint belongs to different parameters,
@@ -306,6 +339,7 @@ impl CampaignReport {
 pub fn run_campaign<P>(
     params: &CampaignParams,
     checkpoint: &Path,
+    workers: usize,
     progress: P,
 ) -> Result<CampaignReport, String>
 where
@@ -330,7 +364,7 @@ where
         pending.len(),
         1,
         |k| {
-            let result = run_shard(params, pending[k]);
+            let result = run_shard_with_workers(params, pending[k], workers);
             let line = shard_line(&result);
             let mut f = file.lock().expect("checkpoint file lock");
             // An append failure must not silently drop the shard from the
@@ -623,7 +657,7 @@ mod tests {
     fn campaign_merge_equals_single_threaded_run() {
         let p = small_params();
         let path = temp_checkpoint("merge");
-        let report = run_campaign(&p, &path, |_, _| {}).expect("campaign runs");
+        let report = run_campaign(&p, &path, 1, |_, _| {}).expect("campaign runs");
         assert_eq!(report.completed, p.shards());
         assert_eq!(report.resumed, 0);
 
@@ -659,7 +693,7 @@ mod tests {
     fn killed_campaign_resumes_from_checkpoint() {
         let p = small_params();
         let path = temp_checkpoint("resume");
-        let full = run_campaign(&p, &path, |_, _| {}).expect("first run");
+        let full = run_campaign(&p, &path, 1, |_, _| {}).expect("first run");
 
         // Simulate a mid-run kill: drop the last two completed shard
         // lines and leave a truncated partial line behind.
@@ -671,7 +705,7 @@ mod tests {
         std::fs::write(&path, truncated).unwrap();
 
         let recomputed = Mutex::new(0usize);
-        let resumed = run_campaign(&p, &path, |_, _| {
+        let resumed = run_campaign(&p, &path, 1, |_, _| {
             *recomputed.lock().unwrap() += 1;
         })
         .expect("resume run");
@@ -689,13 +723,54 @@ mod tests {
     }
 
     #[test]
+    fn fabric_shards_are_worker_count_invariant() {
+        let p = CampaignParams { channels: 4, cycles: 8_000, ..small_params() };
+        let base = run_shard_with_workers(&p, 0, 1);
+        for workers in [2, 4, 8] {
+            assert_eq!(
+                run_shard_with_workers(&p, 0, workers),
+                base,
+                "{workers} workers must be byte-identical to sequential"
+            );
+        }
+        // Single-channel shards ignore the worker count entirely.
+        assert_eq!(run_shard_with_workers(&small_params(), 0, 8), run_shard(&small_params(), 0));
+    }
+
+    #[test]
+    fn checkpoints_resume_across_worker_counts() {
+        // A campaign checkpointed sequentially resumes under a parallel
+        // worker count (and the reverse) with an identical merged report:
+        // the worker count is not part of the checkpoint grammar.
+        let p = CampaignParams { channels: 4, cycles: 12_000, ..small_params() };
+        for (first, second) in [(1usize, 4usize), (4, 1)] {
+            let path = temp_checkpoint("xworkers");
+            let full = run_campaign(&p, &path, first, |_, _| {}).expect("first run");
+
+            // Drop the last completed shard line to force a partial resume.
+            let text = std::fs::read_to_string(&path).unwrap();
+            let mut lines: Vec<&str> = text.lines().collect();
+            lines.truncate(lines.len() - 1);
+            std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+
+            let resumed =
+                run_campaign(&p, &path, second, |_, _| {}).expect("resume under other workers");
+            assert_eq!(resumed.resumed, p.shards() - 1);
+            let mut full_cmp = full.clone();
+            full_cmp.resumed = resumed.resumed;
+            assert_eq!(resumed, full_cmp, "workers {first} -> {second} must not diverge");
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    #[test]
     fn mismatched_checkpoint_is_refused() {
         let p = small_params();
         let path = temp_checkpoint("mismatch");
-        run_campaign(&p, &path, |_, _| {}).expect("first run");
+        run_campaign(&p, &path, 1, |_, _| {}).expect("first run");
         let mut other = p.clone();
         other.seed = 43;
-        let err = run_campaign(&other, &path, |_, _| {}).unwrap_err();
+        let err = run_campaign(&other, &path, 1, |_, _| {}).unwrap_err();
         assert!(err.contains("different campaign"), "{err}");
         let _ = std::fs::remove_file(&path);
     }

@@ -11,6 +11,9 @@
 //! --channels N                channel count, a power of two (default 1)
 //! --select low-bits|high-bits|universal-hash
 //!                             fabric channel-select stage (default low-bits)
+//! --workers N                 worker threads for the fabric's epoch path
+//!                             (default 1 = on-thread; clamped to the
+//!                             channel count, ignored for 1 channel)
 //! ```
 //!
 //! The default triple builds a bare fast controller — byte-identical
@@ -51,11 +54,21 @@ pub struct EngineOpts {
     pub channels: u32,
     /// Channel-select stage for `channels > 1`.
     pub select: ChannelSelect,
+    /// Worker threads for the fabric's epoch-batched path (`run_epoch`):
+    /// 1 runs epochs on the caller's thread; more attach a persistent
+    /// pool. Only meaningful for `channels > 1` — outputs are
+    /// byte-identical for every value either way.
+    pub workers: usize,
 }
 
 impl Default for EngineOpts {
     fn default() -> Self {
-        EngineOpts { kind: EngineKind::Fast, channels: 1, select: ChannelSelect::LowBits }
+        EngineOpts {
+            kind: EngineKind::Fast,
+            channels: 1,
+            select: ChannelSelect::LowBits,
+            workers: 1,
+        }
     }
 }
 
@@ -94,6 +107,12 @@ impl EngineOpts {
                         other => return Err(format!("unknown channel select '{other}'")),
                     };
                 }
+                "--workers" => {
+                    let v = value("--workers")?;
+                    let w: usize =
+                        v.parse().map_err(|_| format!("--workers needs a number, got '{v}'"))?;
+                    opts.workers = w.max(1);
+                }
                 _ => rest.push(arg),
             }
         }
@@ -129,9 +148,15 @@ impl EngineOpts {
         Ok(match (self.kind, self.channels) {
             (EngineKind::Fast, 1) => Box::new(VpnmController::new(base, seed)?),
             (EngineKind::Reference, 1) => Box::new(ReferenceController::new(base, seed)?),
-            (EngineKind::Fast, _) => Box::new(VpnmFabric::new(self.fabric_config(base), seed)?),
+            (EngineKind::Fast, _) => {
+                let mut fab = VpnmFabric::new(self.fabric_config(base), seed)?;
+                fab.set_workers(self.workers);
+                Box::new(fab)
+            }
             (EngineKind::Reference, _) => {
-                Box::new(VpnmFabric::new_reference(self.fabric_config(base), seed)?)
+                let mut fab = VpnmFabric::new_reference(self.fabric_config(base), seed)?;
+                fab.set_workers(self.workers);
+                Box::new(fab)
             }
         })
     }
@@ -141,6 +166,8 @@ impl EngineOpts {
     pub fn describe(&self) -> String {
         if self.channels == 1 {
             self.kind.to_string()
+        } else if self.workers > 1 {
+            format!("{} x{} ({}, {} workers)", self.kind, self.channels, self.select, self.workers)
         } else {
             format!("{} x{} ({})", self.kind, self.channels, self.select)
         }
@@ -159,7 +186,7 @@ fn usage_exit(error: &str) -> ! {
     eprintln!(
         "error: {error}\n\
          engine flags: [--engine fast|reference] [--channels N] \
-         [--select low-bits|high-bits|universal-hash]"
+         [--select low-bits|high-bits|universal-hash] [--workers N]"
     );
     std::process::exit(2)
 }
@@ -183,17 +210,22 @@ mod tests {
             "4",
             "--select",
             "universal-hash",
+            "--workers",
+            "4",
         ])
         .unwrap();
         assert_eq!(opts.kind, EngineKind::Reference);
         assert_eq!(opts.channels, 4);
         assert_eq!(opts.select, ChannelSelect::UniversalHash);
+        assert_eq!(opts.workers, 4);
         assert_eq!(rest, vec!["--cycles".to_string(), "100".to_string()]);
 
         assert_eq!(parse_vec(&[]).unwrap().0, EngineOpts::default());
+        assert_eq!(parse_vec(&["--workers", "0"]).unwrap().0.workers, 1, "clamped to >= 1");
         assert!(parse_vec(&["--engine", "warp"]).is_err());
         assert!(parse_vec(&["--channels"]).is_err());
         assert!(parse_vec(&["--select", "mod-17"]).is_err());
+        assert!(parse_vec(&["--workers", "many"]).is_err());
     }
 
     #[test]
@@ -201,7 +233,7 @@ mod tests {
         let base = VpnmConfig::small_test();
         for kind in [EngineKind::Fast, EngineKind::Reference] {
             for channels in [1, 2] {
-                let opts = EngineOpts { kind, channels, select: ChannelSelect::LowBits };
+                let opts = EngineOpts { kind, channels, ..EngineOpts::default() };
                 let mem = opts.build(base.clone(), 7).expect("valid topology");
                 assert_eq!(mem.outstanding(), 0, "{}", opts.describe());
             }
@@ -231,7 +263,10 @@ mod tests {
             kind: EngineKind::Reference,
             channels: 8,
             select: ChannelSelect::UniversalHash,
+            ..EngineOpts::default()
         };
         assert_eq!(fab.describe(), "reference x8 (universal-hash)");
+        let par = EngineOpts { kind: EngineKind::Fast, workers: 4, ..fab };
+        assert_eq!(par.describe(), "fast x8 (universal-hash, 4 workers)");
     }
 }

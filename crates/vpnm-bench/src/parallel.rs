@@ -11,12 +11,20 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Workers to use for `n` units of claimable work: the machine's available
-/// parallelism, capped at the work-unit count (and at least 1, so the
-/// empty case still takes the sequential path). Both sharding helpers go
-/// through this so the capping policy cannot drift between them.
+/// Workers to use for `n` units of claimable work: the `VPNM_WORKERS`
+/// environment override when set (clamped to at least 1, so `0` or
+/// garbage cannot disable the sequential fallback), otherwise the
+/// machine's available parallelism — either way capped at the work-unit
+/// count (and at least 1, so the empty case still takes the sequential
+/// path). Both sharding helpers go through this so the capping policy
+/// cannot drift between them; CI and campaign checkpoints pin
+/// `VPNM_WORKERS` for reproducible parallelism.
 pub fn worker_count(n: usize) -> usize {
-    std::thread::available_parallelism().map_or(4, |w| w.get()).min(n.max(1))
+    let available = match std::env::var("VPNM_WORKERS") {
+        Ok(v) => v.trim().parse::<usize>().map_or(1, |w| w.max(1)),
+        Err(_) => std::thread::available_parallelism().map_or(4, |w| w.get()),
+    };
+    available.min(n.max(1))
 }
 
 /// Runs `jobs` across the available cores and returns their results in
@@ -133,6 +141,27 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn vpnm_workers_env_override_is_honored_and_clamped() {
+        // All env probing lives in this one test (tests in this binary run
+        // concurrently, and the sharding tests' *results* are worker-count
+        // independent by design, so a transient override cannot flake them).
+        std::env::set_var("VPNM_WORKERS", "3");
+        assert_eq!(worker_count(100), 3, "override wins over detection");
+        assert_eq!(worker_count(2), 2, "still capped at the work-unit count");
+        assert_eq!(worker_count(0), 1, "empty work stays sequential");
+
+        std::env::set_var("VPNM_WORKERS", "0");
+        assert_eq!(worker_count(100), 1, "zero clamps to one worker");
+        std::env::set_var("VPNM_WORKERS", "not-a-number");
+        assert_eq!(worker_count(100), 1, "garbage pins to one worker, not a panic");
+        std::env::set_var("VPNM_WORKERS", " 5 ");
+        assert_eq!(worker_count(100), 5, "whitespace is tolerated");
+
+        std::env::remove_var("VPNM_WORKERS");
+        assert!(worker_count(100) >= 1, "detection path is back after removal");
+    }
 
     #[test]
     fn results_keep_job_order() {

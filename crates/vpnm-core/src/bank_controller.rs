@@ -255,6 +255,14 @@ impl BankController {
         self.writes.len()
     }
 
+    /// The memory cycle the in-service access completes at, if one is in
+    /// service. Until it passes, every bus grant to this bank is wasted —
+    /// the busy-horizon skip uses this to prove whole grant windows
+    /// state-free.
+    pub fn in_service_until(&self) -> Option<Cycle> {
+        self.in_service_until
+    }
+
     /// True when a bus grant at `now` would do useful work: there is
     /// queued work and the bank is (or will just have become) free. Used
     /// by the work-conserving scheduler ablation.

@@ -50,6 +50,20 @@ use vpnm_hash::BankHasher;
 use vpnm_sim::trace::TraceKind;
 use vpnm_sim::{Cycle, DualClock, TraceRecorder};
 
+/// Minimum interface cycles a busy-horizon skip must cover to be worth
+/// taking: the horizon computation (ready-bank rotor scan, due-playback
+/// distance, two exact clock divisions, bulk occupancy sampling) costs
+/// about as much as stepping one or two idle cycles, so proving a
+/// 1–3-cycle span skippable is a net loss. Tuned on the full-rate
+/// 8-channel fabric workload, where grant events land every couple of
+/// memory ticks and every candidate skip is short.
+const SKIP_BUSY_MIN: u64 = 4;
+
+/// How many idle cycles [`VpnmController`] waits before re-attempting a
+/// busy-horizon skip after an unprofitable one (dense-event regimes pay
+/// one decrement per idle cycle instead of one horizon scan).
+const SKIP_BUSY_BACKOFF: u32 = 63;
+
 /// What to do when a request cannot be accepted this cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StallPolicy {
@@ -175,6 +189,13 @@ pub struct VpnmController {
     /// [`ControllerMetrics`] so metrics equality across engines and drive
     /// modes is unaffected).
     cycles_skipped: u64,
+    /// Idle cycles left before the next busy-horizon skip attempt (see
+    /// [`SKIP_BUSY_MIN`]): when grant events are so dense that a skip
+    /// cannot pay for its own horizon computation, attempts pause for
+    /// [`SKIP_BUSY_BACKOFF`] idle cycles at a time. Pure drive-mode
+    /// pacing state — it never affects simulation semantics, only which
+    /// cycles are stepped versus proven skippable.
+    skip_backoff: u32,
     /// Cached zero cell served on deadline misses.
     zero_cell: Bytes,
     /// Forensic event ring (see [`crate::forensics`]); inert unless
@@ -237,6 +258,7 @@ impl VpnmController {
             max_depth: 0,
             storage_live: 0,
             cycles_skipped: 0,
+            skip_backoff: 0,
             zero_cell: Bytes::from(vec![0u8; config.cell_bytes]),
             forensics: ForensicRing::new(config.forensics_capacity),
             config,
@@ -708,7 +730,7 @@ impl VpnmController {
         let mut i = 0u64;
         while i < total {
             let idle = i >= len || requests[i as usize].is_none();
-            if idle && self.ready.is_empty() {
+            if idle {
                 if gap_end <= i {
                     let mut j = i + 1;
                     while j < len && requests[j as usize].is_none() {
@@ -716,13 +738,17 @@ impl VpnmController {
                     }
                     gap_end = if j >= len { total } else { j };
                 }
-                let n = self.skip_idle(gap_end - i);
+                let n = if self.ready.is_empty() {
+                    self.skip_idle(gap_end - i)
+                } else {
+                    self.skip_busy(gap_end - i)
+                };
                 if n > 0 {
                     i += n;
                     continue;
                 }
-                // n == 0: a playback falls due this very cycle — take the
-                // normal step below.
+                // n == 0: a playback falls due (or a bus grant does real
+                // work) this very cycle — take the normal step below.
             }
             let (request, bank) = if i < len {
                 match &requests[i as usize] {
@@ -733,6 +759,74 @@ impl VpnmController {
                     }
                     None => (None, 0),
                 }
+            } else {
+                (None, 0)
+            };
+            let presented = request.is_some();
+            let out = self.step(request, bank);
+            if let Some(r) = out.response {
+                report.responses.push(r);
+            }
+            match out.stall {
+                None => report.accepted += u64::from(presented),
+                Some(kind) if kind.is_rejection() => report.rejected += 1,
+                Some(_) => report.stalled += 1,
+            }
+            i += 1;
+        }
+        report
+    }
+
+    /// [`VpnmController::run_batch`] over a **sparse** epoch: advances
+    /// `len` interface cycles presenting `requests[k].1` on cycle
+    /// `requests[k].0` (offsets strictly increasing, `< len`); every
+    /// other cycle is idle. Exactly equivalent to `run_batch` over the
+    /// densified span — same responses, metrics, and skip accounting (a
+    /// test pins this) — but the cost scales with the number of requests
+    /// and due playbacks, not with `len`: idle gaps are *known* from the
+    /// offsets, so no dense `Option` slice is ever materialized or
+    /// scanned. This is what makes a multi-channel
+    /// [`crate::VpnmFabric`] epoch cheap — each channel of a `C`-channel
+    /// fabric sees only `1/C` of the stream and jumps straight across the
+    /// other `C-1`/`C` of the epoch.
+    pub fn run_sparse(&mut self, len: u64, requests: &[(u64, Request)]) -> RunReport {
+        debug_assert!(
+            requests.windows(2).all(|p| p[0].0 < p[1].0)
+                && requests.last().is_none_or(|&(o, _)| o < len),
+            "offsets must be strictly increasing and < len"
+        );
+        // Pre-hash every presented address in one batched pass, exactly
+        // like `run_batch` (the hash is total over u64, so malformed
+        // addresses hash harmlessly — `step` validates before use).
+        let mut addrs: Vec<u64> = Vec::with_capacity(requests.len());
+        addrs.extend(requests.iter().map(|(_, r)| r.addr().0));
+        let mut banks = vec![0u32; addrs.len()];
+        self.hash.hash_batch(&addrs, &mut banks);
+
+        let mut report = RunReport::default();
+        let mut k = 0usize;
+        let mut i = 0u64;
+        while i < len {
+            let next_req = requests.get(k).map_or(len, |&(o, _)| o);
+            if i < next_req {
+                let n = if self.ready.is_empty() {
+                    self.skip_idle(next_req - i)
+                } else {
+                    self.skip_busy(next_req - i)
+                };
+                if n > 0 {
+                    i += n;
+                    continue;
+                }
+                // n == 0: a playback falls due (or a bus grant does real
+                // work) this very cycle — take the normal (idle) step
+                // below.
+            }
+            let (request, bank) = if i == next_req {
+                let b = banks[k] as usize;
+                let r = requests[k].1.clone();
+                k += 1;
+                (Some(r), b)
             } else {
                 (None, 0)
             };
@@ -825,12 +919,14 @@ impl VpnmController {
         // Idle tail out to the budget, with event-horizon skipping.
         let mut i = len;
         while i < total {
-            if self.ready.is_empty() {
-                let n = self.skip_idle(total - i);
-                if n > 0 {
-                    i += n;
-                    continue;
-                }
+            let n = if self.ready.is_empty() {
+                self.skip_idle(total - i)
+            } else {
+                self.skip_busy(total - i)
+            };
+            if n > 0 {
+                i += n;
+                continue;
             }
             if let Some(r) = self.step(None, 0).response {
                 counts.responses += 1;
@@ -871,6 +967,91 @@ impl VpnmController {
                     ForensicKind::FastForward { interface_cycles: n },
                 );
             }
+        }
+        n
+    }
+
+    /// The busy-bank generalization of [`VpnmController::skip_idle`]:
+    /// fast-forwards through up to `gap` request-free interface cycles
+    /// even while banks hold in-service accesses, by proving every bus
+    /// grant in the skipped span is wasted. Under the round-robin policy
+    /// the `j`-th upcoming memory tick grants bank
+    /// `(rr_next + j - 1) & mask`, and a grant changes state only when it
+    /// lands on a *ready* bank whose in-service access (if any) has
+    /// completed — retirement, and possibly the next issue, happen on
+    /// exactly that tick. Both the rotor and the completion times are
+    /// known, so the earliest state-changing tick is a closed-form
+    /// minimum over the ready banks; the skip covers the interface cycles
+    /// that end strictly before it (and never crosses a due playback),
+    /// and the following normal step replays the event exactly as the
+    /// per-cycle loop would. Wasted grants have no side effects at all —
+    /// `pick_grant` either returns `None` (rotor on a non-ready bank) or
+    /// `on_bus_grant` bails before mutating (bank mid-service), and
+    /// device stats are only touched by issued accesses — so every
+    /// controller field evolves exactly as the stepped path evolves it.
+    ///
+    /// Returns the interface cycles skipped; 0 means the current cycle
+    /// must be stepped normally. The work-conserving ablation scans all
+    /// ready banks every memory tick, so its useful-grant horizon is not
+    /// a rotor-landing computation — it always steps (returns 0).
+    fn skip_busy(&mut self, gap: u64) -> u64 {
+        debug_assert!(!self.ready.is_empty());
+        if self.skip_backoff > 0 {
+            self.skip_backoff -= 1;
+            return 0;
+        }
+        if self.config.scheduler != SchedulerKind::RoundRobin {
+            return 0;
+        }
+        let cap = if self.outstanding == 0 { gap } else { gap.min(self.next_due_distance()) };
+        if cap == 0 {
+            return 0;
+        }
+        let mem_now = self.clock.memory_now().as_u64();
+        let banks = u64::from(self.config.banks);
+        let mask = self.config.banks - 1;
+        let mut event = u64::MAX;
+        for b in self.ready.iter_from(self.rr_next) {
+            // First rotor landing on `b` is tick `first`; if the bank is
+            // still serving until then, the first *useful* landing is the
+            // next one at or after its completion.
+            let first = u64::from(b.wrapping_sub(self.rr_next) & mask) + 1;
+            let free_in = self.banks[b as usize]
+                .in_service_until()
+                .map_or(0, |u| u.as_u64().saturating_sub(mem_now));
+            let j = if first >= free_in {
+                first
+            } else {
+                first + (free_in - first).div_ceil(banks) * banks
+            };
+            event = event.min(j);
+            if event == 1 {
+                return 0; // the very next memory tick does useful work
+            }
+        }
+        let n = self.clock.interfaces_within_memory(event - 1).min(cap);
+        if n < SKIP_BUSY_MIN {
+            // Too short to pay for this very computation: grants are
+            // landing on ready banks every few memory ticks (e.g. a
+            // full-rate stream keeping two banks busy), and stepping a
+            // handful of idle cycles is cheaper than proving them
+            // skippable. Remember that for a while so the dense regime
+            // pays one branch per idle cycle, not one horizon scan.
+            self.skip_backoff = SKIP_BUSY_BACKOFF;
+            return 0;
+        }
+        let m = self.clock.advance_interfaces(n);
+        debug_assert!(m < event, "skip must stop short of the state-changing tick");
+        self.rr_next = ((u64::from(self.rr_next) + m) & u64::from(mask)) as u32;
+        self.ring_pos = ((self.ring_pos as u64 + n) % self.ring.len() as u64) as usize;
+        self.metrics.sample_cycles(self.max_depth as u64, self.storage_live, n);
+        self.cycles_skipped += n;
+        if self.forensics.is_enabled() {
+            self.forensics.record(
+                self.clock.interface_now(),
+                0,
+                ForensicKind::FastForward { interface_cycles: n },
+            );
         }
         n
     }
@@ -1577,6 +1758,50 @@ mod tests {
             prop_assert_eq!(counts.rejected, batch_report.rejected);
             prop_assert_eq!(counts.responses, report.responses.len() as u64);
             prop_assert_eq!(streamed.metrics(), batched.metrics());
+        }
+
+        /// `run_sparse` over the `(offset, request)` encoding of a trace
+        /// is observationally identical to `run_batch` over its dense
+        /// form — including the skip accounting, since both jump exactly
+        /// the same idle gaps.
+        #[test]
+        fn run_sparse_equals_run_batch(
+            chunks in proptest::collection::vec(
+                prop_oneof![
+                    3 => (0u64..1 << 16).prop_map(|a|
+                        vec![Some(Request::Read { addr: LineAddr(a) })]),
+                    1 => (0u64..64u64, any::<u8>()).prop_map(|(a, v)|
+                        vec![Some(Request::write(LineAddr(a), vec![v]))]),
+                    2 => (1usize..100).prop_map(|n| vec![None; n]),
+                ],
+                0..40,
+            ),
+            tail in 0usize..120,
+            ratio_idx in 0usize..3,
+        ) {
+            let mut reqs: Vec<Option<Request>> = chunks.concat();
+            reqs.extend(std::iter::repeat_n(None, tail));
+            let sparse: Vec<(u64, Request)> = reqs
+                .iter()
+                .enumerate()
+                .filter_map(|(i, r)| r.clone().map(|r| (i as u64, r)))
+                .collect();
+            let ratio = [1.0, 1.3, 1.7][ratio_idx];
+            let cfg = VpnmConfig::small_test().with_bus_ratio(ratio);
+            let mk = || VpnmController::new(cfg.clone(), 9).unwrap();
+
+            let mut dense_run = mk();
+            let dense_report = dense_run.run_batch(&reqs, reqs.len() as u64);
+
+            let mut sparse_run = mk();
+            let report = sparse_run.run_sparse(reqs.len() as u64, &sparse);
+            prop_assert_eq!(report, dense_report);
+            prop_assert_eq!(sparse_run.now(), dense_run.now());
+            prop_assert_eq!(sparse_run.cycles_skipped(), dense_run.cycles_skipped());
+            prop_assert_eq!(
+                sparse_run.snapshot().to_json(),
+                dense_run.snapshot().to_json()
+            );
         }
     }
 

@@ -32,8 +32,10 @@
 //! addresses into a valid channel.
 
 use crate::config::VpnmConfig;
+use crate::controller::RunReport;
 use crate::memory::PipelinedMemory;
 use crate::metrics::ControllerMetrics;
+use crate::pool::WorkerPool;
 use crate::request::{LineAddr, Request, Response, StallKind, TickOutput};
 use crate::snapshot::MetricsSnapshot;
 use vpnm_sim::Cycle;
@@ -114,6 +116,23 @@ impl FabricConfig {
     }
 }
 
+/// A channel's share of an epoch, encoded sparsely: `(cycle offset
+/// within the epoch, the routed request)` pairs in offset order. Only
+/// the cycles that actually carry a request for this channel appear —
+/// the engine jumps the gaps via [`PipelinedMemory::run_epoch_sparse`].
+type SparseLane = Vec<(u64, Request)>;
+
+/// One worker's share of an epoch: the epoch length plus `(channel
+/// index, the channel engine itself, that channel's request lane)`
+/// triples. Engines travel *by value* to the worker and come home in the
+/// matching [`EpochDone`], so no locking or sharing is involved —
+/// ownership is the synchronization.
+type EpochJob<M> = (u64, Vec<(usize, M, SparseLane)>);
+
+/// The result of an [`EpochJob`]: each channel comes back with the
+/// [`RunReport`] of its epoch.
+type EpochDone<M> = Vec<(usize, M, RunReport)>;
+
 /// `C` lockstep [`PipelinedMemory`] channels behind one flat interface.
 ///
 /// Generic over the engine so the same fabric composes the fast
@@ -122,6 +141,18 @@ impl FabricConfig {
 /// differential suite runs both and demands identical observable
 /// behavior. The fabric itself implements [`PipelinedMemory`], so every
 /// generic harness and app takes a fabric wherever it takes a controller.
+///
+/// # Execution modes
+///
+/// [`VpnmFabric::tick`] is the sequential lockstep path: one interface
+/// cycle at a time, every channel stepped in channel order.
+/// [`VpnmFabric::run_epoch`] batches a span of cycles into an **epoch**:
+/// the router scatters the span's requests into per-channel lanes,
+/// channels advance through the whole epoch independently (sequentially,
+/// or on a persistent [`WorkerPool`] after [`VpnmFabric::set_workers`]),
+/// and a barrier at the epoch boundary re-sorts the responses into the
+/// exact cycle order the sequential path produces. See `DESIGN.md`,
+/// "Fabric layer", for the epoch/barrier diagram.
 #[derive(Debug)]
 pub struct VpnmFabric<M: PipelinedMemory = crate::VpnmController> {
     config: FabricConfig,
@@ -133,6 +164,9 @@ pub struct VpnmFabric<M: PipelinedMemory = crate::VpnmController> {
     /// routing (a bit select would alias them into a valid channel), so
     /// their counts live here and fold into the merged snapshot.
     fabric_metrics: ControllerMetrics,
+    /// Persistent worker pool for [`VpnmFabric::run_epoch`]; `None` (the
+    /// default) runs epochs on the caller's thread.
+    pool: Option<WorkerPool<EpochJob<M>, EpochDone<M>>>,
 }
 
 /// Per-channel seed derivation: channel 0 keeps the fabric seed verbatim
@@ -176,6 +210,7 @@ impl<M: PipelinedMemory> VpnmFabric<M> {
             delay,
             now: 0,
             fabric_metrics: ControllerMetrics::new(),
+            pool: None,
         })
     }
 
@@ -295,6 +330,162 @@ impl<M: PipelinedMemory> VpnmFabric<M> {
         TickOutput { response, stall }
     }
 
+    /// Workers driving [`VpnmFabric::run_epoch`]: `1` means epochs run on
+    /// the caller's thread (no pool).
+    pub fn workers(&self) -> usize {
+        self.pool.as_ref().map_or(1, WorkerPool::workers)
+    }
+
+    /// Switches [`VpnmFabric::run_epoch`] between on-thread execution
+    /// (`workers <= 1`) and a persistent [`WorkerPool`] of `workers`
+    /// threads (clamped to the channel count — extra workers would only
+    /// idle). Channel `c` is always served by worker `c % workers`, so
+    /// the partition — and therefore every observable output — is
+    /// identical from epoch to epoch and across worker counts.
+    ///
+    /// Calling this between epochs is safe at any time: the pool holds no
+    /// simulation state, only threads.
+    pub fn set_workers(&mut self, workers: usize)
+    where
+        M: Send + 'static,
+    {
+        let workers = workers.min(self.channels.len());
+        if workers <= 1 {
+            self.pool = None;
+            return;
+        }
+        if self.pool.as_ref().is_some_and(|p| p.workers() == workers) {
+            return;
+        }
+        self.pool = Some(WorkerPool::new(workers, |_, (len, job): EpochJob<M>| {
+            job.into_iter()
+                .map(|(ch, mut engine, lane)| {
+                    let report = engine.run_epoch_sparse(len, &lane);
+                    (ch, engine, report)
+                })
+                .collect()
+        }));
+    }
+
+    /// Advances the whole fabric `requests.len()` interface cycles as one
+    /// **epoch**: `requests[i]` is the request presented at fabric cycle
+    /// `now + i` (`None` = idle). Equivalent to that many
+    /// [`VpnmFabric::tick`] calls — byte-identical responses (in exact
+    /// cycle order), stall counts, and merged snapshots, modulo the
+    /// `cycles_skipped` drive-mode counter — but executed channel-major:
+    /// requests are routed into sparse per-channel lanes up front, each
+    /// channel advances through the full epoch independently via
+    /// [`PipelinedMemory::run_epoch_sparse`] (so per-channel batched
+    /// hashing applies and a channel jumps straight across the cycles
+    /// that belong to its siblings — the work per epoch scales with the
+    /// requests and responses, not with `channels x cycles` — and
+    /// channels can run on [`VpnmFabric::set_workers`] pool threads),
+    /// and the epoch barrier merges responses back into cycle order. At most one
+    /// response is due per fabric cycle (shared pinned `D`), so the merge
+    /// key `completed_at` is unique and the order exact.
+    pub fn run_epoch(&mut self, requests: &[Option<Request>]) -> RunReport {
+        let mut report = RunReport::default();
+        if requests.is_empty() {
+            return report;
+        }
+        // Route: scatter the span into sparse per-channel request lanes,
+        // holding malformed requests at the fabric edge exactly like
+        // `tick` does (same rejection kind, same recording cycle). Lanes
+        // are sparse `(offset, request)` pairs — the routing pass writes
+        // one entry per presented request, not one slot per channel per
+        // cycle, and each channel later jumps the gaps its lane encodes.
+        let c = self.channels.len();
+        let len = requests.len() as u64;
+        let mut lanes: Vec<SparseLane> = vec![Vec::new(); c];
+        for (i, slot) in requests.iter().enumerate() {
+            let Some(req) = slot else { continue };
+            if let Some(kind) = self.validate(req) {
+                report.rejected += 1;
+                self.fabric_metrics.record_stall(kind, Cycle::new(self.now + i as u64 + 1));
+                continue;
+            }
+            let (ch, local) = self.selector.route(req.addr().0);
+            lanes[ch as usize].push((
+                i as u64,
+                match req {
+                    Request::Read { .. } => Request::Read { addr: LineAddr(local) },
+                    Request::Write { data, .. } => {
+                        Request::Write { addr: LineAddr(local), data: data.clone() }
+                    }
+                },
+            ));
+        }
+
+        // Execute: every channel advances through the epoch independently.
+        // Engines travel to the pool workers by value and come home at the
+        // barrier; the `ch % workers` partition is fixed, so results are
+        // independent of scheduling.
+        let mut streams: Vec<Vec<Response>> = (0..c).map(|_| Vec::new()).collect();
+        let mut fold = |ch: usize, r: RunReport| {
+            report.accepted += r.accepted;
+            report.stalled += r.stalled;
+            report.rejected += r.rejected;
+            streams[ch] = r.responses;
+        };
+        match &self.pool {
+            None => {
+                for (ch, (engine, lane)) in self.channels.iter_mut().zip(&lanes).enumerate() {
+                    let r = engine.run_epoch_sparse(len, lane);
+                    fold(ch, r);
+                }
+            }
+            Some(pool) => {
+                let w = pool.workers();
+                let mut jobs: Vec<EpochJob<M>> = (0..w).map(|_| (len, Vec::new())).collect();
+                let engines = std::mem::take(&mut self.channels);
+                for ((ch, engine), lane) in engines.into_iter().enumerate().zip(lanes) {
+                    jobs[ch % w].1.push((ch, engine, lane));
+                }
+                for (worker, job) in jobs.into_iter().enumerate() {
+                    pool.submit(worker, job);
+                }
+                let mut slots: Vec<Option<M>> = (0..c).map(|_| None).collect();
+                for worker in 0..w {
+                    for (ch, engine, r) in pool.recv(worker) {
+                        slots[ch] = Some(engine);
+                        fold(ch, r);
+                    }
+                }
+                self.channels =
+                    slots.into_iter().map(|s| s.expect("worker returns every channel")).collect();
+            }
+        }
+
+        // Barrier merge: the shared pinned delay guarantees at most one
+        // response per fabric cycle, and every response a channel returns
+        // came due *inside* this epoch — `completed_at` is in
+        // `(now, now + len]`. That makes `completed_at - now - 1` a
+        // perfect bucket index: scatter each response into its cycle's
+        // slot (O(1), no comparisons — cheaper than any comparison merge
+        // of the streams), then read the slots off in order. Local
+        // addresses translate back to fabric addresses on the way in.
+        let total: usize = streams.iter().map(Vec::len).sum();
+        let mut responses: Vec<Response> = Vec::with_capacity(total);
+        if total > 0 {
+            let mut slots: Vec<Option<Response>> = (0..len).map(|_| None).collect();
+            for (ch, stream) in streams.into_iter().enumerate() {
+                for mut resp in stream {
+                    resp.addr = LineAddr(self.selector.unroute(ch as u32, resp.addr.0));
+                    let slot = &mut slots[(resp.completed_at.as_u64() - self.now - 1) as usize];
+                    debug_assert!(
+                        slot.is_none(),
+                        "two channels answered in one fabric cycle — delays disagree"
+                    );
+                    *slot = Some(resp);
+                }
+            }
+            responses.extend(slots.into_iter().flatten());
+        }
+        report.responses = responses;
+        self.now += len;
+        report
+    }
+
     /// Merges the per-channel snapshots (plus the fabric's own rejection
     /// accounting) into one fabric-level [`MetricsSnapshot`] — `None` when
     /// the engine type keeps no metrics.
@@ -368,6 +559,13 @@ impl<M: PipelinedMemory> PipelinedMemory for VpnmFabric<M> {
 
     fn now(&self) -> Cycle {
         VpnmFabric::now(self)
+    }
+
+    fn run_epoch(&mut self, requests: &[Option<Request>]) -> RunReport {
+        // The channel-major epoch path (not the trait's tick-loop
+        // default): per-channel batching, idle-span skipping, and the
+        // worker pool when one is configured.
+        VpnmFabric::run_epoch(self, requests)
     }
 
     fn snapshot(&self) -> Option<MetricsSnapshot> {
@@ -537,6 +735,130 @@ mod tests {
             fast.merged_snapshot().unwrap().to_json(),
             reference.merged_snapshot().unwrap().to_json()
         );
+    }
+
+    /// Deterministic mixed stream with idle gaps: the epoch-path tests
+    /// drive twin fabrics with the exact same spans.
+    fn epoch_stream(n: u64, seed: u64) -> Vec<Option<Request>> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|i| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let addr = LineAddr(x >> 52);
+                match i % 7 {
+                    0 => Some(Request::write(addr, (x as u32).to_le_bytes().to_vec())),
+                    5 | 6 => None, // idle gaps exercise per-channel skipping
+                    _ => Some(Request::Read { addr }),
+                }
+            })
+            .collect()
+    }
+
+    /// Snapshot serialization with the one sanctioned epoch/tick
+    /// divergence (the `cycles_skipped` drive-mode counter) masked off.
+    fn snapshot_sans_skips<M: PipelinedMemory>(fab: &VpnmFabric<M>) -> String {
+        let mut snap = fab.merged_snapshot().unwrap();
+        snap.cycles_skipped = 0;
+        snap.to_json()
+    }
+
+    #[test]
+    fn run_epoch_matches_tick_sequence() {
+        for channels in [1, 4] {
+            let cfg = fabric_config(channels, ChannelSelect::UniversalHash);
+            let mut ticked = VpnmFabric::new(cfg.clone(), 0xEE).unwrap();
+            let mut epoched = VpnmFabric::new(cfg, 0xEE).unwrap();
+            let stream = epoch_stream(1200, 77);
+
+            let mut tick_responses = Vec::new();
+            let mut tick_accepted = 0u64;
+            for req in &stream {
+                let out = VpnmFabric::tick(&mut ticked, req.clone());
+                tick_accepted += u64::from(req.is_some() && out.accepted());
+                tick_responses.extend(out.response);
+            }
+            // Two epochs with a seam in the middle: responses issued in
+            // epoch one may come due in epoch two.
+            let (a, b) = stream.split_at(500);
+            let ra = epoched.run_epoch(a);
+            let rb = epoched.run_epoch(b);
+            assert_eq!(u64::from(epoched.now()), stream.len() as u64, "{channels}ch");
+            assert_eq!(ra.accepted + rb.accepted, tick_accepted, "{channels}ch");
+
+            let epoch_responses: Vec<_> = ra.responses.into_iter().chain(rb.responses).collect();
+            assert_eq!(epoch_responses, tick_responses, "{channels}ch");
+            assert_eq!(
+                PipelinedMemory::drain(&mut epoched),
+                PipelinedMemory::drain(&mut ticked),
+                "{channels}ch"
+            );
+            assert_eq!(
+                snapshot_sans_skips(&epoched),
+                snapshot_sans_skips(&ticked),
+                "{channels}ch: snapshots must agree modulo cycles_skipped"
+            );
+        }
+    }
+
+    #[test]
+    fn run_epoch_parallel_is_byte_identical_to_on_thread() {
+        let stream = epoch_stream(2000, 13);
+        let run = |workers: usize| {
+            let mut fab =
+                VpnmFabric::new(fabric_config(8, ChannelSelect::UniversalHash), 5).unwrap();
+            fab.set_workers(workers);
+            let mut report = RunReport::default();
+            for span in stream.chunks(333) {
+                let r = fab.run_epoch(span);
+                report.accepted += r.accepted;
+                report.stalled += r.stalled;
+                report.rejected += r.rejected;
+                report.responses.extend(r.responses);
+            }
+            report.responses.extend(PipelinedMemory::drain(&mut fab));
+            (report, snapshot_sans_skips(&fab))
+        };
+        let (base_report, base_snap) = run(1);
+        assert!(!base_report.responses.is_empty());
+        for workers in [2, 3, 8] {
+            let (report, snap) = run(workers);
+            assert_eq!(report, base_report, "workers = {workers}");
+            assert_eq!(snap, base_snap, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn set_workers_clamps_to_channel_count() {
+        let mut fab = VpnmFabric::new(fabric_config(4, ChannelSelect::LowBits), 3).unwrap();
+        assert_eq!(fab.workers(), 1);
+        fab.set_workers(16);
+        assert_eq!(fab.workers(), 4, "more workers than channels would only idle");
+        fab.set_workers(2);
+        assert_eq!(fab.workers(), 2);
+        fab.set_workers(0);
+        assert_eq!(fab.workers(), 1, "0/1 workers mean on-thread execution");
+        // Reconfiguring mid-stream must not disturb in-flight state.
+        let r = fab.run_epoch(&epoch_stream(64, 1));
+        fab.set_workers(4);
+        let r2 = fab.run_epoch(&epoch_stream(64, 2));
+        assert!(r.accepted + r2.accepted > 0);
+        assert_eq!(u64::from(fab.now()), 128);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn run_epoch_rejects_malformed_like_tick() {
+        let mut fab = VpnmFabric::new(fabric_config(2, ChannelSelect::LowBits), 1).unwrap();
+        let oob = 1u64 << fab.config().base.addr_bits;
+        let spans = [
+            None,
+            Some(Request::Read { addr: LineAddr(oob) }),
+            Some(Request::Read { addr: LineAddr(3) }),
+        ];
+        let r = fab.run_epoch(&spans.to_vec());
+        assert_eq!(r.rejected, 1);
+        assert_eq!(r.accepted, 1);
+        assert_eq!(fab.fabric_rejections(), 1);
     }
 
     #[cfg(not(debug_assertions))]

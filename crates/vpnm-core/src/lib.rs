@@ -59,6 +59,7 @@ pub mod forensics;
 pub mod hash_engine;
 pub mod memory;
 pub mod metrics;
+pub mod pool;
 pub mod ready_set;
 pub mod reference;
 pub mod request;
@@ -72,6 +73,7 @@ pub use forensics::{ForensicEvent, ForensicKind, ForensicRing};
 pub use hash_engine::{HashEngine, HashKind};
 pub use memory::{IdealMemory, PipelinedMemory};
 pub use metrics::ControllerMetrics;
+pub use pool::WorkerPool;
 pub use reference::ReferenceController;
 pub use request::{LineAddr, Request, Response, StallKind, TickOutput};
 pub use snapshot::{MetricsSnapshot, SNAPSHOT_SCHEMA_VERSION};

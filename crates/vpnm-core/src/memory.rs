@@ -9,6 +9,7 @@
 //! [`crate::VpnmController`] accepts the same request stream without
 //! stalls, its responses must be byte-identical to `IdealMemory`'s.
 
+use crate::controller::RunReport;
 use crate::metrics::ControllerMetrics;
 use crate::request::{LineAddr, Request, Response, TickOutput};
 use crate::snapshot::MetricsSnapshot;
@@ -70,6 +71,60 @@ pub trait PipelinedMemory {
         out
     }
 
+    /// Advances `requests.len()` interface cycles as one **epoch**,
+    /// presenting `requests[i]` on cycle `i`, and returns the collected
+    /// responses (in delivery order) plus acceptance counts.
+    ///
+    /// This is the batched front door the epoch-synchronized
+    /// [`crate::VpnmFabric`] workers drive: one call hands an engine a
+    /// whole span of cycles, so implementations can amortize per-cycle
+    /// costs across the span. The contract is observational equivalence
+    /// with the per-tick path: responses, stall accounting, clock, and
+    /// metrics must be exactly what the equivalent
+    /// [`PipelinedMemory::tick`] sequence produces. The one sanctioned
+    /// exception is the `cycles_skipped` drive-mode counter — engines
+    /// with event-horizon skipping ([`crate::VpnmController`], which
+    /// routes this method to its `run_batch`) account skipped idle spans
+    /// there, while the per-tick path grinds through them.
+    fn run_epoch(&mut self, requests: &[Option<Request>]) -> RunReport {
+        let mut report = RunReport::default();
+        for req in requests {
+            let presented = req.is_some();
+            let out = self.tick(req.clone());
+            if let Some(r) = out.response {
+                report.responses.push(r);
+            }
+            match out.stall {
+                None => report.accepted += u64::from(presented),
+                Some(kind) if kind.is_rejection() => report.rejected += 1,
+                Some(_) => report.stalled += 1,
+            }
+        }
+        report
+    }
+
+    /// [`PipelinedMemory::run_epoch`] over a **sparse** epoch: advances
+    /// `len` interface cycles presenting `requests[k].1` on cycle
+    /// `requests[k].0` (offsets strictly increasing, `< len`); all other
+    /// cycles are idle.
+    ///
+    /// Same observational-equivalence contract as `run_epoch` (it *is*
+    /// the same epoch, just encoded sparsely). The default densifies and
+    /// delegates, which is correct for every engine; engines with
+    /// event-horizon skipping override it to jump the gaps directly —
+    /// [`crate::VpnmController`] routes it to its `run_sparse`, making
+    /// the cost proportional to the requests and responses in the span
+    /// rather than to `len`. The [`crate::VpnmFabric`] epoch path feeds
+    /// each channel through this method: a channel of a `C`-channel
+    /// fabric only ever sees its own `1/C` slice of the stream.
+    fn run_epoch_sparse(&mut self, len: u64, requests: &[(u64, Request)]) -> RunReport {
+        let mut dense: Vec<Option<Request>> = vec![None; len as usize];
+        for (offset, req) in requests {
+            dense[*offset as usize] = Some(req.clone());
+        }
+        self.run_epoch(&dense)
+    }
+
     /// The aggregate metrics, for engines that keep them. `None` for
     /// models without an accounting layer ([`IdealMemory`]) and for
     /// composites whose metrics only exist in merged snapshot form
@@ -115,6 +170,12 @@ impl<M: PipelinedMemory + ?Sized> PipelinedMemory for Box<M> {
     fn drain(&mut self) -> Vec<Response> {
         (**self).drain()
     }
+    fn run_epoch(&mut self, requests: &[Option<Request>]) -> RunReport {
+        (**self).run_epoch(requests)
+    }
+    fn run_epoch_sparse(&mut self, len: u64, requests: &[(u64, Request)]) -> RunReport {
+        (**self).run_epoch_sparse(len, requests)
+    }
     fn metrics(&self) -> Option<&ControllerMetrics> {
         (**self).metrics()
     }
@@ -147,6 +208,19 @@ impl PipelinedMemory for crate::VpnmController {
     fn drain(&mut self) -> Vec<Response> {
         // The inherent drain takes the idle fast-forward path.
         crate::VpnmController::drain(self)
+    }
+
+    fn run_epoch(&mut self, requests: &[Option<Request>]) -> RunReport {
+        // The inherent batched path: pre-hashed banks plus event-horizon
+        // skipping over idle runs. A property test pins it byte-identical
+        // to the tick sequence (modulo `cycles_skipped`).
+        crate::VpnmController::run_batch(self, requests, requests.len() as u64)
+    }
+
+    fn run_epoch_sparse(&mut self, len: u64, requests: &[(u64, Request)]) -> RunReport {
+        // The native sparse drive: idle gaps are jumped from the offsets
+        // alone, so no dense span is ever materialized or scanned.
+        crate::VpnmController::run_sparse(self, len, requests)
     }
 
     fn metrics(&self) -> Option<&ControllerMetrics> {

@@ -34,9 +34,53 @@ use rand::{Rng, SeedableRng};
 pub struct AffinePermutation {
     forward: BitMatrix,
     inverse: BitMatrix,
+    /// Byte-tabulated `forward`/`inverse` (the H3 trick): linearity makes
+    /// `M·x` the XOR of one table entry per input byte, so the hot
+    /// `apply`/`invert` paths cost a few L1 loads instead of one popcount
+    /// per output bit. Derived from the matrices at construction — never
+    /// serialized, always in agreement.
+    fwd_tab: ByteTables,
+    inv_tab: ByteTables,
     offset: u64,
     addr_bits: u32,
     bank_bits: u32,
+}
+
+/// Per-byte XOR tables for a GF(2) linear map: `tabs[c][b] = M·(b « 8c)`,
+/// so `M·x = ⊕_c tabs[c][byte_c(x)]`. Bit-identical to
+/// [`BitMatrix::mul_vec`] for every input, including the masking of bits
+/// beyond the matrix's column count (those bits were masked when the
+/// entries were built).
+#[derive(Clone, PartialEq, Eq)]
+struct ByteTables {
+    tabs: Vec<[u64; 256]>,
+}
+
+impl ByteTables {
+    fn new(m: &BitMatrix) -> Self {
+        let mut tabs = vec![[0u64; 256]; m.num_cols().div_ceil(8) as usize];
+        for (c, tab) in tabs.iter_mut().enumerate() {
+            for (b, slot) in tab.iter_mut().enumerate() {
+                *slot = m.mul_vec((b as u64) << (8 * c));
+            }
+        }
+        ByteTables { tabs }
+    }
+
+    #[inline]
+    fn apply(&self, x: u64) -> u64 {
+        let mut out = 0;
+        for (c, tab) in self.tabs.iter().enumerate() {
+            out ^= tab[(x >> (8 * c)) as u8 as usize];
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for ByteTables {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ByteTables({} tables)", self.tabs.len())
+    }
 }
 
 impl AffinePermutation {
@@ -53,7 +97,9 @@ impl AffinePermutation {
         let inverse = forward.inverse().expect("sampled invertible");
         let offset =
             rng.gen::<u64>() & if addr_bits == 64 { u64::MAX } else { (1u64 << addr_bits) - 1 };
-        AffinePermutation { forward, inverse, offset, addr_bits, bank_bits }
+        let fwd_tab = ByteTables::new(&forward);
+        let inv_tab = ByteTables::new(&inverse);
+        AffinePermutation { forward, inverse, fwd_tab, inv_tab, offset, addr_bits, bank_bits }
     }
 
     /// Samples deterministically from a seed.
@@ -64,13 +110,13 @@ impl AffinePermutation {
     /// The randomized physical location of line `x`.
     #[inline]
     pub fn apply(&self, x: u64) -> u64 {
-        self.forward.mul_vec(x) ^ self.offset
+        self.fwd_tab.apply(x) ^ self.offset
     }
 
     /// Inverse mapping: which line lives at physical location `y`.
     #[inline]
     pub fn invert(&self, y: u64) -> u64 {
-        self.inverse.mul_vec(y ^ self.offset)
+        self.inv_tab.apply(y ^ self.offset)
     }
 
     /// Number of address bits in the permuted space.
@@ -177,6 +223,22 @@ mod tests {
     #[should_panic(expected = "bank_bits")]
     fn rejects_bank_bits_ge_addr_bits() {
         let _ = AffinePermutation::from_seed(8, 8, 0);
+    }
+
+    #[test]
+    fn byte_tables_match_the_matrices_bit_for_bit() {
+        // The tabulated hot path must agree with the defining mat-vec on
+        // every width, including non-byte-aligned ones and stray high
+        // bits beyond addr_bits (both mask identically).
+        for (addr_bits, seed) in [(2u32, 1u64), (13, 2), (32, 3), (57, 4), (64, 5)] {
+            let p = AffinePermutation::from_seed(addr_bits, 1, seed);
+            let mut x = seed | 1;
+            for _ in 0..500 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                assert_eq!(p.apply(x), p.forward.mul_vec(x) ^ p.offset, "{addr_bits} bits");
+                assert_eq!(p.invert(x), p.inverse.mul_vec(x ^ p.offset), "{addr_bits} bits");
+            }
+        }
     }
 }
 

@@ -292,6 +292,29 @@ impl DualClock {
         m
     }
 
+    /// The largest `n` such that [`DualClock::advance_interfaces`]`(n)`
+    /// would consume at most `m` memory cycles — i.e. how many whole
+    /// interface cycles fit inside the next `m` memory ticks.
+    ///
+    /// Used by busy-horizon skips: a simulation that has computed "the
+    /// next state-changing memory tick is `m + 1` ticks away" can skip
+    /// exactly the interface cycles whose memory ticks all precede it,
+    /// then step normally into the event. Returns 0 when not even one
+    /// interface edge falls within `m` memory ticks.
+    pub fn interfaces_within_memory(&self, m: u64) -> u64 {
+        // advance_interfaces(n) consumes ceil((n*num - acc)/den) memory
+        // ticks, which is <= m iff n*num <= m*den + acc. This sits on the
+        // busy-horizon skip's hot path, so stay in u64 for the short
+        // horizons skips actually see (den <= 1000 by construction).
+        match m.checked_mul(self.den).and_then(|md| md.checked_add(self.acc)) {
+            Some(md) => md / self.num,
+            None => {
+                ((u128::from(m) * u128::from(self.den) + u128::from(self.acc))
+                    / u128::from(self.num)) as u64
+            }
+        }
+    }
+
     /// Current memory-domain time.
     pub fn memory_now(&self) -> Cycle {
         self.memory.now()
@@ -451,6 +474,27 @@ mod tests {
                 assert_eq!(bulk.memory_now(), seq.memory_now(), "r={r} round={round}");
                 assert_eq!(bulk.interface_now(), seq.interface_now(), "r={r} round={round}");
                 assert_eq!(bulk.acc, seq.acc, "r={r} round={round}");
+            }
+        }
+    }
+
+    #[test]
+    fn interfaces_within_memory_is_the_exact_inverse_of_advance() {
+        // For every ratio and accumulator phase, the reported n must
+        // satisfy cost(n) <= m < cost(n + 1), where cost is the memory
+        // ticks advance_interfaces would consume.
+        for &r in &[1.0, 1.1, 1.25, 1.3, 1.5, 2.0, 3.7] {
+            let mut clk = DualClock::new(r);
+            for phase in 0..40u64 {
+                for _ in 0..(phase % 5) {
+                    clk.tick_memory();
+                }
+                for m in 0..12u64 {
+                    let n = clk.interfaces_within_memory(m);
+                    let cost = |edges: u64| clk.clone().advance_interfaces(edges);
+                    assert!(cost(n) <= m, "r={r} phase={phase} m={m} n={n}");
+                    assert!(cost(n + 1) > m, "r={r} phase={phase} m={m} n={n}");
+                }
             }
         }
     }

@@ -147,6 +147,85 @@ fn merging_bounds_redundant_pattern_resources() {
 }
 
 #[test]
+fn parallel_fabric_upholds_the_latency_invariant() {
+    // The deterministic-latency contract survives the epoch-batched
+    // parallel path: whatever the worker count, every accepted read is
+    // answered after exactly D fabric cycles, and the full observable
+    // output (responses in cycle order, merged snapshot) is byte-identical
+    // to the single-worker run.
+    use vpnm::core::fabric::{ChannelSelect, FabricConfig};
+    use vpnm::core::VpnmFabric;
+
+    let cfg = FabricConfig {
+        channels: 8,
+        select: ChannelSelect::UniversalHash,
+        base: VpnmConfig::test_roomy(),
+    };
+    let mut shaper = BurstShaper::new(300, 80);
+    let mut gen = UniformAddresses::new(1 << 16, 23);
+    let stream: Vec<Option<Request>> = (0..6000)
+        .map(|_| shaper.tick().then(|| Request::Read { addr: LineAddr(gen.next_addr()) }))
+        .collect();
+
+    let run = |workers: usize| {
+        let mut fab = VpnmFabric::new(cfg.clone(), 31).expect("valid fabric");
+        fab.set_workers(workers);
+        let d = fab.delay();
+        let mut responses = Vec::new();
+        for span in stream.chunks(1013) {
+            let report = fab.run_epoch(span);
+            assert_eq!(report.stalled, 0, "roomy config must not stall on uniform traffic");
+            responses.extend(report.responses);
+        }
+        responses.extend(PipelinedMemory::drain(&mut fab));
+        for r in &responses {
+            assert_eq!(r.latency(), d, "workers = {workers}");
+        }
+        (responses, fab.merged_snapshot().expect("fabric keeps metrics").to_json())
+    };
+    let baseline = run(1);
+    assert!(!baseline.0.is_empty());
+    for workers in [2, 8] {
+        assert_eq!(run(workers), baseline, "workers = {workers}");
+    }
+}
+
+#[test]
+fn epoch_advance_is_uniform_across_trait_objects() {
+    // `run_epoch` is part of the object-safe trait surface: the default
+    // tick-loop (IdealMemory), the controller's `run_batch` override, and
+    // the fabric's channel-major path all answer the same epoch through
+    // `Box<dyn PipelinedMemory>` with identical response streams.
+    use vpnm::core::fabric::{ChannelSelect, FabricConfig};
+    use vpnm::core::VpnmFabric;
+
+    let base = VpnmConfig::test_roomy();
+    let mut gen = UniformAddresses::new(1 << 16, 41);
+    let epoch: Vec<Option<Request>> = (0..800)
+        .map(|i| (i % 3 != 2).then(|| Request::Read { addr: LineAddr(gen.next_addr()) }))
+        .collect();
+
+    let mut vpnm: Box<dyn PipelinedMemory> =
+        Box::new(VpnmController::new(base.clone(), 2).expect("valid"));
+    let mut ideal: Box<dyn PipelinedMemory> = Box::new(IdealMemory::new(vpnm.delay(), 8));
+    let mut fabric: Box<dyn PipelinedMemory> = Box::new(
+        VpnmFabric::new(FabricConfig { channels: 1, select: ChannelSelect::LowBits, base }, 2)
+            .expect("valid"),
+    );
+    let mut outputs = Vec::new();
+    for mem in [&mut vpnm, &mut ideal, &mut fabric] {
+        let mut responses = mem.run_epoch(&epoch).responses;
+        responses.extend(mem.drain());
+        outputs.push(responses);
+    }
+    assert_eq!(outputs[0].len(), outputs[1].len());
+    for (v, i) in outputs[0].iter().zip(&outputs[1]) {
+        assert_eq!((v.addr, v.issued_at, v.completed_at), (i.addr, i.issued_at, i.completed_at));
+    }
+    assert_eq!(outputs[0], outputs[2], "one-channel fabric epochs match the bare controller");
+}
+
+#[test]
 fn rekeying_changes_the_mapping() {
     // Two controllers with different seeds map the same addresses to
     // different banks (with overwhelming probability over 64 addresses).

@@ -253,6 +253,89 @@ fn fabric_runs_are_deterministic_at_four_channels() {
     assert_eq!(run(), run());
 }
 
+/// Merged snapshot serialization with the one sanctioned epoch/tick
+/// divergence — the `cycles_skipped` drive-mode counter — masked off
+/// (the same convention the `run_batch` equivalence tests use).
+fn snapshot_sans_skips<M: PipelinedMemory>(fab: &VpnmFabric<M>) -> String {
+    let mut snap = fab.merged_snapshot().expect("fabric keeps metrics");
+    snap.cycles_skipped = 0;
+    snap.to_json()
+}
+
+/// Full-rate bursts separated by idle stretches much longer than `D` —
+/// the per-channel idle fast-forward path fires constantly.
+fn bursty_idle_stream(bursts: u64, addr_mask: u64) -> Vec<Option<Request>> {
+    let mut stream = Vec::new();
+    for burst in 0..bursts {
+        for i in 0..25u64 {
+            let addr = LineAddr((burst * 977 + i * 13) & addr_mask);
+            stream.push(Some(if i % 4 == 0 {
+                Request::write(addr, vec![i as u8])
+            } else {
+                Request::Read { addr }
+            }));
+        }
+        stream.extend(std::iter::repeat_with(|| None).take(400));
+    }
+    stream
+}
+
+/// Every address is a multiple of `channels`, so a low-bits channel
+/// select funnels the whole stream into channel 0 — one channel stalls
+/// heavily while the rest idle (the worst case for epoch batching).
+fn channel_flood_stream(n: u64, channels: u64) -> Vec<Option<Request>> {
+    (0..n)
+        .map(|i| Some(Request::Read { addr: LineAddr((i * 13 % (1 << 12)) * channels) }))
+        .collect()
+}
+
+#[test]
+fn fabric_epoch_path_is_worker_count_invariant_and_matches_tick() {
+    // The tentpole contract: for every trace shape and every worker
+    // count, the epoch-batched path produces byte-identical responses
+    // (in exact cycle order), drains, and merged snapshots — equal to
+    // each other AND to the sequential per-tick path (modulo the
+    // `cycles_skipped` drive-mode counter).
+    let traces: Vec<(&str, ChannelSelect, Vec<Option<Request>>)> = vec![
+        ("uniform", ChannelSelect::UniversalHash, mixed_stream(2000, (1 << 16) - 1)),
+        ("bursty-idle", ChannelSelect::UniversalHash, bursty_idle_stream(5, (1 << 16) - 1)),
+        ("adversarial", ChannelSelect::LowBits, channel_flood_stream(1500, 8)),
+    ];
+    for (name, select, stream) in traces {
+        let cfg = FabricConfig { channels: 8, select, base: VpnmConfig::small_test() };
+
+        let mut ticked = VpnmFabric::new(cfg.clone(), 17).expect("valid");
+        let mut tick_responses = Vec::new();
+        for req in &stream {
+            tick_responses.extend(ticked.tick(req.clone()).response);
+        }
+        let tick_drain = PipelinedMemory::drain(&mut ticked);
+        let tick_snap = snapshot_sans_skips(&ticked);
+
+        for workers in [1usize, 2, 8] {
+            let mut fab = VpnmFabric::new(cfg.clone(), 17).expect("valid");
+            fab.set_workers(workers);
+            let mut responses = Vec::new();
+            // A prime epoch length, so epoch seams never align with the
+            // trace's own periodicity.
+            for span in stream.chunks(257) {
+                responses.extend(fab.run_epoch(span).responses);
+            }
+            assert_eq!(responses, tick_responses, "{name}, {workers} workers: responses");
+            assert_eq!(
+                PipelinedMemory::drain(&mut fab),
+                tick_drain,
+                "{name}, {workers} workers: drain"
+            );
+            assert_eq!(
+                snapshot_sans_skips(&fab),
+                tick_snap,
+                "{name}, {workers} workers: merged snapshot"
+            );
+        }
+    }
+}
+
 #[test]
 fn boxed_engines_run_the_same_stream_through_one_call_site() {
     // The widened trait is object-safe: one loop drives a bare fast
