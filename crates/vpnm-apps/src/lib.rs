@@ -25,16 +25,27 @@
 //! * [`inspect`] — signature-based content inspection (the "packet
 //!   inspection" future-work direction): an on-chip Bloom prefilter in
 //!   front of an exact-match verification table in VPNM memory.
+//! * [`engine`] — the shared `--engine/--channels/--select/--workers`
+//!   flag triple that builds any engine/fabric topology; used by the
+//!   serving bins here and re-exported by `vpnm-bench` for the
+//!   measurement bins.
+//! * [`serve`] — the live serving front-end: concurrent producers,
+//!   bounded ingress queues with backpressure, wall-clock pacing, and a
+//!   million-flow table over the fabric-backed packet buffer.
 
 #![warn(missing_docs)]
 
 pub mod baselines;
+pub mod engine;
 pub mod inspect;
 pub mod lpm;
 pub mod packet_buffer;
 pub mod reassembly;
+pub mod serve;
 
+pub use engine::{engine_from_args, EngineKind, EngineOpts};
 pub use inspect::{InspectionEngine, SignatureMatch};
 pub use lpm::{LpmEngine, RoutePrefix, RouteTable};
 pub use packet_buffer::{BufferEvent, PacketBufferStats, VpnmPacketBuffer};
 pub use reassembly::{HoleBuffer, ReassemblyEngine, ReassemblyStats};
+pub use serve::{run_serve, ArrivalSource, FlowMix, ServeConfig, ServeReport};

@@ -92,6 +92,39 @@ pub struct PacketBufferStats {
     pub memory_stalls: u64,
     /// Events rejected because a queue was full/empty.
     pub queue_rejections: u64,
+    /// Dequeues that never produced a response because their read stalled
+    /// inside an epoch-batched run ([`VpnmPacketBuffer::run_epoch`]
+    /// pre-commits pointer movement, so a stalled read becomes a lost
+    /// cell, not a retry). Always 0 on the per-tick path, and
+    /// astronomically rare on the epoch path at line rate — the paper
+    /// sizes the pipeline so the memory never pushes back.
+    pub lost_reads: u64,
+}
+
+/// One delivered cell from an epoch-batched run, tagged with the
+/// interface cycle it came due (for latency-to-deterministic-return
+/// accounting at the serving layer).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochDelivery {
+    /// The delivered cell.
+    pub cell: DequeuedCell,
+    /// Absolute interface cycle the response was delivered.
+    pub completed_at: u64,
+}
+
+/// What happened during one [`VpnmPacketBuffer::run_epoch`] call.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BufferEpochReport {
+    /// Per-event outcome, aligned with the input slice: `Ok` means the
+    /// event was issued to memory (its pointer movement is committed),
+    /// `Err` carries the same rejection the per-tick path would have
+    /// returned (the cycle ran idle instead).
+    pub outcomes: Vec<Result<(), BufferError>>,
+    /// Cells that came due during the epoch, in delivery order.
+    pub delivered: Vec<EpochDelivery>,
+    /// Memory stalls inside the epoch (each is a lost event under the
+    /// epoch path's no-retry semantics).
+    pub stalled: u64,
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -319,18 +352,136 @@ impl<M: PipelinedMemory> VpnmPacketBuffer<M> {
         }
     }
 
+    /// Pairs one memory response with its in-flight dequeue entry,
+    /// skipping (and counting as lost) orphan entries left by reads that
+    /// stalled inside an epoch-batched run. On the pure per-tick path the
+    /// front entry always matches and the loop runs once.
+    fn pair_response_queue(&mut self, addr: u64) -> u32 {
+        let rq = (addr / self.cells_per_queue) as u32;
+        loop {
+            let front =
+                self.in_flight.pop_front().expect("a response implies an in-flight dequeue");
+            if front == rq {
+                return rq;
+            }
+            self.stats.lost_reads += 1;
+        }
+    }
+
     /// Runs one memory cycle, banking any due response into the pending
     /// delivery queue; returns the stall, if the submission was rejected.
     fn pump(&mut self, request: Option<Request>) -> Option<StallKind> {
         let out = self.mem.tick(request);
         if let Some(r) = out.response {
-            let queue =
-                self.in_flight.pop_front().expect("a response implies an in-flight dequeue");
-            debug_assert_eq!(u64::from(queue), r.addr.0 / self.cells_per_queue);
+            let queue = self.pair_response_queue(r.addr.0);
             self.stats.delivered += 1;
             self.pending.push_back(DequeuedCell { queue, data: r.data });
         }
         out.stall
+    }
+
+    /// Runs `len` interface cycles in one epoch-batched call, applying at
+    /// most one event per cycle — the serving front-end's batch front
+    /// door, and the only packet-buffer drive mode that reaches a
+    /// fabric's parallel `run_epoch` worker path.
+    ///
+    /// `events` holds `(cycle_offset, event)` pairs with offsets strictly
+    /// increasing and `< len`; offsets with no entry run idle. Admission
+    /// checks (queue bounds, range) are applied at schedule time against
+    /// the same pointer state the per-tick path would see, so the
+    /// per-event outcomes are exact. Accepted events *pre-commit* their
+    /// pointer movement; in exchange, a memory stall inside the epoch is
+    /// a lost event rather than a retry (a stalled read surfaces in
+    /// [`PacketBufferStats::lost_reads`] when its orphan in-flight entry
+    /// is skipped, a stalled write as a cell that reads back empty).
+    /// Stall-free epochs — the designed-for regime at line rate — are
+    /// byte-equivalent to driving [`VpnmPacketBuffer::tick`] cycle by
+    /// cycle.
+    ///
+    /// Deliveries are returned directly (with their due cycle) rather
+    /// than through the per-tick pending queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if offsets are not strictly increasing or reach `len`.
+    pub fn run_epoch(&mut self, len: u64, events: &[(u64, BufferEvent)]) -> BufferEpochReport {
+        let mut report = BufferEpochReport {
+            outcomes: Vec::with_capacity(events.len()),
+            ..BufferEpochReport::default()
+        };
+        let mut sparse: Vec<(u64, Request)> = Vec::with_capacity(events.len());
+        let mut prev: Option<u64> = None;
+        for (offset, event) in events {
+            assert!(*offset < len, "event offset {offset} outside epoch of {len}");
+            assert!(prev.is_none_or(|p| p < *offset), "event offsets must strictly increase");
+            prev = Some(*offset);
+            let outcome = match event {
+                BufferEvent::Enqueue { queue, cell } => {
+                    match self.queues.get(*queue as usize).copied() {
+                        None => Err(BufferError::BadQueue),
+                        Some(q) if q.tail - q.head >= self.cells_per_queue => {
+                            Err(BufferError::QueueFull)
+                        }
+                        Some(q) => {
+                            let addr = self.cell_addr(*queue, q.tail);
+                            sparse.push((
+                                *offset,
+                                Request::Write { addr, data: cell.clone().into() },
+                            ));
+                            self.queues[*queue as usize].tail += 1;
+                            self.stats.enqueued += 1;
+                            Ok(())
+                        }
+                    }
+                }
+                BufferEvent::Dequeue { queue } => match self.queues.get(*queue as usize).copied() {
+                    None => Err(BufferError::BadQueue),
+                    Some(q) if q.tail == q.head => Err(BufferError::QueueEmpty),
+                    Some(q) => {
+                        let addr = self.cell_addr(*queue, q.head);
+                        sparse.push((*offset, Request::Read { addr }));
+                        self.queues[*queue as usize].head += 1;
+                        self.in_flight.push_back(*queue);
+                        self.stats.dequeued += 1;
+                        Ok(())
+                    }
+                },
+            };
+            if outcome.is_err() {
+                self.stats.queue_rejections += 1;
+            }
+            report.outcomes.push(outcome);
+        }
+        let run = self.mem.run_epoch_sparse(len, &sparse);
+        report.stalled = run.stalled;
+        self.stats.memory_stalls += run.stalled;
+        report.delivered.reserve(run.responses.len());
+        for r in run.responses {
+            let queue = self.pair_response_queue(r.addr.0);
+            self.stats.delivered += 1;
+            report.delivered.push(EpochDelivery {
+                cell: DequeuedCell { queue, data: r.data },
+                completed_at: r.completed_at.as_u64(),
+            });
+        }
+        report
+    }
+
+    /// In-flight dequeues awaiting a response.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// After the memory is fully drained (`outstanding() == 0`), any
+    /// entries still in the in-flight FIFO are orphans of stalled
+    /// epoch-path reads; this pops and counts them as
+    /// [`PacketBufferStats::lost_reads`], returning how many there were.
+    pub fn reconcile_lost(&mut self) -> u64 {
+        debug_assert_eq!(self.mem.outstanding(), 0, "reconcile before drain");
+        let lost = self.in_flight.len() as u64;
+        self.stats.lost_reads += lost;
+        self.in_flight.clear();
+        lost
     }
 
     /// Ticks with no events until every in-flight dequeue has been
@@ -515,6 +666,111 @@ mod tests {
         assert_eq!(bare.drain(), fab.drain());
         assert_eq!(bare.stats(), fab.stats());
     }
+
+    #[test]
+    fn epoch_path_matches_tick_path() {
+        let mut tick_buf = buffer();
+        let mut epoch_buf = buffer();
+
+        // 40 cycles: enqueue on even cycles, dequeue on cycles ≡ 1 (mod 4),
+        // idle otherwise; includes a premature dequeue rejection at cycle 1.
+        let mut events = Vec::new();
+        let mut seq = 0u64;
+        for offset in 0..40u64 {
+            if offset % 2 == 0 {
+                events.push((
+                    offset,
+                    BufferEvent::Enqueue { queue: 3, cell: payload_bytes(3, seq, 8) },
+                ));
+                seq += 1;
+            } else if offset % 4 == 1 {
+                events.push((offset, BufferEvent::Dequeue { queue: 3 }));
+            }
+        }
+
+        let mut tick_outcomes = Vec::new();
+        let mut tick_cells = Vec::new();
+        let mut it = events.iter().peekable();
+        for offset in 0..40u64 {
+            let ev = match it.peek() {
+                Some((o, ev)) if *o == offset => {
+                    it.next();
+                    Some(ev.clone())
+                }
+                _ => None,
+            };
+            let is_event = ev.is_some();
+            match tick_buf.tick(ev) {
+                Ok(cell) => {
+                    if is_event {
+                        tick_outcomes.push(Ok(()));
+                    }
+                    tick_cells.extend(cell);
+                }
+                Err(e) => tick_outcomes.push(Err(e)),
+            }
+        }
+        tick_cells.extend(tick_buf.drain());
+
+        let report = epoch_buf.run_epoch(40, &events);
+        assert_eq!(report.stalled, 0);
+        assert_eq!(report.outcomes, tick_outcomes);
+        // Deliveries due within the epoch carry the deterministic
+        // completion cycle: issue cycle + delay.
+        for d in &report.delivered {
+            assert!(d.completed_at < 40 + epoch_buf.delay());
+        }
+        let mut epoch_cells: Vec<DequeuedCell> =
+            report.delivered.into_iter().map(|d| d.cell).collect();
+        epoch_cells.extend(epoch_buf.drain());
+        assert_eq!(epoch_cells, tick_cells);
+        assert_eq!(epoch_buf.stats(), tick_buf.stats());
+        assert_eq!(epoch_buf.stats().lost_reads, 0);
+        assert_eq!(epoch_buf.in_flight(), 0);
+        assert_eq!(epoch_buf.reconcile_lost(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase")]
+    fn epoch_rejects_unsorted_offsets() {
+        let mut buf = buffer();
+        buf.run_epoch(
+            8,
+            &[
+                (3, BufferEvent::Enqueue { queue: 0, cell: vec![1] }),
+                (3, BufferEvent::Enqueue { queue: 0, cell: vec![2] }),
+            ],
+        );
+    }
+
+    #[test]
+    fn epoch_path_drives_fabric_parallel_runner() {
+        use vpnm_core::fabric::ChannelSelect;
+
+        let config = FabricConfig {
+            channels: 4,
+            select: ChannelSelect::UniversalHash,
+            base: VpnmConfig::test_roomy(),
+        };
+        let mut buf = VpnmPacketBuffer::new_fabric(config, 8, 32, 5).unwrap();
+        let mut events = Vec::new();
+        for seq in 0..16u64 {
+            events.push((seq, BufferEvent::Enqueue { queue: 5, cell: payload_bytes(5, seq, 8) }));
+        }
+        for seq in 0..16u64 {
+            events.push((16 + seq, BufferEvent::Dequeue { queue: 5 }));
+        }
+        let report = buf.run_epoch(64, &events);
+        assert!(report.outcomes.iter().all(Result::is_ok));
+        assert_eq!(report.stalled, 0);
+        let mut got: Vec<DequeuedCell> = report.delivered.into_iter().map(|d| d.cell).collect();
+        got.extend(buf.drain());
+        assert_eq!(got.len(), 16);
+        for (seq, cell) in got.iter().enumerate() {
+            assert_eq!(cell.queue, 5);
+            assert_eq!(cell.data, payload_bytes(5, seq as u64, 8));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -589,6 +845,66 @@ mod proptests {
             for q in 0..4usize {
                 prop_assert_eq!(buf.occupancy(q as u32), seqs[q] - expect[q]);
             }
+        }
+
+        /// The epoch-batched drive path is observationally equivalent to
+        /// the per-tick path for arbitrary stall-free event interleavings:
+        /// identical per-event outcomes, identical delivered-cell sequence,
+        /// identical stats.
+        #[test]
+        fn epoch_matches_tick(events in proptest::collection::vec(ev(), 1..250)) {
+            let mut tick_buf = VpnmPacketBuffer::new(VpnmConfig::test_roomy(), 4, 16, 9).unwrap();
+            let mut epoch_buf = VpnmPacketBuffer::new(VpnmConfig::test_roomy(), 4, 16, 9).unwrap();
+            let len = events.len() as u64;
+
+            // Payloads keyed by cycle offset (not per-queue seq) so both
+            // paths submit byte-identical requests regardless of
+            // acceptance history.
+            let mut batch = Vec::new();
+            for (offset, e) in events.iter().enumerate() {
+                let event = match e {
+                    Ev::Enq(q) => BufferEvent::Enqueue {
+                        queue: u32::from(*q),
+                        cell: payload_bytes(u32::from(*q), offset as u64, 8),
+                    },
+                    Ev::Deq(q) => BufferEvent::Dequeue { queue: u32::from(*q) },
+                    Ev::Idle => continue,
+                };
+                batch.push((offset as u64, event));
+            }
+
+            let mut tick_outcomes = Vec::new();
+            let mut tick_cells = Vec::new();
+            let mut it = batch.iter().peekable();
+            for offset in 0..len {
+                let ev = match it.peek() {
+                    Some((o, ev)) if *o == offset => {
+                        it.next();
+                        Some(ev.clone())
+                    }
+                    _ => None,
+                };
+                let is_event = ev.is_some();
+                match tick_buf.tick(ev) {
+                    Ok(cell) => {
+                        if is_event {
+                            tick_outcomes.push(Ok(()));
+                        }
+                        tick_cells.extend(cell);
+                    }
+                    Err(e) => tick_outcomes.push(Err(e)),
+                }
+            }
+            tick_cells.extend(tick_buf.drain());
+
+            let report = epoch_buf.run_epoch(len, &batch);
+            prop_assert_eq!(report.stalled, 0);
+            prop_assert_eq!(&report.outcomes, &tick_outcomes);
+            let mut epoch_cells: Vec<DequeuedCell> =
+                report.delivered.into_iter().map(|d| d.cell).collect();
+            epoch_cells.extend(epoch_buf.drain());
+            prop_assert_eq!(epoch_cells, tick_cells);
+            prop_assert_eq!(epoch_buf.stats(), tick_buf.stats());
         }
     }
 }

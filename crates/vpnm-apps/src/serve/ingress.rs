@@ -1,0 +1,329 @@
+//! Concurrent ingress: producer threads, bounded hand-off, trace replay.
+//!
+//! N producer threads feed the single-threaded serving loop through
+//! bounded rendezvous lanes (one `sync_channel` per producer, two epochs
+//! deep). The hand-off is the "park" half of the serving layer's
+//! reject/park backpressure: a producer that outruns the server blocks on
+//! its full lane — counted, never buffered unboundedly. The "reject" half
+//! (tail drops at the bounded ingress queue) lives in the serving loop
+//! itself.
+//!
+//! # Determinism
+//!
+//! Producer `p` of `P` owns the interface cycles `c ≡ p (mod P)` and
+//! draws its arrival coin flips and flow IDs from its own
+//! `seed ⊕ splitmix` stream, so the *content* of every epoch batch is a
+//! pure function of `(seed, p, epoch)` — thread scheduling moves only
+//! wall time, never a packet. Replayed traces are partitioned by the same
+//! cycle-ownership rule.
+
+use std::io::{Read as _, Write as _};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vpnm_sim::rng::splitmix64;
+
+use super::FlowMix;
+
+/// One offered packet: the interface cycle it arrives on and its flow ID.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Absolute interface cycle of arrival.
+    pub cycle: u64,
+    /// Flow identifier (hashed into the flow table by the server).
+    pub flow: u64,
+}
+
+/// Where producers get their packets from.
+#[derive(Debug, Clone)]
+pub enum ArrivalSource {
+    /// Synthetic traffic: Bernoulli(`load`) arrival per owned cycle,
+    /// flow IDs drawn from `mix`.
+    Synthetic {
+        /// Offered load in packets per interface cycle (0.0–1.0).
+        load: f64,
+        /// Flow-ID distribution.
+        mix: FlowMix,
+    },
+    /// Replay of a pre-generated trace (see [`read_trace`]), partitioned
+    /// across producers by cycle ownership.
+    Trace(Arc<Vec<Arrival>>),
+}
+
+/// Epoch geometry shared by producers and server.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochPlan {
+    /// Total offered interface cycles.
+    pub cycles: u64,
+    /// Cycles per epoch (the batch hand-off unit).
+    pub epoch_len: u64,
+}
+
+impl EpochPlan {
+    /// Number of epochs covering the offered window (last may be short).
+    pub fn epochs(&self) -> u64 {
+        self.cycles.div_ceil(self.epoch_len)
+    }
+
+    /// Cycle window `[start, end)` of epoch `e`.
+    pub fn window(&self, e: u64) -> (u64, u64) {
+        let start = e * self.epoch_len;
+        (start, ((e + 1) * self.epoch_len).min(self.cycles))
+    }
+}
+
+/// The running producer fleet and its hand-off lanes.
+pub struct IngressRig {
+    lanes: Vec<Receiver<Vec<Arrival>>>,
+    handles: Vec<JoinHandle<()>>,
+    parks: Arc<AtomicU64>,
+    plan: EpochPlan,
+}
+
+/// How many epoch batches a lane holds before its producer parks.
+const LANE_DEPTH: usize = 2;
+
+impl IngressRig {
+    /// Spawns `producers` threads generating from `source` under `plan`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `producers` is 0 or `plan.epoch_len` is 0.
+    pub fn spawn(producers: u32, source: &ArrivalSource, plan: EpochPlan, seed: u64) -> Self {
+        assert!(producers > 0, "need at least one producer");
+        assert!(plan.epoch_len > 0, "epoch length must be positive");
+        let parks = Arc::new(AtomicU64::new(0));
+        let mut lanes = Vec::with_capacity(producers as usize);
+        let mut handles = Vec::with_capacity(producers as usize);
+        for p in 0..producers {
+            let (tx, rx) = std::sync::mpsc::sync_channel(LANE_DEPTH);
+            lanes.push(rx);
+            let source = source.clone();
+            let parks = Arc::clone(&parks);
+            handles.push(std::thread::spawn(move || {
+                produce(p, producers, &source, plan, seed, &tx, &parks);
+            }));
+        }
+        IngressRig { lanes, handles, parks, plan }
+    }
+
+    /// The epoch geometry the fleet is generating against.
+    pub fn plan(&self) -> EpochPlan {
+        self.plan
+    }
+
+    /// Receives every producer's batch for the next epoch and merges
+    /// them into one cycle-ordered arrival list.
+    ///
+    /// Must be called exactly [`EpochPlan::epochs`] times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a producer thread died (lane disconnected).
+    pub fn next_epoch(&mut self) -> Vec<Arrival> {
+        let mut merged = Vec::new();
+        for lane in &self.lanes {
+            merged.extend(lane.recv().expect("producer thread alive"));
+        }
+        // Each cycle has exactly one owner, so sorting by cycle is a
+        // total order and the merge is deterministic.
+        merged.sort_unstable_by_key(|a| a.cycle);
+        merged
+    }
+
+    /// Times any producer blocked on a full hand-off lane (measurement
+    /// domain — depends on thread timing, zeroed by
+    /// [`ServingMetrics::canonical`](vpnm_core::ServingMetrics::canonical)).
+    pub fn parks(&self) -> u64 {
+        self.parks.load(Ordering::Relaxed)
+    }
+
+    /// Joins the producer fleet (all epochs must have been received).
+    pub fn join(self) {
+        drop(self.lanes);
+        for h in self.handles {
+            h.join().expect("producer thread panicked");
+        }
+    }
+}
+
+fn produce(
+    p: u32,
+    producers: u32,
+    source: &ArrivalSource,
+    plan: EpochPlan,
+    seed: u64,
+    tx: &SyncSender<Vec<Arrival>>,
+    parks: &AtomicU64,
+) {
+    let stride = u64::from(producers);
+    let mut synth = match source {
+        ArrivalSource::Synthetic { load, mix } => {
+            let rng = StdRng::seed_from_u64(splitmix64(seed ^ (0xA110_C8ED + u64::from(p))));
+            Some((*load, mix.generator(splitmix64(seed.rotate_left(17) ^ u64::from(p))), rng))
+        }
+        ArrivalSource::Trace(_) => None,
+    };
+    let mut trace_pos = 0usize;
+    for e in 0..plan.epochs() {
+        let (start, end) = plan.window(e);
+        let mut batch = Vec::new();
+        match source {
+            ArrivalSource::Synthetic { .. } => {
+                let (load, gen, rng) = synth.as_mut().expect("synthetic state");
+                // first owned cycle >= start
+                let mut c = start + (u64::from(p) + stride - start % stride) % stride;
+                while c < end {
+                    if rng.gen::<f64>() < *load {
+                        batch.push(Arrival { cycle: c, flow: gen.next_addr() });
+                    }
+                    c += stride;
+                }
+            }
+            ArrivalSource::Trace(trace) => {
+                while trace_pos < trace.len() && trace[trace_pos].cycle < end {
+                    let a = trace[trace_pos];
+                    trace_pos += 1;
+                    if a.cycle % stride == u64::from(p) {
+                        batch.push(a);
+                    }
+                }
+            }
+        }
+        if let Err(TrySendError::Full(batch)) = tx.try_send(batch) {
+            parks.fetch_add(1, Ordering::Relaxed);
+            if tx.send(batch).is_err() {
+                return; // server gone; nothing left to do
+            }
+        }
+    }
+}
+
+/// Magic prefix of the binary arrival-trace format.
+pub const TRACE_MAGIC: &[u8; 8] = b"VPNMTRC1";
+
+/// Writes an arrival trace: magic, offered-cycle count, record count,
+/// then `(cycle, flow)` pairs, all little-endian u64.
+///
+/// # Errors
+///
+/// Returns the I/O error message.
+pub fn write_trace(path: &str, cycles: u64, arrivals: &[Arrival]) -> Result<(), String> {
+    let file = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+    let mut w = std::io::BufWriter::new(file);
+    let io = |e: std::io::Error| format!("write {path}: {e}");
+    w.write_all(TRACE_MAGIC).map_err(io)?;
+    w.write_all(&cycles.to_le_bytes()).map_err(io)?;
+    w.write_all(&(arrivals.len() as u64).to_le_bytes()).map_err(io)?;
+    for a in arrivals {
+        w.write_all(&a.cycle.to_le_bytes()).map_err(io)?;
+        w.write_all(&a.flow.to_le_bytes()).map_err(io)?;
+    }
+    w.flush().map_err(io)
+}
+
+/// Reads a trace written by [`write_trace`], returning the offered-cycle
+/// count and the cycle-ordered arrivals.
+///
+/// # Errors
+///
+/// Returns a message for I/O failures, a bad magic, or an out-of-order /
+/// duplicate-cycle record (one arrival per cycle is the format's
+/// invariant — it is what makes producer partitioning exact).
+pub fn read_trace(path: &str) -> Result<(u64, Vec<Arrival>), String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let mut r = std::io::BufReader::new(file);
+    let io = |e: std::io::Error| format!("read {path}: {e}");
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic).map_err(io)?;
+    if &magic != TRACE_MAGIC {
+        return Err(format!("{path}: not a VPNM trace (bad magic)"));
+    }
+    let mut word = [0u8; 8];
+    r.read_exact(&mut word).map_err(io)?;
+    let cycles = u64::from_le_bytes(word);
+    r.read_exact(&mut word).map_err(io)?;
+    let count = u64::from_le_bytes(word);
+    let mut arrivals = Vec::with_capacity(count.min(1 << 28) as usize);
+    let mut prev: Option<u64> = None;
+    for i in 0..count {
+        r.read_exact(&mut word).map_err(io)?;
+        let cycle = u64::from_le_bytes(word);
+        r.read_exact(&mut word).map_err(io)?;
+        let flow = u64::from_le_bytes(word);
+        if cycle >= cycles {
+            return Err(format!("{path}: record {i} cycle {cycle} outside trace of {cycles}"));
+        }
+        if prev.is_some_and(|p| p >= cycle) {
+            return Err(format!("{path}: record {i} breaks one-arrival-per-cycle order"));
+        }
+        prev = Some(cycle);
+        arrivals.push(Arrival { cycle, flow });
+    }
+    Ok((cycles, arrivals))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(producers: u32, source: &ArrivalSource, plan: EpochPlan, seed: u64) -> Vec<Arrival> {
+        let mut rig = IngressRig::spawn(producers, source, plan, seed);
+        let mut all = Vec::new();
+        for _ in 0..plan.epochs() {
+            all.extend(rig.next_epoch());
+        }
+        rig.join();
+        all
+    }
+
+    #[test]
+    fn synthetic_batches_are_deterministic_and_owned() {
+        let plan = EpochPlan { cycles: 10_000, epoch_len: 256 };
+        let source =
+            ArrivalSource::Synthetic { load: 0.4, mix: FlowMix::Uniform { space: 1 << 16 } };
+        let a = collect(4, &source, plan, 7);
+        let b = collect(4, &source, plan, 7);
+        assert_eq!(a, b, "same seed, same fleet => identical arrivals");
+        assert!(!a.is_empty());
+        let expected = (plan.cycles as f64 * 0.4) as u64;
+        assert!(
+            (a.len() as u64).abs_diff(expected) < expected / 5,
+            "offered {} far from load target {expected}",
+            a.len()
+        );
+        for w in a.windows(2) {
+            assert!(w[0].cycle < w[1].cycle, "merged stream is cycle-ordered, one per cycle");
+        }
+        let c = collect(4, &source, plan, 8);
+        assert_ne!(a, c, "seed changes the traffic");
+    }
+
+    #[test]
+    fn trace_replay_reproduces_the_trace_for_any_fleet_size() {
+        let trace: Vec<Arrival> =
+            (0..500).filter(|c| c % 3 != 0).map(|c| Arrival { cycle: c, flow: c * 17 }).collect();
+        let plan = EpochPlan { cycles: 500, epoch_len: 64 };
+        let source = ArrivalSource::Trace(Arc::new(trace.clone()));
+        for producers in [1, 2, 5] {
+            assert_eq!(collect(producers, &source, plan, 0), trace, "{producers} producers");
+        }
+    }
+
+    #[test]
+    fn trace_roundtrip() {
+        let dir = std::env::temp_dir().join("vpnm-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.vpnmtrc");
+        let path = path.to_str().unwrap();
+        let arrivals = vec![Arrival { cycle: 0, flow: 9 }, Arrival { cycle: 3, flow: 1 << 40 }];
+        write_trace(path, 10, &arrivals).unwrap();
+        assert_eq!(read_trace(path).unwrap(), (10, arrivals));
+        std::fs::write(path, b"NOTATRACE").unwrap();
+        assert!(read_trace(path).unwrap_err().contains("bad magic"));
+    }
+}

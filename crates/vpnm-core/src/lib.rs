@@ -76,4 +76,4 @@ pub use metrics::ControllerMetrics;
 pub use pool::WorkerPool;
 pub use reference::ReferenceController;
 pub use request::{LineAddr, Request, Response, StallKind, TickOutput};
-pub use snapshot::{MetricsSnapshot, SNAPSHOT_SCHEMA_VERSION};
+pub use snapshot::{MetricsSnapshot, ServingMetrics, SNAPSHOT_SCHEMA_VERSION};

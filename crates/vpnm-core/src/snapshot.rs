@@ -20,7 +20,7 @@
 use crate::config::VpnmConfig;
 use crate::metrics::ControllerMetrics;
 use std::fmt::Write as _;
-use vpnm_sim::{Cycle, Histogram};
+use vpnm_sim::{Cycle, FineHistogram, Histogram};
 
 /// Bumped whenever a field is added, removed, renamed, or re-ordered in
 /// the JSON output.
@@ -32,8 +32,105 @@ use vpnm_sim::{Cycle, Histogram};
 /// multi-channel fabric ([`MetricsSnapshot::merge`]): `1` for a bare
 /// controller, the channel count for a merged fabric snapshot, whose
 /// per-bank high-water-mark arrays then carry `channels x banks` entries
-/// grouped by channel.
-pub const SNAPSHOT_SCHEMA_VERSION: u32 = 3;
+/// grouped by channel; 4 — added the trailing `serving` member
+/// ([`ServingMetrics`]): `null` for batch runs, an object with
+/// end-to-end serving counters (offered/admitted/drop forensics,
+/// latency-to-deterministic-return quantiles, ingress occupancy) when
+/// the snapshot was taken by the `vpnm-serve` front-end.
+pub const SNAPSHOT_SCHEMA_VERSION: u32 = 4;
+
+/// End-to-end counters from the serving front-end (`vpnm-serve`), carried
+/// on [`MetricsSnapshot`] as its trailing `serving` member.
+///
+/// The controller-level sections of a snapshot describe the memory system
+/// in isolation; this section describes the *service* built on it — what
+/// the paper's Section 2 frames as the line card's view: packets offered
+/// at the interface rate, a bounded ingress queue in front of the
+/// deterministic pipeline, and every loss accounted to a specific bounded
+/// structure rather than silent queue growth.
+///
+/// Simulation-domain fields (everything except [`wall_nanos`],
+/// [`mpps`] and [`producer_parks`]) are a pure function of the workload
+/// seed and configuration — byte-identical across `--workers` counts and
+/// across runs. The three measurement-domain fields depend on the host's
+/// real clock and thread timing; [`ServingMetrics::canonical`] zeroes
+/// them so determinism checks can compare everything else.
+///
+/// [`wall_nanos`]: ServingMetrics::wall_nanos
+/// [`mpps`]: ServingMetrics::mpps
+/// [`producer_parks`]: ServingMetrics::producer_parks
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServingMetrics {
+    /// Concurrent producer threads that fed the ingress path.
+    pub producers: u32,
+    /// Configured pacing rate in interface cycles per wall second;
+    /// 0 when the run was unpaced (as fast as the host allows).
+    pub paced_rate: u64,
+    /// Configured ingress-queue bound (packets). Occupancy never exceeds
+    /// it — overflow becomes `ingress_drops`, not growth.
+    pub queue_bound: usize,
+    /// Distinct flows admitted to the flow table.
+    pub flows: u64,
+    /// Packets offered by the load across all producers.
+    pub offered: u64,
+    /// Packets admitted past the bounded ingress queue.
+    pub admitted: u64,
+    /// Packets delivered back out after their deterministic delay.
+    pub transmitted: u64,
+    /// Tail drops at the bounded ingress queue (overload backpressure).
+    pub ingress_drops: u64,
+    /// Drops because the packet's per-flow buffer ring was full.
+    pub flow_queue_drops: u64,
+    /// Drops because the flow table was at capacity (new flow rejected).
+    pub flow_table_drops: u64,
+    /// Losses to memory-engine pushback (a bank structure stalled). The
+    /// paper sizes the pipeline so this is astronomically rare at line
+    /// rate; any non-zero value deserves forensics.
+    pub stall_drops: u64,
+    /// Times a producer thread blocked handing an epoch batch to the
+    /// server (bounded hand-off lane full — the "park" half of
+    /// reject/park backpressure). Measurement domain: depends on thread
+    /// timing.
+    pub producer_parks: u64,
+    /// High-water mark of the transmit backlog (admitted cells waiting
+    /// for their egress turn).
+    pub transmit_backlog_hwm: u64,
+    /// Latency from ingress arrival to deterministic return, in
+    /// interface cycles, at ~6% quantile resolution
+    /// ([`FineHistogram`]).
+    pub latency: FineHistogram,
+    /// Ingress-queue occupancy sampled once per interface cycle.
+    pub ingress_occupancy: Histogram,
+    /// Wall-clock duration of the run in nanoseconds. Measurement domain.
+    pub wall_nanos: u64,
+    /// Sustained throughput in million packets (transmitted) per wall
+    /// second. Measurement domain.
+    pub mpps: f64,
+}
+
+impl ServingMetrics {
+    /// Returns a copy with the measurement-domain fields
+    /// ([`wall_nanos`](Self::wall_nanos), [`mpps`](Self::mpps),
+    /// [`producer_parks`](Self::producer_parks)) zeroed, leaving only the
+    /// simulation-domain fields that must be byte-identical for a fixed
+    /// seed at any `--workers` count.
+    pub fn canonical(&self) -> Self {
+        ServingMetrics { wall_nanos: 0, mpps: 0.0, producer_parks: 0, ..self.clone() }
+    }
+
+    /// Conservation check: every offered packet is either still admitted
+    /// in-flight (`in_flight`) or accounted once — transmitted or dropped
+    /// at a named bounded structure.
+    pub fn conserves(&self, in_flight: u64) -> bool {
+        self.offered
+            == self.transmitted
+                + self.ingress_drops
+                + self.flow_queue_drops
+                + self.flow_table_drops
+                + self.stall_drops
+                + in_flight
+    }
+}
 
 /// A frozen copy of a controller's observable state, ready to serialize.
 ///
@@ -63,6 +160,11 @@ pub struct MetricsSnapshot {
     pub cycles_skipped: u64,
     /// The aggregate metrics at capture time.
     pub metrics: ControllerMetrics,
+    /// Serving-side counters when this snapshot was taken by the
+    /// `vpnm-serve` front-end; `None` for batch runs. Like
+    /// `cycles_skipped`, this is drive-mode accounting layered above
+    /// [`ControllerMetrics`], so engine equality is unaffected.
+    pub serving: Option<ServingMetrics>,
 }
 
 impl MetricsSnapshot {
@@ -87,7 +189,16 @@ impl MetricsSnapshot {
             delay,
             cycles_skipped,
             metrics: metrics.clone(),
+            serving: None,
         }
+    }
+
+    /// Attaches a serving-side section (schema v4 `serving` member) —
+    /// used by the serving front-end after merging its fabric's
+    /// per-channel snapshots.
+    pub fn with_serving(mut self, serving: ServingMetrics) -> Self {
+        self.serving = Some(serving);
+        self
     }
 
     /// Merges per-channel snapshots of one fabric run into a single
@@ -119,6 +230,11 @@ impl MetricsSnapshot {
             delay: first.delay,
             cycles_skipped: 0,
             metrics: ControllerMetrics::new(),
+            // Serving counters are per-server, not per-channel: a true
+            // multi-channel merge cannot attribute them, so they only
+            // survive the identity (single-part) merge. The serving
+            // layer attaches its section *after* merging its fabric.
+            serving: if parts.len() == 1 { first.serving.clone() } else { None },
         };
         for (i, p) in parts.iter().enumerate() {
             if p.cycles != first.cycles || p.delay != first.delay {
@@ -204,12 +320,73 @@ impl MetricsSnapshot {
         // controller).
         let _ = writeln!(
             s,
-            "  \"delay_ring_utilization\": {:.6}",
+            "  \"delay_ring_utilization\": {:.6},",
             m.delay_ring_utilization(self.delay * u64::from(self.channels.max(1)))
         );
+        match &self.serving {
+            None => s.push_str("  \"serving\": null\n"),
+            Some(sv) => write_serving(&mut s, sv),
+        }
         s.push_str("}\n");
         s
     }
+}
+
+/// Writes the schema-v4 `serving` member (always the last top-level
+/// member; callers emit `null` for batch runs).
+fn write_serving(s: &mut String, sv: &ServingMetrics) {
+    s.push_str("  \"serving\": {\n");
+    let _ = writeln!(s, "    \"producers\": {},", sv.producers);
+    let _ = writeln!(s, "    \"paced_rate\": {},", sv.paced_rate);
+    let _ = writeln!(s, "    \"queue_bound\": {},", sv.queue_bound);
+    let _ = writeln!(s, "    \"flows\": {},", sv.flows);
+    let _ = writeln!(s, "    \"offered\": {},", sv.offered);
+    let _ = writeln!(s, "    \"admitted\": {},", sv.admitted);
+    let _ = writeln!(s, "    \"transmitted\": {},", sv.transmitted);
+    s.push_str("    \"drops\": {\n");
+    let _ = writeln!(s, "      \"ingress\": {},", sv.ingress_drops);
+    let _ = writeln!(s, "      \"flow_queue\": {},", sv.flow_queue_drops);
+    let _ = writeln!(s, "      \"flow_table\": {},", sv.flow_table_drops);
+    let _ = writeln!(s, "      \"memory_stall\": {}", sv.stall_drops);
+    s.push_str("    },\n");
+    let _ = writeln!(s, "    \"producer_parks\": {},", sv.producer_parks);
+    let _ = writeln!(s, "    \"transmit_backlog_hwm\": {},", sv.transmit_backlog_hwm);
+    s.push_str("    \"latency_cycles\": {\n");
+    let _ = writeln!(s, "      \"samples\": {},", sv.latency.total());
+    let _ = writeln!(s, "      \"mean\": {:.6},", sv.latency.mean());
+    let _ = writeln!(s, "      \"p50\": {},", sv.latency.quantile(0.5).unwrap_or(0));
+    let _ = writeln!(s, "      \"p99\": {},", sv.latency.quantile(0.99).unwrap_or(0));
+    let _ = writeln!(s, "      \"p999\": {},", sv.latency.quantile(0.999).unwrap_or(0));
+    let _ = writeln!(s, "      \"max\": {},", sv.latency.max().unwrap_or(0));
+    s.push_str("      \"buckets\": ");
+    write_bucket_pairs(s, sv.latency.iter());
+    s.push('\n');
+    s.push_str("    },\n");
+    s.push_str("    \"ingress_occupancy\": {\n");
+    let _ = writeln!(s, "      \"samples\": {},", sv.ingress_occupancy.total());
+    let _ = writeln!(s, "      \"mean\": {:.6},", sv.ingress_occupancy.mean());
+    let _ = writeln!(s, "      \"max\": {},", sv.ingress_occupancy.max().unwrap_or(0));
+    s.push_str("      \"log2_buckets\": ");
+    write_bucket_pairs(s, sv.ingress_occupancy.iter());
+    s.push('\n');
+    s.push_str("    },\n");
+    let _ = writeln!(s, "    \"wall_nanos\": {},", sv.wall_nanos);
+    let _ = writeln!(s, "    \"mpps\": {:.6}", sv.mpps);
+    s.push_str("  }\n");
+}
+
+/// Writes `[[lower_bound, count], …]` with no surrounding whitespace.
+fn write_bucket_pairs(s: &mut String, pairs: impl Iterator<Item = (u64, u64)>) {
+    s.push('[');
+    let mut first = true;
+    for (lo, count) in pairs {
+        if !first {
+            s.push_str(", ");
+        }
+        first = false;
+        let _ = write!(s, "[{lo}, {count}]");
+    }
+    s.push(']');
 }
 
 /// Writes one `"name": {mean, max, buckets: [[lower_bound, count], …]}`
@@ -262,7 +439,8 @@ mod tests {
         let a = snap.to_json();
         let b = snap.clone().to_json();
         assert_eq!(a, b, "serialization must be pure");
-        assert!(a.contains("\"schema_version\": 3"));
+        assert!(a.contains("\"schema_version\": 4"));
+        assert!(a.contains("\"serving\": null"));
         assert!(a.contains("\"channels\": 1"));
         assert!(a.contains("\"cycles_skipped\": 25"));
         assert!(a.contains("\"reads_accepted\": 10"));
@@ -322,6 +500,77 @@ mod tests {
         let late = MetricsSnapshot::capture(&cfg, 40, Cycle::new(999), 0, &m1);
         assert!(MetricsSnapshot::merge(&[s0, late]).is_err());
         assert!(MetricsSnapshot::merge(&[]).is_err());
+    }
+
+    fn sample_serving() -> ServingMetrics {
+        let mut latency = FineHistogram::new();
+        for v in [52u64, 53, 53, 60, 500] {
+            latency.record(v);
+        }
+        let mut occ = Histogram::new();
+        occ.record_n(0, 90);
+        occ.record_n(3, 10);
+        ServingMetrics {
+            producers: 4,
+            paced_rate: 0,
+            queue_bound: 64,
+            flows: 3,
+            offered: 8,
+            admitted: 6,
+            transmitted: 5,
+            ingress_drops: 1,
+            flow_queue_drops: 1,
+            flow_table_drops: 0,
+            stall_drops: 0,
+            producer_parks: 2,
+            transmit_backlog_hwm: 3,
+            latency,
+            ingress_occupancy: occ,
+            wall_nanos: 1_000_000,
+            mpps: 5.0,
+        }
+    }
+
+    #[test]
+    fn serving_section_serializes_and_canonicalizes() {
+        let cfg = VpnmConfig::small_test();
+        let m = ControllerMetrics::with_banks(cfg.banks as usize);
+        let snap = MetricsSnapshot::capture(&cfg, 40, Cycle::new(100), 0, &m)
+            .with_serving(sample_serving());
+        let json = snap.to_json();
+        assert!(json.contains("\"serving\": {"), "{json}");
+        assert!(json.contains("\"producers\": 4"), "{json}");
+        assert!(json.contains("\"ingress\": 1"), "{json}");
+        assert!(json.contains("\"p50\": 53"), "{json}");
+        assert!(json.contains("\"mpps\": 5.000000"), "{json}");
+        assert!(json.ends_with("  }\n}\n"), "{json}");
+        // Canonicalization zeroes exactly the measurement-domain fields.
+        let canon = snap.serving.as_ref().unwrap().canonical();
+        assert_eq!(canon.wall_nanos, 0);
+        assert_eq!(canon.mpps, 0.0);
+        assert_eq!(canon.producer_parks, 0);
+        assert_eq!(canon.offered, 8);
+        assert_eq!(canon.latency, snap.serving.as_ref().unwrap().latency);
+    }
+
+    #[test]
+    fn serving_conservation_check() {
+        let sv = sample_serving();
+        // 8 offered = 5 transmitted + 1 ingress + 1 flow_queue + 1 in flight
+        assert!(sv.conserves(1));
+        assert!(!sv.conserves(0));
+    }
+
+    #[test]
+    fn merge_keeps_serving_only_for_identity() {
+        let cfg = VpnmConfig::small_test();
+        let m = ControllerMetrics::with_banks(cfg.banks as usize);
+        let snap = MetricsSnapshot::capture(&cfg, 40, Cycle::new(100), 0, &m)
+            .with_serving(sample_serving());
+        let one = MetricsSnapshot::merge(std::slice::from_ref(&snap)).unwrap();
+        assert_eq!(one, snap);
+        let two = MetricsSnapshot::merge(&[snap.clone(), snap]).unwrap();
+        assert_eq!(two.serving, None);
     }
 
     #[test]

@@ -204,6 +204,32 @@ impl DualClock {
         }
     }
 
+    /// Creates a dual clock from an exact rational ratio `num / den`
+    /// (memory ticks per interface tick).
+    ///
+    /// Unlike [`DualClock::new`], no decimal rounding is applied — the
+    /// schedule is exact for any rational ratio. [`WallPacer`] uses this
+    /// with `num` = nanoseconds per second and `den` = interface cycles
+    /// per second, so wall-time pacing accrues zero drift over arbitrarily
+    /// long runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0` or `num < den` (the memory side must be at
+    /// least as fast as the interface side).
+    pub fn from_rational(num: u64, den: u64) -> Self {
+        assert!(den > 0, "ratio denominator must be non-zero");
+        assert!(num >= den, "bus scaling ratio must be >= 1.0, got {num}/{den}");
+        let g = gcd(num, den);
+        DualClock {
+            num: num / g,
+            den: den / g,
+            acc: 0,
+            memory: Clock::new(),
+            interface: Clock::new(),
+        }
+    }
+
     /// The configured ratio `R` as a float.
     pub fn ratio(&self) -> f64 {
         self.num as f64 / self.den as f64
@@ -323,6 +349,92 @@ impl DualClock {
     /// Current interface-domain time.
     pub fn interface_now(&self) -> Cycle {
         self.interface.now()
+    }
+}
+
+/// Maps elapsed wall-clock time to a budget of interface cycles — the
+/// serving-side face of the paper's dual clock domain.
+///
+/// The offline bins drive the [`DualClock`] purely in simulated time; a
+/// live serving loop instead has to answer "given that `t` nanoseconds of
+/// wall time have passed, how many interface cycles is the line card
+/// allowed to have accepted?" `WallPacer` reuses the same drift-free
+/// Bresenham schedule by treating nanoseconds as the fast domain and
+/// interface cycles as the slow domain: the ratio is the exact rational
+/// `1e9 / cycles_per_sec`, so pacing accrues zero rounding error no
+/// matter how long the server runs.
+///
+/// The pacer is deliberately pure — callers pass in elapsed nanoseconds
+/// (from `Instant::elapsed()` or a test scalar), so the library stays
+/// deterministic and the pacing schedule is unit-testable without
+/// touching a real clock.
+///
+/// ```
+/// use vpnm_sim::WallPacer;
+/// let mut p = WallPacer::new(4_000_000); // 4M interface cycles per second
+/// assert_eq!(p.cycles_due(1_000), 4);    // 1 us -> 4 cycles
+/// assert_eq!(p.cycles_due(1_000), 0);    // no wall progress, no budget
+/// assert_eq!(p.cycles_due(1_000_000_000), 4_000_000_000 / 1_000 - 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WallPacer {
+    clock: DualClock,
+    cycles_per_sec: u64,
+}
+
+/// One nanosecond tick per wall second — the fast-domain rate of
+/// [`WallPacer`]'s internal [`DualClock`].
+const NANOS_PER_SEC: u64 = 1_000_000_000;
+
+impl WallPacer {
+    /// Creates a pacer issuing `cycles_per_sec` interface cycles per wall
+    /// second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles_per_sec` is zero or above 1e9 (one cycle per
+    /// nanosecond is the finest schedule wall time can express here).
+    pub fn new(cycles_per_sec: u64) -> Self {
+        assert!(
+            cycles_per_sec > 0 && cycles_per_sec <= NANOS_PER_SEC,
+            "cycles_per_sec must be in 1..=1e9, got {cycles_per_sec}"
+        );
+        WallPacer { clock: DualClock::from_rational(NANOS_PER_SEC, cycles_per_sec), cycles_per_sec }
+    }
+
+    /// The configured interface-cycle rate, in cycles per wall second.
+    pub fn cycles_per_sec(&self) -> u64 {
+        self.cycles_per_sec
+    }
+
+    /// Given total elapsed wall nanoseconds since the pacer was created,
+    /// returns how many further interface cycles have become due and
+    /// marks them issued.
+    ///
+    /// Monotone and exact: summing the returns over any call pattern with
+    /// the same final `elapsed_nanos` yields the same total. A stale
+    /// `elapsed_nanos` (less than a previous call's) is treated as no
+    /// progress and returns 0.
+    pub fn cycles_due(&mut self, elapsed_nanos: u64) -> u64 {
+        let budget = elapsed_nanos.saturating_sub(self.clock.memory_now().as_u64());
+        let n = self.clock.interfaces_within_memory(budget);
+        self.clock.advance_interfaces(n);
+        n
+    }
+
+    /// Total interface cycles issued so far.
+    pub fn cycles_issued(&self) -> u64 {
+        self.clock.interface_now().as_u64()
+    }
+
+    /// Nanoseconds from `elapsed_nanos` until the next interface cycle
+    /// becomes due — a sleep hint for the serving loop. Returns 0 when a
+    /// cycle is already due.
+    pub fn nanos_until_next(&self, elapsed_nanos: u64) -> u64 {
+        let mut probe = self.clock.clone();
+        let m = probe.advance_to_interface();
+        let next_due = self.clock.memory_now().as_u64() + m;
+        next_due.saturating_sub(elapsed_nanos)
     }
 }
 
@@ -528,5 +640,73 @@ mod tests {
     #[should_panic(expected = "bus scaling ratio")]
     fn dual_clock_rejects_sub_unity() {
         let _ = DualClock::new(0.9);
+    }
+
+    #[test]
+    fn from_rational_matches_decimal_constructor() {
+        // 1.3 == 13/10: both constructors must produce the same schedule.
+        let mut a = DualClock::new(1.3);
+        let mut b = DualClock::from_rational(13, 10);
+        for _ in 0..10_000 {
+            assert_eq!(a.tick_memory(), b.tick_memory());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bus scaling ratio")]
+    fn from_rational_rejects_sub_unity() {
+        let _ = DualClock::from_rational(9, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator")]
+    fn from_rational_rejects_zero_den() {
+        let _ = DualClock::from_rational(1, 0);
+    }
+
+    #[test]
+    fn wall_pacer_exact_over_a_simulated_hour() {
+        // 7_777_777 cycles/s is deliberately non-round: the rational
+        // schedule must still land on exactly cps * seconds with zero
+        // cumulative drift, regardless of the polling pattern.
+        let cps = 7_777_777u64;
+        let mut p = WallPacer::new(cps);
+        let mut issued = 0u64;
+        let mut now = 0u64;
+        let end = 3_600 * 1_000_000_000;
+        let steps = [1u64, 999, 1_000_000, 17, 500_000_000, 3];
+        while now < end {
+            let dt = steps[(now % steps.len() as u64) as usize];
+            now = (now + dt).min(end);
+            issued += p.cycles_due(now);
+        }
+        assert_eq!(issued, cps * 3_600);
+        assert_eq!(p.cycles_issued(), issued);
+    }
+
+    #[test]
+    fn wall_pacer_stale_elapsed_is_no_progress() {
+        let mut p = WallPacer::new(1_000_000);
+        assert_eq!(p.cycles_due(10_000), 10);
+        assert_eq!(p.cycles_due(5_000), 0); // clock went "backwards"
+        assert_eq!(p.cycles_due(10_000), 0); // still no new progress
+        assert_eq!(p.cycles_due(11_000), 1);
+    }
+
+    #[test]
+    fn wall_pacer_sleep_hint_lands_on_next_edge() {
+        let mut p = WallPacer::new(1_000_000); // 1000 ns per cycle
+        assert_eq!(p.cycles_due(1_500), 1);
+        let hint = p.nanos_until_next(1_500);
+        assert_eq!(hint, 500); // next edge at 2000 ns
+        assert_eq!(p.cycles_due(1_500 + hint), 1);
+        // When an edge is already overdue the hint is zero.
+        assert_eq!(p.nanos_until_next(5_000), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycles_per_sec")]
+    fn wall_pacer_rejects_zero_rate() {
+        let _ = WallPacer::new(0);
     }
 }

@@ -42,7 +42,7 @@ pub mod rng;
 pub mod stats;
 pub mod trace;
 
-pub use clock::{Clock, Cycle, DualClock, MemoryTick};
+pub use clock::{Clock, Cycle, DualClock, MemoryTick, WallPacer};
 pub use rng::SeedSequence;
-pub use stats::{Counter, Histogram, RunningStats};
+pub use stats::{Counter, FineHistogram, Histogram, RunningStats};
 pub use trace::{TraceEvent, TraceRecorder};

@@ -146,6 +146,58 @@ impl AddressGenerator for ZipfAddresses {
     }
 }
 
+/// Heavy-tailed (approximately Zipf `s = 1`) flow IDs over arbitrarily
+/// large spaces in O(1) memory — the million-flow companion to
+/// [`ZipfAddresses`], whose precomputed CDF caps it at ~1e6 ranks.
+///
+/// Samples are log-uniform: `flow = floor(space^(u^skew)) - 1` for
+/// `u ~ U[0,1)`, so `P(flow < x) = ln(x)/ln(space)` at `skew = 1` and the
+/// rank-frequency curve is `∝ 1/rank` — the classic Internet flow-size
+/// distribution (a few elephant flows carry most packets, the mouse tail
+/// carries the rest). `skew > 1` concentrates further onto the elephants;
+/// `skew < 1` flattens toward uniform. Concretely, at `skew = 1` the top
+/// 0.1% of a 2^20-flow space draws ~50% of all packets.
+#[derive(Debug, Clone)]
+pub struct HeavyTailFlows {
+    space: u64,
+    ln_space: f64,
+    skew: f64,
+    rng: StdRng,
+}
+
+impl HeavyTailFlows {
+    /// Creates a heavy-tailed stream over `[0, space)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `space < 2` (the log-uniform map needs a non-degenerate
+    /// range) or `skew` is not a positive finite number.
+    pub fn new(space: u64, skew: f64, seed: u64) -> Self {
+        assert!(space >= 2, "flow space must have at least 2 flows");
+        assert!(skew > 0.0 && skew.is_finite(), "skew must be positive and finite");
+        HeavyTailFlows {
+            space,
+            ln_space: (space as f64).ln(),
+            skew,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The flow-space size this stream draws from.
+    pub fn space(&self) -> u64 {
+        self.space
+    }
+}
+
+impl AddressGenerator for HeavyTailFlows {
+    fn next_addr(&mut self) -> u64 {
+        let u: f64 = self.rng.gen();
+        let flow = (u.powf(self.skew) * self.ln_space).exp() as u64;
+        // exp(·) lands in [1, space); the clamp guards the u → 1 edge.
+        flow.saturating_sub(1).min(self.space - 1)
+    }
+}
+
 /// A two-population hotspot: with probability `hot_fraction` draw from a
 /// small hot set, otherwise uniform over the full space.
 #[derive(Debug, Clone)]
@@ -263,6 +315,38 @@ mod tests {
             let c = v.iter().filter(|&&a| a == target).count();
             assert!((700..1300).contains(&c), "addr {target} count {c}");
         }
+    }
+
+    #[test]
+    fn heavy_tail_is_deterministic_and_in_range() {
+        let space = 1u64 << 40; // far beyond what a CDF table could hold
+        let a = take(&mut HeavyTailFlows::new(space, 1.0, 11), 200);
+        let b = take(&mut HeavyTailFlows::new(space, 1.0, 11), 200);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&f| f < space));
+        assert_eq!(HeavyTailFlows::new(space, 1.0, 11).space(), space);
+    }
+
+    #[test]
+    fn heavy_tail_elephants_dominate() {
+        // Log-uniform over 2^20 flows: the top 0.1% of flow IDs should
+        // carry about ln(1049)/ln(2^20) ~ 50% of packets.
+        let space = 1u64 << 20;
+        let mut g = HeavyTailFlows::new(space, 1.0, 7);
+        let v = take(&mut g, 50_000);
+        let top = v.iter().filter(|&&f| f < space / 1000).count();
+        let share = top as f64 / v.len() as f64;
+        assert!((0.40..=0.60).contains(&share), "top-0.1% share was {share}");
+    }
+
+    #[test]
+    fn heavy_tail_skew_knob_concentrates() {
+        let space = 1u64 << 20;
+        let head = |skew: f64| {
+            let mut g = HeavyTailFlows::new(space, skew, 3);
+            take(&mut g, 20_000).iter().filter(|&&f| f < 16).count()
+        };
+        assert!(head(2.0) > 2 * head(1.0), "skew=2 must beat skew=1 on the head");
     }
 
     #[test]

@@ -30,8 +30,8 @@ pub mod packets;
 
 pub use adversary::{OmniscientAdversary, ReplayAdversary, StrideAdversary};
 pub use generators::{
-    AddressGenerator, HotspotAddresses, RedundantPattern, SequentialAddresses, StrideAddresses,
-    UniformAddresses, ZipfAddresses,
+    AddressGenerator, HeavyTailFlows, HotspotAddresses, RedundantPattern, SequentialAddresses,
+    StrideAddresses, UniformAddresses, ZipfAddresses,
 };
 pub use mix::{RequestKind, RequestMix, RequestStream};
 pub use packets::{OutOfOrderSegments, PacketTrace, PacketTraceConfig, Segment, SizeDistribution};
