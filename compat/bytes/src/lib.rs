@@ -11,21 +11,39 @@ use std::borrow::Borrow;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::ops::{Deref, RangeBounds};
+use std::ptr::NonNull;
 use std::sync::Arc;
 
 /// A cheaply cloneable, immutable chunk of contiguous memory.
-#[derive(Clone, Default)]
+///
+/// Stored as a raw view pointer + length plus an optional owning
+/// `Arc<[u8]>` keeping the allocation alive — 32 bytes total, with
+/// `as_slice` a single pointer reconstruction. Views of `'static` data
+/// (and empty views) have no owner, so cloning or dropping them never
+/// touches a reference count — the property the simulator's shared
+/// all-zeroes DRAM cell relies on.
 pub struct Bytes {
-    data: Option<Arc<[u8]>>,
-    start: usize,
-    end: usize,
+    /// First byte of the view: into `owner`'s allocation when `owner` is
+    /// `Some`, into `'static` data (or dangling, when `len == 0`)
+    /// otherwise. The allocation outlives the view either way, which is
+    /// what makes `as_slice` sound. `NonNull` so `Option<Bytes>` stays 32
+    /// bytes via the pointer niche.
+    ptr: NonNull<u8>,
+    len: usize,
+    owner: Option<Arc<[u8]>>,
 }
+
+// SAFETY: `Bytes` is an immutable view whose backing memory is either
+// `'static` or owned by the `Arc` it carries; both are safe to share and
+// send across threads.
+unsafe impl Send for Bytes {}
+unsafe impl Sync for Bytes {}
 
 impl Bytes {
     /// Creates a new empty `Bytes` (no allocation).
     #[inline]
     pub const fn new() -> Self {
-        Bytes { data: None, start: 0, end: 0 }
+        Bytes { ptr: NonNull::dangling(), len: 0, owner: None }
     }
 
     /// Creates `Bytes` by copying `data` into a fresh allocation.
@@ -33,30 +51,32 @@ impl Bytes {
         Bytes::from(data.to_vec())
     }
 
-    /// Creates `Bytes` from a static slice without copying.
-    pub fn from_static(data: &'static [u8]) -> Self {
-        // One copy at construction; `'static` call sites in this workspace
-        // are cold-path constants, so the simplification is acceptable.
-        Bytes::copy_from_slice(data)
+    /// Creates `Bytes` from a static slice without copying. Clones of the
+    /// result never touch a reference count.
+    #[inline]
+    pub const fn from_static(data: &'static [u8]) -> Self {
+        // SAFETY: a slice's data pointer is never null.
+        let ptr = unsafe { NonNull::new_unchecked(data.as_ptr().cast_mut()) };
+        Bytes { ptr, len: data.len(), owner: None }
     }
 
     /// Number of bytes in the view.
     #[inline]
     pub fn len(&self) -> usize {
-        self.end - self.start
+        self.len
     }
 
     /// Whether the view is empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.start == self.end
+        self.len == 0
     }
 
     /// Returns a sub-view of `self` for the given range (zero-copy; bumps
     /// the reference count).
     pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
         use std::ops::Bound;
-        let len = self.len();
+        let len = self.len;
         let begin = match range.start_bound() {
             Bound::Included(&n) => n,
             Bound::Excluded(&n) => n + 1,
@@ -68,21 +88,37 @@ impl Bytes {
             Bound::Unbounded => len,
         };
         assert!(begin <= end && end <= len, "slice out of bounds: {begin}..{end} of {len}");
-        Bytes { data: self.data.clone(), start: self.start + begin, end: self.start + end }
+        // SAFETY: `begin <= self.len`, so the offset stays inside (or one
+        // past the end of) the backing allocation.
+        let ptr = unsafe { self.ptr.add(begin) };
+        Bytes { ptr, len: end - begin, owner: self.owner.clone() }
     }
 
     /// The bytes as a plain slice.
     #[inline]
     pub fn as_slice(&self) -> &[u8] {
-        match &self.data {
-            Some(arc) => &arc[self.start..self.end],
-            None => &[],
-        }
+        // SAFETY: `ptr..ptr + len` is inside the backing allocation (see
+        // the field invariant), which lives at least as long as `self`.
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
     }
 
     /// Copies the view out into an owned `Vec<u8>`.
     pub fn to_vec(&self) -> Vec<u8> {
         self.as_slice().to_vec()
+    }
+}
+
+impl Clone for Bytes {
+    #[inline]
+    fn clone(&self) -> Self {
+        Bytes { ptr: self.ptr, len: self.len, owner: self.owner.clone() }
+    }
+}
+
+impl Default for Bytes {
+    #[inline]
+    fn default() -> Self {
+        Bytes::new()
     }
 }
 
@@ -111,8 +147,7 @@ impl Borrow<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        let len = v.len();
-        Bytes { data: Some(Arc::from(v.into_boxed_slice())), start: 0, end: len }
+        Bytes::from(v.into_boxed_slice())
     }
 }
 
@@ -124,8 +159,12 @@ impl From<&[u8]> for Bytes {
 
 impl From<Box<[u8]>> for Bytes {
     fn from(b: Box<[u8]>) -> Self {
-        let len = b.len();
-        Bytes { data: Some(Arc::from(b)), start: 0, end: len }
+        let owner: Arc<[u8]> = Arc::from(b);
+        // SAFETY: an `Arc<[u8]>`'s data pointer is never null, and the
+        // heap allocation it points into is stable across moves of the
+        // `Arc` handle itself.
+        let ptr = unsafe { NonNull::new_unchecked(owner.as_ptr().cast_mut()) };
+        Bytes { ptr, len: owner.len(), owner: Some(owner) }
     }
 }
 
@@ -265,6 +304,24 @@ mod tests {
         let s = b.slice(2..5);
         assert_eq!(s, [2u8, 3, 4]);
         assert_eq!(s.slice(1..), [3u8, 4]);
+    }
+
+    #[test]
+    fn from_static_is_zero_copy() {
+        static DATA: [u8; 4] = [9u8, 8, 7, 6];
+        let b = Bytes::from_static(&DATA);
+        assert_eq!(b.as_slice().as_ptr(), DATA.as_ptr());
+        let c = b.clone();
+        assert_eq!(c.as_slice().as_ptr(), DATA.as_ptr());
+        assert_eq!(c.slice(1..3), [8u8, 7]);
+    }
+
+    #[test]
+    fn layout_is_32_bytes() {
+        // The simulator moves `Bytes` through grant/playback/response
+        // structs every cycle; the compact layout is load-bearing.
+        assert_eq!(std::mem::size_of::<Bytes>(), 32);
+        assert_eq!(std::mem::size_of::<Option<Bytes>>(), 32, "niche in `owner`'s Arc");
     }
 
     #[test]

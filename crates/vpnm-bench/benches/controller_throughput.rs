@@ -65,6 +65,40 @@ fn bench_uniform_reads(c: &mut Criterion) {
     group.finish();
 }
 
+/// The dense batch front door: a pre-built `Vec<Request>` issued through
+/// `issue_batch`, which hashes whole chunks through `hash_batch` (SIMD on
+/// AVX2 hosts) and prefetches bank/ring state ahead of the step loop.
+/// Same stream as `controller/uniform_reads`, so the two IDs are directly
+/// comparable.
+fn bench_issue_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("controller/issue_batch");
+    for (name, config) in
+        [("small_test", VpnmConfig::small_test()), ("paper_optimal", VpnmConfig::paper_optimal())]
+    {
+        group.throughput(Throughput::Elements(CYCLES));
+        group.bench_function(BenchmarkId::from_parameter(name), |bench| {
+            bench.iter_batched(
+                || {
+                    let mem = VpnmController::new(config.clone(), 7).expect("valid");
+                    let space = 1u64 << mem.config().addr_bits;
+                    let mut gen = UniformAddresses::new(space, 3);
+                    let mut addrs = vec![0u64; CYCLES as usize];
+                    gen.fill_addrs(&mut addrs);
+                    let reqs: Vec<Request> =
+                        addrs.iter().map(|&a| Request::Read { addr: LineAddr(a) }).collect();
+                    (mem, reqs)
+                },
+                |(mut mem, reqs)| {
+                    std::hint::black_box(mem.issue_batch(&reqs));
+                    mem
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
 /// The legacy cycle-at-a-time drive (one generator call + one `tick` per
 /// cycle), retained under its own IDs so the cost of the per-tick front
 /// door stays visible next to the batched one.
@@ -295,6 +329,7 @@ fn bench_merged_stream(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_uniform_reads,
+    bench_issue_batch,
     bench_uniform_reads_tick,
     bench_reference_uniform_reads,
     bench_fabric_uniform_reads,
@@ -312,6 +347,7 @@ fn main() {
     }
     let mut criterion = Criterion::default().configure_from_args();
     bench_uniform_reads(&mut criterion);
+    bench_issue_batch(&mut criterion);
     bench_uniform_reads_tick(&mut criterion);
     bench_reference_uniform_reads(&mut criterion);
     bench_fabric_uniform_reads(&mut criterion);
@@ -342,10 +378,13 @@ fn main() {
         / ns_of("controller/bursty_idle/fast_paper_optimal");
     let speedup_fabric =
         ns_of("fabric/uniform_reads/seq/8ch") / ns_of("fabric/uniform_reads/par/8ch");
+    let speedup_batch = ns_of("controller/uniform_reads_tick/paper_optimal")
+        / ns_of("controller/issue_batch/paper_optimal");
     let summary = [
         ("speedup_fast_vs_reference_paper_optimal_uniform_reads", speedup_uniform),
         ("speedup_fast_vs_reference_paper_optimal_bursty_idle", speedup_idle),
         ("speedup_parallel_vs_sequential_8ch", speedup_fabric),
+        ("speedup_issue_batch_vs_tick_paper_optimal", speedup_batch),
     ];
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_controller.json");
@@ -354,6 +393,7 @@ fn main() {
     println!("fast vs reference (paper_optimal, uniform reads): {speedup_uniform:.2}x");
     println!("fast vs reference (paper_optimal, bursty idle):   {speedup_idle:.2}x");
     println!("fabric epoch vs lockstep (8ch, uniform reads):    {speedup_fabric:.2}x");
+    println!("issue_batch vs tick (paper_optimal, uniform):     {speedup_batch:.2}x");
     assert!(
         !(speedup_uniform.is_finite() && speedup_uniform < 1.0),
         "fast engine slower than the reference it replaced"

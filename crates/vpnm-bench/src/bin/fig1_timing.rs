@@ -61,7 +61,7 @@ fn run_scenario(title: &str, submissions: &[(u64, u64, u64)]) {
         }
         if accessing.is_none() {
             if let Some(&id) = queued_ids.front() {
-                if bc.on_bus_grant(&mut dram, now) {
+                if bc.on_bus_grant(&mut dram, now).issued {
                     queued_ids.pop_front();
                     trace.record(now, id, TraceKind::AccessIssued);
                     accessing = Some((id, now + L));

@@ -8,7 +8,6 @@
 //! FIFO order) — exactly the encoding the paper describes.
 
 use crate::delay_storage::RowId;
-use std::collections::VecDeque;
 
 /// One pending bank access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,8 +35,15 @@ pub enum AccessEntry {
 /// ```
 #[derive(Debug, Clone)]
 pub struct BankAccessQueue {
-    entries: VecDeque<AccessEntry>,
-    capacity: usize,
+    /// Power-of-two ring (wrap is a mask); `capacity` still bounds pushes
+    /// at the configured `Q`, which need not be a power of two.
+    entries: Box<[AccessEntry]>,
+    head: u32,
+    len: u32,
+    capacity: u32,
+    /// `entries.len() - 1`, cached so the per-cycle push/pop/front trio
+    /// doesn't re-derive it from the box's fat pointer.
+    mask: u32,
 }
 
 /// Error returned when the queue is full; carries the rejected entry back
@@ -53,27 +59,52 @@ impl BankAccessQueue {
     /// Panics if `q == 0`.
     pub fn new(q: usize) -> Self {
         assert!(q > 0, "bank access queue needs at least one entry");
-        BankAccessQueue { entries: VecDeque::with_capacity(q), capacity: q }
+        assert!(q <= u32::MAX as usize / 2, "bank access queue capacity too large");
+        let ring = q.next_power_of_two();
+        BankAccessQueue {
+            entries: vec![AccessEntry::Write; ring].into_boxed_slice(),
+            head: 0,
+            len: 0,
+            capacity: q as u32,
+            mask: ring as u32 - 1,
+        }
+    }
+
+    #[inline]
+    fn mask(&self) -> u32 {
+        self.mask
+    }
+
+    /// Unchecked ring access for mask-reduced indices.
+    #[inline]
+    fn entry(&self, i: u32) -> AccessEntry {
+        debug_assert!((i as usize) < self.entries.len());
+        // SAFETY: callers reduce `i` by `self.mask`, and
+        // `entries.len() == mask + 1` by construction (power of two).
+        unsafe { *self.entries.get_unchecked(i as usize) }
     }
 
     /// Capacity `Q`.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.capacity as usize
     }
 
     /// Entries currently queued.
+    #[inline]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len as usize
     }
 
     /// True when nothing is queued.
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
     }
 
     /// True when a push would stall.
+    #[inline]
     pub fn is_full(&self) -> bool {
-        self.entries.len() == self.capacity
+        self.len == self.capacity
     }
 
     /// Enqueues an access.
@@ -81,22 +112,41 @@ impl BankAccessQueue {
     /// # Errors
     ///
     /// Returns [`QueueFull`] with the rejected entry when at capacity.
+    #[inline]
     pub fn push(&mut self, entry: AccessEntry) -> Result<(), QueueFull> {
         if self.is_full() {
             return Err(QueueFull(entry));
         }
-        self.entries.push_back(entry);
+        let tail = (self.head + self.len) & self.mask();
+        debug_assert!((tail as usize) < self.entries.len());
+        // SAFETY: `tail` is mask-reduced; `entries.len() == mask + 1`.
+        unsafe { *self.entries.get_unchecked_mut(tail as usize) = entry };
+        self.len += 1;
         Ok(())
     }
 
     /// Dequeues the oldest access, if any.
+    #[inline]
     pub fn pop(&mut self) -> Option<AccessEntry> {
-        self.entries.pop_front()
+        if self.len == 0 {
+            return None;
+        }
+        let e = self.entry(self.head);
+        self.head = (self.head + 1) & self.mask();
+        self.len -= 1;
+        Some(e)
     }
 
     /// Peeks at the oldest access without removing it.
+    #[inline]
     pub fn front(&self) -> Option<&AccessEntry> {
-        self.entries.front()
+        if self.len == 0 {
+            None
+        } else {
+            debug_assert!((self.head as usize) < self.entries.len());
+            // SAFETY: `head` is mask-reduced; `entries.len() == mask + 1`.
+            Some(unsafe { self.entries.get_unchecked(self.head as usize) })
+        }
     }
 }
 

@@ -40,6 +40,23 @@ pub enum BankEvent {
     },
 }
 
+/// Post-grant facts from one [`BankController::on_bus_grant`], packed
+/// into the single return value so the controller's dense scheduling
+/// lanes (busy-until, queue depth) resync without further method calls
+/// on the hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GrantOutcome {
+    /// Whether the grant retired a completed access (freed a queue slot).
+    pub retired: bool,
+    /// Whether the grant issued a new access to the DRAM.
+    pub issued: bool,
+    /// The bank's in-service horizon after the grant, `0` when idle —
+    /// the dense-lane encoding of [`BankController::in_service_until`].
+    pub busy_until: u64,
+    /// Access-queue depth after the grant.
+    pub depth: u32,
+}
+
 /// What the accepted event scheduled, reported back to the top-level
 /// controller for metrics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,6 +123,7 @@ impl BankController {
     ///
     /// The stall kind when a buffer is exhausted; the event is **not**
     /// partially applied.
+    #[inline]
     pub fn submit(&mut self, event: BankEvent) -> Result<Accepted, StallKind> {
         match event {
             BankEvent::Read { addr } => {
@@ -159,6 +177,7 @@ impl BankController {
     /// Plays back a row whose deadline arrived: the owning controller's
     /// delay wheel decides *when*; this consumes one counter tick and
     /// returns the served address + data (`None` data = deadline miss).
+    #[inline]
     pub fn playback(&mut self, row: RowId) -> Playback {
         self.storage.playback(row)
     }
@@ -166,55 +185,73 @@ impl BankController {
     /// Called when the round-robin bus scheduler grants this bank a memory
     /// cycle: retires the in-service access if it completed, then issues
     /// the oldest queued access to the DRAM if the bank is free. Returns
-    /// `true` if an access was issued.
+    /// the post-grant scheduling facts in one [`GrantOutcome`] so the
+    /// controller's dense lanes need no follow-up accessor calls.
     ///
     /// # Panics
     ///
     /// Panics if the DRAM rejects an access for a reason other than a busy
     /// bank (range errors indicate controller/device misconfiguration).
-    pub fn on_bus_grant(&mut self, dram: &mut DramDevice, now_mem: Cycle) -> bool {
+    #[inline]
+    pub fn on_bus_grant(&mut self, dram: &mut DramDevice, now_mem: Cycle) -> GrantOutcome {
         // Retire a completed access: its queue slot frees only now, so
         // Q bounds overlapping accesses including the one in service.
+        let mut retired = false;
         if let Some(until) = self.in_service_until {
             if now_mem < until {
-                return false; // bank busy — the grant is wasted
+                // bank busy — the grant is wasted
+                return GrantOutcome {
+                    retired: false,
+                    issued: false,
+                    busy_until: until.as_u64(),
+                    depth: self.queue.len() as u32,
+                };
             }
             self.queue.pop();
             self.in_service_until = None;
+            retired = true;
         }
-        let Some(front) = self.queue.front().copied() else {
-            return false;
-        };
         // A grant to a busy bank is simply wasted (paper Section 4: "some
         // of the round-robin slots are not used when … the memory bank is
         // busy") and must not count as a conflict in device stats — the
         // `try_issue` variants fold that readiness peek into the issue
         // itself, so the busy window is tested once, not twice.
-        match front {
-            AccessEntry::Read { row } => {
+        let busy_until = match self.queue.front().copied() {
+            None => 0,
+            Some(AccessEntry::Read { row }) => {
                 let addr = self.storage.row_addr(row);
-                let Some(grant) = dram
+                match dram
                     .try_issue_read(self.bank, addr.0, now_mem)
                     .unwrap_or_else(|e| panic!("unexpected DRAM error: {e}"))
-                else {
-                    return false;
-                };
-                self.storage.fill(row, grant.data);
-                self.in_service_until = Some(grant.data_ready_at);
-                true
+                {
+                    Some(grant) => {
+                        self.storage.fill(row, grant.data);
+                        self.in_service_until = Some(grant.data_ready_at);
+                        grant.data_ready_at.as_u64()
+                    }
+                    None => 0,
+                }
             }
-            AccessEntry::Write => {
+            Some(AccessEntry::Write) => {
                 let w = self.writes.front().expect("Write queue entry implies buffered write");
-                let Some(done) = dram
+                match dram
                     .try_issue_write(self.bank, w.addr.0, w.data.clone(), now_mem)
                     .unwrap_or_else(|e| panic!("unexpected DRAM error: {e}"))
-                else {
-                    return false;
-                };
-                self.writes.pop().expect("front checked above");
-                self.in_service_until = Some(done);
-                true
+                {
+                    Some(done) => {
+                        self.writes.pop().expect("front checked above");
+                        self.in_service_until = Some(done);
+                        done.as_u64()
+                    }
+                    None => 0,
+                }
             }
+        };
+        GrantOutcome {
+            retired,
+            issued: busy_until != 0,
+            busy_until,
+            depth: self.queue.len() as u32,
         }
     }
 
@@ -335,7 +372,7 @@ mod tests {
         // schedule into delay line at t0; grant the bank before the
         // deadline
         assert!(h.advance(Some(row)).is_none());
-        assert!(h.bc.on_bus_grant(&mut d, Cycle::new(1)));
+        assert!(h.bc.on_bus_grant(&mut d, Cycle::new(1)).issued);
         // ticks 1..9: nothing due
         for _ in 1..10 {
             assert!(h.advance(None).is_none());
@@ -427,7 +464,7 @@ mod tests {
         // grants: write first (FIFO), then read
         let mut now = Cycle::new(2);
         while h.bc.queue_depth() > 0 {
-            if h.bc.on_bus_grant(&mut d, now) {
+            if h.bc.on_bus_grant(&mut d, now).issued {
                 now += 3; // wait out the bank
             } else {
                 now += 1;
@@ -453,7 +490,7 @@ mod tests {
 
         let mut now = Cycle::new(1);
         while h.bc.queue_depth() > 0 {
-            if h.bc.on_bus_grant(&mut d, now) {
+            if h.bc.on_bus_grant(&mut d, now).issued {
                 now += 3;
             } else {
                 now += 1;
@@ -472,16 +509,16 @@ mod tests {
         let mut d = dram();
         bc.submit(BankEvent::Read { addr: LineAddr(1) }).unwrap();
         bc.submit(BankEvent::Read { addr: LineAddr(2) }).unwrap();
-        assert!(bc.on_bus_grant(&mut d, Cycle::new(0)));
+        assert!(bc.on_bus_grant(&mut d, Cycle::new(0)).issued);
         // bank busy until cycle 3 (L = 3); the in-service access keeps its
         // queue slot so Q bounds *overlapping* accesses
-        assert!(!bc.on_bus_grant(&mut d, Cycle::new(1)));
+        assert!(!bc.on_bus_grant(&mut d, Cycle::new(1)).issued);
         assert_eq!(bc.queue_depth(), 2);
         // completion grant retires the first access and issues the second
-        assert!(bc.on_bus_grant(&mut d, Cycle::new(3)));
+        assert!(bc.on_bus_grant(&mut d, Cycle::new(3)).issued);
         assert_eq!(bc.queue_depth(), 1);
-        assert!(!bc.on_bus_grant(&mut d, Cycle::new(4)));
-        assert!(!bc.on_bus_grant(&mut d, Cycle::new(6))); // retires, nothing left
+        assert!(!bc.on_bus_grant(&mut d, Cycle::new(4)).issued);
+        assert!(!bc.on_bus_grant(&mut d, Cycle::new(6)).issued); // retires, nothing left
         assert_eq!(bc.queue_depth(), 0);
     }
 

@@ -105,6 +105,44 @@ pub struct RunCounts {
     pub responses: u64,
 }
 
+/// Run-length accumulator for the two per-cycle occupancy samples
+/// ([`ControllerMetrics::sample_cycle`]'s inputs). At steady state
+/// consecutive cycles sample identical values — a full-rate read stream
+/// allocates and frees one storage row per cycle, holding `storage_live`
+/// flat — so the batch drive loops count the run and flush it through
+/// [`ControllerMetrics::sample_cycles`] in O(1) instead of updating two
+/// histograms every cycle. Histogram updates commute, so the deferred
+/// flush leaves the final metrics byte-identical to per-cycle recording,
+/// even interleaved with the skip paths' own bulk samples.
+#[derive(Default)]
+struct SampleRun {
+    depth: u64,
+    live: u64,
+    n: u64,
+}
+
+impl SampleRun {
+    #[inline]
+    fn push(&mut self, metrics: &mut ControllerMetrics, depth: u64, live: u64) {
+        if self.n != 0 && depth == self.depth && live == self.live {
+            self.n += 1;
+        } else {
+            self.flush(metrics);
+            self.depth = depth;
+            self.live = live;
+            self.n = 1;
+        }
+    }
+
+    #[inline]
+    fn flush(&mut self, metrics: &mut ControllerMetrics) {
+        if self.n != 0 {
+            metrics.sample_cycles(self.depth, self.live, self.n);
+            self.n = 0;
+        }
+    }
+}
+
 /// Index of the first set bit in `bits` at a position in `from..to`, if
 /// any — the word-at-a-time scan behind the delay ring's next-due search.
 fn first_set_bit(bits: &[u64], from: usize, to: usize) -> Option<usize> {
@@ -170,6 +208,20 @@ pub struct VpnmController {
     /// Banks with a non-empty access queue (the only banks a bus grant
     /// can do anything for).
     ready: ReadySet,
+    /// Struct-of-arrays mirror of each bank's `in_service_until`, as a
+    /// dense `u64` lane (`0` = idle; a real completion cycle is always
+    /// positive, since DRAM latencies are at least one memory cycle).
+    /// The grant picker and the busy-horizon skip scan scheduling state
+    /// for many banks per decision; reading a packed lane touches one
+    /// cache line per eight banks instead of one [`BankController`]
+    /// (queue + CAM + write buffer) per bank.
+    bank_busy_until: Vec<u64>,
+    /// Struct-of-arrays mirror of each bank's access-queue depth — the
+    /// other half of the scheduling state, packed for the same linear
+    /// scans.
+    bank_queue_depth: Vec<u32>,
+    /// Cached `max(bank_queue_depth)` (see [`VpnmController::max_queue_depth`]).
+    max_depth_lane: u32,
     /// The shared playback wheel: slot `ring_pos` holds the `(bank, row)`
     /// scheduled `D` interface cycles ago, falling due this cycle.
     ring: Vec<Option<(u32, RowId)>>,
@@ -178,10 +230,6 @@ pub struct VpnmController {
     /// letting the event-horizon skip find the next due playback by
     /// scanning words instead of walking `Option` slots one by one.
     ring_occ: Vec<u64>,
-    /// Histogram of bank queue depths (`depth_hist[d]` = banks at depth
-    /// `d`) and the current maximum, for O(1) occupancy sampling.
-    depth_hist: Vec<u32>,
-    max_depth: usize,
     /// Total live delay-storage rows across banks.
     storage_live: u64,
     /// Interface cycles covered by event-horizon skips in
@@ -237,8 +285,6 @@ impl VpnmController {
         } else {
             TraceRecorder::disabled()
         };
-        let mut depth_hist = vec![0u32; config.queue_entries + 1];
-        depth_hist[0] = config.banks;
         Ok(VpnmController {
             clock: DualClock::new(config.bus_ratio),
             delay,
@@ -251,11 +297,12 @@ impl VpnmController {
             trace,
             next_request_id: 0,
             ready: ReadySet::new(config.banks),
+            bank_busy_until: vec![0; config.banks as usize],
+            bank_queue_depth: vec![0; config.banks as usize],
+            max_depth_lane: 0,
             ring: vec![None; delay as usize],
             ring_pos: 0,
             ring_occ: vec![0u64; (delay as usize).div_ceil(64)],
-            depth_hist,
-            max_depth: 0,
             storage_live: 0,
             cycles_skipped: 0,
             skip_backoff: 0,
@@ -348,18 +395,28 @@ impl VpnmController {
             Some(req) => self.hash.bank_of(req.addr().0) as usize,
             None => 0,
         };
-        self.step(request, bank)
+        let mut response = None;
+        let stall = self.step(request, bank, &mut |r| response = Some(r));
+        let depth = self.max_queue_depth();
+        self.metrics.sample_cycle(depth, self.storage_live);
+        TickOutput { response, stall }
     }
 
     /// One interface cycle with the bank mapping already computed —
     /// [`VpnmController::tick`] with the hash hoisted out so
     /// [`VpnmController::run_batch`] can amortize hashing over a whole
     /// batch. `bank` is only read for a `Some` request that passes
-    /// validation. Inlined into each drive loop so the request and
-    /// output structs stay in registers instead of crossing a call
-    /// boundary every simulated cycle.
+    /// validation. Inlined into each drive loop so the request stays in
+    /// registers instead of crossing a call boundary every simulated
+    /// cycle, and a due response is handed to `emit` in place rather
+    /// than moved out through a return value.
     #[inline]
-    fn step(&mut self, request: Option<Request>, bank: usize) -> TickOutput {
+    fn step(
+        &mut self,
+        request: Option<Request>,
+        bank: usize,
+        emit: &mut impl FnMut(Response),
+    ) -> Option<StallKind> {
         // --- memory-clock domain: run memory cycles (with one bus grant
         // each) until the next interface edge falls. When no bank has
         // queued work a grant cannot do anything (an in-service access
@@ -374,11 +431,30 @@ impl VpnmController {
             }
             let mt = self.clock.tick_memory();
             if let Some(bank) = self.pick_grant(mt.memory_cycle) {
-                let before = self.banks[bank].queue_depth();
-                self.banks[bank].on_bus_grant(&mut self.dram, mt.memory_cycle);
-                let after = self.banks[bank].queue_depth();
-                if after != before {
-                    self.note_depth_change(before, after);
+                // A grant to a bank whose in-service access has not yet
+                // completed is a guaranteed no-op (`on_bus_grant` bails
+                // before touching anything) — the packed busy lane answers
+                // that from one hot cache line, so the wasted slot never
+                // dereferences the BankController at all.
+                let busy = self.bank_busy_until[bank];
+                if busy != 0 && mt.memory_cycle.as_u64() < busy {
+                    if mt.interface_tick {
+                        break;
+                    }
+                    continue;
+                }
+                let g = self.banks[bank].on_bus_grant(&mut self.dram, mt.memory_cycle);
+                // A grant can issue without retiring (busy-until changes,
+                // depth does not), so the busy lane resyncs on every
+                // grant; the depth lane only when a retire freed a slot
+                // (the one queue movement a grant can cause).
+                self.bank_busy_until[bank] = g.busy_until;
+                if g.retired {
+                    let after = g.depth as usize;
+                    self.bank_queue_depth[bank] = g.depth;
+                    if g.depth + 1 == self.max_depth_lane {
+                        self.rescan_max_depth();
+                    }
                     if after == 0 {
                         self.ready.remove(bank as u32);
                     }
@@ -386,7 +462,7 @@ impl VpnmController {
                         self.forensics.record(
                             self.clock.interface_now(),
                             bank as u32,
-                            ForensicKind::QueueExit { queue_depth: after as u32 },
+                            ForensicKind::QueueExit { queue_depth: g.depth },
                         );
                     }
                 }
@@ -427,14 +503,21 @@ impl VpnmController {
                         self.storage_live += 1;
                         alloc_bank = Some(bank);
                         let after = self.banks[bank].queue_depth();
-                        self.note_depth_change(after - 1, after);
+                        self.bank_queue_depth[bank] = after as u32;
+                        self.max_depth_lane = self.max_depth_lane.max(after as u32);
                         self.metrics.note_bank_queue_depth(bank, after as u32);
-                        self.ready.insert(bank as u32);
-                        self.forensics.record(
-                            now,
-                            bank as u32,
-                            ForensicKind::Accepted { addr, row, queue_depth: after as u32 },
-                        );
+                        // `after > 1` means the bank was already queued
+                        // (and so already in the ready set).
+                        if after == 1 {
+                            self.ready.insert(bank as u32);
+                        }
+                        if self.forensics.is_enabled() {
+                            self.forensics.record(
+                                now,
+                                bank as u32,
+                                ForensicKind::Accepted { addr, row, queue_depth: after as u32 },
+                            );
+                        }
                     }
                     Ok(Accepted::ReadMerged(row)) => {
                         self.metrics.reads_accepted += 1;
@@ -449,18 +532,23 @@ impl VpnmController {
                         self.metrics.writes_accepted += 1;
                         self.trace.record(now, id, TraceKind::Accepted);
                         let after = self.banks[bank].queue_depth();
-                        self.note_depth_change(after - 1, after);
+                        self.bank_queue_depth[bank] = after as u32;
+                        self.max_depth_lane = self.max_depth_lane.max(after as u32);
                         self.metrics.note_bank_queue_depth(bank, after as u32);
                         self.metrics.note_bank_write_depth(
                             bank,
                             self.banks[bank].write_buffer_depth() as u32,
                         );
-                        self.ready.insert(bank as u32);
-                        self.forensics.record(
-                            now,
-                            bank as u32,
-                            ForensicKind::WriteAccepted { addr, queue_depth: after as u32 },
-                        );
+                        if after == 1 {
+                            self.ready.insert(bank as u32);
+                        }
+                        if self.forensics.is_enabled() {
+                            self.forensics.record(
+                                now,
+                                bank as u32,
+                                ForensicKind::WriteAccepted { addr, queue_depth: after as u32 },
+                            );
+                        }
                     }
                     Err(kind) => {
                         stall = Some(kind);
@@ -488,12 +576,16 @@ impl VpnmController {
             let slot = &mut self.ring[self.ring_pos];
             let due = slot.take();
             *slot = read_row;
-            let bit = 1u64 << (self.ring_pos % 64);
-            let word = &mut self.ring_occ[self.ring_pos / 64];
-            if read_row.is_some() {
-                *word |= bit;
-            } else {
-                *word &= !bit;
+            // The occupancy bit already equals `due.is_some()`, so at full
+            // rate (due read out, new read in) the bitmap needs no write.
+            if due.is_some() != read_row.is_some() {
+                let bit = 1u64 << (self.ring_pos % 64);
+                let word = &mut self.ring_occ[self.ring_pos / 64];
+                if read_row.is_some() {
+                    *word |= bit;
+                } else {
+                    *word &= !bit;
+                }
             }
             // Branch instead of `%`: the ring length is not a power of
             // two, and this wrap runs every interface cycle.
@@ -501,7 +593,21 @@ impl VpnmController {
             self.ring_pos = if next == self.ring.len() { 0 } else { next };
             due
         };
-        let mut response = None;
+        // The playback wheel knows every future deadline, so the row
+        // falling due a few cycles from now can start its cache-line fill
+        // today — by its deadline the row was last touched a whole bank
+        // access ago and has long left the cache. (Ring slots themselves
+        // stay resident: the wheel is walked sequentially every cycle.)
+        const PLAYBACK_LEAD: usize = 8;
+        if self.ring.len() > PLAYBACK_LEAD {
+            let mut i = self.ring_pos + PLAYBACK_LEAD;
+            if i >= self.ring.len() {
+                i -= self.ring.len();
+            }
+            if let Some((bank, row)) = self.ring[i] {
+                self.banks[bank as usize].prefetch_row(row);
+            }
+        }
         if let Some((bank, row)) = due {
             let bc = &mut self.banks[bank as usize];
             let live_before = bc.storage_occupancy();
@@ -517,8 +623,14 @@ impl VpnmController {
             };
             self.outstanding -= 1;
             self.metrics.responses += 1;
-            self.forensics.record(now, bank, ForensicKind::Returned { addr: pb.addr, row, miss });
-            response = Some(Response {
+            if self.forensics.is_enabled() {
+                self.forensics.record(
+                    now,
+                    bank,
+                    ForensicKind::Returned { addr: pb.addr, row, miss },
+                );
+            }
+            emit(Response {
                 addr: pb.addr,
                 data,
                 issued_at: Cycle::new(now.as_u64() - self.delay),
@@ -535,12 +647,15 @@ impl VpnmController {
         if let Some(bank) = alloc_bank {
             self.metrics.note_bank_storage(bank, self.banks[bank].storage_occupancy() as u32);
         }
-        self.metrics.sample_cycle(self.max_depth as u64, self.storage_live);
+        // NOTE: the per-cycle occupancy sample (`sample_cycle`) is the
+        // caller's duty — `tick` records it immediately, the batch drive
+        // loops run-length-batch it (see `SampleRun`). Histogram updates
+        // commute, so the final metrics are identical either way.
 
         #[cfg(debug_assertions)]
         self.check_incremental_invariants();
 
-        TickOutput { response, stall }
+        stall
     }
 
     /// Checks a request against the configured address space and cell
@@ -569,19 +684,19 @@ impl VpnmController {
         None
     }
 
-    /// Updates the depth histogram after one bank moved from queue depth
-    /// `before` to `after`.
+    /// Current maximum bank queue depth. Cached: accepts can only raise
+    /// it (one compare), and a retire can only lower it when the retiring
+    /// bank sat at the cached maximum — only that case rescans the packed
+    /// depth lane (a handful of vector instructions at paper bank counts).
     #[inline]
-    fn note_depth_change(&mut self, before: usize, after: usize) {
-        self.depth_hist[before] -= 1;
-        self.depth_hist[after] += 1;
-        if after > self.max_depth {
-            self.max_depth = after;
-        } else if before == self.max_depth && self.depth_hist[before] == 0 {
-            while self.max_depth > 0 && self.depth_hist[self.max_depth] == 0 {
-                self.max_depth -= 1;
-            }
-        }
+    fn max_queue_depth(&self) -> u64 {
+        u64::from(self.max_depth_lane)
+    }
+
+    /// Rescans the depth lane after a retire dethroned the cached max.
+    #[inline]
+    fn rescan_max_depth(&mut self) {
+        self.max_depth_lane = self.bank_queue_depth.iter().copied().max().unwrap_or(0);
     }
 
     /// Selects this memory cycle's bus grant per the configured policy.
@@ -591,6 +706,7 @@ impl VpnmController {
     /// would waste the slot) — but `None` short-circuits grants the
     /// original formulation issued to banks with empty queues, where
     /// `on_bus_grant` is a guaranteed no-op.
+    #[inline]
     fn pick_grant(&mut self, now_mem: Cycle) -> Option<usize> {
         let rr = self.rr_next;
         // `banks` is validated to be a power of two, so the round-robin
@@ -607,17 +723,20 @@ impl VpnmController {
                 // the "idle slots … can be eliminated" optimization of
                 // paper Section 4. Ties break to the last candidate in
                 // rotated order, matching `Iterator::max_by_key` over the
-                // original scan.
-                if self.banks[rr as usize].wants_grant(now_mem) {
+                // original scan. The candidate filter reads the packed
+                // busy/depth lanes — one cache line per eight banks —
+                // instead of dereferencing every ready `BankController`.
+                let now = now_mem.as_u64();
+                if self.lane_wants_grant(rr as usize, now) {
                     return Some(rr as usize);
                 }
-                let mut best: Option<(usize, usize)> = None;
+                let mut best: Option<(usize, u32)> = None;
                 for bank in self.ready.iter_from(rr) {
                     let bank = bank as usize;
-                    if !self.banks[bank].wants_grant(now_mem) {
+                    if !self.lane_wants_grant(bank, now) {
                         continue;
                     }
-                    let depth = self.banks[bank].queue_depth();
+                    let depth = self.bank_queue_depth[bank];
                     match best {
                         Some((_, best_depth)) if depth < best_depth => {}
                         _ => best = Some((bank, depth)),
@@ -631,13 +750,41 @@ impl VpnmController {
         }
     }
 
+    /// [`BankController::wants_grant`] evaluated from the packed
+    /// scheduling lanes: the bank holds queued work and either sits idle
+    /// or has a completed in-service access plus a successor to issue.
+    /// Must stay bit-equivalent to the bank's own answer — the invariant
+    /// checker and the grant property tests pin the two together.
+    #[inline]
+    fn lane_wants_grant(&self, bank: usize, now_mem: u64) -> bool {
+        let depth = self.bank_queue_depth[bank];
+        if depth == 0 {
+            return false;
+        }
+        let busy = self.bank_busy_until[bank];
+        busy == 0 || (now_mem >= busy && depth > 1)
+    }
+
+    /// Rebuilds the scheduling lanes from the per-bank ground truth.
+    /// Only the tests need this: they hand-build bank states by calling
+    /// [`BankController::submit`] directly, bypassing the accept path
+    /// that normally keeps the lanes current.
+    #[cfg(test)]
+    fn resync_lanes(&mut self) {
+        for (i, bc) in self.banks.iter().enumerate() {
+            self.bank_queue_depth[i] = bc.queue_depth() as u32;
+            self.bank_busy_until[i] = bc.in_service_until().map_or(0, |u| u.as_u64());
+        }
+        self.rescan_max_depth();
+    }
+
     /// Re-derives the incremental indices from first principles — compiled
     /// only into debug builds, where every test doubles as an equivalence
     /// check between the O(1) bookkeeping and the O(B) ground truth.
     #[cfg(debug_assertions)]
     fn check_incremental_invariants(&self) {
         let max = self.banks.iter().map(BankController::queue_depth).max().unwrap_or(0);
-        debug_assert_eq!(max, self.max_depth, "depth histogram out of sync");
+        debug_assert_eq!(max as u64, self.max_queue_depth(), "depth lane out of sync");
         let live: usize = self.banks.iter().map(BankController::storage_occupancy).sum();
         debug_assert_eq!(live as u64, self.storage_live, "live-row counter out of sync");
         for (i, bc) in self.banks.iter().enumerate() {
@@ -645,6 +792,16 @@ impl VpnmController {
                 self.ready.contains(i as u32),
                 bc.queue_depth() > 0,
                 "ready bit out of sync for bank {i}"
+            );
+            debug_assert_eq!(
+                self.bank_queue_depth[i] as usize,
+                bc.queue_depth(),
+                "queue-depth lane out of sync for bank {i}"
+            );
+            debug_assert_eq!(
+                self.bank_busy_until[i],
+                bc.in_service_until().map_or(0, |u| u.as_u64()),
+                "busy-until lane out of sync for bank {i}"
             );
         }
         for (i, slot) in self.ring.iter().enumerate() {
@@ -720,6 +877,7 @@ impl VpnmController {
         self.hash.hash_batch(&addrs, &mut banks);
 
         let mut report = RunReport::default();
+        let mut samples = SampleRun::default();
         // Cursor into `banks`, advanced once per `Some` request visited
         // (skips only ever jump over `None` entries, so it stays aligned).
         let mut next_bank = 0usize;
@@ -763,17 +921,17 @@ impl VpnmController {
                 (None, 0)
             };
             let presented = request.is_some();
-            let out = self.step(request, bank);
-            if let Some(r) = out.response {
-                report.responses.push(r);
-            }
-            match out.stall {
+            let stall = self.step(request, bank, &mut |r| report.responses.push(r));
+            let depth = self.max_queue_depth();
+            samples.push(&mut self.metrics, depth, self.storage_live);
+            match stall {
                 None => report.accepted += u64::from(presented),
                 Some(kind) if kind.is_rejection() => report.rejected += 1,
                 Some(_) => report.stalled += 1,
             }
             i += 1;
         }
+        samples.flush(&mut self.metrics);
         report
     }
 
@@ -804,6 +962,7 @@ impl VpnmController {
         self.hash.hash_batch(&addrs, &mut banks);
 
         let mut report = RunReport::default();
+        let mut samples = SampleRun::default();
         let mut k = 0usize;
         let mut i = 0u64;
         while i < len {
@@ -831,17 +990,17 @@ impl VpnmController {
                 (None, 0)
             };
             let presented = request.is_some();
-            let out = self.step(request, bank);
-            if let Some(r) = out.response {
-                report.responses.push(r);
-            }
-            match out.stall {
+            let stall = self.step(request, bank, &mut |r| report.responses.push(r));
+            let depth = self.max_queue_depth();
+            samples.push(&mut self.metrics, depth, self.storage_live);
+            match stall {
                 None => report.accepted += u64::from(presented),
                 Some(kind) if kind.is_rejection() => report.rejected += 1,
                 Some(_) => report.stalled += 1,
             }
             i += 1;
         }
+        samples.flush(&mut self.metrics);
         report
     }
 
@@ -880,36 +1039,23 @@ impl VpnmController {
         let len = addrs.len() as u64;
         let total = budget.max(len);
         let mut counts = RunCounts::default();
+        let mut samples = SampleRun::default();
         let mut banks = [0u32; CHUNK];
-        // How far ahead of the current cycle the bank-controller cache
-        // warmup runs: far enough to beat a memory access, near enough
-        // that the touched lines survive until their submit.
-        const LOOKAHEAD: usize = 8;
         for chunk in addrs.chunks(CHUNK) {
             let banks = &mut banks[..chunk.len()];
             self.hash.hash_batch(chunk, banks);
-            for k in 0..chunk.len() {
-                if let Some(&b) = banks.get(k + LOOKAHEAD) {
-                    self.banks[b as usize].prefetch(LineAddr(chunk[k + LOOKAHEAD]));
-                }
-                // Warm the row the playback LOOKAHEAD cycles out will
-                // drain; the ring itself is walked sequentially and stays
-                // cache-resident.
-                let len = self.ring.len();
-                if len > LOOKAHEAD {
-                    let rp = self.ring_pos + LOOKAHEAD;
-                    let rp = if rp >= len { rp - len } else { rp };
-                    if let Some((b, row)) = self.ring[rp] {
-                        self.banks[b as usize].prefetch_row(row);
-                    }
-                }
-                let out =
-                    self.step(Some(Request::Read { addr: LineAddr(chunk[k]) }), banks[k] as usize);
-                if let Some(r) = out.response {
-                    counts.responses += 1;
-                    on_response(r);
-                }
-                match out.stall {
+            for (&addr, &bank) in chunk.iter().zip(banks.iter()) {
+                let stall = self.step(
+                    Some(Request::Read { addr: LineAddr(addr) }),
+                    bank as usize,
+                    &mut |r| {
+                        counts.responses += 1;
+                        on_response(r);
+                    },
+                );
+                let depth = self.max_queue_depth();
+                samples.push(&mut self.metrics, depth, self.storage_live);
+                match stall {
                     None => counts.accepted += 1,
                     Some(kind) if kind.is_rejection() => counts.rejected += 1,
                     Some(_) => counts.stalled += 1,
@@ -928,13 +1074,59 @@ impl VpnmController {
                 i += n;
                 continue;
             }
-            if let Some(r) = self.step(None, 0).response {
+            self.step(None, 0, &mut |r| {
                 counts.responses += 1;
                 on_response(r);
-            }
+            });
+            let depth = self.max_queue_depth();
+            samples.push(&mut self.metrics, depth, self.storage_live);
             i += 1;
         }
+        samples.flush(&mut self.metrics);
         counts
+    }
+
+    /// Dense batch issue: advances exactly `requests.len()` interface
+    /// cycles, presenting `requests[i]` on cycle `i` — the saturated-load
+    /// counterpart of [`VpnmController::run_batch`], for callers whose
+    /// span has a request on *every* cycle (epoch-batched front-ends at
+    /// line rate). Observationally identical to `run_batch` over the
+    /// `Some`-wrapped slice (a property test pins this), but the drive
+    /// loop carries no `Option` scanning and no idle/skip machinery:
+    /// addresses are bank-hashed in cache-sized chunks through the
+    /// batched (SIMD where available) [`HashEngine::hash_batch`] path,
+    /// and the per-cycle work is one prefetched `step`.
+    pub fn issue_batch(&mut self, requests: &[Request]) -> RunReport {
+        const CHUNK: usize = 1024;
+        let mut report = RunReport::default();
+        let mut samples = SampleRun::default();
+        // Full-rate batches answer ~one read per cycle; reserving up front
+        // keeps the response collection out of the reallocation path.
+        report.responses.reserve(requests.len());
+        let mut addrs = [0u64; CHUNK];
+        let mut banks = [0u32; CHUNK];
+        for chunk in requests.chunks(CHUNK) {
+            let addrs = &mut addrs[..chunk.len()];
+            let banks = &mut banks[..chunk.len()];
+            for (a, r) in addrs.iter_mut().zip(chunk) {
+                *a = r.addr().0;
+            }
+            self.hash.hash_batch(addrs, banks);
+            for k in 0..chunk.len() {
+                let stall = self.step(Some(chunk[k].clone()), banks[k] as usize, &mut |r| {
+                    report.responses.push(r)
+                });
+                let depth = self.max_queue_depth();
+                samples.push(&mut self.metrics, depth, self.storage_live);
+                match stall {
+                    None => report.accepted += 1,
+                    Some(kind) if kind.is_rejection() => report.rejected += 1,
+                    Some(_) => report.stalled += 1,
+                }
+            }
+        }
+        samples.flush(&mut self.metrics);
+        report
     }
 
     /// Fast-forwards through up to `gap` interface cycles that are known
@@ -958,7 +1150,8 @@ impl VpnmController {
             self.rr_next =
                 ((u64::from(self.rr_next) + m) & u64::from(self.config.banks - 1)) as u32;
             self.ring_pos = ((self.ring_pos as u64 + n) % self.ring.len() as u64) as usize;
-            self.metrics.sample_cycles(self.max_depth as u64, self.storage_live, n);
+            let depth = self.max_queue_depth();
+            self.metrics.sample_cycles(depth, self.storage_live, n);
             self.cycles_skipped += n;
             if self.forensics.is_enabled() {
                 self.forensics.record(
@@ -1016,9 +1209,9 @@ impl VpnmController {
             // still serving until then, the first *useful* landing is the
             // next one at or after its completion.
             let first = u64::from(b.wrapping_sub(self.rr_next) & mask) + 1;
-            let free_in = self.banks[b as usize]
-                .in_service_until()
-                .map_or(0, |u| u.as_u64().saturating_sub(mem_now));
+            // Busy lane read: a dense u64 per bank instead of a pointer
+            // chase into the bank controller for each ready bank.
+            let free_in = self.bank_busy_until[b as usize].saturating_sub(mem_now);
             let j = if first >= free_in {
                 first
             } else {
@@ -1044,7 +1237,8 @@ impl VpnmController {
         debug_assert!(m < event, "skip must stop short of the state-changing tick");
         self.rr_next = ((u64::from(self.rr_next) + m) & u64::from(mask)) as u32;
         self.ring_pos = ((self.ring_pos as u64 + n) % self.ring.len() as u64) as usize;
-        self.metrics.sample_cycles(self.max_depth as u64, self.storage_live, n);
+        let depth = self.max_queue_depth();
+        self.metrics.sample_cycles(depth, self.storage_live, n);
         self.cycles_skipped += n;
         if self.forensics.is_enabled() {
             self.forensics.record(
@@ -1760,6 +1954,48 @@ mod tests {
             prop_assert_eq!(streamed.metrics(), batched.metrics());
         }
 
+        /// `issue_batch` over a fully dense request span (uniform,
+        /// bursty-ish write mixes, and adversarially colliding reads all
+        /// arise from the generators) is observationally identical to
+        /// `run_batch` over the `Some`-wrapped slice — same responses,
+        /// report, clock, metrics, and snapshot bytes.
+        #[test]
+        fn issue_batch_equals_run_batch(
+            reqs in proptest::collection::vec(
+                prop_oneof![
+                    4 => (0u64..1 << 16).prop_map(|a|
+                        Request::Read { addr: LineAddr(a) }),
+                    1 => (0u64..64u64, any::<u8>()).prop_map(|(a, v)|
+                        Request::write(LineAddr(a), vec![v])),
+                    // Colliding reads: a stride the low-bits baseline
+                    // would funnel into one bank, to exercise stalls.
+                    1 => (0u64..256u64).prop_map(|a|
+                        Request::Read { addr: LineAddr(a * 64) }),
+                ],
+                0..300,
+            ),
+            ratio_idx in 0usize..3,
+        ) {
+            let ratio = [1.0, 1.3, 1.7][ratio_idx];
+            let cfg = VpnmConfig::small_test().with_bus_ratio(ratio);
+            let mk = || VpnmController::new(cfg.clone(), 7).unwrap();
+            let dense: Vec<Option<Request>> =
+                reqs.iter().cloned().map(Some).collect();
+
+            let mut batched = mk();
+            let batch_report = batched.run_batch(&dense, dense.len() as u64);
+
+            let mut issued = mk();
+            let report = issued.issue_batch(&reqs);
+            prop_assert_eq!(report, batch_report);
+            prop_assert_eq!(issued.now(), batched.now());
+            prop_assert_eq!(issued.metrics(), batched.metrics());
+            prop_assert_eq!(
+                issued.snapshot().to_json(),
+                batched.snapshot().to_json()
+            );
+        }
+
         /// `run_sparse` over the `(offset, request)` encoding of a trace
         /// is observationally identical to `run_batch` over its dense
         /// form — including the skip accounting, since both jump exactly
@@ -1867,8 +2103,11 @@ mod tests {
     }
 
     /// Probes `pick_grant` at a given round-robin position without
-    /// perturbing scheduler state.
+    /// perturbing scheduler state. Tests build bank states by hand
+    /// (direct `submit` calls bypass the accept path), so the packed
+    /// scheduling lanes are rebuilt before asking the picker.
     fn probe_grant(mem: &mut VpnmController, rr: u32, now_mem: Cycle) -> Option<usize> {
+        mem.resync_lanes();
         let saved = mem.rr_next;
         mem.rr_next = rr;
         let picked = mem.pick_grant(now_mem);

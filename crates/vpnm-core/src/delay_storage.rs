@@ -46,7 +46,10 @@ pub struct Playback {
     pub data: Option<Bytes>,
 }
 
+/// Line-aligned so every (randomly indexed) row touch on the hot path —
+/// allocate, fill, playback — costs exactly one cache line.
 #[derive(Debug, Clone, Default)]
+#[repr(align(64))]
 struct Row {
     /// Address held by this row, when the row is live.
     addr: LineAddr,
@@ -56,6 +59,11 @@ struct Row {
     /// Outstanding playbacks against this row (the paper's `C`-bit
     /// counter).
     counter: u32,
+    /// CAM slot the row's address was last indexed under — lets the
+    /// unlink on the playback path skip the probe. May go stale when a
+    /// backward-shift deletion moves the slot, so consumers must validate
+    /// (slot used and address matches) before trusting it.
+    cam_slot: u32,
     /// Data words, present once the bank read completed.
     data: Option<Bytes>,
 }
@@ -72,18 +80,33 @@ impl Row {
 #[derive(Debug, Clone, Copy)]
 struct CamEntry {
     row: RowId,
-    valid_rows: u32,
+    valid_rows: u16,
+    /// Probe distance from the address's home slot — lets the
+    /// backward-shift deletion decide slot movability without re-hashing
+    /// every scanned address. Bounded by the live entry count (≤ `K`), so
+    /// `u16` holds it for any accepted `K`.
+    dist: u16,
 }
 
 // Full-avalanche integer hash for the CAM index: the workspace's one
 // canonical SplitMix64 (bit-identical to the private copy it replaces).
 use vpnm_hash::fast::splitmix64 as mix64;
 
+/// One CAM table slot, packed to 16 bytes (4 per cache line). A slot is
+/// unused iff `entry.valid_rows == 0` — every live entry counts at least
+/// one valid row, so no separate flag is needed and the table stays half
+/// the size it would be with one.
 #[derive(Debug, Clone, Copy)]
 struct CamSlot {
     addr: LineAddr,
     entry: CamEntry,
-    used: bool,
+}
+
+impl CamSlot {
+    #[inline]
+    fn used(&self) -> bool {
+        self.entry.valid_rows != 0
+    }
 }
 
 /// The address→row CAM index: an open-addressed table with linear probing
@@ -100,9 +123,10 @@ struct CamIndex {
 
 impl CamIndex {
     fn new(k: usize) -> Self {
+        assert!(k <= usize::from(u16::MAX), "CAM sized for at most {} rows", u16::MAX);
         let cap = (2 * k).next_power_of_two().max(8);
         let empty =
-            CamSlot { addr: LineAddr(0), entry: CamEntry { row: 0, valid_rows: 0 }, used: false };
+            CamSlot { addr: LineAddr(0), entry: CamEntry { row: 0, valid_rows: 0, dist: 0 } };
         CamIndex { slots: vec![empty; cap], mask: cap - 1 }
     }
 
@@ -111,22 +135,36 @@ impl CamIndex {
         mix64(addr.0) as usize & self.mask
     }
 
-    /// Probes `addr`'s chain: `Ok(slot)` when present, `Err(slot)` with
-    /// the unused slot terminating the chain when absent — exactly where
-    /// [`CamIndex::note_alloc`] would insert, letting the read hot path
-    /// reuse one probe for both the search and the insert.
+    /// Unchecked slot access for mask-reduced indices — the probe loops
+    /// run once per accepted request, and `i & mask` can never reach
+    /// `slots.len()`, so the bounds check is pure overhead there.
     #[inline]
-    fn probe(&self, addr: LineAddr) -> Result<usize, usize> {
+    fn slot(&self, i: usize) -> &CamSlot {
+        debug_assert!(i < self.slots.len());
+        // SAFETY: every caller derives `i` via `& self.mask`, and
+        // `slots.len() == mask + 1` by construction (power of two).
+        unsafe { self.slots.get_unchecked(i) }
+    }
+
+    /// Probes `addr`'s chain: `Ok(slot)` when present, `Err((slot, dist))`
+    /// with the unused slot terminating the chain (and its probe distance
+    /// from home) when absent — exactly where [`CamIndex::note_alloc`]
+    /// would insert, letting the read hot path reuse one probe for both
+    /// the search and the insert.
+    #[inline]
+    fn probe(&self, addr: LineAddr) -> Result<usize, (usize, u16)> {
         let mut i = self.home(addr);
+        let mut dist = 0u16;
         loop {
-            let s = &self.slots[i];
-            if !s.used {
-                return Err(i);
+            let s = self.slot(i);
+            if !s.used() {
+                return Err((i, dist));
             }
             if s.addr == addr {
                 return Ok(i);
             }
             i = (i + 1) & self.mask;
+            dist += 1;
         }
     }
 
@@ -143,42 +181,49 @@ impl CamIndex {
 
     /// Registers a newly allocated valid row: bumps the duplicate count
     /// (keeping the lowest row index) or inserts a fresh entry. The ½ load
-    /// bound guarantees a free slot exists.
-    fn note_alloc(&mut self, addr: LineAddr, row: RowId) {
+    /// bound guarantees a free slot exists. Returns the slot used, for the
+    /// row's `cam_slot` hint.
+    fn note_alloc(&mut self, addr: LineAddr, row: RowId) -> usize {
         let mut i = self.home(addr);
+        let mut dist = 0u16;
         loop {
             let s = &mut self.slots[i];
-            if !s.used {
-                *s = CamSlot { addr, entry: CamEntry { row, valid_rows: 1 }, used: true };
-                return;
+            if !s.used() {
+                *s = CamSlot { addr, entry: CamEntry { row, valid_rows: 1, dist } };
+                return i;
             }
             if s.addr == addr {
                 s.entry.row = s.entry.row.min(row);
                 s.entry.valid_rows += 1;
-                return;
+                return i;
             }
             i = (i + 1) & self.mask;
+            dist += 1;
         }
     }
 
     /// Empties slot `i`, back-shifting displaced successors so probe
-    /// chains stay unbroken (no tombstones).
+    /// chains stay unbroken (no tombstones). Movability comes from each
+    /// slot's stored probe distance — no re-hash of scanned addresses.
     fn remove_at(&mut self, mut i: usize) {
         let mut j = i;
         loop {
             j = (j + 1) & self.mask;
-            if !self.slots[j].used {
+            let s = *self.slot(j);
+            if !s.used() {
                 break;
             }
-            let home = self.home(self.slots[j].addr);
             // `j`'s element may fill the hole at `i` iff its home precedes
-            // or equals `i` in cyclic probe order.
-            if (j.wrapping_sub(home) & self.mask) >= (j.wrapping_sub(i) & self.mask) {
-                self.slots[i] = self.slots[j];
+            // or equals `i` in cyclic probe order, i.e. its probe distance
+            // reaches back to the hole.
+            let off = j.wrapping_sub(i) & self.mask;
+            if usize::from(s.entry.dist) >= off {
+                self.slots[i] = s;
+                self.slots[i].entry.dist = s.entry.dist - off as u16;
                 i = j;
             }
         }
-        self.slots[i].used = false;
+        self.slots[i].entry.valid_rows = 0;
     }
 }
 
@@ -187,7 +232,7 @@ impl CamIndex {
 /// [`DelayStorageBuffer::allocate_hinted`]. Invalidated by any other CAM
 /// mutation in between.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct CamHint(usize);
+pub struct CamHint(usize, u16);
 
 /// The paper's **delay storage buffer (DSB)**: the `K`-row merging CAM of
 /// one bank controller (Figure 3, left). Overflow is the *delay storage
@@ -249,14 +294,28 @@ impl DelayStorageBuffer {
         self.cam.get(addr).map(|e| e.row)
     }
 
-    /// Warms the CAM home slot of `addr`: an otherwise-unused load that
-    /// an out-of-order core retires off the critical path, so a
+    /// Issues a hardware prefetch for `p`'s cache line on targets that
+    /// have one; a no-op elsewhere. Fire-and-forget: unlike a dummy load,
+    /// the line fill occupies no register and never delays retirement.
+    #[inline]
+    fn warm<T>(p: *const T) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: prefetch is a hint with no memory effects; it is valid
+        // for any address, and SSE is baseline on x86_64.
+        unsafe {
+            std::arch::x86_64::_mm_prefetch::<{ std::arch::x86_64::_MM_HINT_T0 }>(p.cast())
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = p;
+    }
+
+    /// Warms the CAM home slot of `addr` so a
     /// [`DelayStorageBuffer::lookup_hinted`] issued a few cycles later
     /// finds the line already in cache. Semantically a no-op.
     #[inline]
     pub fn prefetch(&self, addr: LineAddr) {
         let i = self.cam.home(addr);
-        std::hint::black_box(self.cam.slots[i].used);
+        Self::warm(&raw const self.cam.slots[i]);
     }
 
     /// Warms a row ahead of its playback deadline (see
@@ -264,17 +323,18 @@ impl DelayStorageBuffer {
     /// last touched a full bank access ago and has long left the cache.
     #[inline]
     pub fn prefetch_row(&self, row: RowId) {
-        std::hint::black_box(self.rows[row as usize].counter);
+        Self::warm(&raw const self.rows[row as usize]);
     }
 
     /// Second warmup stage before a playback: with the row line already
     /// resident (an earlier [`DelayStorageBuffer::prefetch_row`]), touch
-    /// the CAM home slot its unlink will probe.
+    /// the CAM slot its unlink will hit — the row's cached slot, exact
+    /// unless a backward shift moved the entry since.
     #[inline]
     pub fn prefetch_playback(&self, row: RowId) {
         let r = &self.rows[row as usize];
         if r.addr_valid {
-            self.prefetch(r.addr);
+            Self::warm(&raw const self.cam.slots[r.cam_slot as usize]);
         }
     }
 
@@ -282,10 +342,11 @@ impl DelayStorageBuffer {
     /// [`CamHint`] so a subsequent [`DelayStorageBuffer::allocate_hinted`]
     /// can skip re-probing. Exactly [`DelayStorageBuffer::lookup`]
     /// otherwise.
+    #[inline]
     pub fn lookup_hinted(&self, addr: LineAddr) -> Result<RowId, CamHint> {
         match self.cam.probe(addr) {
             Ok(i) => Ok(self.cam.slots[i].entry.row),
-            Err(i) => Err(CamHint(i)),
+            Err((i, dist)) => Err(CamHint(i, dist)),
         }
     }
 
@@ -293,19 +354,21 @@ impl DelayStorageBuffer {
     /// known from a [`DelayStorageBuffer::lookup_hinted`] miss. The hint
     /// is only valid while no CAM mutation happened in between (the
     /// submit path calls the two back to back).
+    #[inline]
     pub fn allocate_hinted(&mut self, addr: LineAddr, hint: CamHint) -> Option<RowId> {
-        debug_assert!(!self.cam.slots[hint.0].used, "stale CAM hint");
-        debug_assert!(self.cam.probe(addr) == Err(hint.0), "hint for wrong address");
+        debug_assert!(!self.cam.slots[hint.0].used(), "stale CAM hint");
+        debug_assert!(self.cam.probe(addr) == Err((hint.0, hint.1)), "hint for wrong address");
         let idx = self.first_free()?;
         self.free[idx as usize / 64] &= !(1u64 << (idx as usize % 64));
         let row = &mut self.rows[idx as usize];
         row.addr = addr;
         row.addr_valid = true;
         row.counter = 1;
+        row.cam_slot = hint.0 as u32;
         row.data = None;
         self.live += 1;
         self.cam.slots[hint.0] =
-            CamSlot { addr, entry: CamEntry { row: idx, valid_rows: 1 }, used: true };
+            CamSlot { addr, entry: CamEntry { row: idx, valid_rows: 1, dist: hint.1 } };
         Some(idx)
     }
 
@@ -321,7 +384,8 @@ impl DelayStorageBuffer {
         row.counter = 1;
         row.data = None;
         self.live += 1;
-        self.cam.note_alloc(addr, idx);
+        let slot = self.cam.note_alloc(addr, idx);
+        self.rows[idx as usize].cam_slot = slot as u32;
         Some(idx)
     }
 
@@ -337,8 +401,19 @@ impl DelayStorageBuffer {
     /// Unlinks a (still or formerly) valid row from the CAM index,
     /// promoting the next-lowest duplicate if one exists. Only the
     /// duplicate case (merging disabled) pays the O(K) rescan.
+    #[inline]
     fn cam_remove(&mut self, addr: LineAddr, row: RowId) {
-        let i = self.cam.find(addr).expect("CAM entry for valid row");
+        // Open addressing keeps one slot per address, so a used slot whose
+        // address matches IS the entry — the row's cached slot then saves
+        // the probe. A backward shift may have moved the entry since the
+        // hint was written; only that stale case re-probes.
+        let hint = self.rows[row as usize].cam_slot as usize;
+        let hinted = self.cam.slots[hint];
+        let i = if hinted.used() && hinted.addr == addr {
+            hint
+        } else {
+            self.cam.find(addr).expect("CAM entry for valid row")
+        };
         let entry = &mut self.cam.slots[i].entry;
         entry.valid_rows -= 1;
         if entry.valid_rows == 0 {
@@ -370,10 +445,11 @@ impl DelayStorageBuffer {
     ///
     /// # Panics
     ///
-    /// Panics if the row is free.
+    /// Panics in debug builds if the row is free.
+    #[inline]
     pub fn row_addr(&self, row: RowId) -> LineAddr {
         let r = &self.rows[row as usize];
-        assert!(!r.is_free(), "address of free row {row}");
+        debug_assert!(!r.is_free(), "address of free row {row}");
         r.addr
     }
 
@@ -381,10 +457,11 @@ impl DelayStorageBuffer {
     ///
     /// # Panics
     ///
-    /// Panics if the row is free.
+    /// Panics in debug builds if the row is free.
+    #[inline]
     pub fn fill(&mut self, row: RowId, data: impl Into<Bytes>) {
         let r = &mut self.rows[row as usize];
-        assert!(!r.is_free(), "fill of free row {row}");
+        debug_assert!(!r.is_free(), "fill of free row {row}");
         r.data = Some(data.into());
     }
 
@@ -404,10 +481,11 @@ impl DelayStorageBuffer {
     ///
     /// # Panics
     ///
-    /// Panics if the row is free.
+    /// Panics in debug builds if the row is free.
+    #[inline]
     pub fn playback(&mut self, row: RowId) -> Playback {
         let r = &mut self.rows[row as usize];
-        assert!(!r.is_free(), "playback of free row {row}");
+        debug_assert!(!r.is_free(), "playback of free row {row}");
         let addr = r.addr;
         r.counter -= 1;
         // The last playback moves the data out instead of cloning it —

@@ -388,15 +388,31 @@ impl<M: PipelinedMemory> VpnmFabric<M> {
         if requests.is_empty() {
             return report;
         }
+        // Single-channel fast path: the selector is the identity (zero
+        // channel bits), so routing, local-address translation, and the
+        // barrier merge are all pure overhead — hand the engine the span
+        // directly. Only the well-formed case bypasses: a malformed
+        // request must be rejected *at the fabric* with fabric-level
+        // accounting, so any such span takes the generic path below.
+        if self.channels.len() == 1
+            && requests.iter().flatten().all(|req| self.validate(req).is_none())
+        {
+            let report = self.channels[0].run_epoch(requests);
+            self.now += requests.len() as u64;
+            return report;
+        }
         // Route: scatter the span into sparse per-channel request lanes,
         // holding malformed requests at the fabric edge exactly like
         // `tick` does (same rejection kind, same recording cycle). Lanes
         // are sparse `(offset, request)` pairs — the routing pass writes
         // one entry per presented request, not one slot per channel per
         // cycle, and each channel later jumps the gaps its lane encodes.
-        let c = self.channels.len();
+        // Channel selection runs as one batched pass over the presented
+        // addresses ([`ChannelSelector::route_batch`], SIMD-backed for
+        // the keyed permutation), then the requests scatter to lanes.
         let len = requests.len() as u64;
-        let mut lanes: Vec<SparseLane> = vec![Vec::new(); c];
+        let mut offsets: Vec<u64> = Vec::with_capacity(requests.len());
+        let mut addrs: Vec<u64> = Vec::with_capacity(requests.len());
         for (i, slot) in requests.iter().enumerate() {
             let Some(req) = slot else { continue };
             if let Some(kind) = self.validate(req) {
@@ -404,18 +420,86 @@ impl<M: PipelinedMemory> VpnmFabric<M> {
                 self.fabric_metrics.record_stall(kind, Cycle::new(self.now + i as u64 + 1));
                 continue;
             }
-            let (ch, local) = self.selector.route(req.addr().0);
-            lanes[ch as usize].push((
-                i as u64,
+            offsets.push(i as u64);
+            addrs.push(req.addr().0);
+        }
+        let mut chans = vec![0u32; addrs.len()];
+        let mut locals = vec![0u64; addrs.len()];
+        self.selector.route_batch(&addrs, &mut chans, &mut locals);
+        let mut lanes: Vec<SparseLane> = vec![Vec::new(); self.channels.len()];
+        for (k, &i) in offsets.iter().enumerate() {
+            let req = requests[i as usize].as_ref().expect("offsets index presented requests");
+            lanes[chans[k] as usize].push((
+                i,
                 match req {
-                    Request::Read { .. } => Request::Read { addr: LineAddr(local) },
+                    Request::Read { .. } => Request::Read { addr: LineAddr(locals[k]) },
                     Request::Write { data, .. } => {
-                        Request::Write { addr: LineAddr(local), data: data.clone() }
+                        Request::Write { addr: LineAddr(locals[k]), data: data.clone() }
                     }
                 },
             ));
         }
+        self.execute_lanes(len, lanes, &mut report);
+        report
+    }
 
+    /// Dense batch issue at the fabric: advances `requests.len()` cycles
+    /// presenting `requests[i]` on cycle `i` — [`VpnmFabric::run_epoch`]
+    /// for saturated spans, with no `Option` slots to scan. A
+    /// single-channel fabric hands the span straight to its engine's
+    /// [`PipelinedMemory::issue_batch`] dense path; a multi-channel one
+    /// batch-routes and runs the usual sparse-lane epoch (each channel
+    /// still sees only its `1/C` slice, so its lane is inherently
+    /// sparse).
+    pub fn issue_batch(&mut self, requests: &[Request]) -> RunReport {
+        let mut report = RunReport::default();
+        if requests.is_empty() {
+            return report;
+        }
+        if self.channels.len() == 1 && requests.iter().all(|req| self.validate(req).is_none()) {
+            let report = self.channels[0].issue_batch(requests);
+            self.now += requests.len() as u64;
+            return report;
+        }
+        let len = requests.len() as u64;
+        let mut offsets: Vec<u64> = Vec::with_capacity(requests.len());
+        let mut addrs: Vec<u64> = Vec::with_capacity(requests.len());
+        for (i, req) in requests.iter().enumerate() {
+            if let Some(kind) = self.validate(req) {
+                report.rejected += 1;
+                self.fabric_metrics.record_stall(kind, Cycle::new(self.now + i as u64 + 1));
+                continue;
+            }
+            offsets.push(i as u64);
+            addrs.push(req.addr().0);
+        }
+        let mut chans = vec![0u32; addrs.len()];
+        let mut locals = vec![0u64; addrs.len()];
+        self.selector.route_batch(&addrs, &mut chans, &mut locals);
+        let mut lanes: Vec<SparseLane> = vec![Vec::new(); self.channels.len()];
+        for (k, &i) in offsets.iter().enumerate() {
+            let req = &requests[i as usize];
+            lanes[chans[k] as usize].push((
+                i,
+                match req {
+                    Request::Read { .. } => Request::Read { addr: LineAddr(locals[k]) },
+                    Request::Write { data, .. } => {
+                        Request::Write { addr: LineAddr(locals[k]), data: data.clone() }
+                    }
+                },
+            ));
+        }
+        self.execute_lanes(len, lanes, &mut report);
+        report
+    }
+
+    /// The execute-and-merge half of an epoch, shared by
+    /// [`VpnmFabric::run_epoch`] and [`VpnmFabric::issue_batch`]: runs
+    /// every channel through its sparse lane (on-thread or on the worker
+    /// pool), folds the per-channel reports into `report`, and
+    /// barrier-merges the response streams back into exact cycle order.
+    fn execute_lanes(&mut self, len: u64, lanes: Vec<SparseLane>, report: &mut RunReport) {
+        let c = self.channels.len();
         // Execute: every channel advances through the epoch independently.
         // Engines travel to the pool workers by value and come home at the
         // barrier; the `ch % workers` partition is fixed, so results are
@@ -483,7 +567,6 @@ impl<M: PipelinedMemory> VpnmFabric<M> {
         }
         report.responses = responses;
         self.now += len;
-        report
     }
 
     /// Merges the per-channel snapshots (plus the fabric's own rejection
@@ -566,6 +649,11 @@ impl<M: PipelinedMemory> PipelinedMemory for VpnmFabric<M> {
         // default): per-channel batching, idle-span skipping, and the
         // worker pool when one is configured.
         VpnmFabric::run_epoch(self, requests)
+    }
+
+    fn issue_batch(&mut self, requests: &[Request]) -> RunReport {
+        // Batch-routed dense issue (single-channel bypass included).
+        VpnmFabric::issue_batch(self, requests)
     }
 
     fn snapshot(&self) -> Option<MetricsSnapshot> {
@@ -796,6 +884,40 @@ mod tests {
                 snapshot_sans_skips(&epoched),
                 snapshot_sans_skips(&ticked),
                 "{channels}ch: snapshots must agree modulo cycles_skipped"
+            );
+        }
+    }
+
+    #[test]
+    fn issue_batch_matches_run_epoch() {
+        // Dense spans (every cycle presents a request) through the batch
+        // door must be byte-identical to the Option-slotted epoch path —
+        // including across the single-channel bypass and the epoch seam.
+        for channels in [1u32, 4] {
+            let cfg = fabric_config(channels, ChannelSelect::UniversalHash);
+            let mut epoched = VpnmFabric::new(cfg.clone(), 0xAB).unwrap();
+            let mut batched = VpnmFabric::new(cfg, 0xAB).unwrap();
+            let dense: Vec<Request> = epoch_stream(1200, 31).into_iter().flatten().collect();
+            let slotted: Vec<Option<Request>> = dense.iter().cloned().map(Some).collect();
+
+            let (sa, sb) = slotted.split_at(500);
+            let (da, db) = dense.split_at(500);
+            let ra = epoched.run_epoch(sa);
+            let rb = epoched.run_epoch(sb);
+            let ba = batched.issue_batch(da);
+            let bb = batched.issue_batch(db);
+            assert_eq!(ba, ra, "{channels}ch");
+            assert_eq!(bb, rb, "{channels}ch");
+            assert_eq!(batched.now(), epoched.now(), "{channels}ch");
+            assert_eq!(
+                PipelinedMemory::drain(&mut batched),
+                PipelinedMemory::drain(&mut epoched),
+                "{channels}ch"
+            );
+            assert_eq!(
+                snapshot_sans_skips(&batched),
+                snapshot_sans_skips(&epoched),
+                "{channels}ch"
             );
         }
     }

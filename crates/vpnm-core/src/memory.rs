@@ -125,6 +125,33 @@ pub trait PipelinedMemory {
         self.run_epoch(&dense)
     }
 
+    /// Dense batch issue: advances exactly `requests.len()` interface
+    /// cycles presenting `requests[i]` on cycle `i` — the saturated-load
+    /// special case of [`PipelinedMemory::run_epoch`] where every slot
+    /// carries a request, so implementations can drop the per-cycle
+    /// `Option` handling and idle-gap machinery entirely and batch the
+    /// address hashing / routing across the whole span.
+    ///
+    /// Same observational-equivalence contract as `run_epoch` over the
+    /// `Some`-wrapped slice. The default ticks; [`crate::VpnmController`]
+    /// routes it to its chunked-hashing `issue_batch`, and
+    /// [`crate::VpnmFabric`] to its batch-routed epoch path.
+    fn issue_batch(&mut self, requests: &[Request]) -> RunReport {
+        let mut report = RunReport::default();
+        for req in requests {
+            let out = self.tick(Some(req.clone()));
+            if let Some(r) = out.response {
+                report.responses.push(r);
+            }
+            match out.stall {
+                None => report.accepted += 1,
+                Some(kind) if kind.is_rejection() => report.rejected += 1,
+                Some(_) => report.stalled += 1,
+            }
+        }
+        report
+    }
+
     /// The aggregate metrics, for engines that keep them. `None` for
     /// models without an accounting layer ([`IdealMemory`]) and for
     /// composites whose metrics only exist in merged snapshot form
@@ -176,6 +203,9 @@ impl<M: PipelinedMemory + ?Sized> PipelinedMemory for Box<M> {
     fn run_epoch_sparse(&mut self, len: u64, requests: &[(u64, Request)]) -> RunReport {
         (**self).run_epoch_sparse(len, requests)
     }
+    fn issue_batch(&mut self, requests: &[Request]) -> RunReport {
+        (**self).issue_batch(requests)
+    }
     fn metrics(&self) -> Option<&ControllerMetrics> {
         (**self).metrics()
     }
@@ -221,6 +251,12 @@ impl PipelinedMemory for crate::VpnmController {
         // The native sparse drive: idle gaps are jumped from the offsets
         // alone, so no dense span is ever materialized or scanned.
         crate::VpnmController::run_sparse(self, len, requests)
+    }
+
+    fn issue_batch(&mut self, requests: &[Request]) -> RunReport {
+        // The dense fast path: chunked batched hashing, no Option or
+        // skip machinery. A property test pins it to `run_batch`.
+        crate::VpnmController::issue_batch(self, requests)
     }
 
     fn metrics(&self) -> Option<&ControllerMetrics> {

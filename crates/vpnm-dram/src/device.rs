@@ -83,6 +83,9 @@ pub struct DramDevice {
     /// `log2(cells_per_row)` when the row width is a power of two, letting
     /// the per-access row mapping shift instead of divide.
     row_shift: Option<u32>,
+    /// Cached `config.cells_per_bank()` — re-deriving it costs a multiply
+    /// on every access's range check and cell-index computation.
+    cells_per_bank: u64,
 }
 
 impl DramDevice {
@@ -97,7 +100,15 @@ impl DramDevice {
         let storage = SparseStorage::new(config.cell_bytes);
         let row_shift =
             config.cells_per_row.is_power_of_two().then(|| config.cells_per_row.trailing_zeros());
-        DramDevice { config, banks, storage, stats: DramStats::default(), row_shift }
+        let cells_per_bank = config.cells_per_bank();
+        DramDevice {
+            config,
+            banks,
+            storage,
+            stats: DramStats::default(),
+            row_shift,
+            cells_per_bank,
+        }
     }
 
     /// The device configuration.
@@ -126,8 +137,9 @@ impl DramDevice {
             .ok_or(DramError::BadBank { bank, num_banks: self.config.num_banks })
     }
 
+    #[inline]
     fn check_offset(&self, offset: u64) -> Result<(), DramError> {
-        let cells = self.config.cells_per_bank();
+        let cells = self.cells_per_bank;
         if offset >= cells {
             Err(DramError::BadOffset { offset, cells_per_bank: cells })
         } else {
@@ -135,10 +147,12 @@ impl DramDevice {
         }
     }
 
+    #[inline]
     fn cell_index(&self, bank: u32, offset: u64) -> u64 {
-        u64::from(bank) * self.config.cells_per_bank() + offset
+        u64::from(bank) * self.cells_per_bank + offset
     }
 
+    #[inline]
     fn row_of(&self, offset: u64) -> u64 {
         match self.row_shift {
             Some(s) => offset >> s,
@@ -231,6 +245,7 @@ impl DramDevice {
     /// # Errors
     ///
     /// The same range errors as [`DramDevice::issue_read`].
+    #[inline]
     pub fn try_issue_read(
         &mut self,
         bank: u32,

@@ -39,11 +39,17 @@ impl SparseStorage {
     /// Panics if `cell_bytes == 0`.
     pub fn new(cell_bytes: usize) -> Self {
         assert!(cell_bytes > 0, "cell_bytes must be positive");
-        SparseStorage {
-            cells: FastHashMap::default(),
-            cell_bytes,
-            zero: Bytes::from(vec![0u8; cell_bytes]),
-        }
+        // Cells no larger than the static pool clone the zero cell without
+        // touching a reference count — at line rate every read of
+        // never-written memory hands out one of these, so keeping the
+        // clone free of atomic traffic matters.
+        static ZEROS: [u8; 4096] = [0u8; 4096];
+        let zero = if cell_bytes <= ZEROS.len() {
+            Bytes::from_static(&ZEROS[..cell_bytes])
+        } else {
+            Bytes::from(vec![0u8; cell_bytes])
+        };
+        SparseStorage { cells: FastHashMap::default(), cell_bytes, zero }
     }
 
     /// Bytes per cell.

@@ -54,6 +54,8 @@ pub mod gf2;
 pub mod h3;
 pub mod multiply_shift;
 pub mod permute;
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod simd;
 pub mod tabulation;
 
 pub use channel::{ChannelSelect, ChannelSelector};

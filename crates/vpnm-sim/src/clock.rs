@@ -237,6 +237,7 @@ impl DualClock {
 
     /// Advances the memory clock by one cycle, reporting whether an
     /// interface edge fell on this cycle.
+    #[inline]
     pub fn tick_memory(&mut self) -> MemoryTick {
         self.memory.tick();
         self.acc += self.den;
