@@ -10,6 +10,7 @@
 //! controller's universal hash spreads those addresses over banks
 //! regardless of the queue access pattern.
 
+use bytes::Bytes;
 use std::collections::VecDeque;
 use std::fmt;
 use vpnm_core::{
@@ -26,6 +27,28 @@ pub enum BufferEvent {
         queue: u32,
         /// Cell payload.
         cell: Vec<u8>,
+    },
+    /// Remove the oldest cell of a queue (data arrives `D` cycles later).
+    Dequeue {
+        /// Queue (interface) index.
+        queue: u32,
+    },
+}
+
+/// One scheduled event in an arena-backed epoch lane (see
+/// [`VpnmPacketBuffer::run_epoch_arena`]): 16 bytes, `Copy`, with
+/// enqueue payloads carried as byte spans into the epoch's shared
+/// arena instead of owned `Vec`s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneEvent {
+    /// Append `arena[start..end]` as a cell on `queue`.
+    Enqueue {
+        /// Queue (interface) index.
+        queue: u32,
+        /// Payload start offset into the epoch arena.
+        start: u32,
+        /// Payload end offset into the epoch arena.
+        end: u32,
     },
     /// Remove the oldest cell of a queue (data arrives `D` cycles later).
     Dequeue {
@@ -412,46 +435,117 @@ impl<M: PipelinedMemory> VpnmPacketBuffer<M> {
         let mut sparse: Vec<(u64, Request)> = Vec::with_capacity(events.len());
         let mut prev: Option<u64> = None;
         for (offset, event) in events {
-            assert!(*offset < len, "event offset {offset} outside epoch of {len}");
-            assert!(prev.is_none_or(|p| p < *offset), "event offsets must strictly increase");
-            prev = Some(*offset);
+            Self::check_offset(*offset, len, &mut prev);
             let outcome = match event {
-                BufferEvent::Enqueue { queue, cell } => {
-                    match self.queues.get(*queue as usize).copied() {
-                        None => Err(BufferError::BadQueue),
-                        Some(q) if q.tail - q.head >= self.cells_per_queue => {
-                            Err(BufferError::QueueFull)
-                        }
-                        Some(q) => {
-                            let addr = self.cell_addr(*queue, q.tail);
-                            sparse.push((
-                                *offset,
-                                Request::Write { addr, data: cell.clone().into() },
-                            ));
-                            self.queues[*queue as usize].tail += 1;
-                            self.stats.enqueued += 1;
-                            Ok(())
-                        }
-                    }
-                }
-                BufferEvent::Dequeue { queue } => match self.queues.get(*queue as usize).copied() {
-                    None => Err(BufferError::BadQueue),
-                    Some(q) if q.tail == q.head => Err(BufferError::QueueEmpty),
-                    Some(q) => {
-                        let addr = self.cell_addr(*queue, q.head);
-                        sparse.push((*offset, Request::Read { addr }));
-                        self.queues[*queue as usize].head += 1;
-                        self.in_flight.push_back(*queue);
-                        self.stats.dequeued += 1;
-                        Ok(())
-                    }
-                },
+                BufferEvent::Enqueue { queue, cell } => self.admit_enqueue(*queue).map(|addr| {
+                    sparse.push((*offset, Request::Write { addr, data: cell.clone().into() }));
+                }),
+                BufferEvent::Dequeue { queue } => self.admit_dequeue(*queue).map(|addr| {
+                    sparse.push((*offset, Request::Read { addr }));
+                }),
             };
             if outcome.is_err() {
                 self.stats.queue_rejections += 1;
             }
             report.outcomes.push(outcome);
         }
+        self.finish_epoch(len, sparse, &mut report);
+        report
+    }
+
+    /// Arena-backed variant of [`VpnmPacketBuffer::run_epoch`]: event
+    /// payloads are `(start, end)` byte spans into one shared `arena`
+    /// buffer instead of per-event `Vec`s, so a whole epoch of enqueues
+    /// costs one allocation (the arena) rather than one per cell — each
+    /// span becomes a zero-copy [`Bytes::slice`] reference. Semantics
+    /// (admission checks, outcomes, stall accounting, deliveries) are
+    /// byte-identical to `run_epoch` with the equivalent expanded
+    /// events, pinned by the `arena_epoch_matches_event_epoch` proptest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if offsets are not strictly increasing or reach `len`, or
+    /// if an enqueue span falls outside `arena`.
+    pub fn run_epoch_arena(
+        &mut self,
+        len: u64,
+        events: &[(u64, LaneEvent)],
+        arena: &Bytes,
+    ) -> BufferEpochReport {
+        let mut report = BufferEpochReport {
+            outcomes: Vec::with_capacity(events.len()),
+            ..BufferEpochReport::default()
+        };
+        let mut sparse: Vec<(u64, Request)> = Vec::with_capacity(events.len());
+        let mut prev: Option<u64> = None;
+        for &(offset, event) in events {
+            Self::check_offset(offset, len, &mut prev);
+            let outcome = match event {
+                LaneEvent::Enqueue { queue, start, end } => self.admit_enqueue(queue).map(|addr| {
+                    let data = arena.slice(start as usize..end as usize);
+                    sparse.push((offset, Request::Write { addr, data }));
+                }),
+                LaneEvent::Dequeue { queue } => self.admit_dequeue(queue).map(|addr| {
+                    sparse.push((offset, Request::Read { addr }));
+                }),
+            };
+            if outcome.is_err() {
+                self.stats.queue_rejections += 1;
+            }
+            report.outcomes.push(outcome);
+        }
+        self.finish_epoch(len, sparse, &mut report);
+        report
+    }
+
+    #[inline]
+    fn check_offset(offset: u64, len: u64, prev: &mut Option<u64>) {
+        assert!(offset < len, "event offset {offset} outside epoch of {len}");
+        assert!(prev.is_none_or(|p| p < offset), "event offsets must strictly increase");
+        *prev = Some(offset);
+    }
+
+    /// Admission-checks an enqueue at schedule time against the shadow
+    /// pointers, committing the tail move; returns the cell address.
+    #[inline]
+    fn admit_enqueue(&mut self, queue: u32) -> Result<LineAddr, BufferError> {
+        match self.queues.get(queue as usize).copied() {
+            None => Err(BufferError::BadQueue),
+            Some(q) if q.tail - q.head >= self.cells_per_queue => Err(BufferError::QueueFull),
+            Some(q) => {
+                let addr = self.cell_addr(queue, q.tail);
+                self.queues[queue as usize].tail += 1;
+                self.stats.enqueued += 1;
+                Ok(addr)
+            }
+        }
+    }
+
+    /// Admission-checks a dequeue at schedule time, committing the head
+    /// move and the in-flight entry; returns the cell address.
+    #[inline]
+    fn admit_dequeue(&mut self, queue: u32) -> Result<LineAddr, BufferError> {
+        match self.queues.get(queue as usize).copied() {
+            None => Err(BufferError::BadQueue),
+            Some(q) if q.tail == q.head => Err(BufferError::QueueEmpty),
+            Some(q) => {
+                let addr = self.cell_addr(queue, q.head);
+                self.queues[queue as usize].head += 1;
+                self.in_flight.push_back(queue);
+                self.stats.dequeued += 1;
+                Ok(addr)
+            }
+        }
+    }
+
+    /// Runs the admitted request lane through the memory and pairs the
+    /// epoch's responses into the report.
+    fn finish_epoch(
+        &mut self,
+        len: u64,
+        sparse: Vec<(u64, Request)>,
+        report: &mut BufferEpochReport,
+    ) {
         // A full epoch — one accepted event on every cycle, which is the
         // steady state at line rate — needs no sparse gap-jumping at all:
         // strictly increasing offsets below `len` that number `len` are
@@ -474,7 +568,6 @@ impl<M: PipelinedMemory> VpnmPacketBuffer<M> {
                 completed_at: r.completed_at.as_u64(),
             });
         }
-        report
     }
 
     /// In-flight dequeues awaiting a response.
@@ -915,6 +1008,51 @@ mod proptests {
             epoch_cells.extend(epoch_buf.drain());
             prop_assert_eq!(epoch_cells, tick_cells);
             prop_assert_eq!(epoch_buf.stats(), tick_buf.stats());
+        }
+
+        /// The arena-backed epoch path is byte-identical to the owned
+        /// `BufferEvent` epoch path for arbitrary interleavings: same
+        /// outcomes, same delivered cells, same stats — only the payload
+        /// carrier (span into shared arena vs per-event `Vec`) differs.
+        #[test]
+        fn arena_epoch_matches_event_epoch(events in proptest::collection::vec(ev(), 1..250)) {
+            let mut ev_buf = VpnmPacketBuffer::new(VpnmConfig::test_roomy(), 4, 16, 9).unwrap();
+            let mut ar_buf = VpnmPacketBuffer::new(VpnmConfig::test_roomy(), 4, 16, 9).unwrap();
+            let len = events.len() as u64;
+
+            let mut arena = Vec::new();
+            let mut batch = Vec::new();
+            let mut lane = Vec::new();
+            for (offset, e) in events.iter().enumerate() {
+                match e {
+                    Ev::Enq(q) => {
+                        let cell = payload_bytes(u32::from(*q), offset as u64, 8);
+                        let start = arena.len() as u32;
+                        arena.extend_from_slice(&cell);
+                        batch.push((
+                            offset as u64,
+                            BufferEvent::Enqueue { queue: u32::from(*q), cell },
+                        ));
+                        lane.push((offset as u64, LaneEvent::Enqueue {
+                            queue: u32::from(*q),
+                            start,
+                            end: arena.len() as u32,
+                        }));
+                    }
+                    Ev::Deq(q) => {
+                        batch.push((offset as u64, BufferEvent::Dequeue { queue: u32::from(*q) }));
+                        lane.push((offset as u64, LaneEvent::Dequeue { queue: u32::from(*q) }));
+                    }
+                    Ev::Idle => {}
+                }
+            }
+
+            let ev_report = ev_buf.run_epoch(len, &batch);
+            let ar_report = ar_buf.run_epoch_arena(len, &lane, &Bytes::from(arena));
+            prop_assert_eq!(ev_report, ar_report);
+            let ev_drained = ev_buf.drain();
+            prop_assert_eq!(ev_drained, ar_buf.drain());
+            prop_assert_eq!(ev_buf.stats(), ar_buf.stats());
         }
     }
 }

@@ -20,7 +20,8 @@
 //!   counters advance at *schedule* time and therefore always agree with
 //!   the admission decision the buffer itself will make.
 
-use vpnm_sim::rng::splitmix64;
+use vpnm_core::prefetch_read;
+use vpnm_sim::rng::{splitmix64, splitmix64_batch};
 
 /// Flat open-addressed flow table; slot index == packet-buffer queue
 /// index.
@@ -37,7 +38,15 @@ pub struct FlowTable {
     out_counts: Vec<u32>,
     mask: u64,
     len: u64,
+    /// Scratch lanes for [`FlowTable::slots_of_batch`], reused across
+    /// epochs so the batched path allocates nothing at steady state.
+    key_scratch: Vec<u64>,
+    fp_scratch: Vec<u64>,
 }
+
+/// How many probes ahead [`FlowTable::slots_of_batch`] warms home
+/// slots; matches the controller's playback-wheel lookahead.
+const LOOKAHEAD: usize = 8;
 
 impl FlowTable {
     /// Creates a table with `capacity` slots (a power of two ≥ 2).
@@ -57,6 +66,8 @@ impl FlowTable {
             out_counts: vec![0; n],
             mask: u64::from(capacity) - 1,
             len: 0,
+            key_scratch: Vec::new(),
+            fp_scratch: Vec::new(),
         }
     }
 
@@ -85,7 +96,44 @@ impl FlowTable {
     /// `None` when the flow is new and the table is at capacity (the
     /// caller counts a flow-table drop).
     pub fn slot_of(&mut self, flow: u64) -> Option<u32> {
-        let fp = Self::fingerprint(flow);
+        self.probe_insert(Self::fingerprint(flow))
+    }
+
+    /// Batched [`FlowTable::slot_of`] over a flow-ID slice: fingerprints
+    /// are hashed through the workspace's batched SplitMix64 kernel
+    /// (`splitmix64_batch`, the same AVX2 dispatch layer as
+    /// `HashEngine::hash_batch` — the fingerprint function itself must
+    /// stay SplitMix64 so existing snapshots remain byte-identical),
+    /// home slots are software-prefetched [`LOOKAHEAD`] probes ahead,
+    /// and `out` receives one dense slot per flow in order.
+    ///
+    /// Equivalent to calling `slot_of` per flow in sequence (insertions
+    /// included), pinned by the `batch_equals_per_packet` proptest.
+    pub fn slots_of_batch(&mut self, flows: &[u64], out: &mut Vec<Option<u32>>) {
+        out.clear();
+        out.reserve(flows.len());
+        let mut keys = std::mem::take(&mut self.key_scratch);
+        let mut fps = std::mem::take(&mut self.fp_scratch);
+        keys.clear();
+        keys.extend(flows.iter().map(|&f| f ^ 0xF1D0_F1D0_F1D0_F1D0));
+        fps.resize(keys.len(), 0);
+        splitmix64_batch(&keys, &mut fps);
+        for i in 0..fps.len() {
+            // 0 is the empty-slot sentinel, as in `fingerprint`.
+            let fp = fps[i].max(1);
+            if let Some(&ahead) = fps.get(i + LOOKAHEAD) {
+                prefetch_read(&self.fingerprints[(ahead.max(1) & self.mask) as usize]);
+            }
+            out.push(self.probe_insert(fp));
+        }
+        self.key_scratch = keys;
+        self.fp_scratch = fps;
+    }
+
+    /// Linear probe from `fp`'s home slot, claiming the first empty slot
+    /// for a new fingerprint; `None` after one full wrap (table full).
+    #[inline]
+    fn probe_insert(&mut self, fp: u64) -> Option<u32> {
         let mut i = (fp & self.mask) as usize;
         // When full, a missing flow would probe forever: scan only until
         // we either hit the flow or wrap once.
@@ -179,5 +227,119 @@ mod tests {
     fn million_slot_table_is_compact() {
         let t = FlowTable::new(1 << 21);
         assert_eq!(t.bytes(), (1 << 21) * 16, "16 bytes/slot, 32 MB for 2^21 flows");
+    }
+
+    /// Finds a flow ID whose fingerprint homes to `slot` in a table with
+    /// the given `mask`, skipping any in `taken`.
+    fn flow_homing_to(slot: u64, mask: u64, taken: &[u64]) -> u64 {
+        (0u64..).find(|&f| FlowTable::fingerprint(f) & mask == slot && !taken.contains(&f)).unwrap()
+    }
+
+    #[test]
+    fn probing_wraps_past_slot_zero() {
+        let mut t = FlowTable::new(4);
+        // Two flows homing to the last slot: the second must wrap to
+        // slot 0, not fall off the end of the table.
+        let a = flow_homing_to(3, 3, &[]);
+        let b = flow_homing_to(3, 3, &[a]);
+        assert_eq!(t.slot_of(a), Some(3));
+        assert_eq!(t.slot_of(b), Some(0), "collision at the top wraps to slot 0");
+        assert_eq!(t.slot_of(a), Some(3), "both remain stable after the wrap");
+        assert_eq!(t.slot_of(b), Some(0));
+        assert_eq!(t.flows(), 2);
+    }
+
+    #[test]
+    fn colliding_new_flow_on_full_table_is_rejected_after_one_wrap() {
+        let mut t = FlowTable::new(4);
+        let mut admitted = Vec::new();
+        // Fill all four slots with flows homing to the SAME slot, so the
+        // table is one maximal probe chain.
+        for _ in 0..4 {
+            let f = flow_homing_to(1, 3, &admitted);
+            assert!(t.slot_of(f).is_some());
+            admitted.push(f);
+        }
+        assert_eq!(t.flows(), 4);
+        // A fifth flow homing to the same (occupied) slot must scan the
+        // whole chain, wrap exactly once, and report the table full —
+        // while every admitted flow still resolves to its slot.
+        let outsider = flow_homing_to(1, 3, &admitted);
+        assert_eq!(t.slot_of(outsider), None, "fingerprint collision on a full table");
+        for f in &admitted {
+            assert!(t.slot_of(*f).is_some());
+        }
+        assert_eq!(t.flows(), 4, "the rejected probe must not count a flow");
+    }
+
+    #[test]
+    fn slot_reuse_after_drop_accounting() {
+        let mut t = FlowTable::new(4);
+        let s = t.slot_of(11).unwrap();
+        // Fill the flow's ring to a bound of 2, as the serving loop does
+        // before counting a flow_queue_drop (the drop itself never
+        // touches the counters — only admitted cells move them).
+        assert_eq!(t.note_enqueue(s), 0);
+        assert_eq!(t.note_enqueue(s), 1);
+        assert_eq!(t.occupancy(s), 2);
+        // Transmit both; occupancy returns to zero and the slot is
+        // immediately reusable with a continuing sequence.
+        assert_eq!(t.note_dequeue(s), 0);
+        assert_eq!(t.note_dequeue(s), 1);
+        assert_eq!(t.occupancy(s), 0);
+        assert_eq!(t.note_enqueue(s), 2, "sequence continues across emptiness");
+        assert_eq!(t.occupancy(s), 1);
+        assert_eq!(t.slot_of(11), Some(s), "the flow keeps its slot across drain");
+    }
+
+    #[test]
+    fn batch_lookup_matches_scalar_on_a_small_table() {
+        let flows: Vec<u64> = (0..64).map(|i| i * 31 % 40).collect();
+        let mut scalar = FlowTable::new(16);
+        let expect: Vec<Option<u32>> = flows.iter().map(|&f| scalar.slot_of(f)).collect();
+        let mut batched = FlowTable::new(16);
+        let mut out = Vec::new();
+        batched.slots_of_batch(&flows, &mut out);
+        assert_eq!(out, expect);
+        assert_eq!(batched.flows(), scalar.flows());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// `slots_of_batch` is the per-packet `slot_of` sequence, exactly
+        /// — insertions, collisions, wraps, and full-table rejections
+        /// included — for any flow stream and table size, in one batch
+        /// or split across arbitrary batch boundaries.
+        #[test]
+        fn batch_equals_per_packet(
+            flows in proptest::collection::vec(0u64..64, 1..200),
+            cap_pow in 1u32..6,
+            split in 0usize..200,
+        ) {
+            let capacity = 1u32 << cap_pow;
+            let mut scalar = FlowTable::new(capacity);
+            let expect: Vec<Option<u32>> =
+                flows.iter().map(|&f| scalar.slot_of(f)).collect();
+
+            let mut batched = FlowTable::new(capacity);
+            let cut = split.min(flows.len());
+            let (head, tail) = flows.split_at(cut);
+            let mut out = Vec::new();
+            let mut got = Vec::new();
+            batched.slots_of_batch(head, &mut out);
+            got.extend_from_slice(&out);
+            batched.slots_of_batch(tail, &mut out);
+            got.extend_from_slice(&out);
+
+            prop_assert_eq!(got, expect);
+            prop_assert_eq!(batched.flows(), scalar.flows());
+        }
     }
 }

@@ -1,12 +1,18 @@
 //! Concurrent ingress: producer threads, bounded hand-off, trace replay.
 //!
 //! N producer threads feed the single-threaded serving loop through
-//! bounded rendezvous lanes (one `sync_channel` per producer, two epochs
-//! deep). The hand-off is the "park" half of the serving layer's
-//! reject/park backpressure: a producer that outruns the server blocks on
-//! its full lane — counted, never buffered unboundedly. The "reject" half
-//! (tail drops at the bounded ingress queue) lives in the serving loop
-//! itself.
+//! bounded lock-free SPSC rings ([`vpnm_core::ring::spsc`] — one data
+//! lane per producer, two epoch batches deep, with cache-line-padded
+//! head/tail indices), drained in whole-epoch batches. The hand-off is
+//! the "park" half of the serving layer's reject/park backpressure: a
+//! producer that outruns the server spins-then-yields on its full lane
+//! — counted, never buffered unboundedly. The "reject" half (tail drops
+//! at the bounded ingress queue) lives in the serving loop itself.
+//!
+//! Batch buffers travel a closed loop: drained `Vec<Arrival>`s return
+//! to their producer over a reverse recycle lane, so the steady state
+//! allocates nothing — the same buffers shuttle back and forth for the
+//! whole run.
 //!
 //! # Determinism
 //!
@@ -18,13 +24,12 @@
 //! cycle-ownership rule.
 
 use std::io::{Read as _, Write as _};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use vpnm_core::ring::{spsc, RecvError, SpscReceiver, SpscSender};
 use vpnm_sim::rng::splitmix64;
 
 use super::FlowMix;
@@ -78,14 +83,30 @@ impl EpochPlan {
 
 /// The running producer fleet and its hand-off lanes.
 pub struct IngressRig {
-    lanes: Vec<Receiver<Vec<Arrival>>>,
+    lanes: Vec<SpscReceiver<Vec<Arrival>>>,
+    recycle: Vec<SpscSender<Vec<Arrival>>>,
     handles: Vec<JoinHandle<()>>,
-    parks: Arc<AtomicU64>,
+    merged: Vec<Arrival>,
     plan: EpochPlan,
+}
+
+impl std::fmt::Debug for IngressRig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IngressRig")
+            .field("producers", &self.lanes.len())
+            .field("plan", &self.plan)
+            .finish_non_exhaustive()
+    }
 }
 
 /// How many epoch batches a lane holds before its producer parks.
 const LANE_DEPTH: usize = 2;
+
+/// Recycle lanes are deeper than data lanes so returning a drained
+/// buffer can never block the server: per producer at most
+/// `LANE_DEPTH` buffers sit in the data lane, one is being filled, and
+/// one is in the server's hands.
+const RECYCLE_DEPTH: usize = LANE_DEPTH + 2;
 
 impl IngressRig {
     /// Spawns `producers` threads generating from `source` under `plan`.
@@ -96,19 +117,20 @@ impl IngressRig {
     pub fn spawn(producers: u32, source: &ArrivalSource, plan: EpochPlan, seed: u64) -> Self {
         assert!(producers > 0, "need at least one producer");
         assert!(plan.epoch_len > 0, "epoch length must be positive");
-        let parks = Arc::new(AtomicU64::new(0));
         let mut lanes = Vec::with_capacity(producers as usize);
+        let mut recycle = Vec::with_capacity(producers as usize);
         let mut handles = Vec::with_capacity(producers as usize);
         for p in 0..producers {
-            let (tx, rx) = std::sync::mpsc::sync_channel(LANE_DEPTH);
+            let (tx, rx) = spsc::<Vec<Arrival>>(LANE_DEPTH);
+            let (pool_tx, pool_rx) = spsc::<Vec<Arrival>>(RECYCLE_DEPTH);
             lanes.push(rx);
+            recycle.push(pool_tx);
             let source = source.clone();
-            let parks = Arc::clone(&parks);
             handles.push(std::thread::spawn(move || {
-                produce(p, producers, &source, plan, seed, &tx, &parks);
+                produce(p, producers, &source, plan, seed, &tx, pool_rx);
             }));
         }
-        IngressRig { lanes, handles, parks, plan }
+        IngressRig { lanes, recycle, handles, merged: Vec::new(), plan }
     }
 
     /// The epoch geometry the fleet is generating against.
@@ -117,37 +139,53 @@ impl IngressRig {
     }
 
     /// Receives every producer's batch for the next epoch and merges
-    /// them into one cycle-ordered arrival list.
+    /// them into one cycle-ordered arrival slice (valid until the next
+    /// call). Drained batch buffers are recycled back to their
+    /// producers, so the steady state allocates nothing.
     ///
     /// Must be called exactly [`EpochPlan::epochs`] times.
     ///
     /// # Panics
     ///
     /// Panics if a producer thread died (lane disconnected).
-    pub fn next_epoch(&mut self) -> Vec<Arrival> {
-        let mut merged = Vec::new();
-        for lane in &self.lanes {
-            merged.extend(lane.recv().expect("producer thread alive"));
+    pub fn next_epoch(&mut self) -> &[Arrival] {
+        self.merged.clear();
+        for (lane, pool) in self.lanes.iter_mut().zip(&self.recycle) {
+            let mut batch = match lane.recv() {
+                Ok(b) => b,
+                Err(_) => panic!("producer thread died before its last epoch"),
+            };
+            self.merged.extend_from_slice(&batch);
+            batch.clear();
+            // A failed return (producer already exited) just drops the
+            // buffer; correctness never depends on recycling.
+            let _ = pool.try_send(batch);
         }
         // Each cycle has exactly one owner, so sorting by cycle is a
         // total order and the merge is deterministic.
-        merged.sort_unstable_by_key(|a| a.cycle);
-        merged
+        self.merged.sort_unstable_by_key(|a| a.cycle);
+        &self.merged
     }
 
     /// Times any producer blocked on a full hand-off lane (measurement
     /// domain — depends on thread timing, zeroed by
     /// [`ServingMetrics::canonical`](vpnm_core::ServingMetrics::canonical)).
+    ///
+    /// Mid-run this is a lower bound; the exact total is what
+    /// [`IngressRig::join`] returns after the fleet has stopped.
     pub fn parks(&self) -> u64 {
-        self.parks.load(Ordering::Relaxed)
+        self.lanes.iter().map(SpscReceiver::parks).sum()
     }
 
-    /// Joins the producer fleet (all epochs must have been received).
-    pub fn join(self) {
-        drop(self.lanes);
+    /// Joins the producer fleet (all epochs must have been received)
+    /// and returns the exact park total: the count is read with
+    /// `Acquire` *after* every producer thread has been joined, so no
+    /// late `Release` increment can be missed.
+    pub fn join(self) -> u64 {
         for h in self.handles {
             h.join().expect("producer thread panicked");
         }
+        self.lanes.iter().map(SpscReceiver::parks).sum()
     }
 }
 
@@ -157,8 +195,8 @@ fn produce(
     source: &ArrivalSource,
     plan: EpochPlan,
     seed: u64,
-    tx: &SyncSender<Vec<Arrival>>,
-    parks: &AtomicU64,
+    tx: &SpscSender<Vec<Arrival>>,
+    mut pool: SpscReceiver<Vec<Arrival>>,
 ) {
     let stride = u64::from(producers);
     let mut synth = match source {
@@ -171,7 +209,10 @@ fn produce(
     let mut trace_pos = 0usize;
     for e in 0..plan.epochs() {
         let (start, end) = plan.window(e);
-        let mut batch = Vec::new();
+        let mut batch = match pool.try_recv() {
+            Ok(b) => b, // recycled by the server, already cleared
+            Err(RecvError::Empty) | Err(RecvError::Disconnected) => Vec::new(),
+        };
         match source {
             ArrivalSource::Synthetic { .. } => {
                 let (load, gen, rng) = synth.as_mut().expect("synthetic state");
@@ -194,11 +235,10 @@ fn produce(
                 }
             }
         }
-        if let Err(TrySendError::Full(batch)) = tx.try_send(batch) {
-            parks.fetch_add(1, Ordering::Relaxed);
-            if tx.send(batch).is_err() {
-                return; // server gone; nothing left to do
-            }
+        // `send` parks (counted inside the ring) while the lane is
+        // full and returns false only if the server is gone.
+        if !tx.send(batch) {
+            return; // server gone; nothing left to do
         }
     }
 }
@@ -275,10 +315,27 @@ mod tests {
         let mut rig = IngressRig::spawn(producers, source, plan, seed);
         let mut all = Vec::new();
         for _ in 0..plan.epochs() {
-            all.extend(rig.next_epoch());
+            all.extend_from_slice(rig.next_epoch());
         }
         rig.join();
         all
+    }
+
+    #[test]
+    fn slow_server_parks_producers_and_join_reports_them() {
+        // 8 epochs through a 2-deep lane with a stalled server: the
+        // producer must fill the lane and park at least once.
+        let plan = EpochPlan { cycles: 8 * 16, epoch_len: 16 };
+        let source = ArrivalSource::Synthetic { load: 1.0, mix: FlowMix::Uniform { space: 16 } };
+        let mut rig = IngressRig::spawn(1, &source, plan, 3);
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        let mut offered = 0usize;
+        for _ in 0..plan.epochs() {
+            offered += rig.next_epoch().len();
+        }
+        assert_eq!(offered as u64, plan.cycles, "load 1.0 offers every cycle");
+        let parks = rig.join();
+        assert!(parks >= 1, "producer never parked against a stalled server");
     }
 
     #[test]

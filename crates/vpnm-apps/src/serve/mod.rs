@@ -51,13 +51,14 @@ pub use ingress::{
 use std::collections::VecDeque;
 use std::time::Instant;
 
+use bytes::Bytes;
 use vpnm_core::{MetricsSnapshot, PipelinedMemory, ServingMetrics, VpnmConfig};
 use vpnm_sim::{FineHistogram, Histogram, WallPacer};
-use vpnm_workloads::packets::payload_bytes;
+use vpnm_workloads::packets::{payload_extend, payload_matches};
 use vpnm_workloads::{AddressGenerator, HeavyTailFlows, UniformAddresses};
 
 use crate::engine::EngineOpts;
-use crate::packet_buffer::{BufferEvent, VpnmPacketBuffer};
+use crate::packet_buffer::{LaneEvent, VpnmPacketBuffer};
 
 /// Flow-ID distribution for synthetic traffic.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -199,6 +200,18 @@ pub fn run_serve(cfg: &ServeConfig) -> Result<ServeReport, String> {
     if cfg.queue_depth == 0 {
         return Err("queue_depth must be positive".into());
     }
+    if cfg.cell_bytes > cfg.base.cell_bytes {
+        // Larger payloads would be rejected by the memory controller as
+        // oversized writes on every single enqueue — catch the
+        // misconfiguration here instead of silently dropping the run.
+        return Err(format!(
+            "cell_bytes {} exceeds the memory design point's cell size {}",
+            cfg.cell_bytes, cfg.base.cell_bytes
+        ));
+    }
+    if cfg.epoch_len.saturating_mul(cfg.cell_bytes as u64) > u64::from(u32::MAX) {
+        return Err("epoch_len * cell_bytes must fit in 32 bits (payload arena offsets)".into());
+    }
     let capacity_u64 = cfg.flow_space().next_power_of_two().max(2);
     let capacity = u32::try_from(capacity_u64).map_err(|_| "flow space too large".to_string())?;
     let mem = cfg.engine.build(cfg.base.clone(), cfg.seed)?;
@@ -208,7 +221,12 @@ pub fn run_serve(cfg: &ServeConfig) -> Result<ServeReport, String> {
     let plan = EpochPlan { cycles: cfg.cycles, epoch_len: cfg.epoch_len };
     let mut rig = IngressRig::spawn(cfg.producers, &cfg.source, plan, cfg.seed);
 
-    let mut ingress: VecDeque<Arrival> = VecDeque::with_capacity(cfg.queue_depth);
+    // Ingress entries carry their flow-table slot, resolved at
+    // admission time (batched when possible). Admission order equals
+    // FIFO service order, so hoisting the `slot_of` probe from service
+    // to admission preserves the exact probe sequence — and with it the
+    // table layout — byte for byte.
+    let mut ingress: VecDeque<(u64, Option<u32>)> = VecDeque::with_capacity(cfg.queue_depth);
     let mut tx_fifo: VecDeque<PendingCell> = VecDeque::new();
     let mut issued: VecDeque<PendingCell> = VecDeque::new();
 
@@ -233,6 +251,13 @@ pub fn run_serve(cfg: &ServeConfig) -> Result<ServeReport, String> {
     let drain_budget =
         |backlog: u64, delay: u64, epoch_len: u64| (backlog + delay).div_ceil(epoch_len) + 2;
     let mut drain_end: Option<u64> = None;
+    // Reused across epochs: the event lane, the batched-slotting
+    // scratch, and the payload arena — the steady state allocates one
+    // arena per epoch, nothing per packet.
+    let mut events: Vec<(u64, LaneEvent)> = Vec::new();
+    let mut batch_flows: Vec<u64> = Vec::new();
+    let mut slots_lane: Vec<Option<u32>> = Vec::new();
+    let mut arena_buf: Vec<u8> = Vec::new();
     loop {
         let (start, end) = if epoch < offered_epochs {
             plan.window(epoch)
@@ -247,7 +272,7 @@ pub fn run_serve(cfg: &ServeConfig) -> Result<ServeReport, String> {
         };
         let len = end - start;
 
-        let arrivals = if epoch < offered_epochs { rig.next_epoch() } else { Vec::new() };
+        let arrivals: &[Arrival] = if epoch < offered_epochs { rig.next_epoch() } else { &[] };
         if epoch + 1 == offered_epochs {
             let backlog = (ingress.len() + tx_fifo.len() + issued.len()) as u64
                 + arrivals.len() as u64
@@ -269,20 +294,33 @@ pub fn run_serve(cfg: &ServeConfig) -> Result<ServeReport, String> {
             }
         }
 
+        // When the whole epoch provably fits behind the queue bound, no
+        // arrival can tail-drop, so every flow is resolved upfront in
+        // one batched, prefetched table pass; otherwise fall back to
+        // per-arrival probing at admission (same probe order).
+        let batched = ingress.len() + arrivals.len() <= cfg.queue_depth;
+        if batched && !arrivals.is_empty() {
+            batch_flows.clear();
+            batch_flows.extend(arrivals.iter().map(|a| a.flow));
+            table.slots_of_batch(&batch_flows, &mut slots_lane);
+        }
+
         // Schedule the epoch: one memory operation per cycle, shared
         // between egress (transmit) and admission.
-        let mut events: Vec<(u64, BufferEvent)> = Vec::new();
+        events.clear();
         let mut next_arrival = 0usize;
         for c in start..end {
             while next_arrival < arrivals.len() && arrivals[next_arrival].cycle == c {
                 let a = arrivals[next_arrival];
-                next_arrival += 1;
                 serving.offered += 1;
-                if ingress.len() >= cfg.queue_depth {
+                if batched {
+                    ingress.push_back((a.cycle, slots_lane[next_arrival]));
+                } else if ingress.len() >= cfg.queue_depth {
                     serving.ingress_drops += 1;
                 } else {
-                    ingress.push_back(a);
+                    ingress.push_back((a.cycle, table.slot_of(a.flow)));
                 }
+                next_arrival += 1;
             }
             occupancy.record(ingress.len() as u64);
 
@@ -293,10 +331,10 @@ pub fn run_serve(cfg: &ServeConfig) -> Result<ServeReport, String> {
                 let cell = tx_fifo.pop_front().expect("non-empty");
                 let seq = table.note_dequeue(cell.slot);
                 debug_assert_eq!(seq, cell.seq, "per-flow FIFO order");
-                events.push((offset, BufferEvent::Dequeue { queue: cell.slot }));
+                events.push((offset, LaneEvent::Dequeue { queue: cell.slot }));
                 issued.push_back(cell);
-            } else if let Some(&a) = ingress.front() {
-                match table.slot_of(a.flow) {
+            } else if let Some(&(arrived, slot)) = ingress.front() {
+                match slot {
                     None => {
                         serving.flow_table_drops += 1;
                         ingress.pop_front();
@@ -307,15 +345,18 @@ pub fn run_serve(cfg: &ServeConfig) -> Result<ServeReport, String> {
                     }
                     Some(slot) => {
                         let seq = table.note_enqueue(slot);
+                        let span = arena_buf.len() as u32;
+                        payload_extend(slot, seq, cfg.cell_bytes, &mut arena_buf);
                         events.push((
                             offset,
-                            BufferEvent::Enqueue {
+                            LaneEvent::Enqueue {
                                 queue: slot,
-                                cell: payload_bytes(slot, seq, cfg.cell_bytes),
+                                start: span,
+                                end: arena_buf.len() as u32,
                             },
                         ));
                         serving.admitted += 1;
-                        tx_fifo.push_back(PendingCell { arrival: a.cycle, slot, seq });
+                        tx_fifo.push_back(PendingCell { arrival: arrived, slot, seq });
                         ingress.pop_front();
                     }
                 }
@@ -323,7 +364,11 @@ pub fn run_serve(cfg: &ServeConfig) -> Result<ServeReport, String> {
             serving.transmit_backlog_hwm = serving.transmit_backlog_hwm.max(tx_fifo.len() as u64);
         }
 
-        let report = buf.run_epoch(len, &events);
+        // One refcounted arena per epoch; every enqueue is a zero-copy
+        // slice of it. Replacing (not taking) keeps the capacity hint.
+        let filled = arena_buf.len();
+        let arena = Bytes::from(std::mem::replace(&mut arena_buf, Vec::with_capacity(filled)));
+        let report = buf.run_epoch_arena(len, &events, &arena);
         debug_assert!(report.outcomes.iter().all(Result::is_ok), "shadow occupancy is exact");
         stalls_seen += report.stalled;
         for d in report.delivered {
@@ -336,7 +381,7 @@ pub fn run_serve(cfg: &ServeConfig) -> Result<ServeReport, String> {
                 }
                 serving.stall_drops += 1;
             };
-            if cfg.verify && d.cell.data != payload_bytes(cell.slot, cell.seq, cfg.cell_bytes) {
+            if cfg.verify && !payload_matches(cell.slot, cell.seq, cfg.cell_bytes, &d.cell.data) {
                 if stalls_seen == 0 {
                     return Err(format!(
                         "payload mismatch on stall-free run: flow slot {} seq {}",
@@ -353,8 +398,10 @@ pub fn run_serve(cfg: &ServeConfig) -> Result<ServeReport, String> {
         }
         epoch += 1;
     }
-    serving.producer_parks = rig.parks();
-    rig.join();
+    // Join first, then take the exact park total: `join` reads the
+    // counters with `Acquire` after every producer thread has exited,
+    // so no in-flight increment is missed at shutdown.
+    serving.producer_parks = rig.join();
 
     // Anything still unpaired after a full drain is an orphan of a
     // stalled read.

@@ -1,13 +1,14 @@
 //! Criterion bench: simulation throughput of the data-plane applications
 //! (cells or chunks processed per second of wall time).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use criterion::{criterion_group, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use vpnm_apps::packet_buffer::{BufferEvent, VpnmPacketBuffer};
 use vpnm_apps::reassembly::ReassemblyEngine;
 use vpnm_apps::serve::{run_serve, ArrivalSource, FlowMix, ServeConfig};
 use vpnm_apps::EngineOpts;
+use vpnm_bench::report::{merge_bench_json, BenchRecord};
 use vpnm_core::{VpnmConfig, VpnmController};
 use vpnm_workloads::packets::payload_bytes;
 
@@ -85,7 +86,9 @@ fn bench_serve(c: &mut Criterion) {
     let mut group = c.benchmark_group("serve");
     let cfg = ServeConfig {
         engine: EngineOpts::default(),
-        base: VpnmConfig::test_roomy(),
+        // 64-byte cells need a design point whose cell size matches
+        // (test_roomy's is 8; undersized cells would reject every write).
+        base: VpnmConfig { cell_bytes: 64, ..VpnmConfig::test_roomy() },
         producers: 2,
         cycles: 30_000,
         epoch_len: 1024,
@@ -111,4 +114,33 @@ fn bench_serve(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_packet_buffer, bench_reassembly, bench_serve);
-criterion_main!(benches);
+
+fn main() {
+    if std::env::var_os("BENCH_MEASURE_MS").is_none() {
+        std::env::set_var("BENCH_MEASURE_MS", "800");
+    }
+    let mut criterion = Criterion::default().configure_from_args();
+    bench_packet_buffer(&mut criterion);
+    bench_reassembly(&mut criterion);
+    bench_serve(&mut criterion);
+
+    let records: Vec<BenchRecord> = criterion
+        .measurements
+        .iter()
+        .map(|m| BenchRecord {
+            id: m.id.clone(),
+            ns_per_iter: m.ns_per_iter,
+            per_second: m.per_second,
+        })
+        .collect();
+
+    // Merge into the shared artifact (the controller bench owns the
+    // rest of it) so `serve/mpps_batch` has a committed baseline the
+    // verify gate can regress against.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_controller.json");
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    std::fs::write(path, merge_bench_json(&existing, &records, &[]))
+        .expect("write BENCH_controller.json");
+    println!("\nmerged {} records into {path}", records.len());
+    let _ = benches; // criterion_group kept for cargo-criterion compatibility
+}

@@ -14,7 +14,7 @@
 use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use vpnm_bench::report::{bench_json, BenchRecord};
+use vpnm_bench::report::{merge_bench_json, BenchRecord};
 use vpnm_core::{
     ChannelSelect, FabricConfig, LineAddr, ReferenceController, Request, VpnmConfig,
     VpnmController, VpnmFabric,
@@ -387,8 +387,12 @@ fn main() {
         ("speedup_issue_batch_vs_tick_paper_optimal", speedup_batch),
     ];
 
+    // Merge rather than overwrite: the apps bench contributes its own
+    // records (serve/mpps_batch and friends) to the same artifact.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_controller.json");
-    std::fs::write(path, bench_json(&records, &summary)).expect("write BENCH_controller.json");
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    std::fs::write(path, merge_bench_json(&existing, &records, &summary))
+        .expect("write BENCH_controller.json");
     println!("\nwrote {path}");
     println!("fast vs reference (paper_optimal, uniform reads): {speedup_uniform:.2}x");
     println!("fast vs reference (paper_optimal, bursty idle):   {speedup_idle:.2}x");

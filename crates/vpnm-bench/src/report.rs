@@ -148,6 +148,74 @@ pub fn bench_json(records: &[BenchRecord], summary: &[(&str, f64)]) -> String {
     out
 }
 
+fn json_unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            if let Some(n) = chars.next() {
+                out.push(n);
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Parses a document produced by [`bench_json`] back into records and
+/// summary entries. Only that exact shape is supported (the format is
+/// owned by this module); unrecognized lines are ignored.
+pub fn parse_bench_json(doc: &str) -> (Vec<BenchRecord>, Vec<(String, f64)>) {
+    let mut records = Vec::new();
+    let mut summary = Vec::new();
+    for line in doc.lines() {
+        let t = line.trim().trim_end_matches(',');
+        if let Some(rest) = t.strip_prefix("{\"id\": \"") {
+            let Some((id, tail)) = rest.split_once("\", \"ns_per_iter\": ") else { continue };
+            let Some((ns, ps)) = tail.trim_end_matches('}').split_once(", \"per_second\": ") else {
+                continue;
+            };
+            records.push(BenchRecord {
+                id: json_unescape(id),
+                ns_per_iter: ns.parse().unwrap_or(f64::NAN),
+                per_second: ps.parse::<f64>().ok(),
+            });
+        } else if let Some((key, value)) = t.strip_prefix('"').and_then(|r| r.split_once("\": ")) {
+            if let Ok(v) = value.parse::<f64>() {
+                summary.push((json_unescape(key), v));
+            }
+        }
+    }
+    (records, summary)
+}
+
+/// Merges `updates` (and `summary_updates`) into an existing
+/// [`bench_json`] document, replacing entries with matching ids/keys
+/// and appending new ones — so several bench binaries can share one
+/// `BENCH_*.json` artifact without clobbering each other's sections.
+pub fn merge_bench_json(
+    doc: &str,
+    updates: &[BenchRecord],
+    summary_updates: &[(&str, f64)],
+) -> String {
+    let (mut records, mut summary) = parse_bench_json(doc);
+    for u in updates {
+        match records.iter_mut().find(|r| r.id == u.id) {
+            Some(r) => *r = u.clone(),
+            None => records.push(u.clone()),
+        }
+    }
+    for &(key, value) in summary_updates {
+        match summary.iter_mut().find(|(k, _)| k == key) {
+            Some(entry) => entry.1 = value,
+            None => summary.push((key.to_string(), value)),
+        }
+    }
+    let summary_refs: Vec<(&str, f64)> = summary.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    bench_json(&records, &summary_refs)
+}
+
 /// Writes a controller's [`vpnm_core::MetricsSnapshot`] JSON to
 /// `SNAPSHOT_<name>.json` in the working directory (next to the
 /// `BENCH_*.json` artifacts) and announces the path on stdout, so every
@@ -180,6 +248,54 @@ mod tests {
         assert!(doc.contains("\"per_second\": null"));
         assert!(doc.contains("\"speedup_x\": 3.250"));
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+    }
+
+    #[test]
+    fn parse_roundtrips_bench_json() {
+        let records = vec![
+            BenchRecord { id: "g/x".into(), ns_per_iter: 12.5, per_second: Some(2e6) },
+            BenchRecord { id: "g/\"q\"".into(), ns_per_iter: 3.0, per_second: None },
+        ];
+        let doc = bench_json(&records, &[("speedup", 4.0)]);
+        let (parsed, summary) = parse_bench_json(&doc);
+        assert_eq!(parsed, records);
+        assert_eq!(summary, vec![("speedup".to_string(), 4.0)]);
+    }
+
+    #[test]
+    fn merge_replaces_matches_and_appends_the_rest() {
+        let doc = bench_json(
+            &[
+                BenchRecord { id: "a".into(), ns_per_iter: 1.0, per_second: Some(1.0) },
+                BenchRecord { id: "b".into(), ns_per_iter: 2.0, per_second: None },
+            ],
+            &[("old", 1.0)],
+        );
+        let merged = merge_bench_json(
+            &doc,
+            &[
+                BenchRecord { id: "b".into(), ns_per_iter: 9.0, per_second: Some(5.0) },
+                BenchRecord { id: "c".into(), ns_per_iter: 3.0, per_second: None },
+            ],
+            &[("old", 2.0), ("new", 7.0)],
+        );
+        let (records, summary) = parse_bench_json(&merged);
+        assert_eq!(records.iter().map(|r| r.id.as_str()).collect::<Vec<_>>(), ["a", "b", "c"]);
+        assert_eq!(records[1].ns_per_iter, 9.0);
+        assert_eq!(records[1].per_second, Some(5.0));
+        assert_eq!(summary, vec![("old".to_string(), 2.0), ("new".to_string(), 7.0)]);
+    }
+
+    #[test]
+    fn merge_into_empty_document_keeps_everything() {
+        let merged = merge_bench_json(
+            "",
+            &[BenchRecord { id: "x".into(), ns_per_iter: 1.5, per_second: None }],
+            &[("k", 0.5)],
+        );
+        let (records, summary) = parse_bench_json(&merged);
+        assert_eq!(records.len(), 1);
+        assert_eq!(summary, vec![("k".to_string(), 0.5)]);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! FIFO order) — exactly the encoding the paper describes.
 
 use crate::delay_storage::RowId;
+use crate::ring::RingSlots;
 
 /// One pending bank access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,15 +36,13 @@ pub enum AccessEntry {
 /// ```
 #[derive(Debug, Clone)]
 pub struct BankAccessQueue {
-    /// Power-of-two ring (wrap is a mask); `capacity` still bounds pushes
-    /// at the configured `Q`, which need not be a power of two.
-    entries: Box<[AccessEntry]>,
+    /// Power-of-two ring (wrap is a mask, see [`RingSlots`]); `capacity`
+    /// still bounds pushes at the configured `Q`, which need not be a
+    /// power of two.
+    entries: RingSlots<AccessEntry>,
     head: u32,
     len: u32,
     capacity: u32,
-    /// `entries.len() - 1`, cached so the per-cycle push/pop/front trio
-    /// doesn't re-derive it from the box's fat pointer.
-    mask: u32,
 }
 
 /// Error returned when the queue is full; carries the rejected entry back
@@ -60,28 +59,17 @@ impl BankAccessQueue {
     pub fn new(q: usize) -> Self {
         assert!(q > 0, "bank access queue needs at least one entry");
         assert!(q <= u32::MAX as usize / 2, "bank access queue capacity too large");
-        let ring = q.next_power_of_two();
         BankAccessQueue {
-            entries: vec![AccessEntry::Write; ring].into_boxed_slice(),
+            entries: RingSlots::from_fn(q, |_| AccessEntry::Write),
             head: 0,
             len: 0,
             capacity: q as u32,
-            mask: ring as u32 - 1,
         }
     }
 
     #[inline]
     fn mask(&self) -> u32 {
-        self.mask
-    }
-
-    /// Unchecked ring access for mask-reduced indices.
-    #[inline]
-    fn entry(&self, i: u32) -> AccessEntry {
-        debug_assert!((i as usize) < self.entries.len());
-        // SAFETY: callers reduce `i` by `self.mask`, and
-        // `entries.len() == mask + 1` by construction (power of two).
-        unsafe { *self.entries.get_unchecked(i as usize) }
+        self.entries.mask()
     }
 
     /// Capacity `Q`.
@@ -118,9 +106,7 @@ impl BankAccessQueue {
             return Err(QueueFull(entry));
         }
         let tail = (self.head + self.len) & self.mask();
-        debug_assert!((tail as usize) < self.entries.len());
-        // SAFETY: `tail` is mask-reduced; `entries.len() == mask + 1`.
-        unsafe { *self.entries.get_unchecked_mut(tail as usize) = entry };
+        *self.entries.get_mut(tail) = entry;
         self.len += 1;
         Ok(())
     }
@@ -131,7 +117,7 @@ impl BankAccessQueue {
         if self.len == 0 {
             return None;
         }
-        let e = self.entry(self.head);
+        let e = *self.entries.get(self.head);
         self.head = (self.head + 1) & self.mask();
         self.len -= 1;
         Some(e)
@@ -143,9 +129,7 @@ impl BankAccessQueue {
         if self.len == 0 {
             None
         } else {
-            debug_assert!((self.head as usize) < self.entries.len());
-            // SAFETY: `head` is mask-reduced; `entries.len() == mask + 1`.
-            Some(unsafe { self.entries.get_unchecked(self.head as usize) })
+            Some(self.entries.get(self.head))
         }
     }
 }

@@ -294,19 +294,12 @@ impl DelayStorageBuffer {
         self.cam.get(addr).map(|e| e.row)
     }
 
-    /// Issues a hardware prefetch for `p`'s cache line on targets that
-    /// have one; a no-op elsewhere. Fire-and-forget: unlike a dummy load,
-    /// the line fill occupies no register and never delays retirement.
+    /// Issues a hardware prefetch for `p`'s cache line (see
+    /// [`crate::prefetch::prefetch_read`], shared with the serving
+    /// layer's batched flow-table probes).
     #[inline]
     fn warm<T>(p: *const T) {
-        #[cfg(target_arch = "x86_64")]
-        // SAFETY: prefetch is a hint with no memory effects; it is valid
-        // for any address, and SSE is baseline on x86_64.
-        unsafe {
-            std::arch::x86_64::_mm_prefetch::<{ std::arch::x86_64::_MM_HINT_T0 }>(p.cast())
-        }
-        #[cfg(not(target_arch = "x86_64"))]
-        let _ = p;
+        crate::prefetch::prefetch_read(p);
     }
 
     /// Warms the CAM home slot of `addr` so a

@@ -60,9 +60,11 @@ pub mod hash_engine;
 pub mod memory;
 pub mod metrics;
 pub mod pool;
+pub mod prefetch;
 pub mod ready_set;
 pub mod reference;
 pub mod request;
+pub mod ring;
 pub mod snapshot;
 pub mod write_buffer;
 
@@ -74,6 +76,8 @@ pub use hash_engine::{HashEngine, HashKind};
 pub use memory::{IdealMemory, PipelinedMemory};
 pub use metrics::ControllerMetrics;
 pub use pool::WorkerPool;
+pub use prefetch::prefetch_read;
 pub use reference::ReferenceController;
 pub use request::{LineAddr, Request, Response, StallKind, TickOutput};
+pub use ring::RingSlots;
 pub use snapshot::{MetricsSnapshot, ServingMetrics, SNAPSHOT_SCHEMA_VERSION};

@@ -18,10 +18,11 @@
 //! unless the `simd` feature is on and the target is x86_64.
 
 use std::arch::x86_64::{
-    __m128i, __m256i, _mm256_and_si256, _mm256_blend_epi32, _mm256_castsi256_si128,
-    _mm256_i32gather_epi32, _mm256_i32gather_epi64, _mm256_loadu_si256,
-    _mm256_permutevar8x32_epi32, _mm256_set1_epi32, _mm256_set1_epi64x, _mm256_setr_epi32,
-    _mm256_srl_epi64, _mm256_storeu_si256, _mm256_xor_si256, _mm_cvtsi32_si128,
+    __m128i, __m256i, _mm256_add_epi64, _mm256_and_si256, _mm256_blend_epi32,
+    _mm256_castsi256_si128, _mm256_i32gather_epi32, _mm256_i32gather_epi64, _mm256_loadu_si256,
+    _mm256_mul_epu32, _mm256_permutevar8x32_epi32, _mm256_set1_epi32, _mm256_set1_epi64x,
+    _mm256_setr_epi32, _mm256_slli_epi64, _mm256_srl_epi64, _mm256_srli_epi64, _mm256_storeu_si256,
+    _mm256_xor_si256, _mm_cvtsi32_si128,
 };
 
 /// Below this batch length the dispatch overhead beats the vector win.
@@ -180,5 +181,57 @@ unsafe fn fold_u64_avx2(tables: &[[u64; 256]], init: u64, addrs: &[u64], out: &m
             v ^= table[(a >> (8 * c)) as u8 as usize];
         }
         *o = v;
+    }
+}
+
+/// Lane-wise 64-bit modular multiply by a constant — AVX2 has no
+/// `epi64` multiply, so compose it from three 32×32→64 partial
+/// products: `lo·lo + ((lo·hi + hi·lo) << 32)`, which is exactly the
+/// low 64 bits of the full product (the scalar `wrapping_mul`).
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn mul_epu64(a: __m256i, b: __m256i) -> __m256i {
+    let lo = _mm256_mul_epu32(a, b);
+    let cross1 = _mm256_mul_epu32(_mm256_srli_epi64::<32>(a), b);
+    let cross2 = _mm256_mul_epu32(a, _mm256_srli_epi64::<32>(b));
+    let cross = _mm256_add_epi64(cross1, cross2);
+    _mm256_add_epi64(lo, _mm256_slli_epi64::<32>(cross))
+}
+
+/// Batched SplitMix64 finalizer: `out[i] = splitmix64(inputs[i])`,
+/// bit-identical to `fast::splitmix64` (wrapping adds/multiplies map
+/// one-to-one onto the modular vector ops). Returns `false` when the
+/// AVX2 path is unavailable or the batch is too small.
+#[inline]
+pub(crate) fn splitmix64_fold(inputs: &[u64], out: &mut [u64]) -> bool {
+    debug_assert_eq!(inputs.len(), out.len());
+    if inputs.len() < MIN_LANES || !avx2() {
+        return false;
+    }
+    // SAFETY: AVX2 presence verified by the runtime probe above.
+    unsafe { splitmix64_avx2(inputs, out) };
+    true
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn splitmix64_avx2(inputs: &[u64], out: &mut [u64]) {
+    let n = inputs.len();
+    let gold = _mm256_set1_epi64x(0x9E37_79B9_7F4A_7C15u64 as i64);
+    let c1 = _mm256_set1_epi64x(0xBF58_476D_1CE4_E5B9u64 as i64);
+    let c2 = _mm256_set1_epi64x(0x94D0_49BB_1331_11EBu64 as i64);
+    let mut i = 0;
+    while i + 4 <= n {
+        let mut z = _mm256_loadu_si256(inputs.as_ptr().add(i).cast());
+        z = _mm256_add_epi64(z, gold);
+        z = _mm256_xor_si256(z, _mm256_srli_epi64::<30>(z));
+        z = mul_epu64(z, c1);
+        z = _mm256_xor_si256(z, _mm256_srli_epi64::<27>(z));
+        z = mul_epu64(z, c2);
+        z = _mm256_xor_si256(z, _mm256_srli_epi64::<31>(z));
+        _mm256_storeu_si256(out.as_mut_ptr().add(i).cast(), z);
+        i += 4;
+    }
+    for (o, &x) in out[i..].iter_mut().zip(&inputs[i..]) {
+        *o = crate::fast::splitmix64(x);
     }
 }

@@ -112,13 +112,41 @@ impl PacketTrace {
 /// Deterministic payload for `(flow, seq)`.
 pub fn payload_bytes(flow: u32, seq: u64, size: usize) -> Vec<u8> {
     let mut out = Vec::with_capacity(size);
-    let mut state = (u64::from(flow) << 40) ^ seq ^ 0x5EED;
-    while out.len() < size {
-        state = vpnm_sim::rng::splitmix64(state);
-        out.extend_from_slice(&state.to_le_bytes());
-    }
-    out.truncate(size);
+    payload_extend(flow, seq, size, &mut out);
     out
+}
+
+/// Appends the `(flow, seq)` payload keystream to `out` without a fresh
+/// allocation — byte-identical to [`payload_bytes`]. The serving loop
+/// fills one shared epoch arena with this instead of allocating a
+/// `Vec` per packet.
+pub fn payload_extend(flow: u32, seq: u64, size: usize, out: &mut Vec<u8>) {
+    out.reserve(size);
+    let mut state = (u64::from(flow) << 40) ^ seq ^ 0x5EED;
+    let mut written = 0usize;
+    while written < size {
+        state = vpnm_sim::rng::splitmix64(state);
+        let take = (size - written).min(8);
+        out.extend_from_slice(&state.to_le_bytes()[..take]);
+        written += take;
+    }
+}
+
+/// True when `data` is exactly the `(flow, seq)` payload of `size`
+/// bytes — an allocation-free `data == payload_bytes(flow, seq, size)`
+/// for the verify path.
+pub fn payload_matches(flow: u32, seq: u64, size: usize, data: &[u8]) -> bool {
+    if data.len() != size {
+        return false;
+    }
+    let mut state = (u64::from(flow) << 40) ^ seq ^ 0x5EED;
+    for chunk in data.chunks(8) {
+        state = vpnm_sim::rng::splitmix64(state);
+        if chunk != &state.to_le_bytes()[..chunk.len()] {
+            return false;
+        }
+    }
+    true
 }
 
 /// One TCP segment of a byte stream.
@@ -204,6 +232,24 @@ mod tests {
             assert_eq!(p.payload.len(), 64);
             assert_eq!(p.payload, payload_bytes(p.flow, p.seq, 64));
         }
+    }
+
+    #[test]
+    fn extend_and_matches_agree_with_payload_bytes() {
+        // Sizes straddling the 8-byte keystream word, so partial-word
+        // tails are covered on all three entry points.
+        for size in [0usize, 1, 7, 8, 9, 63, 64, 65] {
+            let canonical = payload_bytes(9, 1234, size);
+            let mut appended = b"prefix".to_vec();
+            payload_extend(9, 1234, size, &mut appended);
+            assert_eq!(&appended[6..], &canonical[..], "size {size}");
+            assert!(payload_matches(9, 1234, size, &canonical));
+            assert!(!payload_matches(9, 1235, size.max(1), &payload_bytes(9, 1234, size.max(1))));
+            assert!(!payload_matches(9, 1234, size + 1, &canonical), "length must match");
+        }
+        let mut flipped = payload_bytes(3, 7, 64);
+        flipped[63] ^= 1;
+        assert!(!payload_matches(3, 7, 64, &flipped), "last byte is checked");
     }
 
     #[test]
