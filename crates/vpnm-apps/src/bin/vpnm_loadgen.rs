@@ -13,11 +13,17 @@
 //!   --out PATH      trace file to write (required)
 //!   --cycles N      offered interface cycles (2000000)
 //!   --load F        offered packets/cycle (0.45)
-//!   --mix uniform|heavy-tail|stride   flow-ID distribution (heavy-tail)
+//!   --mix uniform|heavy-tail|stride|multi-tenant
+//!                   flow-ID distribution (heavy-tail)
 //!                   (`stride` is the bank-conflict adversary of paper
-//!                   Section 3.4, mapped onto flow IDs)
+//!                   Section 3.4, mapped onto flow IDs; `multi-tenant`
+//!                   blends N-1 heavy-tailed tenants with one stride
+//!                   adversary, writing a tenant-tagged VPNMTRC2 trace)
 //!   --skew F        heavy-tail exponent (1.0)
 //!   --flows N       flow-ID space (2097152)
+//!   --tenants N     multi-tenant: total tenant count (4)
+//!   --adversary-pct P  multi-tenant: adversary's packet share (25)
+//!   --banks N       multi-tenant: bank count the adversary strides (32)
 //!   --burst ON:OFF  on/off burst shaping in cycles (none; e.g. 512:1536
 //!                   offers `load` during ON windows and nothing in OFF,
 //!                   quartering the average rate but keeping the peak)
@@ -28,13 +34,16 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use vpnm_apps::serve::{write_trace, Arrival};
 use vpnm_workloads::burst::BurstShaper;
-use vpnm_workloads::{AddressGenerator, HeavyTailFlows, StrideAdversary, UniformAddresses};
+use vpnm_workloads::{
+    HeavyTailFlows, MultiTenantMix, StrideAdversary, Tagged, TenantFlowGen, UniformAddresses,
+};
 
 fn usage_exit(error: &str) -> ! {
     eprintln!(
         "error: {error}\n\
          usage: vpnm-loadgen --out PATH [--cycles N] [--load F]\n\
-         [--mix uniform|heavy-tail|stride] [--skew F] [--flows N]\n\
+         [--mix uniform|heavy-tail|stride|multi-tenant] [--skew F] [--flows N]\n\
+         [--tenants N] [--adversary-pct P] [--banks N]\n\
          [--burst ON:OFF] [--seed N]"
     );
     std::process::exit(2)
@@ -49,6 +58,9 @@ fn main() {
     let mut flows: u64 = 1 << 21;
     let mut burst: Option<(u64, u64)> = None;
     let mut seed: u64 = 42;
+    let mut tenants: u16 = 4;
+    let mut adversary_pct: u32 = 25;
+    let mut banks: u64 = 32;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -89,6 +101,21 @@ fn main() {
                 seed =
                     value("--seed").parse().unwrap_or_else(|_| usage_exit("--seed needs a number"));
             }
+            "--tenants" => {
+                tenants = value("--tenants")
+                    .parse()
+                    .unwrap_or_else(|_| usage_exit("--tenants needs a number"));
+            }
+            "--adversary-pct" => {
+                adversary_pct = value("--adversary-pct")
+                    .parse()
+                    .unwrap_or_else(|_| usage_exit("--adversary-pct needs a number"));
+            }
+            "--banks" => {
+                banks = value("--banks")
+                    .parse()
+                    .unwrap_or_else(|_| usage_exit("--banks needs a number"));
+            }
             other => usage_exit(&format!("unrecognized argument '{other}'")),
         }
     }
@@ -97,12 +124,15 @@ fn main() {
         usage_exit("--load must be in [0, 1]");
     }
 
-    let mut gen: Box<dyn AddressGenerator> = match mix.as_str() {
-        "uniform" => Box::new(UniformAddresses::new(flows, seed ^ 0x10AD)),
-        "heavy-tail" => Box::new(HeavyTailFlows::new(flows, skew, seed ^ 0x10AD)),
+    let mut gen: Box<dyn TenantFlowGen> = match mix.as_str() {
+        "uniform" => Box::new(Tagged::new(0, UniformAddresses::new(flows, seed ^ 0x10AD))),
+        "heavy-tail" => Box::new(Tagged::new(0, HeavyTailFlows::new(flows, skew, seed ^ 0x10AD))),
         // The paper's stride attacker walks bank-conflicting addresses;
         // as flow IDs it concentrates all traffic on B colliding flows.
-        "stride" => Box::new(StrideAdversary::new(32, flows)),
+        "stride" => Box::new(Tagged::new(0, StrideAdversary::new(32, flows))),
+        "multi-tenant" => {
+            Box::new(MultiTenantMix::new(tenants, flows, banks, adversary_pct, seed ^ 0x10AD))
+        }
         other => usage_exit(&format!("unknown mix '{other}'")),
     };
     let mut shaper = burst.map(|(on, off)| BurstShaper::new(on, off));
@@ -116,9 +146,9 @@ fn main() {
         // packets land, not which flows they belong to.
         let fire = rng.gen::<f64>() < load;
         if on && fire {
-            let flow = gen.next_addr();
+            let (tenant, flow) = gen.next_tagged();
             distinct.insert(flow);
-            arrivals.push(Arrival { cycle, flow });
+            arrivals.push(Arrival { cycle, flow, tenant });
         }
     }
 

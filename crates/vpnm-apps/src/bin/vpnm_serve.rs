@@ -10,11 +10,20 @@
 //!
 //!   engine:  --engine fast|reference  --channels N
 //!            --select low-bits|high-bits|universal-hash  --workers N
+//!   qos:     --tenants N        tenants sharing the fabric (1)
+//!            --regulator off|global|per-bank   ingress token buckets (off)
+//!            --tenant-rate N/D  per-tenant budget, requests/cycle (1/4)
+//!            --tenant-burst N   bucket depth in requests (16)
 //!   serving: --producers N      concurrent producer threads (4)
 //!            --cycles N         offered interface cycles (2000000)
 //!            --epoch N          cycles per epoch batch (4096)
 //!            --load F           offered packets/cycle (0.45; stable <= 0.5)
-//!            --mix uniform|heavy-tail   flow-ID distribution (heavy-tail)
+//!            --mix uniform|heavy-tail|multi-tenant
+//!                               flow-ID distribution (heavy-tail;
+//!                               multi-tenant blends --tenants - 1
+//!                               heavy-tailed tenants with one stride
+//!                               adversary)
+//!            --adversary-pct P  multi-tenant: adversary's share (25)
 //!            --skew F           heavy-tail exponent (1.0)
 //!            --flows N          flow-ID space (2097152)
 //!            --queue-depth N    ingress bound in packets (512)
@@ -42,8 +51,9 @@ use vpnm_core::VpnmConfig;
 fn usage_exit(error: &str) -> ! {
     eprintln!(
         "error: {error}\n\
-         usage: vpnm-serve [engine flags] [--producers N] [--cycles N] [--epoch N]\n\
-         [--load F] [--mix uniform|heavy-tail] [--skew F] [--flows N]\n\
+         usage: vpnm-serve [engine flags] [qos flags] [--producers N] [--cycles N]\n\
+         [--epoch N] [--load F] [--mix uniform|heavy-tail|multi-tenant]\n\
+         [--adversary-pct P] [--skew F] [--flows N]\n\
          [--queue-depth N] [--cells-per-queue N] [--cell-bytes N] [--rate N]\n\
          [--trace PATH] [--seed N] [--no-verify]"
     );
@@ -69,6 +79,7 @@ fn main() {
     let mut mix_name = "heavy-tail".to_string();
     let mut skew = 1.0f64;
     let mut flows: u64 = 1 << 21;
+    let mut adversary_pct: u32 = 25;
     let mut trace_path: Option<String> = None;
 
     let mut args = rest.into_iter();
@@ -93,6 +104,9 @@ fn main() {
                     value("--skew").parse().unwrap_or_else(|_| usage_exit("--skew needs a number"));
             }
             "--flows" => flows = parse_u64("--flows", value("--flows")),
+            "--adversary-pct" => {
+                adversary_pct = parse_u64("--adversary-pct", value("--adversary-pct")) as u32;
+            }
             "--queue-depth" => {
                 cfg.queue_depth = parse_u64("--queue-depth", value("--queue-depth")) as usize;
             }
@@ -130,6 +144,13 @@ fn main() {
             let mix = match mix_name.as_str() {
                 "uniform" => FlowMix::Uniform { space: flows },
                 "heavy-tail" => FlowMix::HeavyTail { space: flows, skew },
+                "multi-tenant" => FlowMix::MultiTenant {
+                    space: flows,
+                    tenants: cfg.engine.tenants,
+                    adversary_pct,
+                    banks: u64::from(cfg.engine.channels)
+                        * u64::from(VpnmConfig::paper_optimal().banks),
+                },
                 other => usage_exit(&format!("unknown mix '{other}'")),
             };
             ArrivalSource::Synthetic { load, mix }
@@ -174,6 +195,18 @@ fn main() {
     );
     if report.residual > 0 {
         eprintln!("vpnm-serve: WARNING {} packets unaccounted after drain", report.residual);
+    }
+    if let Some(section) = report.snapshot.as_ref().and_then(|s| s.tenants.as_ref()) {
+        for (i, t) in section.per_tenant.iter().enumerate() {
+            eprintln!(
+                "vpnm-serve: t{i}: issued {} deferred {} dropped {} transmitted {} p99 {}",
+                t.issued,
+                t.deferred,
+                t.dropped,
+                t.transmitted,
+                t.latency.quantile(0.99).unwrap_or(0),
+            );
+        }
     }
     match report.snapshot {
         Some(snap) => print!("{}", snap.to_json()),

@@ -171,10 +171,7 @@ impl<M: PipelinedMemory> InspectionEngine<M> {
                 data.extend_from_slice(&[0u8; TABLE_ENTRY_BYTES - 12]);
             }
             loop {
-                let out = mem.tick(Some(Request::Write {
-                    addr: LineAddr(b as u64),
-                    data: data.clone().into(),
-                }));
+                let out = mem.tick(Some(Request::write(LineAddr(b as u64), data.clone())));
                 if out.stall.is_none() {
                     break;
                 }
@@ -261,7 +258,7 @@ impl<M: PipelinedMemory> InspectionEngine<M> {
     fn pump(&mut self) {
         while let Some(&s) = self.to_issue.front() {
             let addr = self.bucket_of(s.window, s.probe);
-            if self.tick_mem(Some(Request::Read { addr })) {
+            if self.tick_mem(Some(Request::read(addr))) {
                 self.stall_retries += 1;
             } else {
                 self.in_flight.push_back(s);

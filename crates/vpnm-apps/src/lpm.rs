@@ -221,10 +221,7 @@ impl<M: PipelinedMemory> LpmEngine<M> {
                 }
                 let addr = (n * cells_per_node + c) as u64;
                 loop {
-                    let out = mem.tick(Some(Request::Write {
-                        addr: LineAddr(addr),
-                        data: data.clone().into(),
-                    }));
+                    let out = mem.tick(Some(Request::write(LineAddr(addr), data.clone())));
                     if out.stall.is_none() {
                         break;
                     }
@@ -303,7 +300,7 @@ impl<M: PipelinedMemory> LpmEngine<M> {
         while let Some(&(p, node)) = self.to_issue.front() {
             let byte = stride_byte(p.addr, p.level);
             let (cell, _) = self.cell_of(node, byte);
-            match self.tick_mem(Some(Request::Read { addr: cell })) {
+            match self.tick_mem(Some(Request::read(cell))) {
                 None => {
                     self.accesses += 1;
                     self.in_flight.push_back(p);

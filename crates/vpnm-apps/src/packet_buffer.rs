@@ -14,8 +14,8 @@ use bytes::Bytes;
 use std::collections::VecDeque;
 use std::fmt;
 use vpnm_core::{
-    FabricConfig, LineAddr, PipelinedMemory, Request, StallKind, VpnmConfig, VpnmController,
-    VpnmFabric,
+    FabricConfig, LineAddr, PipelinedMemory, Request, StallKind, TenantId, VpnmConfig,
+    VpnmController, VpnmFabric,
 };
 
 /// One interface event presented to a packet buffer per cell slot.
@@ -49,11 +49,15 @@ pub enum LaneEvent {
         start: u32,
         /// Payload end offset into the epoch arena.
         end: u32,
+        /// Tenant the write is issued as (0 = single-tenant host).
+        tenant: u16,
     },
     /// Remove the oldest cell of a queue (data arrives `D` cycles later).
     Dequeue {
         /// Queue (interface) index.
         queue: u32,
+        /// Tenant the read is issued as (0 = single-tenant host).
+        tenant: u16,
     },
 }
 
@@ -339,7 +343,7 @@ impl<M: PipelinedMemory> VpnmPacketBuffer<M> {
                     return Err(BufferError::QueueFull);
                 }
                 let addr = self.cell_addr(queue, q.tail);
-                (Some(Request::Write { addr, data: cell.into() }), Action::Enqueue(queue))
+                (Some(Request::write(addr, cell)), Action::Enqueue(queue))
             }
             Some(BufferEvent::Dequeue { queue }) => {
                 let q = *self.queues.get(queue as usize).ok_or(BufferError::BadQueue)?;
@@ -349,7 +353,7 @@ impl<M: PipelinedMemory> VpnmPacketBuffer<M> {
                     return Err(BufferError::QueueEmpty);
                 }
                 let addr = self.cell_addr(queue, q.head);
-                (Some(Request::Read { addr }), Action::Dequeue(queue))
+                (Some(Request::read(addr)), Action::Dequeue(queue))
             }
         };
         match self.pump(request) {
@@ -438,10 +442,10 @@ impl<M: PipelinedMemory> VpnmPacketBuffer<M> {
             Self::check_offset(*offset, len, &mut prev);
             let outcome = match event {
                 BufferEvent::Enqueue { queue, cell } => self.admit_enqueue(*queue).map(|addr| {
-                    sparse.push((*offset, Request::Write { addr, data: cell.clone().into() }));
+                    sparse.push((*offset, Request::write(addr, cell.clone())));
                 }),
                 BufferEvent::Dequeue { queue } => self.admit_dequeue(*queue).map(|addr| {
-                    sparse.push((*offset, Request::Read { addr }));
+                    sparse.push((*offset, Request::read(addr)));
                 }),
             };
             if outcome.is_err() {
@@ -481,12 +485,14 @@ impl<M: PipelinedMemory> VpnmPacketBuffer<M> {
         for &(offset, event) in events {
             Self::check_offset(offset, len, &mut prev);
             let outcome = match event {
-                LaneEvent::Enqueue { queue, start, end } => self.admit_enqueue(queue).map(|addr| {
-                    let data = arena.slice(start as usize..end as usize);
-                    sparse.push((offset, Request::Write { addr, data }));
-                }),
-                LaneEvent::Dequeue { queue } => self.admit_dequeue(queue).map(|addr| {
-                    sparse.push((offset, Request::Read { addr }));
+                LaneEvent::Enqueue { queue, start, end, tenant } => {
+                    self.admit_enqueue(queue).map(|addr| {
+                        let data = arena.slice(start as usize..end as usize);
+                        sparse.push((offset, Request::write_as(TenantId(tenant), addr, data)));
+                    })
+                }
+                LaneEvent::Dequeue { queue, tenant } => self.admit_dequeue(queue).map(|addr| {
+                    sparse.push((offset, Request::read_as(TenantId(tenant), addr)));
                 }),
             };
             if outcome.is_err() {
@@ -727,6 +733,7 @@ mod tests {
             channels: 4,
             select: ChannelSelect::UniversalHash,
             base: VpnmConfig::test_roomy(),
+            qos: None,
         };
         let mut buf = VpnmPacketBuffer::new_fabric(config, 8, 32, 5).unwrap();
         assert_eq!(buf.memory().num_channels(), 4);
@@ -854,6 +861,7 @@ mod tests {
             channels: 4,
             select: ChannelSelect::UniversalHash,
             base: VpnmConfig::test_roomy(),
+            qos: None,
         };
         let mut buf = VpnmPacketBuffer::new_fabric(config, 8, 32, 5).unwrap();
         let mut events = Vec::new();
@@ -1037,11 +1045,15 @@ mod proptests {
                             queue: u32::from(*q),
                             start,
                             end: arena.len() as u32,
+                            tenant: 0,
                         }));
                     }
                     Ev::Deq(q) => {
                         batch.push((offset as u64, BufferEvent::Dequeue { queue: u32::from(*q) }));
-                        lane.push((offset as u64, LaneEvent::Dequeue { queue: u32::from(*q) }));
+                        lane.push((
+                            offset as u64,
+                            LaneEvent::Dequeue { queue: u32::from(*q), tenant: 0 },
+                        ));
                     }
                     Ev::Idle => {}
                 }

@@ -170,9 +170,9 @@ impl<M: PipelinedMemory> ReassemblyEngine<M> {
         for (i, chunk_data) in data.chunks(self.chunk_bytes).enumerate() {
             let chunk_index = offset / self.chunk_bytes as u64 + i as u64;
             // (1) connection record lookup
-            self.issue(Request::Read { addr: self.conn_addr(flow) });
+            self.issue(Request::read(self.conn_addr(flow)));
             // (2) hole buffer fetch
-            self.issue(Request::Read { addr: self.hole_addr(flow) });
+            self.issue(Request::read(self.hole_addr(flow)));
             // engine-side hole update
             let advanced = {
                 let state = &mut self.flows[flow as usize];
@@ -183,12 +183,12 @@ impl<M: PipelinedMemory> ReassemblyEngine<M> {
             };
             // (3) hole buffer write-back (serialized working state)
             let serialized = self.serialize_hole(flow);
-            self.issue(Request::Write { addr: self.hole_addr(flow), data: serialized.into() });
+            self.issue(Request::write(self.hole_addr(flow), serialized));
             // (4) packet data write
-            self.issue(Request::Write {
-                addr: self.data_addr(flow, chunk_index),
-                data: bytes::Bytes::copy_from_slice(chunk_data),
-            });
+            self.issue(Request::write(
+                self.data_addr(flow, chunk_index),
+                bytes::Bytes::copy_from_slice(chunk_data),
+            ));
             self.stats.chunks_ingested += 1;
             // (5) in-order scan reads for every chunk the prefix crossed
             if advanced > 0 {
@@ -201,7 +201,7 @@ impl<M: PipelinedMemory> ReassemblyEngine<M> {
                 );
                 for c in from..upto_chunk {
                     self.scan_in_flight.push_back((flow, c));
-                    self.issue(Request::Read { addr: self.data_addr(flow, c) });
+                    self.issue(Request::read(self.data_addr(flow, c)));
                 }
                 self.flows[flow as usize].scan_next_chunk = upto_chunk;
             }
@@ -379,6 +379,7 @@ mod tests {
             channels: 4,
             select: ChannelSelect::UniversalHash,
             base: VpnmConfig::test_roomy(),
+            qos: None,
         };
         let fabric = VpnmFabric::new(config, 9).unwrap();
         let mut eng = ReassemblyEngine::new(fabric, 4, 256, CHUNK);

@@ -34,13 +34,16 @@ use vpnm_sim::rng::splitmix64;
 
 use super::FlowMix;
 
-/// One offered packet: the interface cycle it arrives on and its flow ID.
+/// One offered packet: the interface cycle it arrives on, its flow ID,
+/// and the tenant that offered it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Arrival {
     /// Absolute interface cycle of arrival.
     pub cycle: u64,
     /// Flow identifier (hashed into the flow table by the server).
     pub flow: u64,
+    /// Offering tenant (0 in single-tenant traffic).
+    pub tenant: u16,
 }
 
 /// Where producers get their packets from.
@@ -220,7 +223,8 @@ fn produce(
                 let mut c = start + (u64::from(p) + stride - start % stride) % stride;
                 while c < end {
                     if rng.gen::<f64>() < *load {
-                        batch.push(Arrival { cycle: c, flow: gen.next_addr() });
+                        let (tenant, flow) = gen.next_tagged();
+                        batch.push(Arrival { cycle: c, flow, tenant });
                     }
                     c += stride;
                 }
@@ -243,11 +247,19 @@ fn produce(
     }
 }
 
-/// Magic prefix of the binary arrival-trace format.
+/// Magic prefix of the single-tenant (V1) binary arrival-trace format.
 pub const TRACE_MAGIC: &[u8; 8] = b"VPNMTRC1";
 
+/// Magic prefix of the tenant-tagged (V2) arrival-trace format.
+pub const TRACE_MAGIC_V2: &[u8; 8] = b"VPNMTRC2";
+
 /// Writes an arrival trace: magic, offered-cycle count, record count,
-/// then `(cycle, flow)` pairs, all little-endian u64.
+/// then the records, all little-endian u64.
+///
+/// A trace whose arrivals are all tenant 0 is written in the V1 format
+/// (`(cycle, flow)` pairs — byte-identical to pre-tenancy traces); any
+/// non-zero tenant switches to V2 `(cycle, flow, tenant)` triples.
+/// [`read_trace`] accepts both.
 ///
 /// # Errors
 ///
@@ -256,12 +268,16 @@ pub fn write_trace(path: &str, cycles: u64, arrivals: &[Arrival]) -> Result<(), 
     let file = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
     let mut w = std::io::BufWriter::new(file);
     let io = |e: std::io::Error| format!("write {path}: {e}");
-    w.write_all(TRACE_MAGIC).map_err(io)?;
+    let tagged = arrivals.iter().any(|a| a.tenant != 0);
+    w.write_all(if tagged { TRACE_MAGIC_V2 } else { TRACE_MAGIC }).map_err(io)?;
     w.write_all(&cycles.to_le_bytes()).map_err(io)?;
     w.write_all(&(arrivals.len() as u64).to_le_bytes()).map_err(io)?;
     for a in arrivals {
         w.write_all(&a.cycle.to_le_bytes()).map_err(io)?;
         w.write_all(&a.flow.to_le_bytes()).map_err(io)?;
+        if tagged {
+            w.write_all(&u64::from(a.tenant).to_le_bytes()).map_err(io)?;
+        }
     }
     w.flush().map_err(io)
 }
@@ -280,9 +296,11 @@ pub fn read_trace(path: &str) -> Result<(u64, Vec<Arrival>), String> {
     let io = |e: std::io::Error| format!("read {path}: {e}");
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic).map_err(io)?;
-    if &magic != TRACE_MAGIC {
-        return Err(format!("{path}: not a VPNM trace (bad magic)"));
-    }
+    let tagged = match &magic {
+        m if m == TRACE_MAGIC => false,
+        m if m == TRACE_MAGIC_V2 => true,
+        _ => return Err(format!("{path}: not a VPNM trace (bad magic)")),
+    };
     let mut word = [0u8; 8];
     r.read_exact(&mut word).map_err(io)?;
     let cycles = u64::from_le_bytes(word);
@@ -295,6 +313,13 @@ pub fn read_trace(path: &str) -> Result<(u64, Vec<Arrival>), String> {
         let cycle = u64::from_le_bytes(word);
         r.read_exact(&mut word).map_err(io)?;
         let flow = u64::from_le_bytes(word);
+        let tenant = if tagged {
+            r.read_exact(&mut word).map_err(io)?;
+            u16::try_from(u64::from_le_bytes(word))
+                .map_err(|_| format!("{path}: record {i} tenant does not fit in 16 bits"))?
+        } else {
+            0
+        };
         if cycle >= cycles {
             return Err(format!("{path}: record {i} cycle {cycle} outside trace of {cycles}"));
         }
@@ -302,7 +327,7 @@ pub fn read_trace(path: &str) -> Result<(u64, Vec<Arrival>), String> {
             return Err(format!("{path}: record {i} breaks one-arrival-per-cycle order"));
         }
         prev = Some(cycle);
-        arrivals.push(Arrival { cycle, flow });
+        arrivals.push(Arrival { cycle, flow, tenant });
     }
     Ok((cycles, arrivals))
 }
@@ -362,8 +387,10 @@ mod tests {
 
     #[test]
     fn trace_replay_reproduces_the_trace_for_any_fleet_size() {
-        let trace: Vec<Arrival> =
-            (0..500).filter(|c| c % 3 != 0).map(|c| Arrival { cycle: c, flow: c * 17 }).collect();
+        let trace: Vec<Arrival> = (0..500)
+            .filter(|c| c % 3 != 0)
+            .map(|c| Arrival { cycle: c, flow: c * 17, tenant: (c % 5) as u16 })
+            .collect();
         let plan = EpochPlan { cycles: 500, epoch_len: 64 };
         let source = ArrivalSource::Trace(Arc::new(trace.clone()));
         for producers in [1, 2, 5] {
@@ -377,10 +404,30 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("t.vpnmtrc");
         let path = path.to_str().unwrap();
-        let arrivals = vec![Arrival { cycle: 0, flow: 9 }, Arrival { cycle: 3, flow: 1 << 40 }];
+        let arrivals = vec![
+            Arrival { cycle: 0, flow: 9, tenant: 0 },
+            Arrival { cycle: 3, flow: 1 << 40, tenant: 0 },
+        ];
         write_trace(path, 10, &arrivals).unwrap();
+        // All-tenant-0 traces stay in the pre-tenancy V1 byte format.
+        assert_eq!(&std::fs::read(path).unwrap()[..8], TRACE_MAGIC);
         assert_eq!(read_trace(path).unwrap(), (10, arrivals));
         std::fs::write(path, b"NOTATRACE").unwrap();
         assert!(read_trace(path).unwrap_err().contains("bad magic"));
+    }
+
+    #[test]
+    fn tenant_tagged_trace_roundtrips_as_v2() {
+        let dir = std::env::temp_dir().join("vpnm-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t2.vpnmtrc");
+        let path = path.to_str().unwrap();
+        let arrivals = vec![
+            Arrival { cycle: 1, flow: 4, tenant: 0 },
+            Arrival { cycle: 2, flow: 5, tenant: 3 },
+        ];
+        write_trace(path, 10, &arrivals).unwrap();
+        assert_eq!(&std::fs::read(path).unwrap()[..8], TRACE_MAGIC_V2);
+        assert_eq!(read_trace(path).unwrap(), (10, arrivals));
     }
 }

@@ -46,6 +46,7 @@ mod ingress;
 pub use flow_table::FlowTable;
 pub use ingress::{
     read_trace, write_trace, Arrival, ArrivalSource, EpochPlan, IngressRig, TRACE_MAGIC,
+    TRACE_MAGIC_V2,
 };
 
 use std::collections::VecDeque;
@@ -55,7 +56,7 @@ use bytes::Bytes;
 use vpnm_core::{MetricsSnapshot, PipelinedMemory, ServingMetrics, VpnmConfig};
 use vpnm_sim::{FineHistogram, Histogram, WallPacer};
 use vpnm_workloads::packets::{payload_extend, payload_matches};
-use vpnm_workloads::{AddressGenerator, HeavyTailFlows, UniformAddresses};
+use vpnm_workloads::{HeavyTailFlows, MultiTenantMix, Tagged, TenantFlowGen, UniformAddresses};
 
 use crate::engine::EngineOpts;
 use crate::packet_buffer::{LaneEvent, VpnmPacketBuffer};
@@ -77,20 +78,44 @@ pub enum FlowMix {
         /// Tail exponent; 1.0 ≈ Zipf(s = 1), larger is more skewed.
         skew: f64,
     },
+    /// Multi-tenant blend ([`MultiTenantMix`]): `tenants - 1`
+    /// well-behaved heavy-tailed tenants plus one adversarial tenant
+    /// (the last ID) spending `adversary_pct` percent of the offered
+    /// packets on a bank-stride sweep.
+    MultiTenant {
+        /// Flow-ID space size.
+        space: u64,
+        /// Total tenant count (the adversary is `tenants - 1`).
+        tenants: u16,
+        /// Percentage of offered packets from the adversary (0 = all
+        /// tenants well-behaved).
+        adversary_pct: u32,
+        /// Bank count the adversary's stride assumes (fabric-global).
+        banks: u64,
+    },
 }
 
 impl FlowMix {
     /// The flow-ID space the mix draws from.
     pub fn space(&self) -> u64 {
         match self {
-            FlowMix::Uniform { space } | FlowMix::HeavyTail { space, .. } => *space,
+            FlowMix::Uniform { space }
+            | FlowMix::HeavyTail { space, .. }
+            | FlowMix::MultiTenant { space, .. } => *space,
         }
     }
 
-    pub(crate) fn generator(&self, seed: u64) -> Box<dyn AddressGenerator + Send> {
+    pub(crate) fn generator(&self, seed: u64) -> Box<dyn TenantFlowGen + Send> {
         match *self {
-            FlowMix::Uniform { space } => Box::new(UniformAddresses::new(space, seed)),
-            FlowMix::HeavyTail { space, skew } => Box::new(HeavyTailFlows::new(space, skew, seed)),
+            FlowMix::Uniform { space } => {
+                Box::new(Tagged::new(0, UniformAddresses::new(space, seed)))
+            }
+            FlowMix::HeavyTail { space, skew } => {
+                Box::new(Tagged::new(0, HeavyTailFlows::new(space, skew, seed)))
+            }
+            FlowMix::MultiTenant { space, tenants, adversary_pct, banks } => {
+                Box::new(MultiTenantMix::new(tenants, space, banks, adversary_pct, seed))
+            }
         }
     }
 }
@@ -178,6 +203,37 @@ struct PendingCell {
     arrival: u64,
     slot: u32,
     seq: u64,
+    tenant: u16,
+}
+
+/// Serve-side per-tenant accounting, folded into the snapshot's
+/// [`TenantSection`](vpnm_core::TenantSection) on return. Allocated only
+/// when the engine selection is QoS-tracked.
+struct TenantLanes {
+    dropped: Vec<u64>,
+    transmitted: Vec<u64>,
+    latency: Vec<FineHistogram>,
+}
+
+impl TenantLanes {
+    fn new(tenants: usize) -> Self {
+        TenantLanes {
+            dropped: vec![0; tenants],
+            transmitted: vec![0; tenants],
+            latency: vec![FineHistogram::new(); tenants],
+        }
+    }
+
+    #[inline]
+    fn lane(&self, tenant: u16) -> usize {
+        usize::from(tenant).min(self.dropped.len() - 1)
+    }
+
+    #[inline]
+    fn drop_one(&mut self, tenant: u16) {
+        let lane = self.lane(tenant);
+        self.dropped[lane] += 1;
+    }
 }
 
 /// Runs one serving session end to end: spawn producers, drive the
@@ -226,9 +282,11 @@ pub fn run_serve(cfg: &ServeConfig) -> Result<ServeReport, String> {
     // FIFO service order, so hoisting the `slot_of` probe from service
     // to admission preserves the exact probe sequence — and with it the
     // table layout — byte for byte.
-    let mut ingress: VecDeque<(u64, Option<u32>)> = VecDeque::with_capacity(cfg.queue_depth);
+    let mut ingress: VecDeque<(u64, Option<u32>, u16)> = VecDeque::with_capacity(cfg.queue_depth);
     let mut tx_fifo: VecDeque<PendingCell> = VecDeque::new();
     let mut issued: VecDeque<PendingCell> = VecDeque::new();
+    let mut tenant_lanes =
+        cfg.engine.qos().map(|q| TenantLanes::new(usize::from(q.tenants.max(1))));
 
     let mut serving = ServingMetrics {
         producers: cfg.producers,
@@ -314,11 +372,14 @@ pub fn run_serve(cfg: &ServeConfig) -> Result<ServeReport, String> {
                 let a = arrivals[next_arrival];
                 serving.offered += 1;
                 if batched {
-                    ingress.push_back((a.cycle, slots_lane[next_arrival]));
+                    ingress.push_back((a.cycle, slots_lane[next_arrival], a.tenant));
                 } else if ingress.len() >= cfg.queue_depth {
                     serving.ingress_drops += 1;
+                    if let Some(t) = tenant_lanes.as_mut() {
+                        t.drop_one(a.tenant);
+                    }
                 } else {
-                    ingress.push_back((a.cycle, table.slot_of(a.flow)));
+                    ingress.push_back((a.cycle, table.slot_of(a.flow), a.tenant));
                 }
                 next_arrival += 1;
             }
@@ -331,16 +392,22 @@ pub fn run_serve(cfg: &ServeConfig) -> Result<ServeReport, String> {
                 let cell = tx_fifo.pop_front().expect("non-empty");
                 let seq = table.note_dequeue(cell.slot);
                 debug_assert_eq!(seq, cell.seq, "per-flow FIFO order");
-                events.push((offset, LaneEvent::Dequeue { queue: cell.slot }));
+                events.push((offset, LaneEvent::Dequeue { queue: cell.slot, tenant: cell.tenant }));
                 issued.push_back(cell);
-            } else if let Some(&(arrived, slot)) = ingress.front() {
+            } else if let Some(&(arrived, slot, tenant)) = ingress.front() {
                 match slot {
                     None => {
                         serving.flow_table_drops += 1;
+                        if let Some(t) = tenant_lanes.as_mut() {
+                            t.drop_one(tenant);
+                        }
                         ingress.pop_front();
                     }
                     Some(slot) if u64::from(table.occupancy(slot)) >= cfg.cells_per_queue => {
                         serving.flow_queue_drops += 1;
+                        if let Some(t) = tenant_lanes.as_mut() {
+                            t.drop_one(tenant);
+                        }
                         ingress.pop_front();
                     }
                     Some(slot) => {
@@ -353,10 +420,11 @@ pub fn run_serve(cfg: &ServeConfig) -> Result<ServeReport, String> {
                                 queue: slot,
                                 start: span,
                                 end: arena_buf.len() as u32,
+                                tenant,
                             },
                         ));
                         serving.admitted += 1;
-                        tx_fifo.push_back(PendingCell { arrival: arrived, slot, seq });
+                        tx_fifo.push_back(PendingCell { arrival: arrived, slot, seq, tenant });
                         ingress.pop_front();
                     }
                 }
@@ -380,6 +448,9 @@ pub fn run_serve(cfg: &ServeConfig) -> Result<ServeReport, String> {
                     break front;
                 }
                 serving.stall_drops += 1;
+                if let Some(t) = tenant_lanes.as_mut() {
+                    t.drop_one(front.tenant);
+                }
             };
             if cfg.verify && !payload_matches(cell.slot, cell.seq, cfg.cell_bytes, &d.cell.data) {
                 if stalls_seen == 0 {
@@ -391,10 +462,19 @@ pub fn run_serve(cfg: &ServeConfig) -> Result<ServeReport, String> {
                 // A stalled write leaves a hole the read returns garbage
                 // from; the packet was lost to the stall.
                 serving.stall_drops += 1;
+                if let Some(t) = tenant_lanes.as_mut() {
+                    t.drop_one(cell.tenant);
+                }
                 continue;
             }
             serving.transmitted += 1;
-            latency.record(d.completed_at.saturating_sub(cell.arrival));
+            let waited = d.completed_at.saturating_sub(cell.arrival);
+            latency.record(waited);
+            if let Some(t) = tenant_lanes.as_mut() {
+                let lane = t.lane(cell.tenant);
+                t.transmitted[lane] += 1;
+                t.latency[lane].record(waited);
+            }
         }
         epoch += 1;
     }
@@ -407,6 +487,11 @@ pub fn run_serve(cfg: &ServeConfig) -> Result<ServeReport, String> {
     // stalled read.
     serving.stall_drops += buf.reconcile_lost();
     serving.stall_drops += issued.len() as u64;
+    if let Some(t) = tenant_lanes.as_mut() {
+        for cell in &issued {
+            t.drop_one(cell.tenant);
+        }
+    }
     issued.clear();
 
     serving.flows = table.flows();
@@ -419,7 +504,21 @@ pub fn run_serve(cfg: &ServeConfig) -> Result<ServeReport, String> {
 
     let residual = (ingress.len() + tx_fifo.len()) as u64;
     debug_assert!(serving.conserves(residual), "packet conservation");
-    let snapshot = buf.memory().snapshot().map(|s| s.with_serving(serving.clone()));
+    let snapshot = buf.memory().snapshot().map(|mut s| {
+        // Fold the serve-side attribution (drops, deliveries, latency)
+        // into the fabric's tenant section, which already carries the
+        // regulator-side issued/deferred counts.
+        if let (Some(section), Some(lanes)) = (s.tenants.as_mut(), tenant_lanes.as_ref()) {
+            for (i, stats) in section.per_tenant.iter_mut().enumerate() {
+                if i < lanes.dropped.len() {
+                    stats.dropped += lanes.dropped[i];
+                    stats.transmitted += lanes.transmitted[i];
+                    stats.latency.merge(&lanes.latency[i]);
+                }
+            }
+        }
+        s.with_serving(serving.clone())
+    });
     Ok(ServeReport { serving, snapshot, residual })
 }
 
@@ -496,7 +595,7 @@ mod tests {
         // tiny table but carries more distinct flows than slots. The
         // trace path sizes the table from the max flow ID.
         let trace: Vec<Arrival> =
-            (0..200u64).map(|i| Arrival { cycle: i * 2, flow: i % 7 }).collect();
+            (0..200u64).map(|i| Arrival { cycle: i * 2, flow: i % 7, tenant: 0 }).collect();
         let traced = ServeConfig {
             source: ArrivalSource::Trace(std::sync::Arc::new(trace)),
             cycles: 400,
@@ -509,6 +608,68 @@ mod tests {
         let r2 = run_serve(&cfg).unwrap();
         assert!(r2.serving.conserves(r2.residual));
         assert_eq!(r2.serving.flows, 16);
+    }
+
+    #[test]
+    fn multi_tenant_serve_attributes_every_packet_and_contains_the_adversary() {
+        use crate::engine::EngineKind;
+        use vpnm_core::RegulatorMode;
+        let banks = u64::from(VpnmConfig::test_roomy().banks) * 2;
+        let mk = |regulator| ServeConfig {
+            engine: EngineOpts {
+                kind: EngineKind::Fast,
+                channels: 2,
+                select: ChannelSelect::UniversalHash,
+                tenants: 4,
+                regulator,
+                tenant_rate: (1, 4),
+                tenant_burst: 8,
+                ..EngineOpts::default()
+            },
+            cycles: 30_000,
+            source: ArrivalSource::Synthetic {
+                load: 0.45,
+                mix: FlowMix::MultiTenant { space: 1 << 10, tenants: 4, adversary_pct: 40, banks },
+            },
+            ..small()
+        };
+
+        // Tracked but unregulated: the section is present, serve-side
+        // attribution is exact, nothing is deferred.
+        let tracked = run_serve(&mk(RegulatorMode::Off)).unwrap();
+        let snap = tracked.snapshot.as_ref().expect("fabric exposes metrics");
+        let section = snap.tenants.as_ref().expect("qos selection implies a tenant section");
+        assert_eq!(section.per_tenant.len(), 4);
+        let s = &tracked.serving;
+        let transmitted: u64 = section.per_tenant.iter().map(|t| t.transmitted).sum();
+        let dropped: u64 = section.per_tenant.iter().map(|t| t.dropped).sum();
+        assert_eq!(transmitted, s.transmitted, "per-tenant deliveries sum to the total");
+        assert_eq!(
+            dropped,
+            s.ingress_drops + s.flow_queue_drops + s.flow_table_drops + s.stall_drops,
+            "per-tenant drops sum to the total"
+        );
+        assert!(section.per_tenant.iter().all(|t| t.deferred == 0), "off mode never defers");
+        assert!(section.per_tenant.iter().all(|t| t.transmitted > 0));
+        let lat_total: u64 = section.per_tenant.iter().map(|t| t.latency.total()).sum();
+        assert_eq!(lat_total, s.latency.total(), "per-tenant latency covers every delivery");
+
+        // Regulated: the adversarial tenant (last ID, 40% of offered
+        // packets against a 25% budget) absorbs the deferrals; the
+        // well-behaved tenants keep transmitting.
+        let regulated = run_serve(&mk(RegulatorMode::Global)).unwrap();
+        let rsec = regulated.snapshot.as_ref().unwrap().tenants.as_ref().expect("tenant section");
+        let adv = &rsec.per_tenant[3];
+        assert!(adv.deferred > 0, "the greedy tenant must be throttled");
+        for (i, t) in rsec.per_tenant.iter().take(3).enumerate() {
+            assert!(t.transmitted > 0, "victim t{i} starved");
+            assert!(
+                adv.deferred > 4 * t.deferred,
+                "deferrals concentrate on the adversary: adv {} vs t{i} {}",
+                adv.deferred,
+                t.deferred
+            );
+        }
     }
 
     #[test]

@@ -26,7 +26,7 @@ const CYCLES: u64 = 10_000;
 
 fn uniform_reads(space: u64, seed: u64) -> impl FnMut() -> Option<Request> {
     let mut rng = StdRng::seed_from_u64(seed);
-    move || Some(Request::Read { addr: LineAddr(rng.gen_range(0..space)) })
+    move || Some(Request::read(LineAddr(rng.gen_range(0..space))))
 }
 
 /// The batched front door: generator batch-fill + `run_reads_with`, so
@@ -85,7 +85,7 @@ fn bench_issue_batch(c: &mut Criterion) {
                     let mut addrs = vec![0u64; CYCLES as usize];
                     gen.fill_addrs(&mut addrs);
                     let reqs: Vec<Request> =
-                        addrs.iter().map(|&a| Request::Read { addr: LineAddr(a) }).collect();
+                        addrs.iter().map(|&a| Request::read(LineAddr(a))).collect();
                     (mem, reqs)
                 },
                 |(mut mem, reqs)| {
@@ -168,7 +168,7 @@ fn bench_idle_fast_forward(c: &mut Criterion) {
         move || {
             if in_burst > 0 {
                 in_burst -= 1;
-                Some(Request::Read { addr: LineAddr(rng.gen_range(0..1u64 << 32)) })
+                Some(Request::read(LineAddr(rng.gen_range(0..1u64 << 32))))
             } else {
                 if rng.gen_bool(0.002) {
                     in_burst = 16;
@@ -241,6 +241,7 @@ fn bench_fabric_uniform_reads(c: &mut Criterion) {
             channels,
             select: ChannelSelect::UniversalHash,
             base: VpnmConfig::paper_optimal(),
+            qos: None,
         };
         let space = 1u64 << fc.base.addr_bits;
         group.throughput(Throughput::Elements(CYCLES));
@@ -253,7 +254,7 @@ fn bench_fabric_uniform_reads(c: &mut Criterion) {
                 gen.fill_addrs(&mut addrs);
                 let mut served = 0u64;
                 for &a in &addrs {
-                    let out = fab.tick(Some(Request::Read { addr: LineAddr(a) }));
+                    let out = fab.tick(Some(Request::read(LineAddr(a))));
                     served += out.response.map_or(0, |r| r.completed_at.as_u64());
                 }
                 std::hint::black_box(served);
@@ -268,7 +269,7 @@ fn bench_fabric_uniform_reads(c: &mut Criterion) {
             bench.iter(|| {
                 gen.fill_addrs(&mut addrs);
                 batch.clear();
-                batch.extend(addrs.iter().map(|&a| Some(Request::Read { addr: LineAddr(a) })));
+                batch.extend(addrs.iter().map(|&a| Some(Request::read(LineAddr(a)))));
                 std::hint::black_box(fab.run_epoch(&batch));
             });
         });
@@ -293,9 +294,9 @@ fn bench_mixed_traffic(c: &mut Criterion) {
                 for _ in 0..CYCLES {
                     let addr = LineAddr(rng.gen_range(0..1u64 << 32));
                     let req = if rng.gen_bool(0.7) {
-                        Request::Read { addr }
+                        Request::read(addr)
                     } else {
-                        Request::Write { addr, data: payload.clone() }
+                        Request::write(addr, payload.clone())
                     };
                     std::hint::black_box(mem.tick(Some(req)));
                 }
@@ -316,7 +317,7 @@ fn bench_merged_stream(c: &mut Criterion) {
             || VpnmController::new(VpnmConfig::paper_optimal(), 7).expect("valid"),
             |mut mem| {
                 for _ in 0..CYCLES {
-                    std::hint::black_box(mem.tick(Some(Request::Read { addr: LineAddr(42) })));
+                    std::hint::black_box(mem.tick(Some(Request::read(LineAddr(42)))));
                 }
                 mem
             },

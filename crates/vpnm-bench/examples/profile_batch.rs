@@ -38,9 +38,7 @@ fn main() {
             let mut mem = VpnmController::new(c1.clone(), 7).expect("valid");
             let mut gen = UniformAddresses::new(space, 3);
             for _ in 0..CYCLES {
-                std::hint::black_box(
-                    mem.tick(Some(Request::Read { addr: LineAddr(gen.next_addr()) })),
-                );
+                std::hint::black_box(mem.tick(Some(Request::read(LineAddr(gen.next_addr())))));
             }
         }),
     );
@@ -50,7 +48,7 @@ fn main() {
     let mut addrs = vec![0u64; CYCLES as usize];
     gen.fill_addrs(&mut addrs);
     let trace: Vec<Option<Request>> =
-        addrs.iter().map(|&a| Some(Request::Read { addr: LineAddr(a) })).collect();
+        addrs.iter().map(|&a| Some(Request::read(LineAddr(a)))).collect();
     time(
         "run_batch only (pre-built)",
         Box::new(move || {

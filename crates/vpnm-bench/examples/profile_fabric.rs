@@ -21,6 +21,7 @@ fn main() {
         channels: 8,
         select: ChannelSelect::UniversalHash,
         base: VpnmConfig::paper_optimal(),
+        qos: None,
     };
     let space = 1u64 << fc.base.addr_bits;
 
@@ -32,7 +33,7 @@ fn main() {
         gen.fill_addrs(&mut addrs);
         let mut served = 0u64;
         for &a in &addrs {
-            let out = fab.tick(Some(Request::Read { addr: LineAddr(a) }));
+            let out = fab.tick(Some(Request::read(LineAddr(a))));
             served += out.response.map_or(0, |r| r.completed_at.as_u64());
         }
         std::hint::black_box(served);
@@ -49,7 +50,7 @@ fn main() {
         for _ in 0..ITERS {
             gen.fill_addrs(&mut addrs);
             batch.clear();
-            batch.extend(addrs.iter().map(|&a| Some(Request::Read { addr: LineAddr(a) })));
+            batch.extend(addrs.iter().map(|&a| Some(Request::read(LineAddr(a)))));
             std::hint::black_box(fab.run_epoch(&batch));
         }
         let ns = t.elapsed().as_nanos() as f64 / (CYCLES * ITERS) as f64;

@@ -14,7 +14,8 @@
 //! (engine flags: `--engine fast|reference --channels N --select …`; the
 //! pass/fail assertions target the default single-channel topology)
 
-use vpnm_bench::{EngineOpts, Table};
+use vpnm_apps::EngineOpts;
+use vpnm_bench::Table;
 use vpnm_core::{HashKind, LineAddr, PipelinedMemory, Request, SchedulerKind, VpnmConfig};
 use vpnm_workloads::generators::{AddressGenerator, RedundantPattern, StrideAddresses};
 use vpnm_workloads::UniformAddresses;
@@ -30,7 +31,7 @@ fn stall_fraction(
     let mut mem = opts.build(config, seed).expect("valid config");
     let mut stalls = 0u64;
     for _ in 0..REQUESTS {
-        if !mem.tick(Some(Request::Read { addr: LineAddr(gen.next_addr()) })).accepted() {
+        if !mem.tick(Some(Request::read(LineAddr(gen.next_addr())))).accepted() {
             stalls += 1;
         }
     }
@@ -164,7 +165,7 @@ fn main() {
     let mut mem = opts.build(tight(), 4).expect("valid config");
     let mut gen = UniformAddresses::new(1 << 24, 40);
     for _ in 0..REQUESTS {
-        mem.tick(Some(Request::Read { addr: LineAddr(gen.next_addr()) }));
+        mem.tick(Some(Request::read(LineAddr(gen.next_addr()))));
     }
     let snapshot = mem.snapshot().expect("engines keep metrics");
     vpnm_bench::report::write_snapshot("ablations", &snapshot.to_json());

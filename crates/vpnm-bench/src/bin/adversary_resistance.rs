@@ -23,7 +23,8 @@
 //! for its leaked key, and the claim assertions target the default
 //! single-channel topology)
 
-use vpnm_bench::{EngineOpts, Table};
+use vpnm_apps::EngineOpts;
+use vpnm_bench::Table;
 use vpnm_core::{HashKind, LineAddr, PipelinedMemory, Request, VpnmConfig, VpnmController};
 use vpnm_hash::BankHasher;
 use vpnm_workloads::generators::{AddressGenerator, RedundantPattern};
@@ -58,7 +59,7 @@ fn engine(opts: EngineOpts, hash: HashKind, seed: u64) -> Box<dyn PipelinedMemor
 fn run(mut mem: impl PipelinedMemory, gen: &mut dyn AddressGenerator) -> f64 {
     let mut stalls = 0u64;
     for _ in 0..REQUESTS {
-        if !mem.tick(Some(Request::Read { addr: LineAddr(gen.next_addr()) })).accepted() {
+        if !mem.tick(Some(Request::read(LineAddr(gen.next_addr())))).accepted() {
             stalls += 1;
         }
     }
@@ -175,7 +176,7 @@ fn main() {
     let mut mem = engine(opts, HashKind::H3, 1);
     let mut gen = UniformAddresses::new(ADDR_SPACE, 10);
     for _ in 0..REQUESTS {
-        mem.tick(Some(Request::Read { addr: LineAddr(gen.next_addr()) }));
+        mem.tick(Some(Request::read(LineAddr(gen.next_addr()))));
     }
     let snapshot = mem.snapshot().expect("engines keep metrics");
     vpnm_bench::report::write_snapshot("adversary_resistance", &snapshot.to_json());

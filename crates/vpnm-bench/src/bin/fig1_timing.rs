@@ -15,7 +15,7 @@
 //! channel — extra channels spread the overload, which is the fix the
 //! fabric exists to provide)
 
-use vpnm_bench::EngineOpts;
+use vpnm_apps::EngineOpts;
 use vpnm_core::bank_controller::{Accepted, BankController, BankEvent};
 use vpnm_core::delay_line::CircularDelayBuffer;
 use vpnm_core::request::LineAddr;
@@ -139,7 +139,7 @@ fn main() {
         let req = submissions
             .iter()
             .find(|&&(st, _)| st == t)
-            .map(|&(_, addr)| Request::Read { addr: LineAddr(addr) });
+            .map(|&(_, addr)| Request::read(LineAddr(addr)));
         mem.tick(req);
     }
     mem.drain();

@@ -16,7 +16,8 @@
 //! target the default single-channel topology)
 
 use vpnm_analysis::markov::BankQueueModel;
-use vpnm_bench::{EngineOpts, Table};
+use vpnm_apps::EngineOpts;
+use vpnm_bench::Table;
 use vpnm_core::{HashKind, LineAddr, PipelinedMemory, Request, SchedulerKind, VpnmConfig};
 use vpnm_workloads::generators::AddressGenerator;
 use vpnm_workloads::UniformAddresses;
@@ -36,7 +37,7 @@ fn simulated_median(
         let mut gen = UniformAddresses::new(1u64 << config.addr_bits, 17 * trial + 3);
         let mut first = horizon;
         for t in 0..horizon {
-            if !mem.tick(Some(Request::Read { addr: LineAddr(gen.next_addr()) })).accepted() {
+            if !mem.tick(Some(Request::read(LineAddr(gen.next_addr())))).accepted() {
                 first = t + 1;
                 break;
             }
@@ -122,7 +123,7 @@ fn main() {
     let mut mem = opts.build(config.clone(), 40_000).expect("valid config");
     let mut gen = UniformAddresses::new(1u64 << config.addr_bits, 3);
     for _ in 0..100_000u64 {
-        if !mem.tick(Some(Request::Read { addr: LineAddr(gen.next_addr()) })).accepted() {
+        if !mem.tick(Some(Request::read(LineAddr(gen.next_addr())))).accepted() {
             break;
         }
     }

@@ -110,7 +110,12 @@ impl CampaignParams {
 
     /// The fabric geometry a multi-channel campaign stripes over.
     pub fn fabric_config(&self, base: VpnmConfig) -> FabricConfig {
-        FabricConfig { channels: self.channels, select: ChannelSelect::UniversalHash, base }
+        FabricConfig {
+            channels: self.channels,
+            select: ChannelSelect::UniversalHash,
+            base,
+            qos: None,
+        }
     }
 }
 
@@ -187,7 +192,7 @@ pub fn run_shard_with_workers(params: &CampaignParams, shard: u64, workers: usiz
         let n = remaining.min(BATCH_CYCLES as u64) as usize;
         gen.fill_addrs(&mut addrs[..n]);
         batch.clear();
-        batch.extend(addrs[..n].iter().map(|&a| Some(Request::Read { addr: LineAddr(a) })));
+        batch.extend(addrs[..n].iter().map(|&a| Some(Request::read(LineAddr(a)))));
         let report = mem.run_batch(&batch, n as u64);
         accepted += report.accepted;
         stalled += report.stalled;
@@ -241,7 +246,7 @@ fn run_shard_fabric(
         let n = remaining.min(BATCH_CYCLES as u64) as usize;
         gen.fill_addrs(&mut addrs[..n]);
         batch.clear();
-        batch.extend(addrs[..n].iter().map(|&a| Some(Request::Read { addr: LineAddr(a) })));
+        batch.extend(addrs[..n].iter().map(|&a| Some(Request::read(LineAddr(a)))));
         let report = mem.run_epoch(&batch);
         accepted += report.accepted;
         stalled += report.stalled;

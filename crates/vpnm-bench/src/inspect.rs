@@ -70,7 +70,7 @@ pub fn forced_dsb_overflow() -> DsbOverflowForensics {
         // Stride-B addresses, all distinct: every read lands in bank 0
         // under the low-bits mapping and none can merge.
         let req = (i % ACCEPT_INTERVAL == 0)
-            .then(|| Request::Read { addr: LineAddr(i / ACCEPT_INTERVAL * banks) });
+            .then(|| Request::read(LineAddr(i / ACCEPT_INTERVAL * banks)));
         let out = mem.tick(req);
         if let Some(kind) = out.stall {
             stall = Some((mem.now().as_u64(), kind));

@@ -10,15 +10,11 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
-/// Engine/topology flag parsing, re-exported from `vpnm-apps` (the
-/// serving bins share the same triple; see `vpnm_apps::engine`).
-pub use vpnm_apps::engine;
 pub mod inspect;
 pub mod parallel;
 pub mod report;
 
 pub use report::Table;
-pub use vpnm_apps::engine::{engine_from_args, EngineKind, EngineOpts};
 
 /// Formats an MTS value the way the paper's figures label them
 /// (scientific notation, with the 10^16 cap annotated).

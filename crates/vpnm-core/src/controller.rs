@@ -42,7 +42,7 @@ use crate::forensics::{ForensicKind, ForensicRing};
 use crate::hash_engine::HashEngine;
 use crate::metrics::ControllerMetrics;
 use crate::ready_set::ReadySet;
-use crate::request::{LineAddr, Request, Response, StallKind, TickOutput};
+use crate::request::{LineAddr, Request, Response, StallKind, TenantId, TickOutput};
 use crate::snapshot::MetricsSnapshot;
 use bytes::Bytes;
 use vpnm_dram::{DramConfig, DramDevice, DramStats};
@@ -180,7 +180,7 @@ fn first_set_bit(bits: &[u64], from: usize, to: usize) -> Option<usize> {
 ///
 /// // Write, then read the same cell.
 /// mem.tick(Some(Request::write(LineAddr(7), vec![1, 2, 3])));
-/// mem.tick(Some(Request::Read { addr: LineAddr(7) }));
+/// mem.tick(Some(Request::read(LineAddr(7))));
 /// // The response arrives exactly D cycles after the read was accepted.
 /// let mut response = None;
 /// for _ in 0..d {
@@ -222,9 +222,12 @@ pub struct VpnmController {
     bank_queue_depth: Vec<u32>,
     /// Cached `max(bank_queue_depth)` (see [`VpnmController::max_queue_depth`]).
     max_depth_lane: u32,
-    /// The shared playback wheel: slot `ring_pos` holds the `(bank, row)`
-    /// scheduled `D` interface cycles ago, falling due this cycle.
-    ring: Vec<Option<(u32, RowId)>>,
+    /// The shared playback wheel: slot `ring_pos` holds the `(bank, row,
+    /// tenant)` scheduled `D` interface cycles ago, falling due this
+    /// cycle. Carrying the tenant in the wheel slot is what lets the
+    /// response echo the issuing tenant without threading tenancy through
+    /// any bank structure.
+    ring: Vec<Option<(u32, RowId, TenantId)>>,
     ring_pos: usize,
     /// Occupancy bitset over `ring` (bit `i` set ⇔ `ring[i].is_some()`),
     /// letting the event-horizon skip find the next due playback by
@@ -346,6 +349,12 @@ impl VpnmController {
     /// an attacker with full knowledge of the mapping).
     pub fn hash(&self) -> &HashEngine {
         &self.hash
+    }
+
+    /// The bank `addr` maps to under the keyed universal hash (the
+    /// fabric's per-bank regulator keys its buckets off this).
+    pub fn bank_of(&self, addr: LineAddr) -> u32 {
+        self.hash.bank_of(addr.0)
     }
 
     /// The lifecycle trace, when enabled via
@@ -475,7 +484,7 @@ impl VpnmController {
 
         // --- interface-clock domain: accept at most one request …
         let mut stall = None;
-        let mut read_row: Option<(u32, RowId)> = None;
+        let mut read_row: Option<(u32, RowId, TenantId)> = None;
         // Bank that allocated a storage row this tick, for end-of-tick
         // high-water-mark sampling (occupancy can only set a new maximum
         // on a tick that allocated).
@@ -489,16 +498,17 @@ impl VpnmController {
                 self.trace.record(now, id, TraceKind::Stalled);
             } else {
                 let addr = req.addr();
+                let tenant = req.tenant();
                 let event = match req {
-                    Request::Read { addr } => BankEvent::Read { addr },
-                    Request::Write { addr, data } => BankEvent::Write { addr, data },
+                    Request::Read { addr, .. } => BankEvent::Read { addr },
+                    Request::Write { addr, data, .. } => BankEvent::Write { addr, data },
                 };
                 match self.banks[bank].submit(event) {
                     Ok(Accepted::ReadQueued(row)) => {
                         self.metrics.reads_accepted += 1;
                         self.outstanding += 1;
                         self.metrics.note_outstanding(self.outstanding as u64);
-                        read_row = Some((bank as u32, row));
+                        read_row = Some((bank as u32, row, tenant));
                         self.trace.record(now, id, TraceKind::Accepted);
                         self.storage_live += 1;
                         alloc_bank = Some(bank);
@@ -524,7 +534,7 @@ impl VpnmController {
                         self.metrics.reads_merged += 1;
                         self.outstanding += 1;
                         self.metrics.note_outstanding(self.outstanding as u64);
-                        read_row = Some((bank as u32, row));
+                        read_row = Some((bank as u32, row, tenant));
                         self.trace.record(now, id, TraceKind::Merged);
                         self.forensics.record(now, bank as u32, ForensicKind::Merged { addr, row });
                     }
@@ -604,11 +614,11 @@ impl VpnmController {
             if i >= self.ring.len() {
                 i -= self.ring.len();
             }
-            if let Some((bank, row)) = self.ring[i] {
+            if let Some((bank, row, _)) = self.ring[i] {
                 self.banks[bank as usize].prefetch_row(row);
             }
         }
-        if let Some((bank, row)) = due {
+        if let Some((bank, row, tenant)) = due {
             let bc = &mut self.banks[bank as usize];
             let live_before = bc.storage_occupancy();
             let pb = bc.playback(row);
@@ -635,6 +645,7 @@ impl VpnmController {
                 data,
                 issued_at: Cycle::new(now.as_u64() - self.delay),
                 completed_at: now,
+                tenant,
             });
         }
 
@@ -1045,14 +1056,11 @@ impl VpnmController {
             let banks = &mut banks[..chunk.len()];
             self.hash.hash_batch(chunk, banks);
             for (&addr, &bank) in chunk.iter().zip(banks.iter()) {
-                let stall = self.step(
-                    Some(Request::Read { addr: LineAddr(addr) }),
-                    bank as usize,
-                    &mut |r| {
+                let stall =
+                    self.step(Some(Request::read(LineAddr(addr))), bank as usize, &mut |r| {
                         counts.responses += 1;
                         on_response(r);
-                    },
-                );
+                    });
                 let depth = self.max_queue_depth();
                 samples.push(&mut self.metrics, depth, self.storage_live);
                 match stall {
@@ -1370,7 +1378,7 @@ impl VpnmController {
 impl VpnmController {
     /// Shorthand for ticking with a read request.
     pub fn tick_read(&mut self, addr: impl Into<LineAddr>) -> TickOutput {
-        self.tick(Some(Request::Read { addr: addr.into() }))
+        self.tick(Some(Request::read(addr.into())))
     }
 
     /// Shorthand for ticking with a write request.
@@ -1517,7 +1525,7 @@ mod tests {
         let mut responses = Vec::new();
         for i in 0..50u64 {
             let (rs, ok) =
-                mem.submit_with_policy(Request::Read { addr: LineAddr(i * 4) }, StallPolicy::Block);
+                mem.submit_with_policy(Request::read(LineAddr(i * 4)), StallPolicy::Block);
             responses.extend(rs);
             accepted += u64::from(ok);
         }
@@ -1534,7 +1542,7 @@ mod tests {
         let mut responses = Vec::new();
         for i in 0..100u64 {
             let (rs, ok) =
-                mem.submit_with_policy(Request::Read { addr: LineAddr(i * 4) }, StallPolicy::Drop);
+                mem.submit_with_policy(Request::read(LineAddr(i * 4)), StallPolicy::Drop);
             responses.extend(rs);
             dropped += u64::from(!ok);
         }
@@ -1736,8 +1744,7 @@ mod tests {
         let mut mem = small();
         // Under Block a retryable stall would loop; a rejection must
         // return immediately instead of spinning forever.
-        let (rs, ok) =
-            mem.submit_with_policy(Request::Read { addr: LineAddr(1 << 20) }, StallPolicy::Block);
+        let (rs, ok) = mem.submit_with_policy(Request::read(LineAddr(1 << 20)), StallPolicy::Block);
         assert!(!ok);
         assert!(rs.is_empty());
     }
@@ -1754,7 +1761,7 @@ mod tests {
         let reqs: Vec<Option<Request>> = (0..2000u64)
             .map(|i| {
                 if i % 3 == 0 {
-                    Some(Request::Read { addr: LineAddr(i * 37 % 5000) })
+                    Some(Request::read(LineAddr(i * 37 % 5000)))
                 } else if i % 7 == 0 {
                     Some(Request::write(LineAddr(i % 64), vec![i as u8]))
                 } else {
@@ -1800,7 +1807,7 @@ mod tests {
                 reqs.push(Some(if i % 5 == 4 {
                     Request::write(LineAddr(a % 64), vec![i as u8])
                 } else {
-                    Request::Read { addr: LineAddr(a) }
+                    Request::read(LineAddr(a))
                 }));
             }
             reqs.extend(std::iter::repeat_n(None, 60 + burst as usize));
@@ -1870,7 +1877,7 @@ mod tests {
             chunks in proptest::collection::vec(
                 prop_oneof![
                     3 => (0u64..1 << 16).prop_map(|a|
-                        vec![Some(Request::Read { addr: LineAddr(a) })]),
+                        vec![Some(Request::read(LineAddr(a)))]),
                     1 => (0u64..64u64, any::<u8>()).prop_map(|(a, v)|
                         vec![Some(Request::write(LineAddr(a), vec![v]))]),
                     2 => (1usize..100).prop_map(|n| vec![None; n]),
@@ -1927,7 +1934,7 @@ mod tests {
             let budget = addrs.len() as u64 + extra;
             let reqs: Vec<Option<Request>> = addrs
                 .iter()
-                .map(|&a| Some(Request::Read { addr: LineAddr(a) }))
+                .map(|&a| Some(Request::read(LineAddr(a))))
                 .collect();
 
             let mut batched = mk();
@@ -1964,13 +1971,13 @@ mod tests {
             reqs in proptest::collection::vec(
                 prop_oneof![
                     4 => (0u64..1 << 16).prop_map(|a|
-                        Request::Read { addr: LineAddr(a) }),
+                        Request::read(LineAddr(a))),
                     1 => (0u64..64u64, any::<u8>()).prop_map(|(a, v)|
                         Request::write(LineAddr(a), vec![v])),
                     // Colliding reads: a stride the low-bits baseline
                     // would funnel into one bank, to exercise stalls.
                     1 => (0u64..256u64).prop_map(|a|
-                        Request::Read { addr: LineAddr(a * 64) }),
+                        Request::read(LineAddr(a * 64))),
                 ],
                 0..300,
             ),
@@ -2005,7 +2012,7 @@ mod tests {
             chunks in proptest::collection::vec(
                 prop_oneof![
                     3 => (0u64..1 << 16).prop_map(|a|
-                        vec![Some(Request::Read { addr: LineAddr(a) })]),
+                        vec![Some(Request::read(LineAddr(a)))]),
                     1 => (0u64..64u64, any::<u8>()).prop_map(|(a, v)|
                         vec![Some(Request::write(LineAddr(a), vec![v]))]),
                     2 => (1usize..100).prop_map(|n| vec![None; n]),

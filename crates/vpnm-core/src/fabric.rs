@@ -36,8 +36,9 @@ use crate::controller::RunReport;
 use crate::memory::PipelinedMemory;
 use crate::metrics::ControllerMetrics;
 use crate::pool::WorkerPool;
+use crate::regulator::{QosConfig, Regulator, RegulatorMode, TenantLedger};
 use crate::request::{LineAddr, Request, Response, StallKind, TickOutput};
-use crate::snapshot::MetricsSnapshot;
+use crate::snapshot::{MetricsSnapshot, TenantSection};
 use vpnm_sim::Cycle;
 
 pub use vpnm_hash::{ChannelSelect, ChannelSelector};
@@ -55,12 +56,19 @@ pub struct FabricConfig {
     /// `log2(channels)` fewer address bits and the common delay pinned
     /// (see [`FabricConfig::channel_config`]).
     pub base: VpnmConfig,
+    /// Multi-tenant QoS at the fabric ingress: `None` (the default
+    /// single-tenant case) adds zero cost and keeps every output
+    /// byte-identical to a QoS-less fabric; `Some` tracks per-tenant
+    /// issue/deferral counts and, when the mode is not
+    /// [`RegulatorMode::Off`], regulates each tenant with deterministic
+    /// token buckets ([`Regulator`]).
+    pub qos: Option<QosConfig>,
 }
 
 impl FabricConfig {
     /// A single-channel fabric — a transparent wrapper around `base`.
     pub fn single(base: VpnmConfig) -> Self {
-        FabricConfig { channels: 1, select: ChannelSelect::LowBits, base }
+        FabricConfig { channels: 1, select: ChannelSelect::LowBits, base, qos: None }
     }
 
     /// `log2(channels)`.
@@ -111,6 +119,9 @@ impl FabricConfig {
                  themselves",
                 self.channels, self.base.addr_bits
             ));
+        }
+        if let Some(q) = &self.qos {
+            q.validate()?;
         }
         self.channel_config().validate().map_err(|e| format!("per-channel config invalid: {e}"))
     }
@@ -167,6 +178,14 @@ pub struct VpnmFabric<M: PipelinedMemory = crate::VpnmController> {
     /// Persistent worker pool for [`VpnmFabric::run_epoch`]; `None` (the
     /// default) runs epochs on the caller's thread.
     pool: Option<WorkerPool<EpochJob<M>, EpochDone<M>>>,
+    /// Token buckets throttling the ingress when QoS is configured with a
+    /// mode other than `Off`. Admission runs in the serial routing pass
+    /// (tick order), so regulated runs stay byte-identical across
+    /// `--workers` counts.
+    regulator: Option<Regulator>,
+    /// Per-tenant issue/deferral counts; present exactly when
+    /// [`FabricConfig::qos`] is, independent of the mode.
+    ledger: Option<TenantLedger>,
 }
 
 /// Per-channel seed derivation: channel 0 keeps the fabric seed verbatim
@@ -203,6 +222,14 @@ impl<M: PipelinedMemory> VpnmFabric<M> {
             .map(|c| build(c, channel_config.clone(), channel_seed(seed, c)))
             .collect::<Result<Vec<M>, String>>()?;
         let delay = config.fabric_delay();
+        let (regulator, ledger) = match &config.qos {
+            Some(q) => (
+                (q.mode != RegulatorMode::Off)
+                    .then(|| Regulator::new(q, config.channels * config.base.banks)),
+                Some(TenantLedger::new(q.tenants)),
+            ),
+            None => (None, None),
+        };
         Ok(VpnmFabric {
             config,
             selector,
@@ -211,6 +238,8 @@ impl<M: PipelinedMemory> VpnmFabric<M> {
             now: 0,
             fabric_metrics: ControllerMetrics::new(),
             pool: None,
+            regulator,
+            ledger,
         })
     }
 
@@ -255,6 +284,40 @@ impl<M: PipelinedMemory> VpnmFabric<M> {
         self.fabric_metrics.malformed_rejections
     }
 
+    /// The per-tenant ingress ledger — `None` unless the fabric was built
+    /// with a [`FabricConfig::qos`] section.
+    pub fn tenant_ledger(&self) -> Option<&TenantLedger> {
+        self.ledger.as_ref()
+    }
+
+    /// Regulator admission plus ledger accounting for one request routed
+    /// to `(ch, local)` and presented at fabric cycle `at`. Always true
+    /// (and free) when no QoS is configured. Deferral spends no tokens —
+    /// the tenant may retry the very next cycle.
+    fn admit(&mut self, req: &Request, ch: u32, local: u64, at: u64) -> bool {
+        let Some(ledger) = &mut self.ledger else { return true };
+        let tenant = req.tenant();
+        let slot = self.config.qos.as_ref().expect("ledger implies qos").clamp(tenant);
+        let ok = match &mut self.regulator {
+            Some(reg) => {
+                // Fabric-global bank index: channels each own `base.banks`
+                // banks, and the channel engine's keyed hash names the
+                // local one (engines without banks fall back to 0, which
+                // degrades per-bank regulation to global for them).
+                let bank = ch * self.config.base.banks
+                    + self.channels[ch as usize].bank_of(LineAddr(local)).unwrap_or(0);
+                reg.admit(tenant, bank, at)
+            }
+            None => true,
+        };
+        if ok {
+            ledger.issued[slot] += 1;
+        } else {
+            ledger.deferred[slot] += 1;
+        }
+        ok
+    }
+
     /// Range/size check against the *fabric* address space, mirroring the
     /// controllers' own `validate`: debug builds assert (a malformed
     /// request is a harness bug), release builds reject and count.
@@ -293,11 +356,22 @@ impl<M: PipelinedMemory> VpnmFabric<M> {
                 stall = Some(kind);
             } else {
                 let (ch, local) = self.selector.route(req.addr().0);
-                let local_req = match req {
-                    Request::Read { .. } => Request::Read { addr: LineAddr(local) },
-                    Request::Write { data, .. } => Request::Write { addr: LineAddr(local), data },
-                };
-                target = Some((ch as usize, local_req));
+                if self.admit(&req, ch, local, self.now + 1) {
+                    let local_req = match req {
+                        Request::Read { tenant, .. } => {
+                            Request::Read { addr: LineAddr(local), tenant }
+                        }
+                        Request::Write { data, tenant, .. } => {
+                            Request::Write { addr: LineAddr(local), data, tenant }
+                        }
+                    };
+                    target = Some((ch as usize, local_req));
+                } else {
+                    // Deferred, not dropped: the channels still advance
+                    // this cycle (lockstep), the request just never
+                    // reaches one. Accounted in the tenant ledger only.
+                    stall = Some(StallKind::Throttled);
+                }
             }
         }
 
@@ -393,8 +467,11 @@ impl<M: PipelinedMemory> VpnmFabric<M> {
         // barrier merge are all pure overhead — hand the engine the span
         // directly. Only the well-formed case bypasses: a malformed
         // request must be rejected *at the fabric* with fabric-level
-        // accounting, so any such span takes the generic path below.
+        // accounting, so any such span takes the generic path below —
+        // and so does any QoS-tracked fabric, whose per-request
+        // admission and ledger accounting live in that path.
         if self.channels.len() == 1
+            && self.ledger.is_none()
             && requests.iter().flatten().all(|req| self.validate(req).is_none())
         {
             let report = self.channels[0].run_epoch(requests);
@@ -429,13 +506,24 @@ impl<M: PipelinedMemory> VpnmFabric<M> {
         let mut lanes: Vec<SparseLane> = vec![Vec::new(); self.channels.len()];
         for (k, &i) in offsets.iter().enumerate() {
             let req = requests[i as usize].as_ref().expect("offsets index presented requests");
+            // Admission runs serially in offset (= cycle) order at the
+            // exact cycle `tick` would present the request, so the epoch
+            // path defers the same requests the sequential path does.
+            if !self.admit(req, chans[k], locals[k], self.now + i + 1) {
+                report.stalled += 1;
+                continue;
+            }
             lanes[chans[k] as usize].push((
                 i,
                 match req {
-                    Request::Read { .. } => Request::Read { addr: LineAddr(locals[k]) },
-                    Request::Write { data, .. } => {
-                        Request::Write { addr: LineAddr(locals[k]), data: data.clone() }
+                    Request::Read { tenant, .. } => {
+                        Request::Read { addr: LineAddr(locals[k]), tenant: *tenant }
                     }
+                    Request::Write { data, tenant, .. } => Request::Write {
+                        addr: LineAddr(locals[k]),
+                        data: data.clone(),
+                        tenant: *tenant,
+                    },
                 },
             ));
         }
@@ -456,7 +544,10 @@ impl<M: PipelinedMemory> VpnmFabric<M> {
         if requests.is_empty() {
             return report;
         }
-        if self.channels.len() == 1 && requests.iter().all(|req| self.validate(req).is_none()) {
+        if self.channels.len() == 1
+            && self.ledger.is_none()
+            && requests.iter().all(|req| self.validate(req).is_none())
+        {
             let report = self.channels[0].issue_batch(requests);
             self.now += requests.len() as u64;
             return report;
@@ -479,13 +570,21 @@ impl<M: PipelinedMemory> VpnmFabric<M> {
         let mut lanes: Vec<SparseLane> = vec![Vec::new(); self.channels.len()];
         for (k, &i) in offsets.iter().enumerate() {
             let req = &requests[i as usize];
+            if !self.admit(req, chans[k], locals[k], self.now + i + 1) {
+                report.stalled += 1;
+                continue;
+            }
             lanes[chans[k] as usize].push((
                 i,
                 match req {
-                    Request::Read { .. } => Request::Read { addr: LineAddr(locals[k]) },
-                    Request::Write { data, .. } => {
-                        Request::Write { addr: LineAddr(locals[k]), data: data.clone() }
+                    Request::Read { tenant, .. } => {
+                        Request::Read { addr: LineAddr(locals[k]), tenant: *tenant }
                     }
+                    Request::Write { data, tenant, .. } => Request::Write {
+                        addr: LineAddr(locals[k]),
+                        data: data.clone(),
+                        tenant: *tenant,
+                    },
                 },
             ));
         }
@@ -579,6 +678,19 @@ impl<M: PipelinedMemory> VpnmFabric<M> {
         debug_assert!(merged.is_ok(), "lockstep channels cannot disagree: {merged:?}");
         let mut merged = merged.ok()?;
         merged.metrics.merge_from(&self.fabric_metrics);
+        if let (Some(q), Some(ledger)) = (&self.config.qos, &self.ledger) {
+            let mut section = TenantSection::new(
+                q.mode,
+                (q.rate_num, q.rate_den),
+                q.burst,
+                usize::from(q.tenants),
+            );
+            for (t, stats) in section.per_tenant.iter_mut().enumerate() {
+                stats.issued = ledger.issued[t];
+                stats.deferred = ledger.deferred[t];
+            }
+            merged = merged.with_tenants(section);
+        }
         Some(merged)
     }
 }
@@ -659,6 +771,13 @@ impl<M: PipelinedMemory> PipelinedMemory for VpnmFabric<M> {
     fn snapshot(&self) -> Option<MetricsSnapshot> {
         VpnmFabric::merged_snapshot(self)
     }
+
+    fn bank_of(&self, addr: LineAddr) -> Option<u32> {
+        // Fabric-global bank index: `base.banks` banks per channel, in
+        // channel order — the same keying the per-bank regulator uses.
+        let (ch, local) = self.selector.route(addr.0);
+        self.channels[ch as usize].bank_of(LineAddr(local)).map(|b| ch * self.config.base.banks + b)
+    }
 }
 
 #[cfg(test)]
@@ -667,7 +786,7 @@ mod tests {
     use crate::{IdealMemory, VpnmController};
 
     fn fabric_config(channels: u32, select: ChannelSelect) -> FabricConfig {
-        FabricConfig { channels, select, base: VpnmConfig::small_test() }
+        FabricConfig { channels, select, base: VpnmConfig::small_test(), qos: None }
     }
 
     #[test]
@@ -746,7 +865,7 @@ mod tests {
             let req = if i % 3 == 0 {
                 Request::write(addr, (x as u32).to_le_bytes().to_vec())
             } else {
-                Request::Read { addr }
+                Request::read(addr)
             };
             fab_responses.extend(fab.tick(Some(req.clone())).response);
             ideal_responses.extend(ideal.tick(Some(req)).response);
@@ -771,7 +890,7 @@ mod tests {
         for i in 0..500u64 {
             let req = match i % 4 {
                 0 => Some(Request::write(LineAddr(i % 64), vec![i as u8; 4])),
-                1 | 2 => Some(Request::Read { addr: LineAddr(i % 64) }),
+                1 | 2 => Some(Request::read(LineAddr(i % 64))),
                 _ => None,
             };
             let a = bare.tick(req.clone());
@@ -789,7 +908,7 @@ mod tests {
     fn merged_snapshot_spans_channels() {
         let mut fab = VpnmFabric::new(fabric_config(4, ChannelSelect::LowBits), 9).unwrap();
         for a in 0..32u64 {
-            VpnmFabric::tick(&mut fab, Some(Request::Read { addr: LineAddr(a) }));
+            VpnmFabric::tick(&mut fab, Some(Request::read(LineAddr(a))));
         }
         PipelinedMemory::drain(&mut fab);
 
@@ -812,7 +931,7 @@ mod tests {
                 if i % 5 == 0 {
                     Request::write(LineAddr(i % 128), vec![1, 2, 3])
                 } else {
-                    Request::Read { addr: LineAddr((i * 13) % 128) }
+                    Request::read(LineAddr((i * 13) % 128))
                 }
             });
             let a = VpnmFabric::tick(&mut fast, req.clone());
@@ -836,7 +955,7 @@ mod tests {
                 match i % 7 {
                     0 => Some(Request::write(addr, (x as u32).to_le_bytes().to_vec())),
                     5 | 6 => None, // idle gaps exercise per-channel skipping
-                    _ => Some(Request::Read { addr }),
+                    _ => Some(Request::read(addr)),
                 }
             })
             .collect()
@@ -967,16 +1086,163 @@ mod tests {
         assert_eq!(u64::from(fab.now()), 128);
     }
 
+    fn qos_config(mode: RegulatorMode, rate_num: u32, rate_den: u32, burst: u32) -> QosConfig {
+        QosConfig { tenants: 2, mode, rate_num, rate_den, burst }
+    }
+
+    #[test]
+    fn validate_checks_qos_section() {
+        let mut cfg = fabric_config(2, ChannelSelect::LowBits);
+        cfg.qos = Some(QosConfig { tenants: 0, ..QosConfig::tracking(1) });
+        assert!(cfg.validate().is_err());
+        cfg.qos = Some(qos_config(RegulatorMode::PerBank, 1, 8, 4));
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn tracking_mode_counts_tenants_without_deferring() {
+        let mut cfg = fabric_config(2, ChannelSelect::UniversalHash);
+        cfg.qos = Some(QosConfig::tracking(2));
+        let mut fab = VpnmFabric::new(cfg, 11).unwrap();
+        for a in 0..40u64 {
+            let req = if a % 4 == 0 {
+                Request::read_as(crate::TenantId(1), LineAddr(a))
+            } else {
+                Request::read(LineAddr(a))
+            };
+            let out = VpnmFabric::tick(&mut fab, Some(req));
+            assert_ne!(out.stall, Some(StallKind::Throttled), "tracking never throttles");
+        }
+        PipelinedMemory::drain(&mut fab);
+        let ledger = fab.tenant_ledger().unwrap();
+        assert_eq!(ledger.issued, [30, 10]);
+        assert_eq!(ledger.deferred, [0, 0]);
+        let json = fab.merged_snapshot().unwrap().to_json();
+        assert!(json.contains("\"tenants\": {"), "{json}");
+        assert!(json.contains("\"mode\": \"off\""), "{json}");
+        assert!(json.contains("\"issued\": 30"), "{json}");
+    }
+
+    #[test]
+    fn global_regulator_defers_the_greedy_tenant_only() {
+        // Tenant 1 fires every cycle against a 1/4 budget; tenant 0 sends
+        // one request every 8 cycles, well under budget. Only tenant 1 is
+        // ever deferred, and tenant 0's acceptance is untouched.
+        let mut cfg = fabric_config(2, ChannelSelect::UniversalHash);
+        cfg.qos = Some(qos_config(RegulatorMode::Global, 1, 4, 2));
+        let mut fab = VpnmFabric::new(cfg, 23).unwrap();
+        let mut victim_stalled = 0u64;
+        for i in 0..800u64 {
+            let req = if i % 8 == 0 {
+                Request::read_as(crate::TenantId(0), LineAddr(i % 512))
+            } else {
+                Request::read_as(crate::TenantId(1), LineAddr((i * 13) % 512))
+            };
+            let out = VpnmFabric::tick(&mut fab, Some(req.clone()));
+            if req.tenant() == crate::TenantId(0) && out.stall.is_some() {
+                victim_stalled += 1;
+            }
+        }
+        PipelinedMemory::drain(&mut fab);
+        let ledger = fab.tenant_ledger().unwrap().clone();
+        assert_eq!(victim_stalled, 0, "the in-budget tenant is never deferred");
+        assert_eq!(ledger.deferred[0], 0);
+        assert_eq!(ledger.issued[0], 100);
+        assert!(ledger.deferred[1] > 400, "greedy tenant deferred: {:?}", ledger.deferred);
+        // The greedy tenant lands at its budgeted 1/4 rate: the bucket
+        // refills 800/4 = 200 tokens over the run and starts with
+        // burst = 2, so 202 is the hard ceiling.
+        let issued = ledger.issued[1];
+        assert!((190..=202).contains(&issued), "issued {issued}");
+    }
+
+    #[test]
+    fn regulated_epoch_path_matches_tick_sequence() {
+        // Regulation must be drive-mode invariant: tick-by-tick, epoch,
+        // and pooled-epoch execution defer the same requests and produce
+        // byte-identical snapshots — including through the (now disabled)
+        // single-channel bypass.
+        for channels in [1u32, 4] {
+            let mut cfg = fabric_config(channels, ChannelSelect::UniversalHash);
+            cfg.qos = Some(qos_config(RegulatorMode::PerBank, 1, 2, 4));
+            let stream: Vec<Option<Request>> = epoch_stream(900, 5)
+                .into_iter()
+                .enumerate()
+                .map(|(i, slot)| {
+                    slot.map(|req| match req {
+                        Request::Read { addr, .. } => {
+                            Request::read_as(crate::TenantId((i % 2) as u16), addr)
+                        }
+                        Request::Write { addr, data, .. } => {
+                            Request::write_as(crate::TenantId((i % 2) as u16), addr, data)
+                        }
+                    })
+                })
+                .collect();
+
+            let mut ticked = VpnmFabric::new(cfg.clone(), 0xEE).unwrap();
+            let mut tick_responses = Vec::new();
+            let mut tick_throttled = 0u64;
+            for req in &stream {
+                let out = VpnmFabric::tick(&mut ticked, req.clone());
+                tick_throttled += u64::from(out.stall == Some(StallKind::Throttled));
+                tick_responses.extend(out.response);
+            }
+            assert!(tick_throttled > 0, "{channels}ch: the stream must exercise deferral");
+
+            let mut epoched = VpnmFabric::new(cfg.clone(), 0xEE).unwrap();
+            let (a, b) = stream.split_at(333);
+            let ra = epoched.run_epoch(a);
+            let rb = epoched.run_epoch(b);
+            let epoch_responses: Vec<_> = ra.responses.into_iter().chain(rb.responses).collect();
+            assert_eq!(epoch_responses, tick_responses, "{channels}ch");
+            assert_eq!(ticked.tenant_ledger(), epoched.tenant_ledger(), "{channels}ch");
+
+            let mut pooled = VpnmFabric::new(cfg, 0xEE).unwrap();
+            pooled.set_workers(4);
+            let mut pooled_responses = Vec::new();
+            for span in stream.chunks(250) {
+                pooled_responses.extend(pooled.run_epoch(span).responses);
+            }
+            assert_eq!(pooled_responses, tick_responses, "{channels}ch");
+            assert_eq!(ticked.tenant_ledger(), pooled.tenant_ledger(), "{channels}ch");
+
+            PipelinedMemory::drain(&mut ticked);
+            PipelinedMemory::drain(&mut epoched);
+            PipelinedMemory::drain(&mut pooled);
+            assert_eq!(snapshot_sans_skips(&epoched), snapshot_sans_skips(&ticked), "{channels}ch");
+            assert_eq!(snapshot_sans_skips(&pooled), snapshot_sans_skips(&ticked), "{channels}ch");
+        }
+    }
+
+    #[test]
+    fn responses_echo_the_issuing_tenant() {
+        let mut cfg = fabric_config(2, ChannelSelect::UniversalHash);
+        cfg.qos = Some(QosConfig::tracking(3));
+        let mut fab = VpnmFabric::new(cfg, 31).unwrap();
+        let mut expected = std::collections::VecDeque::new();
+        let mut got = Vec::new();
+        for i in 0..200u64 {
+            let tenant = crate::TenantId((i % 3) as u16);
+            let out = VpnmFabric::tick(&mut fab, Some(Request::read_as(tenant, LineAddr(i))));
+            if out.accepted() {
+                expected.push_back(tenant);
+            }
+            got.extend(out.response);
+        }
+        got.extend(PipelinedMemory::drain(&mut fab));
+        assert_eq!(got.len(), expected.len());
+        for r in got {
+            assert_eq!(r.tenant, expected.pop_front().unwrap());
+        }
+    }
+
     #[cfg(not(debug_assertions))]
     #[test]
     fn run_epoch_rejects_malformed_like_tick() {
         let mut fab = VpnmFabric::new(fabric_config(2, ChannelSelect::LowBits), 1).unwrap();
         let oob = 1u64 << fab.config().base.addr_bits;
-        let spans = [
-            None,
-            Some(Request::Read { addr: LineAddr(oob) }),
-            Some(Request::Read { addr: LineAddr(3) }),
-        ];
+        let spans = [None, Some(Request::read(LineAddr(oob))), Some(Request::read(LineAddr(3)))];
         let r = fab.run_epoch(&spans.to_vec());
         assert_eq!(r.rejected, 1);
         assert_eq!(r.accepted, 1);
@@ -992,7 +1258,7 @@ mod tests {
         assert_eq!(out.stall, Some(StallKind::OversizedWrite));
         // One past the top of the fabric address space: rejected before routing.
         let oob = 1u64 << fab.config().base.addr_bits;
-        let out = VpnmFabric::tick(&mut fab, Some(Request::Read { addr: LineAddr(oob) }));
+        let out = VpnmFabric::tick(&mut fab, Some(Request::read(LineAddr(oob))));
         assert_eq!(out.stall, Some(StallKind::AddressRange));
         assert_eq!(fab.fabric_rejections(), 2);
         assert_eq!(fab.merged_snapshot().unwrap().metrics.malformed_rejections, 2);

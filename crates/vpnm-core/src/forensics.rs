@@ -248,6 +248,7 @@ impl ForensicRing {
                     format!("exceeded bank access queue depth {queue_depth}")
                 }
                 StallKind::WriteBuffer => "exhausted its write buffer".to_string(),
+                StallKind::Throttled => "deferred a tenant over budget".to_string(),
                 StallKind::AddressRange | StallKind::OversizedWrite => {
                     "rejected a malformed request".to_string()
                 }

@@ -31,7 +31,7 @@
 //!
 //! let mut mem = VpnmController::new(VpnmConfig::small_test(), 0xC0FFEE)?;
 //! mem.tick(Some(Request::write(LineAddr(100), b"payload".to_vec())));
-//! mem.tick(Some(Request::Read { addr: LineAddr(100) }));
+//! mem.tick(Some(Request::read(LineAddr(100))));
 //! let responses = mem.drain();
 //! assert_eq!(&responses[0].data[..7], b"payload");
 //! assert_eq!(responses[0].latency(), mem.delay()); // deterministic D
@@ -63,6 +63,7 @@ pub mod pool;
 pub mod prefetch;
 pub mod ready_set;
 pub mod reference;
+pub mod regulator;
 pub mod request;
 pub mod ring;
 pub mod snapshot;
@@ -78,6 +79,9 @@ pub use metrics::ControllerMetrics;
 pub use pool::WorkerPool;
 pub use prefetch::prefetch_read;
 pub use reference::ReferenceController;
-pub use request::{LineAddr, Request, Response, StallKind, TickOutput};
+pub use regulator::{QosConfig, Regulator, RegulatorMode, TenantLedger, MAX_TENANTS};
+pub use request::{LineAddr, Request, Response, StallKind, TenantId, TickOutput};
 pub use ring::RingSlots;
-pub use snapshot::{MetricsSnapshot, ServingMetrics, SNAPSHOT_SCHEMA_VERSION};
+pub use snapshot::{
+    MetricsSnapshot, ServingMetrics, TenantSection, TenantStats, SNAPSHOT_SCHEMA_VERSION,
+};

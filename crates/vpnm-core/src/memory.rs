@@ -41,14 +41,26 @@ pub trait PipelinedMemory {
     /// Current interface cycle.
     fn now(&self) -> Cycle;
 
-    /// Issues a read this cycle: `tick(Some(Request::Read { addr }))`.
+    /// Issues a host-tenant read this cycle:
+    /// `tick(Some(Request::read(addr)))`.
     fn issue_read(&mut self, addr: LineAddr) -> TickOutput {
-        self.tick(Some(Request::Read { addr }))
+        self.tick(Some(Request::read(addr)))
     }
 
-    /// Issues a write this cycle: `tick(Some(Request::Write { .. }))`.
+    /// Issues a host-tenant write this cycle:
+    /// `tick(Some(Request::write(addr, data)))`.
     fn issue_write(&mut self, addr: LineAddr, data: Bytes) -> TickOutput {
-        self.tick(Some(Request::Write { addr, data }))
+        self.tick(Some(Request::write(addr, data)))
+    }
+
+    /// The bank `addr` maps to under this memory's (hashed) bank mapping,
+    /// when the model has banks at all. The fabric's per-bank regulator
+    /// keys its token buckets off this; models without banks
+    /// ([`IdealMemory`]) return `None` and per-bank regulation degrades
+    /// to a single bucket per tenant.
+    fn bank_of(&self, addr: LineAddr) -> Option<u32> {
+        let _ = addr;
+        None
     }
 
     /// Ticks with no new requests until every outstanding read has been
@@ -194,6 +206,9 @@ impl<M: PipelinedMemory + ?Sized> PipelinedMemory for Box<M> {
     fn issue_write(&mut self, addr: LineAddr, data: Bytes) -> TickOutput {
         (**self).issue_write(addr, data)
     }
+    fn bank_of(&self, addr: LineAddr) -> Option<u32> {
+        (**self).bank_of(addr)
+    }
     fn drain(&mut self) -> Vec<Response> {
         (**self).drain()
     }
@@ -259,6 +274,10 @@ impl PipelinedMemory for crate::VpnmController {
         crate::VpnmController::issue_batch(self, requests)
     }
 
+    fn bank_of(&self, addr: LineAddr) -> Option<u32> {
+        Some(crate::VpnmController::bank_of(self, addr))
+    }
+
     fn metrics(&self) -> Option<&ControllerMetrics> {
         Some(crate::VpnmController::metrics(self))
     }
@@ -293,6 +312,10 @@ impl PipelinedMemory for crate::ReferenceController {
         crate::ReferenceController::drain(self)
     }
 
+    fn bank_of(&self, addr: LineAddr) -> Option<u32> {
+        Some(crate::ReferenceController::bank_of(self, addr))
+    }
+
     fn metrics(&self) -> Option<&ControllerMetrics> {
         Some(crate::ReferenceController::metrics(self))
     }
@@ -316,7 +339,7 @@ impl PipelinedMemory for crate::ReferenceController {
 ///
 /// let mut mem = IdealMemory::new(4, 8);
 /// mem.tick(Some(Request::write(LineAddr(1), vec![9])));
-/// mem.tick(Some(Request::Read { addr: LineAddr(1) }));
+/// mem.tick(Some(Request::read(LineAddr(1))));
 /// let mut got = None;
 /// for _ in 0..4 {
 ///     got = got.or(mem.tick(None).response);
@@ -340,6 +363,7 @@ struct PendingRead {
     data: Bytes,
     issued_at: Cycle,
     due_at: Cycle,
+    tenant: crate::request::TenantId,
 }
 
 impl IdealMemory {
@@ -378,7 +402,7 @@ impl PipelinedMemory for IdealMemory {
         self.now += 1;
         if let Some(req) = request {
             match req {
-                Request::Read { addr } => {
+                Request::Read { addr, tenant } => {
                     // Data is snapshotted at accept time: in-flight reads
                     // are not affected by later writes, matching the
                     // VPNM row-invalidation semantics.
@@ -388,9 +412,10 @@ impl PipelinedMemory for IdealMemory {
                         data,
                         issued_at: self.now,
                         due_at: self.now + self.delay,
+                        tenant,
                     });
                 }
-                Request::Write { addr, data } => {
+                Request::Write { addr, data, .. } => {
                     assert!(
                         data.len() <= self.cell_bytes,
                         "write of {} bytes exceeds cell size {}",
@@ -417,6 +442,7 @@ impl PipelinedMemory for IdealMemory {
                     data: p.data,
                     issued_at: p.issued_at,
                     completed_at: p.due_at,
+                    tenant: p.tenant,
                 })
             }
             _ => None,
@@ -443,7 +469,7 @@ mod tests {
     #[test]
     fn ideal_memory_latency_exact() {
         let mut m = IdealMemory::new(5, 4);
-        m.tick(Some(Request::Read { addr: LineAddr(0) }));
+        m.tick(Some(Request::read(LineAddr(0))));
         for i in 0..5u64 {
             let out = m.tick(None);
             if i < 4 {
@@ -460,7 +486,7 @@ mod tests {
     fn ideal_memory_snapshot_semantics() {
         let mut m = IdealMemory::new(3, 1);
         m.tick(Some(Request::write(LineAddr(1), vec![1])));
-        m.tick(Some(Request::Read { addr: LineAddr(1) }));
+        m.tick(Some(Request::read(LineAddr(1))));
         // write lands while the read is in flight — read keeps snapshot
         m.tick(Some(Request::write(LineAddr(1), vec![2])));
         let mut responses = Vec::new();
@@ -488,7 +514,7 @@ mod tests {
             let req = if rng.gen_bool(0.25) {
                 Request::write(LineAddr(addr), vec![rng.gen::<u8>()])
             } else {
-                Request::Read { addr: LineAddr(addr) }
+                Request::read(LineAddr(addr))
             };
             let out_v = vpnm.tick(Some(req.clone()));
             assert!(out_v.accepted(), "stall would invalidate the comparison");
@@ -517,7 +543,7 @@ mod tests {
             Box::new(VpnmController::new(VpnmConfig::small_test(), 0).unwrap()),
         ];
         for m in &mut mems {
-            m.tick(Some(Request::Read { addr: LineAddr(3) }));
+            m.tick(Some(Request::read(LineAddr(3))));
             assert_eq!(m.outstanding(), 1);
             assert!(m.delay() > 0);
         }

@@ -106,6 +106,10 @@ impl ControllerMetrics {
             StallKind::DelayStorage => self.delay_storage_stalls += 1,
             StallKind::AccessQueue => self.access_queue_stalls += 1,
             StallKind::WriteBuffer => self.write_buffer_stalls += 1,
+            // QoS deferrals are accounted in the fabric's per-tenant
+            // ledger, never in a channel's counters — they happen at the
+            // ingress, before the request reaches any channel.
+            StallKind::Throttled => return,
             StallKind::AddressRange | StallKind::OversizedWrite => {
                 self.malformed_rejections += 1;
                 // Rejections never count as the first stall.

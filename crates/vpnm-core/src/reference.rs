@@ -36,7 +36,7 @@ use crate::delay_line::CircularDelayBuffer;
 use crate::delay_storage::RowId;
 use crate::hash_engine::HashEngine;
 use crate::metrics::ControllerMetrics;
-use crate::request::{LineAddr, Request, Response, StallKind, TickOutput};
+use crate::request::{LineAddr, Request, Response, StallKind, TenantId, TickOutput};
 use crate::snapshot::MetricsSnapshot;
 use crate::write_buffer::WriteBuffer;
 use bytes::Bytes;
@@ -284,6 +284,12 @@ pub struct ReferenceController {
     outstanding: usize,
     trace: TraceRecorder,
     next_request_id: u64,
+    /// Who issued the read due at each future interface cycle, indexed by
+    /// `cycle % D`. The per-bank delay lines only carry row ids, so the
+    /// tenant rides in this parallel wheel: slot `t % D` is read (for the
+    /// response due now) *before* an accepted read overwrites it (for the
+    /// response due at `t + D`).
+    tenant_wheel: Vec<TenantId>,
 }
 
 impl ReferenceController {
@@ -336,6 +342,7 @@ impl ReferenceController {
             outstanding: 0,
             trace,
             next_request_id: 0,
+            tenant_wheel: vec![TenantId::HOST; delay as usize],
             config,
         })
     }
@@ -375,6 +382,11 @@ impl ReferenceController {
         &self.hash
     }
 
+    /// The bank `addr` maps to under this controller's keyed hash.
+    pub fn bank_of(&self, addr: LineAddr) -> u32 {
+        self.hash.bank_of(addr.0)
+    }
+
     /// Freezes the current aggregate metrics into a serializable
     /// [`MetricsSnapshot`]. Running both engines on the same stream
     /// yields byte-identical snapshots (the equivalence suite checks
@@ -398,6 +410,10 @@ impl ReferenceController {
             }
         }
         let now = self.clock.interface_now();
+        let wheel_slot = (now.as_u64() % self.delay) as usize;
+        // Read the due tenant before an accepted read reuses the slot for
+        // the response this cycle schedules `D` cycles out.
+        let due_tenant = self.tenant_wheel[wheel_slot];
 
         let mut stall = None;
         let mut read_row = None; // (bank, row) scheduled into its delay line
@@ -410,9 +426,10 @@ impl ReferenceController {
                 self.trace.record(now, id, TraceKind::Stalled);
             } else {
                 let bank = self.hash.bank_of(req.addr().0) as usize;
+                let tenant = req.tenant();
                 let event = match req {
-                    Request::Read { addr } => BankEvent::Read { addr },
-                    Request::Write { addr, data } => BankEvent::Write { addr, data },
+                    Request::Read { addr, .. } => BankEvent::Read { addr },
+                    Request::Write { addr, data, .. } => BankEvent::Write { addr, data },
                 };
                 match self.banks[bank].submit(event) {
                     Ok(Accepted::ReadQueued(row)) => {
@@ -420,6 +437,7 @@ impl ReferenceController {
                         self.outstanding += 1;
                         self.metrics.note_outstanding(self.outstanding as u64);
                         read_row = Some((bank, row));
+                        self.tenant_wheel[wheel_slot] = tenant;
                         self.trace.record(now, id, TraceKind::Accepted);
                     }
                     Ok(Accepted::ReadMerged(row)) => {
@@ -428,6 +446,7 @@ impl ReferenceController {
                         self.outstanding += 1;
                         self.metrics.note_outstanding(self.outstanding as u64);
                         read_row = Some((bank, row));
+                        self.tenant_wheel[wheel_slot] = tenant;
                         self.trace.record(now, id, TraceKind::Merged);
                     }
                     Ok(Accepted::WriteBuffered) => {
@@ -467,6 +486,7 @@ impl ReferenceController {
                     data,
                     issued_at: Cycle::new(now.as_u64() - self.delay),
                     completed_at: now,
+                    tenant: due_tenant,
                 });
             }
         }
@@ -539,7 +559,7 @@ impl ReferenceController {
 
     /// Shorthand for ticking with a read request.
     pub fn tick_read(&mut self, addr: impl Into<LineAddr>) -> TickOutput {
-        self.tick(Some(Request::Read { addr: addr.into() }))
+        self.tick(Some(Request::read(addr.into())))
     }
 
     /// Shorthand for ticking with a write request.

@@ -5,6 +5,14 @@
 //! delay storage buffer, delay line, and response path bumps a refcount
 //! instead of copying the cell, which keeps the controller's steady-state
 //! data path allocation-free.
+//!
+//! Requests and responses carry a [`TenantId`]: two bytes identifying
+//! which client of a shared fabric issued the access. Single-tenant
+//! callers never notice it — the convenience constructors default to
+//! [`TenantId::HOST`], and a controller without a regulator treats every
+//! tenant identically (the ID is dead freight riding the existing enum
+//! padding). The fabric's QoS layer (`regulator`) keys its token buckets
+//! and its per-tenant snapshot section off this ID.
 
 use bytes::Bytes;
 use std::fmt;
@@ -29,6 +37,38 @@ impl From<u64> for LineAddr {
     }
 }
 
+/// Identifies which client of a shared fabric issued a request.
+///
+/// Compact (`u16`) so it rides in the `Request`/`Response` enum padding
+/// for free. Tenant 0 is [`TenantId::HOST`], the implicit tenant of every
+/// single-tenant caller; multi-tenant runs number their tenants densely
+/// from 0 so the fabric's per-tenant ledger can be a flat array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TenantId(pub u16);
+
+impl TenantId {
+    /// The implicit tenant of single-tenant callers (tenant 0).
+    pub const HOST: TenantId = TenantId(0);
+
+    /// The dense per-tenant array index for this ID.
+    #[inline]
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl From<u16> for TenantId {
+    fn from(v: u16) -> Self {
+        TenantId(v)
+    }
+}
+
 /// One request presented at the interface (at most one per interface
 /// cycle).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,6 +78,8 @@ pub enum Request {
     Read {
         /// Cell address.
         addr: LineAddr,
+        /// Issuing tenant ([`TenantId::HOST`] for single-tenant callers).
+        tenant: TenantId,
     },
     /// Write `data` to the cell at `addr`; fire-and-forget (the paper:
     /// "unlike read requests, we need not wait for the write requests to
@@ -48,19 +90,46 @@ pub enum Request {
         addr: LineAddr,
         /// Cell contents (at most the configured cell size).
         data: Bytes,
+        /// Issuing tenant ([`TenantId::HOST`] for single-tenant callers).
+        tenant: TenantId,
     },
 }
 
 impl Request {
-    /// Convenience constructor for a write carrying any byte-like payload.
+    /// Convenience constructor for a host-tenant read.
+    #[inline]
+    pub fn read(addr: LineAddr) -> Self {
+        Request::Read { addr, tenant: TenantId::HOST }
+    }
+
+    /// Convenience constructor for a read on behalf of `tenant`.
+    #[inline]
+    pub fn read_as(tenant: TenantId, addr: LineAddr) -> Self {
+        Request::Read { addr, tenant }
+    }
+
+    /// Convenience constructor for a host-tenant write carrying any
+    /// byte-like payload.
     pub fn write(addr: LineAddr, data: impl Into<Bytes>) -> Self {
-        Request::Write { addr, data: data.into() }
+        Request::Write { addr, data: data.into(), tenant: TenantId::HOST }
+    }
+
+    /// Convenience constructor for a write on behalf of `tenant`.
+    pub fn write_as(tenant: TenantId, addr: LineAddr, data: impl Into<Bytes>) -> Self {
+        Request::Write { addr, data: data.into(), tenant }
     }
 
     /// The address this request targets.
     pub fn addr(&self) -> LineAddr {
         match self {
-            Request::Read { addr } | Request::Write { addr, .. } => *addr,
+            Request::Read { addr, .. } | Request::Write { addr, .. } => *addr,
+        }
+    }
+
+    /// The tenant that issued this request.
+    pub fn tenant(&self) -> TenantId {
+        match self {
+            Request::Read { tenant, .. } | Request::Write { tenant, .. } => *tenant,
         }
     }
 
@@ -82,6 +151,8 @@ pub struct Response {
     pub issued_at: Cycle,
     /// Interface cycle the response was delivered (`issued_at + D`).
     pub completed_at: Cycle,
+    /// The tenant whose read this answers (echoed from the request).
+    pub tenant: TenantId,
 }
 
 impl Response {
@@ -96,11 +167,13 @@ impl Response {
 ///
 /// The first three are the stall conditions of paper Section 4.3:
 /// back-pressure from full structures, where the request is well-formed
-/// and retrying later can succeed. The last two are *rejections* of
-/// malformed requests (out-of-range address, oversized payload): retrying
-/// the identical request can never succeed, so they are accounted
-/// separately from stalls and never satisfied by
-/// [`StallPolicy::Block`](crate::StallPolicy).
+/// and retrying later can succeed. [`Throttled`](Self::Throttled) is the
+/// QoS analogue at the fabric ingress: the issuing tenant's token bucket
+/// is empty, so the request is deferred — well-formed, retryable once the
+/// bucket refills. The last two are *rejections* of malformed requests
+/// (out-of-range address, oversized payload): retrying the identical
+/// request can never succeed, so they are accounted separately from
+/// stalls and never satisfied by [`StallPolicy::Block`](crate::StallPolicy).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StallKind {
     /// No free row in the delay storage buffer (`K` exhausted).
@@ -109,6 +182,10 @@ pub enum StallKind {
     AccessQueue,
     /// The write buffer FIFO is full.
     WriteBuffer,
+    /// Deferred at the fabric ingress: the issuing tenant's bandwidth
+    /// budget (token bucket) is exhausted this cycle. Accounted in the
+    /// fabric's per-tenant ledger, never in a channel's stall counters.
+    Throttled,
     /// Rejected: the address is outside the configured capacity.
     AddressRange,
     /// Rejected: write payload larger than the configured cell size.
@@ -130,6 +207,7 @@ impl fmt::Display for StallKind {
             StallKind::DelayStorage => "delay storage buffer stall",
             StallKind::AccessQueue => "bank access queue stall",
             StallKind::WriteBuffer => "write buffer stall",
+            StallKind::Throttled => "tenant bandwidth budget exhausted (deferred)",
             StallKind::AddressRange => "address out of range (rejected)",
             StallKind::OversizedWrite => "write larger than cell (rejected)",
         };
@@ -164,12 +242,26 @@ mod tests {
 
     #[test]
     fn request_accessors() {
-        let r = Request::Read { addr: LineAddr(5) };
+        let r = Request::read(LineAddr(5));
         let w = Request::write(LineAddr(6), vec![1]);
         assert!(r.is_read());
         assert!(!w.is_read());
         assert_eq!(r.addr(), LineAddr(5));
         assert_eq!(w.addr(), LineAddr(6));
+        assert_eq!(r.tenant(), TenantId::HOST);
+        assert_eq!(w.tenant(), TenantId::HOST);
+    }
+
+    #[test]
+    fn tenant_constructors_tag_requests() {
+        let r = Request::read_as(TenantId(3), LineAddr(5));
+        let w = Request::write_as(TenantId(7), LineAddr(6), vec![1]);
+        assert_eq!(r.tenant(), TenantId(3));
+        assert_eq!(w.tenant(), TenantId(7));
+        assert_eq!(TenantId(3).index(), 3);
+        assert_eq!(TenantId::from(9u16), TenantId(9));
+        assert_eq!(TenantId(12).to_string(), "t12");
+        assert_eq!(TenantId::default(), TenantId::HOST);
     }
 
     #[test]
@@ -179,6 +271,7 @@ mod tests {
             data: Bytes::new(),
             issued_at: Cycle::new(10),
             completed_at: Cycle::new(40),
+            tenant: TenantId::HOST,
         };
         assert_eq!(resp.latency(), 30);
     }
@@ -189,6 +282,7 @@ mod tests {
         assert!(StallKind::DelayStorage.to_string().contains("delay storage"));
         assert!(StallKind::AccessQueue.to_string().contains("access queue"));
         assert!(StallKind::WriteBuffer.to_string().contains("write buffer"));
+        assert!(StallKind::Throttled.to_string().contains("deferred"));
         assert!(StallKind::AddressRange.to_string().contains("rejected"));
         assert!(StallKind::OversizedWrite.to_string().contains("rejected"));
     }
@@ -198,6 +292,7 @@ mod tests {
         assert!(!StallKind::DelayStorage.is_rejection());
         assert!(!StallKind::AccessQueue.is_rejection());
         assert!(!StallKind::WriteBuffer.is_rejection());
+        assert!(!StallKind::Throttled.is_rejection());
         assert!(StallKind::AddressRange.is_rejection());
         assert!(StallKind::OversizedWrite.is_rejection());
     }
@@ -217,6 +312,7 @@ mod tests {
             data: data.clone(),
             issued_at: Cycle::ZERO,
             completed_at: Cycle::new(1),
+            tenant: TenantId::HOST,
         };
         let copy = resp.clone();
         assert_eq!(copy.data.as_slice().as_ptr(), data.as_slice().as_ptr());

@@ -19,6 +19,7 @@
 
 use crate::config::VpnmConfig;
 use crate::metrics::ControllerMetrics;
+use crate::regulator::RegulatorMode;
 use std::fmt::Write as _;
 use vpnm_sim::{Cycle, FineHistogram, Histogram};
 
@@ -36,8 +37,93 @@ use vpnm_sim::{Cycle, FineHistogram, Histogram};
 /// ([`ServingMetrics`]): `null` for batch runs, an object with
 /// end-to-end serving counters (offered/admitted/drop forensics,
 /// latency-to-deterministic-return quantiles, ingress occupancy) when
-/// the snapshot was taken by the `vpnm-serve` front-end.
-pub const SNAPSHOT_SCHEMA_VERSION: u32 = 4;
+/// the snapshot was taken by the `vpnm-serve` front-end; 5 — added the
+/// trailing `tenants` member ([`TenantSection`]): **absent** (not
+/// `null`) for single-tenant runs, so a v5 single-tenant snapshot
+/// differs from v4 only in the version number; an object echoing the
+/// QoS regulator configuration plus per-tenant counters
+/// ([`TenantStats`]) when the run tracked more than one tenant.
+pub const SNAPSHOT_SCHEMA_VERSION: u32 = 5;
+
+/// Per-tenant counters carried in a snapshot's [`TenantSection`], one
+/// entry per tenant id in `0..tenants`.
+///
+/// `issued`/`deferred` are filled by the fabric's ingress ledger (see
+/// [`crate::regulator::TenantLedger`]): every request that reached the
+/// regulator either entered the pipeline or was deferred a cycle.
+/// `dropped`, `transmitted` and `latency` are filled by the serving
+/// front-end, which is the only layer that can attribute losses and
+/// end-to-end latency to an individual tenant.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TenantStats {
+    /// Requests admitted past the regulator into the pipeline.
+    pub issued: u64,
+    /// Requests deferred by the regulator (token budget exhausted).
+    /// Deferral is back-pressure, not loss: the request may be retried
+    /// the next cycle.
+    pub deferred: u64,
+    /// Packets of this tenant dropped at any serving-layer structure
+    /// (ingress queue, flow table, flow queue, memory stall).
+    pub dropped: u64,
+    /// Packets of this tenant delivered back out after their
+    /// deterministic delay.
+    pub transmitted: u64,
+    /// Latency from ingress arrival to deterministic return, in
+    /// interface cycles (serving front-end only; empty for batch runs).
+    pub latency: FineHistogram,
+}
+
+impl TenantStats {
+    /// Mean cycles between adverse events (deferrals + drops) for this
+    /// tenant over a `cycles`-long run — the per-tenant analogue of the
+    /// controller-level MTS. `None` when the tenant never suffered one.
+    pub fn mts(&self, cycles: u64) -> Option<f64> {
+        let events = self.deferred + self.dropped;
+        if events == 0 {
+            None
+        } else {
+            Some(cycles as f64 / events as f64)
+        }
+    }
+
+    /// Folds another tenant's-worth of counters into this one (counters
+    /// add, latency histograms merge exactly).
+    pub fn merge_from(&mut self, other: &TenantStats) {
+        self.issued += other.issued;
+        self.deferred += other.deferred;
+        self.dropped += other.dropped;
+        self.transmitted += other.transmitted;
+        self.latency.merge(&other.latency);
+    }
+}
+
+/// The schema-v5 `tenants` member: the regulator configuration the run
+/// was executed under plus one [`TenantStats`] entry per tenant.
+///
+/// Only attached when a run tracks more than one tenant — single-tenant
+/// snapshots omit the member entirely, keeping them byte-identical to
+/// schema v4 modulo the version number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSection {
+    /// Regulator variant the run used ([`RegulatorMode::Off`] means
+    /// tenants were tracked but not throttled).
+    pub mode: RegulatorMode,
+    /// Per-tenant budget as a fraction of aggregate bandwidth
+    /// (numerator, denominator). Echoed even when `mode` is `Off`.
+    pub rate: (u32, u32),
+    /// Token-bucket burst depth in requests.
+    pub burst: u32,
+    /// Per-tenant counters, indexed by tenant id.
+    pub per_tenant: Vec<TenantStats>,
+}
+
+impl TenantSection {
+    /// An all-zero section for `tenants` tenants under the given
+    /// regulator configuration.
+    pub fn new(mode: RegulatorMode, rate: (u32, u32), burst: u32, tenants: usize) -> Self {
+        TenantSection { mode, rate, burst, per_tenant: vec![TenantStats::default(); tenants] }
+    }
+}
 
 /// End-to-end counters from the serving front-end (`vpnm-serve`), carried
 /// on [`MetricsSnapshot`] as its trailing `serving` member.
@@ -165,6 +251,10 @@ pub struct MetricsSnapshot {
     /// `cycles_skipped`, this is drive-mode accounting layered above
     /// [`ControllerMetrics`], so engine equality is unaffected.
     pub serving: Option<ServingMetrics>,
+    /// Per-tenant QoS section when the run tracked more than one tenant;
+    /// `None` (and absent from the JSON) otherwise. Attached by the
+    /// fabric's merged snapshot and enriched by the serving front-end.
+    pub tenants: Option<TenantSection>,
 }
 
 impl MetricsSnapshot {
@@ -190,6 +280,7 @@ impl MetricsSnapshot {
             cycles_skipped,
             metrics: metrics.clone(),
             serving: None,
+            tenants: None,
         }
     }
 
@@ -198,6 +289,14 @@ impl MetricsSnapshot {
     /// per-channel snapshots.
     pub fn with_serving(mut self, serving: ServingMetrics) -> Self {
         self.serving = Some(serving);
+        self
+    }
+
+    /// Attaches a per-tenant QoS section (schema v5 `tenants` member) —
+    /// used by the fabric's merged snapshot when a run tracks more than
+    /// one tenant, and enriched in place by the serving front-end.
+    pub fn with_tenants(mut self, tenants: TenantSection) -> Self {
+        self.tenants = Some(tenants);
         self
     }
 
@@ -235,6 +334,10 @@ impl MetricsSnapshot {
             // survive the identity (single-part) merge. The serving
             // layer attaches its section *after* merging its fabric.
             serving: if parts.len() == 1 { first.serving.clone() } else { None },
+            // Same story for the tenant section: the ledger lives at the
+            // fabric ingress, above the channels, so the fabric attaches
+            // it after merging its per-channel snapshots.
+            tenants: if parts.len() == 1 { first.tenants.clone() } else { None },
         };
         for (i, p) in parts.iter().enumerate() {
             if p.cycles != first.cycles || p.delay != first.delay {
@@ -323,18 +426,24 @@ impl MetricsSnapshot {
             "  \"delay_ring_utilization\": {:.6},",
             m.delay_ring_utilization(self.delay * u64::from(self.channels.max(1)))
         );
+        let more = self.tenants.is_some();
         match &self.serving {
-            None => s.push_str("  \"serving\": null\n"),
-            Some(sv) => write_serving(&mut s, sv),
+            None => {
+                s.push_str(if more { "  \"serving\": null,\n" } else { "  \"serving\": null\n" })
+            }
+            Some(sv) => write_serving(&mut s, sv, more),
+        }
+        if let Some(t) = &self.tenants {
+            write_tenants(&mut s, t, self.cycles);
         }
         s.push_str("}\n");
         s
     }
 }
 
-/// Writes the schema-v4 `serving` member (always the last top-level
-/// member; callers emit `null` for batch runs).
-fn write_serving(s: &mut String, sv: &ServingMetrics) {
+/// Writes the schema-v4 `serving` member (`null` for batch runs;
+/// `trailing_comma` when a v5 `tenants` member follows).
+fn write_serving(s: &mut String, sv: &ServingMetrics, trailing_comma: bool) {
     s.push_str("  \"serving\": {\n");
     let _ = writeln!(s, "    \"producers\": {},", sv.producers);
     let _ = writeln!(s, "    \"paced_rate\": {},", sv.paced_rate);
@@ -372,6 +481,44 @@ fn write_serving(s: &mut String, sv: &ServingMetrics) {
     s.push_str("    },\n");
     let _ = writeln!(s, "    \"wall_nanos\": {},", sv.wall_nanos);
     let _ = writeln!(s, "    \"mpps\": {:.6}", sv.mpps);
+    s.push_str(if trailing_comma { "  },\n" } else { "  }\n" });
+}
+
+/// Writes the schema-v5 `tenants` member. Only called when the section
+/// exists — single-tenant snapshots omit the member entirely.
+fn write_tenants(s: &mut String, t: &TenantSection, cycles: u64) {
+    s.push_str("  \"tenants\": {\n");
+    let _ = writeln!(s, "    \"mode\": \"{}\",", t.mode.as_str());
+    let _ = writeln!(s, "    \"rate\": [{}, {}],", t.rate.0, t.rate.1);
+    let _ = writeln!(s, "    \"burst\": {},", t.burst);
+    s.push_str("    \"per_tenant\": [\n");
+    let last = t.per_tenant.len().saturating_sub(1);
+    for (id, ts) in t.per_tenant.iter().enumerate() {
+        s.push_str("      {\n");
+        let _ = writeln!(s, "        \"tenant\": {id},");
+        let _ = writeln!(s, "        \"issued\": {},", ts.issued);
+        let _ = writeln!(s, "        \"deferred\": {},", ts.deferred);
+        let _ = writeln!(s, "        \"dropped\": {},", ts.dropped);
+        let _ = writeln!(s, "        \"transmitted\": {},", ts.transmitted);
+        match ts.mts(cycles) {
+            Some(mts) => {
+                let _ = writeln!(s, "        \"mts\": {mts:.6},");
+            }
+            None => s.push_str("        \"mts\": null,\n"),
+        }
+        s.push_str("        \"latency_cycles\": {\n");
+        let _ = writeln!(s, "          \"samples\": {},", ts.latency.total());
+        let _ = writeln!(s, "          \"mean\": {:.6},", ts.latency.mean());
+        let _ = writeln!(s, "          \"p50\": {},", ts.latency.quantile(0.5).unwrap_or(0));
+        let _ = writeln!(s, "          \"p99\": {},", ts.latency.quantile(0.99).unwrap_or(0));
+        let _ = writeln!(s, "          \"max\": {},", ts.latency.max().unwrap_or(0));
+        s.push_str("          \"buckets\": ");
+        write_bucket_pairs(s, ts.latency.iter());
+        s.push('\n');
+        s.push_str("        }\n");
+        s.push_str(if id == last { "      }\n" } else { "      },\n" });
+    }
+    s.push_str("    ]\n");
     s.push_str("  }\n");
 }
 
@@ -439,8 +586,9 @@ mod tests {
         let a = snap.to_json();
         let b = snap.clone().to_json();
         assert_eq!(a, b, "serialization must be pure");
-        assert!(a.contains("\"schema_version\": 4"));
+        assert!(a.contains("\"schema_version\": 5"));
         assert!(a.contains("\"serving\": null"));
+        assert!(!a.contains("\"tenants\""), "single-tenant snapshots omit the member: {a}");
         assert!(a.contains("\"channels\": 1"));
         assert!(a.contains("\"cycles_skipped\": 25"));
         assert!(a.contains("\"reads_accepted\": 10"));
@@ -571,6 +719,50 @@ mod tests {
         assert_eq!(one, snap);
         let two = MetricsSnapshot::merge(&[snap.clone(), snap]).unwrap();
         assert_eq!(two.serving, None);
+    }
+
+    #[test]
+    fn tenant_section_serializes_after_serving() {
+        let cfg = VpnmConfig::small_test();
+        let m = ControllerMetrics::with_banks(cfg.banks as usize);
+        let mut section = TenantSection::new(RegulatorMode::PerBank, (1, 8), 16, 2);
+        section.per_tenant[0].issued = 90;
+        section.per_tenant[0].transmitted = 88;
+        section.per_tenant[1].issued = 40;
+        section.per_tenant[1].deferred = 60;
+        section.per_tenant[1].dropped = 4;
+        section.per_tenant[1].latency.record(52);
+        let snap = MetricsSnapshot::capture(&cfg, 40, Cycle::new(128), 0, &m).with_tenants(section);
+        let json = snap.to_json();
+        // `serving` keeps its slot (with a comma) and `tenants` trails it.
+        assert!(json.contains("\"serving\": null,\n  \"tenants\": {"), "{json}");
+        assert!(json.contains("\"mode\": \"per-bank\""), "{json}");
+        assert!(json.contains("\"rate\": [1, 8]"), "{json}");
+        assert!(json.contains("\"issued\": 90"), "{json}");
+        // Tenant 0 never deferred or dropped → mts is null; tenant 1 had
+        // 64 events over 128 cycles → mts 2.
+        assert!(json.contains("\"mts\": null"), "{json}");
+        assert!(json.contains("\"mts\": 2.000000"), "{json}");
+        assert!(json.ends_with("  }\n}\n"), "{json}");
+        // Identity merge keeps the section; a real merge drops it (the
+        // fabric re-attaches its ledger afterwards).
+        let one = MetricsSnapshot::merge(std::slice::from_ref(&snap)).unwrap();
+        assert_eq!(one, snap);
+        let two = MetricsSnapshot::merge(&[snap.clone(), snap]).unwrap();
+        assert_eq!(two.tenants, None);
+    }
+
+    #[test]
+    fn tenant_stats_mts_and_merge() {
+        let mut a = TenantStats { issued: 10, deferred: 3, dropped: 1, ..Default::default() };
+        assert_eq!(a.mts(400), Some(100.0));
+        assert_eq!(TenantStats::default().mts(400), None);
+        let mut b = TenantStats { issued: 5, deferred: 1, ..Default::default() };
+        b.latency.record(52);
+        a.merge_from(&b);
+        assert_eq!(a.issued, 15);
+        assert_eq!(a.deferred, 4);
+        assert_eq!(a.latency.total(), 1);
     }
 
     #[test]

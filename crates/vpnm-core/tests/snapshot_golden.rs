@@ -18,9 +18,9 @@ const GOLDEN_PATH: &str = "tests/golden/metrics_snapshot.json";
 /// address set, dense enough to exercise merges and every histogram.
 fn scripted_request(i: u64) -> Option<Request> {
     match i % 5 {
-        0 => Some(Request::Read { addr: LineAddr(i * 13 % 64) }),
+        0 => Some(Request::read(LineAddr(i * 13 % 64))),
         1 => Some(Request::write(LineAddr(i % 32), vec![i as u8, (i >> 8) as u8])),
-        2 | 3 => Some(Request::Read { addr: LineAddr(i % 16) }),
+        2 | 3 => Some(Request::read(LineAddr(i % 16))),
         _ => None,
     }
 }

@@ -283,8 +283,9 @@ impl DualClock {
         // m = ceil((num - acc) / den). The invariant acc < num between
         // calls guarantees m >= 1; afterwards acc' = acc + m*den - num,
         // which minimality of m keeps below den (hence below num).
-        let m = (self.num - self.acc).div_ceil(self.den);
-        self.acc = self.acc + m * self.den - self.num;
+        let d = self.num - self.acc;
+        let m = d.div_ceil(self.den);
+        self.acc = (self.den - d % self.den) % self.den;
         self.memory.advance(m);
         self.interface.tick();
         m
@@ -312,8 +313,25 @@ impl DualClock {
         if n == 0 {
             return 0;
         }
-        let m = (n * self.num - self.acc).div_ceil(self.den);
-        self.acc = self.acc + m * self.den - n * self.num;
+        // The accumulator lands on m*den - d = (den - d % den) % den — the
+        // remainder form avoids materializing m*den, which can exceed u64
+        // even when the target does not. Stay in u64 on the hot path and
+        // fall back to u128 when n*num itself overflows (a WallPacer
+        // catching up after a long stall asks for billions of edges with
+        // num = 1e9).
+        let m = match n.checked_mul(self.num) {
+            Some(target) => {
+                let d = target - self.acc;
+                self.acc = (self.den - d % self.den) % self.den;
+                d.div_ceil(self.den)
+            }
+            None => {
+                let d = u128::from(n) * u128::from(self.num) - u128::from(self.acc);
+                let den = u128::from(self.den);
+                self.acc = ((den - d % den) % den) as u64;
+                d.div_ceil(den) as u64
+            }
+        };
         self.memory.advance(m);
         self.interface.advance(n);
         m
@@ -709,5 +727,111 @@ mod tests {
     #[should_panic(expected = "cycles_per_sec")]
     fn wall_pacer_rejects_zero_rate() {
         let _ = WallPacer::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycles_per_sec")]
+    fn wall_pacer_rejects_rates_above_one_cycle_per_nano() {
+        // 1e9 + 1 cycles/s would need a sub-nanosecond schedule.
+        let _ = WallPacer::new(NANOS_PER_SEC + 1);
+    }
+
+    #[test]
+    fn from_rational_reduces_degenerate_unity_ratios() {
+        // num == den at any magnitude is exactly R = 1: every memory tick
+        // is an interface tick, and the stored rational reduces to 1/1 so
+        // the accumulator never grows.
+        let mut d = DualClock::from_rational(NANOS_PER_SEC, NANOS_PER_SEC);
+        assert_eq!((d.num, d.den), (1, 1));
+        for i in 1..=1000u64 {
+            let t = d.tick_memory();
+            assert!(t.interface_tick);
+            assert_eq!(t.interface_cycle.as_u64(), i);
+        }
+    }
+
+    #[test]
+    fn from_rational_is_exact_beyond_decimal_precision() {
+        // A ratio no 3-digit decimal expansion can express: 1e9+7 (prime)
+        // over 1e9. The closed-form jump must land on exactly
+        // ceil(n * num / den) memory cycles — one extra tick leaks in only
+        // once every ~143M interface cycles, and never before.
+        let num = 1_000_000_007u64;
+        let den = 1_000_000_000u64;
+        let mut d = DualClock::from_rational(num, den);
+        assert_eq!((d.num, d.den), (num, den), "coprime ratio must not reduce");
+        for n in [1u64, 12_345, 1_000_000] {
+            let mut probe = DualClock::from_rational(num, den);
+            let m = probe.advance_interfaces(n);
+            let expected = (u128::from(n) * u128::from(num)).div_ceil(u128::from(den)) as u64;
+            assert_eq!(m, expected, "n={n}");
+        }
+        // And the incremental walk agrees with the jump at a small scale.
+        let mut ticks = 0u64;
+        for _ in 0..1_000 {
+            d.advance_to_interface();
+            ticks += 1;
+        }
+        assert_eq!(d.interface_now().as_u64(), ticks);
+        assert_eq!(d.memory_now().as_u64(), 1_001); // ceil(1000 * (1e9+7)/1e9)
+    }
+
+    #[test]
+    fn interfaces_within_memory_survives_u64_overflow_horizons() {
+        // m * den overflows u64 for huge horizons; the u128 fallback must
+        // give the same exact answer the closed form predicts.
+        let mut d = DualClock::from_rational(13, 10);
+        d.tick_memory(); // non-zero accumulator phase (acc = 10)
+        let m = u64::MAX / 2;
+        let n = d.interfaces_within_memory(m);
+        let expected = ((u128::from(m) * 10 + u128::from(d.acc)) / 13) as u64;
+        assert_eq!(n, expected);
+        // Sanity at the extreme horizon too.
+        assert_eq!(
+            d.interfaces_within_memory(u64::MAX),
+            ((u128::from(u64::MAX) * 10 + u128::from(d.acc)) / 13) as u64
+        );
+    }
+
+    #[test]
+    fn wall_pacer_at_the_boundary_rate_is_one_cycle_per_nano() {
+        // cps = 1e9 reduces the internal ratio to 1/1: wall time and the
+        // cycle budget are the same axis.
+        let mut p = WallPacer::new(NANOS_PER_SEC);
+        assert_eq!(p.cycles_due(1), 1);
+        assert_eq!(p.cycles_due(1_000_000), 1_000_000 - 1);
+        assert_eq!(p.nanos_until_next(1_000_000), 1);
+    }
+
+    #[test]
+    fn wall_pacer_slowest_rate_fires_once_per_second() {
+        let mut p = WallPacer::new(1);
+        assert_eq!(p.cycles_due(NANOS_PER_SEC - 1), 0);
+        assert_eq!(p.cycles_due(NANOS_PER_SEC), 1);
+        assert_eq!(p.nanos_until_next(NANOS_PER_SEC), NANOS_PER_SEC);
+        assert_eq!(p.cycles_due(3 * NANOS_PER_SEC + 500), 2);
+    }
+
+    #[test]
+    fn wall_pacer_zero_drift_over_a_simulated_week() {
+        // A rate coprime with 1e9 (999_999_999 = 3^4 * 37 * 333667), polled
+        // at a coarse uneven cadence for 7 simulated days: the total must
+        // be exactly cps * seconds. A float-based pacer accumulates ~1e-7
+        // relative error per step and would be off by thousands of cycles
+        // at this horizon.
+        let cps = 999_999_999u64;
+        let mut p = WallPacer::new(cps);
+        let end = 7 * 24 * 3_600 * NANOS_PER_SEC;
+        let mut now = 0u64;
+        let mut issued = 0u64;
+        let steps = [59 * NANOS_PER_SEC, 61 * NANOS_PER_SEC + 13, 37, 600 * NANOS_PER_SEC + 1];
+        let mut i = 0usize;
+        while now < end {
+            now = (now + steps[i % steps.len()]).min(end);
+            issued += p.cycles_due(now);
+            i += 1;
+        }
+        assert_eq!(issued, cps * 7 * 24 * 3_600);
+        assert_eq!(p.cycles_issued(), issued);
     }
 }

@@ -27,6 +27,7 @@ pub mod burst;
 pub mod generators;
 pub mod mix;
 pub mod packets;
+pub mod tenants;
 
 pub use adversary::{OmniscientAdversary, ReplayAdversary, StrideAdversary};
 pub use generators::{
@@ -35,3 +36,4 @@ pub use generators::{
 };
 pub use mix::{RequestKind, RequestMix, RequestStream};
 pub use packets::{OutOfOrderSegments, PacketTrace, PacketTraceConfig, Segment, SizeDistribution};
+pub use tenants::{MultiTenantMix, Tagged, TenantFlowGen};

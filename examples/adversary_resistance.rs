@@ -25,7 +25,7 @@ const ADDR_SPACE: u64 = 1 << 24;
 fn run<G: AddressGenerator>(mut mem: VpnmController, gen: &mut G) -> (u64, f64) {
     let mut stalls = 0u64;
     for _ in 0..REQUESTS {
-        let out = mem.tick(Some(Request::Read { addr: LineAddr(gen.next_addr()) }));
+        let out = mem.tick(Some(Request::read(LineAddr(gen.next_addr()))));
         stalls += u64::from(!out.accepted());
     }
     (stalls, stalls as f64 / REQUESTS as f64)

@@ -29,7 +29,7 @@ fn main() -> Result<(), String> {
     // …read them back, including one address three times (redundant reads
     // merge into a single bank access — paper Section 3.4).
     for addr in [0x1000u64, 0x1001, 0x1002, 0x1002, 0x1002, 0x1003] {
-        let out = mem.tick(Some(Request::Read { addr: LineAddr(addr) }));
+        let out = mem.tick(Some(Request::read(LineAddr(addr))));
         assert!(out.accepted());
     }
 

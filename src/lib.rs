@@ -27,7 +27,7 @@
 //!
 //! let mut mem = VpnmController::new(VpnmConfig::small_test(), 7)?;
 //! mem.tick(Some(Request::write(LineAddr(1), vec![42])));
-//! mem.tick(Some(Request::Read { addr: LineAddr(1) }));
+//! mem.tick(Some(Request::read(LineAddr(1))));
 //! let responses = mem.drain();
 //! assert_eq!(responses[0].data[0], 42);
 //! assert_eq!(responses[0].latency(), mem.delay());

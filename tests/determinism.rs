@@ -12,10 +12,8 @@ use vpnm::workloads::{RequestKind, RequestMix, RequestStream, UniformAddresses};
 
 fn to_request(kind: RequestKind) -> Request {
     match kind {
-        RequestKind::Read { addr } => Request::Read { addr: LineAddr(addr) },
-        RequestKind::Write { addr, data } => {
-            Request::Write { addr: LineAddr(addr), data: data.into() }
-        }
+        RequestKind::Read { addr } => Request::read(LineAddr(addr)),
+        RequestKind::Write { addr, data } => Request::write(LineAddr(addr), data),
     }
 }
 
@@ -82,7 +80,7 @@ fn bursty_traffic_preserves_latency() {
     let mut responses = 0u64;
     let mut issued = 0u64;
     for _ in 0..20_000 {
-        let req = shaper.tick().then(|| Request::Read { addr: LineAddr(gen.next_addr()) });
+        let req = shaper.tick().then(|| Request::read(LineAddr(gen.next_addr())));
         issued += u64::from(req.is_some());
         let out = mem.tick(req);
         assert!(out.accepted());
@@ -108,7 +106,7 @@ fn every_bus_ratio_upholds_the_invariant() {
         let d = mem.delay();
         let mut gen = UniformAddresses::new(1 << 16, 6);
         for _ in 0..2000 {
-            let out = mem.tick(Some(Request::Read { addr: LineAddr(gen.next_addr()) }));
+            let out = mem.tick(Some(Request::read(LineAddr(gen.next_addr()))));
             if let Some(resp) = out.response {
                 assert_eq!(resp.latency(), d, "R = {r}");
             }
@@ -129,7 +127,7 @@ fn merging_bounds_redundant_pattern_resources() {
     mem.tick(Some(Request::write(LineAddr(0xB), vec![2])));
     let mut pattern = vpnm::workloads::RedundantPattern::new(vec![0xA, 0xB]);
     for _ in 0..2000 {
-        let out = mem.tick(Some(Request::Read { addr: LineAddr(pattern.next_addr()) }));
+        let out = mem.tick(Some(Request::read(LineAddr(pattern.next_addr()))));
         assert!(out.accepted(), "merging must absorb the pattern");
     }
     let m = mem.metrics();
@@ -160,11 +158,12 @@ fn parallel_fabric_upholds_the_latency_invariant() {
         channels: 8,
         select: ChannelSelect::UniversalHash,
         base: VpnmConfig::test_roomy(),
+        qos: None,
     };
     let mut shaper = BurstShaper::new(300, 80);
     let mut gen = UniformAddresses::new(1 << 16, 23);
     let stream: Vec<Option<Request>> = (0..6000)
-        .map(|_| shaper.tick().then(|| Request::Read { addr: LineAddr(gen.next_addr()) }))
+        .map(|_| shaper.tick().then(|| Request::read(LineAddr(gen.next_addr()))))
         .collect();
 
     let run = |workers: usize| {
@@ -201,16 +200,18 @@ fn epoch_advance_is_uniform_across_trait_objects() {
 
     let base = VpnmConfig::test_roomy();
     let mut gen = UniformAddresses::new(1 << 16, 41);
-    let epoch: Vec<Option<Request>> = (0..800)
-        .map(|i| (i % 3 != 2).then(|| Request::Read { addr: LineAddr(gen.next_addr()) }))
-        .collect();
+    let epoch: Vec<Option<Request>> =
+        (0..800).map(|i| (i % 3 != 2).then(|| Request::read(LineAddr(gen.next_addr())))).collect();
 
     let mut vpnm: Box<dyn PipelinedMemory> =
         Box::new(VpnmController::new(base.clone(), 2).expect("valid"));
     let mut ideal: Box<dyn PipelinedMemory> = Box::new(IdealMemory::new(vpnm.delay(), 8));
     let mut fabric: Box<dyn PipelinedMemory> = Box::new(
-        VpnmFabric::new(FabricConfig { channels: 1, select: ChannelSelect::LowBits, base }, 2)
-            .expect("valid"),
+        VpnmFabric::new(
+            FabricConfig { channels: 1, select: ChannelSelect::LowBits, base, qos: None },
+            2,
+        )
+        .expect("valid"),
     );
     let mut outputs = Vec::new();
     for mem in [&mut vpnm, &mut ideal, &mut fabric] {

@@ -47,7 +47,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 
 fn to_request(op: &Op, addr_mask: u64) -> Option<Request> {
     match op {
-        Op::Read(a) => Some(Request::Read { addr: LineAddr(u64::from(*a) & addr_mask) }),
+        Op::Read(a) => Some(Request::read(LineAddr(u64::from(*a) & addr_mask))),
         Op::Write(a, v) => Some(Request::write(LineAddr(u64::from(*a) & addr_mask), vec![*v])),
         Op::Idle => None,
     }
@@ -151,9 +151,8 @@ fn engines_agree_under_adversarial_single_bank_flood() {
     use vpnm::core::HashKind;
     for scheduler in [SchedulerKind::RoundRobin, SchedulerKind::WorkConserving] {
         let cfg = VpnmConfig { scheduler, ..VpnmConfig::small_test() }.with_hash(HashKind::LowBits);
-        let stream: Vec<Option<Request>> = (0..2000u64)
-            .map(|i| Some(Request::Read { addr: LineAddr(i * 4 % (1 << 16)) }))
-            .collect();
+        let stream: Vec<Option<Request>> =
+            (0..2000u64).map(|i| Some(Request::read(LineAddr(i * 4 % (1 << 16))))).collect();
         assert_equivalent(cfg, 0, &stream);
     }
 }
@@ -173,7 +172,7 @@ fn engines_agree_across_long_idle_gaps() {
                 stream.push(Some(if i % 4 == 0 {
                     Request::write(addr, vec![i as u8])
                 } else {
-                    Request::Read { addr }
+                    Request::read(addr)
                 }));
             }
             stream.extend(std::iter::repeat_with(|| None).take(500));
@@ -193,7 +192,7 @@ fn mixed_stream(n: u64, addr_mask: u64) -> Vec<Option<Request>> {
             match i % 7 {
                 6 => None,
                 0 | 3 => Some(Request::write(addr, vec![i as u8])),
-                _ => Some(Request::Read { addr }),
+                _ => Some(Request::read(addr)),
             }
         })
         .collect()
@@ -224,7 +223,7 @@ fn fabric_engines_agree_at_four_channels() {
     // engines do at one channel.
     let stream = mixed_stream(2000, (1 << 16) - 1);
     for select in [ChannelSelect::LowBits, ChannelSelect::HighBits, ChannelSelect::UniversalHash] {
-        let cfg = FabricConfig { channels: 4, select, base: VpnmConfig::small_test() };
+        let cfg = FabricConfig { channels: 4, select, base: VpnmConfig::small_test(), qos: None };
         let mut fast = VpnmFabric::new(cfg.clone(), 11).expect("valid");
         let mut reference = VpnmFabric::new_reference(cfg, 11).expect("valid");
         assert_engines_equivalent(&mut fast, &mut reference, &stream);
@@ -241,6 +240,7 @@ fn fabric_runs_are_deterministic_at_four_channels() {
             channels: 4,
             select: ChannelSelect::UniversalHash,
             base: VpnmConfig::small_test(),
+            qos: None,
         };
         let mut fabric = VpnmFabric::new(cfg, 21).expect("valid");
         let mut responses = Vec::new();
@@ -272,7 +272,7 @@ fn bursty_idle_stream(bursts: u64, addr_mask: u64) -> Vec<Option<Request>> {
             stream.push(Some(if i % 4 == 0 {
                 Request::write(addr, vec![i as u8])
             } else {
-                Request::Read { addr }
+                Request::read(addr)
             }));
         }
         stream.extend(std::iter::repeat_with(|| None).take(400));
@@ -284,9 +284,7 @@ fn bursty_idle_stream(bursts: u64, addr_mask: u64) -> Vec<Option<Request>> {
 /// select funnels the whole stream into channel 0 — one channel stalls
 /// heavily while the rest idle (the worst case for epoch batching).
 fn channel_flood_stream(n: u64, channels: u64) -> Vec<Option<Request>> {
-    (0..n)
-        .map(|i| Some(Request::Read { addr: LineAddr((i * 13 % (1 << 12)) * channels) }))
-        .collect()
+    (0..n).map(|i| Some(Request::read(LineAddr((i * 13 % (1 << 12)) * channels)))).collect()
 }
 
 #[test]
@@ -302,7 +300,7 @@ fn fabric_epoch_path_is_worker_count_invariant_and_matches_tick() {
         ("adversarial", ChannelSelect::LowBits, channel_flood_stream(1500, 8)),
     ];
     for (name, select, stream) in traces {
-        let cfg = FabricConfig { channels: 8, select, base: VpnmConfig::small_test() };
+        let cfg = FabricConfig { channels: 8, select, base: VpnmConfig::small_test(), qos: None };
 
         let mut ticked = VpnmFabric::new(cfg.clone(), 17).expect("valid");
         let mut tick_responses = Vec::new();
@@ -348,7 +346,12 @@ fn boxed_engines_run_the_same_stream_through_one_call_site() {
         Box::new(ReferenceController::new(cfg.clone(), 5).expect("valid")),
         Box::new(
             VpnmFabric::new(
-                FabricConfig { channels: 4, select: ChannelSelect::UniversalHash, base: cfg },
+                FabricConfig {
+                    channels: 4,
+                    select: ChannelSelect::UniversalHash,
+                    base: cfg,
+                    qos: None,
+                },
                 5,
             )
             .expect("valid"),
@@ -379,7 +382,7 @@ fn engines_agree_on_paper_scale_config() {
             } else if i % 5 == 0 {
                 Some(Request::write(LineAddr(i * 7919 % (1 << 20)), vec![i as u8]))
             } else {
-                Some(Request::Read { addr: LineAddr(i * 6151 % (1 << 20)) })
+                Some(Request::read(LineAddr(i * 6151 % (1 << 20))))
             }
         })
         .collect();

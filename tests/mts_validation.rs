@@ -21,7 +21,7 @@ fn simulate_mean_first_stall(config: &VpnmConfig, trials: u64, max_cycles: u64) 
         let mut gen = UniformAddresses::new(1u64 << config.addr_bits, 31 * trial + 1);
         let mut first = max_cycles;
         for t in 0..max_cycles {
-            let out = mem.tick(Some(Request::Read { addr: LineAddr(gen.next_addr()) }));
+            let out = mem.tick(Some(Request::read(LineAddr(gen.next_addr()))));
             if !out.accepted() {
                 first = t + 1;
                 break;
@@ -138,7 +138,7 @@ fn storage_dominated_config_stalls_on_storage() {
     let mut mem = VpnmController::new(config, 3).unwrap();
     let mut gen = UniformAddresses::new(1 << 16, 4);
     for _ in 0..100_000 {
-        mem.tick(Some(Request::Read { addr: LineAddr(gen.next_addr()) }));
+        mem.tick(Some(Request::read(LineAddr(gen.next_addr()))));
     }
     let m = mem.metrics();
     assert!(m.total_stalls() > 0, "cramped config must stall within 100k cycles");
@@ -157,7 +157,7 @@ fn paper_scale_config_never_stalls_in_reachable_horizons() {
     let mut mem = VpnmController::new(VpnmConfig::paper_optimal(), 17).unwrap();
     let mut gen = UniformAddresses::new(1u64 << 32, 18);
     for _ in 0..1_000_000u64 {
-        let out = mem.tick(Some(Request::Read { addr: LineAddr(gen.next_addr()) }));
+        let out = mem.tick(Some(Request::read(LineAddr(gen.next_addr()))));
         assert!(out.accepted(), "paper config stalled — MTS model violated");
     }
     let queue_mts = BankQueueModel::new(32, 20, 64, 1.3).mts_cycles();

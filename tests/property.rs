@@ -32,7 +32,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 
 fn to_request(op: &Op) -> Option<Request> {
     match op {
-        Op::Read(a) => Some(Request::Read { addr: LineAddr(u64::from(*a)) }),
+        Op::Read(a) => Some(Request::read(LineAddr(u64::from(*a)))),
         Op::Write(a, v) => Some(Request::write(LineAddr(u64::from(*a)), vec![*v])),
         Op::Idle => None,
     }
@@ -132,6 +132,7 @@ proptest! {
             channels: 4,
             select: ChannelSelect::UniversalHash,
             base: VpnmConfig { addr_bits: 8, ..VpnmConfig::test_roomy() },
+            qos: None,
         };
         let mut fab = VpnmFabric::new(config, seed).unwrap();
         let space = 1u64 << 8;
@@ -152,11 +153,11 @@ proptest! {
             read_back += 1;
         };
         for a in 0..space {
-            let mut out = fab.tick(Some(Request::Read { addr: LineAddr(a) }));
+            let mut out = fab.tick(Some(Request::read(LineAddr(a))));
             let mut budget = 4 * fab.delay();
             while !out.accepted() && budget > 0 {
                 out.response.map(&mut check);
-                out = fab.tick(Some(Request::Read { addr: LineAddr(a) }));
+                out = fab.tick(Some(Request::read(LineAddr(a))));
                 budget -= 1;
             }
             prop_assert!(out.accepted(), "read of {a} never accepted");
@@ -180,13 +181,14 @@ proptest! {
             channels: 4,
             select: ChannelSelect::UniversalHash,
             base: VpnmConfig::test_roomy(),
+            qos: None,
         };
         let mut fab = VpnmFabric::new(config, seed).unwrap();
         let mut gen = vpnm::workloads::UniformAddresses::new(1 << 16, seed ^ 0xABCD);
         let mut accepted = 0u64;
         for _ in 0..N {
             accepted += u64::from(
-                fab.tick(Some(Request::Read { addr: LineAddr(gen.next_addr()) })).accepted(),
+                fab.tick(Some(Request::read(LineAddr(gen.next_addr())))).accepted(),
             );
         }
         let p = 0.25f64;
@@ -220,7 +222,7 @@ proptest! {
         }
         let mut expected = Vec::new();
         for (&a, &v) in &last {
-            let out = mem.tick(Some(Request::Read { addr: LineAddr(a) }));
+            let out = mem.tick(Some(Request::read(LineAddr(a))));
             prop_assume!(out.accepted());
             expected.push((a, v));
             if let Some(r) = out.response {
